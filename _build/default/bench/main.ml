@@ -1,0 +1,143 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation
+   (Section 4 and the Section-5 experiment) as quality tables printed to
+   stdout, then times the construction algorithms with Bechamel — one
+   Test.make per experiment table (F1, C1..C5, T4, S1).
+
+   Flags:
+     --quick        small sweeps and a reduced OPT-A state budget
+     --no-bechamel  skip the timing benchmarks
+     --csv          also print the Figure-1 rows as CSV *)
+
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module E = Rs_experiments
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+let want_csv = Array.exists (( = ) "--csv") Sys.argv
+
+let section title =
+  Printf.printf "\n================ %s ================\n\n%!" title
+
+let options =
+  if quick then
+    { Builder.default_options with Builder.opt_a_max_states = 2_000_000 }
+  else Builder.default_options
+
+let quality_tables () =
+  let ds = Dataset.paper () in
+  Printf.printf "dataset: %s (n=%d, total=%.0f)\n" (Dataset.name ds)
+    (Dataset.n ds) (Dataset.total ds);
+  let budgets = if quick then [ 8; 16; 24 ] else E.Figure1.default_budgets in
+  section "F1: Figure 1 - SSE vs storage (all ranges, log-scale in paper)";
+  let rows =
+    E.Figure1.run ~options ~budgets ~methods:E.Figure1.extended_methods ds
+  in
+  print_string (E.Figure1.table rows);
+  Printf.printf "\n(construction seconds)\n\n";
+  print_string (E.Figure1.timing_table rows);
+  if want_csv then begin
+    section "F1 rows as CSV";
+    print_string (E.Figure1.csv rows)
+  end;
+  section "C1-C3, C5: the paper's Figure-1 prose claims";
+  print_string (E.Claims.table (E.Claims.all rows));
+  section "C4: Section 5 re-optimization (A-reopt)";
+  let reopt_budgets = if quick then [ 8; 16 ] else [ 8; 16; 24; 32 ] in
+  let reopt_rows = E.Reopt_study.run ~options ~budgets:reopt_budgets ds in
+  print_string (E.Reopt_study.table reopt_rows);
+  Printf.printf "\n";
+  print_string (E.Claims.table [ E.Reopt_study.verdict reopt_rows ]);
+  section "T4: OPT-A-ROUNDED quality/cost trade-off (Theorem 4)";
+  let xs = if quick then [ 1; 8; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let max_states = if quick then 2_000_000 else 60_000_000 in
+  let r_rows = E.Rounding_study.run ~buckets:8 ~xs ~max_states ds in
+  print_string (E.Rounding_study.table r_rows);
+  Printf.printf "\n";
+  print_string (E.Claims.table [ E.Rounding_study.verdict r_rows ]);
+  section "W1: workload-aware histograms (extension)";
+  let w_rows = E.Workload_study.run ds in
+  print_string (E.Workload_study.table w_rows);
+  Printf.printf "\n";
+  print_string (E.Claims.table [ E.Workload_study.verdict w_rows ]);
+  section "D2: two-dimensional range aggregates (extension, footnote 2)";
+  let d2_rows = E.Dim2_study.run () in
+  print_string (E.Dim2_study.table d2_rows);
+  Printf.printf "\n";
+  print_string (E.Claims.table [ E.Dim2_study.verdict d2_rows ]);
+  section "S1: scalability of the polynomial-time constructions";
+  let ns = if quick then [ 127; 255 ] else E.Scalability.default_ns in
+  print_string (E.Scalability.table (E.Scalability.run ~ns ()))
+
+(* --- Bechamel timing benchmarks: one Test.make per table --- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let ds = Dataset.paper () in
+  let p = Dataset.prefix ds in
+  let data = Dataset.values ds in
+  let ds511 = Dataset.generate "zipf-511" in
+  let p511 = Dataset.prefix ds511 in
+  let equi16 = Rs_histogram.Baselines.equi_width p ~buckets:16 in
+  [
+    (* F1's workhorse: the O(n²B) bucket DP (A0 costs). *)
+    Test.make ~name:"F1/a0-dp n=127 B=12"
+      (Staged.stage (fun () -> ignore (Rs_histogram.A0.build p ~buckets:12)));
+    (* C1: the POINT-OPT baseline construction. *)
+    Test.make ~name:"C1/point-opt n=127 B=12"
+      (Staged.stage (fun () -> ignore (Rs_histogram.Vopt.build p ~buckets:12)));
+    (* C2: SAP1's DP with regression costs. *)
+    Test.make ~name:"C2/sap1 n=127 B=9"
+      (Staged.stage (fun () -> ignore (Rs_histogram.Sap1.build p ~buckets:9)));
+    (* C3: SAP0's DP. *)
+    Test.make ~name:"C3/sap0 n=127 B=16"
+      (Staged.stage (fun () -> ignore (Rs_histogram.Sap0.build p ~buckets:16)));
+    (* C4: normal equations + SPD solve of the reopt step. *)
+    Test.make ~name:"C4/reopt n=127 B=16"
+      (Staged.stage (fun () -> ignore (Rs_histogram.Reopt.apply p equi16)));
+    (* C5: the near-linear range-optimal wavelet selection (Thm 9). *)
+    Test.make ~name:"C5/wave-range-opt n=127 B=24"
+      (Staged.stage (fun () ->
+           ignore (Rs_wavelet.Synopsis.range_optimal data ~b:24)));
+    (* T4: one OPT-A-ROUNDED run at a coarse grid. *)
+    Test.make ~name:"T4/opt-a-rounded x=64 B=6"
+      (Staged.stage (fun () ->
+           ignore
+             (Rs_histogram.Opt_a.build_rounded ~max_states:5_000_000 p
+                ~buckets:6 ~x:64)));
+    (* S1: a polynomial construction at the larger domain. *)
+    Test.make ~name:"S1/sap0 n=511 B=10"
+      (Staged.stage (fun () -> ignore (Rs_histogram.Sap0.build p511 ~buckets:10)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  section "Bechamel construction-time benchmarks";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let quota = if quick then Time.second 0.2 else Time.second 1.0 in
+  let cfg = Benchmark.cfg ~limit:200 ~quota ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"tables" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+          if ns >= 1e9 then Printf.printf "%-42s %10.3f s/run\n" name (ns /. 1e9)
+          else if ns >= 1e6 then
+            Printf.printf "%-42s %10.3f ms/run\n" name (ns /. 1e6)
+          else Printf.printf "%-42s %10.3f us/run\n" name (ns /. 1e3)
+      | _ -> Printf.printf "%-42s (no estimate)\n" name)
+    rows
+
+let () =
+  quality_tables ();
+  if not no_bechamel then run_bechamel ();
+  Printf.printf "\ndone.\n"

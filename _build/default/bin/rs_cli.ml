@@ -1,0 +1,350 @@
+(* range_synopsis — command-line interface.
+
+   Subcommands:
+     generate   write a named synthetic dataset to a file
+     info       describe a dataset
+     build      build a synopsis and print its summary
+     query      answer range queries from a synopsis, with exact values
+     evaluate   compare methods on a dataset (SSE & metrics)
+     figure1    reproduce the paper's Figure 1 sweep
+     claims     evaluate the paper's prose claims (C1..C5)
+     reopt      the Section-5 re-optimization study (C4)
+     rounding   the OPT-A-ROUNDED trade-off study (T4)
+     scale      scalability sweep of the polynomial methods (S1) *)
+
+open Cmdliner
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+module E = Rs_experiments
+
+(* --- shared arguments --- *)
+
+let dataset_arg =
+  let doc =
+    "Dataset: a file path (one frequency per line) or a generator name \
+     (paper, zipf-<n>, mixture-<n>, uniform-<n>)."
+  in
+  Arg.(value & opt string "paper" & info [ "d"; "data" ] ~docv:"DATA" ~doc)
+
+let load_dataset spec =
+  if Sys.file_exists spec then Dataset.load spec else Dataset.generate spec
+
+let budget_arg =
+  let doc = "Storage budget in machine words." in
+  Arg.(value & opt int 32 & info [ "b"; "budget" ] ~docv:"WORDS" ~doc)
+
+let method_arg =
+  let doc =
+    Printf.sprintf "Construction method, one of: %s."
+      (String.concat ", " Builder.methods)
+  in
+  Arg.(value & opt string "opt-a" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let methods_arg =
+  let doc = "Comma-separated list of methods (default: a representative set)." in
+  Arg.(
+    value
+    & opt (list string) [ "equi-width"; "point-opt"; "a0"; "sap0"; "sap1"; "wave-range-opt" ]
+    & info [ "methods" ] ~docv:"METHODS" ~doc)
+
+let quick_arg =
+  let doc = "Reduce sweep sizes and OPT-A state budgets (fast sanity run)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let opt_a_states_arg =
+  let doc =
+    "State budget for the exact OPT-A dynamic program (default 6e7; the \
+     staged builder falls back to OPT-A-ROUNDED beyond it)."
+  in
+  Arg.(value & opt (some int) None & info [ "opt-a-states" ] ~docv:"N" ~doc)
+
+let options_of quick states =
+  let base =
+    if quick then
+      { Builder.default_options with Builder.opt_a_max_states = 2_000_000 }
+    else Builder.default_options
+  in
+  match states with
+  | Some s -> { base with Builder.opt_a_max_states = s }
+  | None -> base
+
+let options_of_quick quick = options_of quick None
+
+let wrap f = try `Ok (f ()) with Invalid_argument m | Failure m -> `Error (false, m)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let name_arg =
+    Arg.(value & opt string "zipf-256" & info [ "g"; "generator" ] ~docv:"NAME"
+           ~doc:"Generator name (paper, zipf-<n>, mixture-<n>, uniform-<n>).")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Output file.")
+  in
+  let run name out =
+    wrap (fun () ->
+        let ds = Dataset.generate name in
+        Dataset.save ds out;
+        Printf.printf "wrote %s: n=%d total=%.0f\n" out (Dataset.n ds)
+          (Dataset.total ds))
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Write a synthetic dataset to a file.")
+    Term.(ret (const run $ name_arg $ out_arg))
+
+(* --- info --- *)
+
+let info_cmd =
+  let run data =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let v = Dataset.values ds in
+        let mx = Array.fold_left Float.max 0. v in
+        Printf.printf "dataset %s\n  n        %d\n  total    %.0f\n  max      %.0f\n  integral %b\n"
+          (Dataset.name ds) (Dataset.n ds) (Dataset.total ds) mx
+          (Dataset.is_integral ds))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a dataset.")
+    Term.(ret (const run $ dataset_arg))
+
+(* --- build --- *)
+
+let build_cmd =
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Persist the synopsis to a file (see the Codec format).")
+  in
+  let run data m budget quick states save =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of quick states in
+        let s, dt =
+          E.Timing.time (fun () ->
+              Builder.build ~options ds ~method_name:m ~budget_words:budget)
+        in
+        print_endline (Synopsis.describe s);
+        Printf.printf "built in %.3fs\n" dt;
+        Printf.printf "SSE over all ranges: %.6g\n" (Synopsis.sse ds s);
+        match save with
+        | Some path ->
+            Rs_core.Codec.save s path;
+            Printf.printf "saved to %s\n" path
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build a synopsis and report its quality.")
+    Term.(
+      ret
+        (const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
+       $ opt_a_states_arg $ save_arg))
+
+(* --- query --- *)
+
+let query_cmd =
+  let ranges_arg =
+    Arg.(
+      non_empty
+      & pos_all (pair ~sep:':' int int) []
+      & info [] ~docv:"A:B" ~doc:"Ranges to answer, e.g. 3:17.")
+  in
+  let synopsis_arg =
+    Arg.(value & opt (some string) None & info [ "synopsis" ] ~docv:"FILE"
+           ~doc:"Answer from a previously saved synopsis instead of building one.")
+  in
+  let run data m budget ranges synopsis =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let s =
+          match synopsis with
+          | Some path -> Rs_core.Codec.load path
+          | None -> Builder.build ds ~method_name:m ~budget_words:budget
+        in
+        let p = Dataset.prefix ds in
+        Printf.printf "%-14s %14s %14s %10s\n" "range" "exact" "estimate" "error";
+        List.iter
+          (fun (a, b) ->
+            let exact = Rs_util.Prefix.range_sum p ~a ~b in
+            let est = Synopsis.estimate s ~a ~b in
+            Printf.printf "[%5d,%5d]  %14.0f %14.2f %9.2f%%\n" a b exact est
+              (100. *. abs_float (est -. exact) /. Float.max 1. exact))
+          ranges)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer range-sum queries from a synopsis.")
+    Term.(
+      ret
+        (const run $ dataset_arg $ method_arg $ budget_arg $ ranges_arg
+       $ synopsis_arg))
+
+(* --- evaluate --- *)
+
+let evaluate_cmd =
+  let run data methods budget quick =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of_quick quick in
+        let rows =
+          List.map
+            (fun m ->
+              let s, dt =
+                E.Timing.time (fun () ->
+                    Builder.build ~options ds ~method_name:m ~budget_words:budget)
+              in
+              let metrics = Synopsis.metrics ds s in
+              [
+                m;
+                string_of_int (Synopsis.storage_words s);
+                Rs_util.Text_table.float_cell ~prec:4 metrics.Rs_query.Error.sse;
+                Rs_util.Text_table.float_cell ~prec:2 metrics.Rs_query.Error.rmse;
+                Rs_util.Text_table.float_cell ~prec:2 metrics.Rs_query.Error.max_abs;
+                Printf.sprintf "%.2f%%" (100. *. metrics.Rs_query.Error.mean_rel);
+                Printf.sprintf "%.3fs" dt;
+              ])
+            methods
+        in
+        print_string
+          (Rs_util.Text_table.render
+             ~header:[ "method"; "words"; "sse"; "rmse"; "max err"; "mean rel"; "build" ]
+             rows))
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Compare methods on one dataset and budget.")
+    Term.(ret (const run $ dataset_arg $ methods_arg $ budget_arg $ quick_arg))
+
+(* --- experiment commands --- *)
+
+let figure1_cmd =
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Print long-form CSV instead of tables.")
+  in
+  let run data quick csv =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of_quick quick in
+        let budgets = if quick then [ 8; 16; 24 ] else E.Figure1.default_budgets in
+        let rows =
+          E.Figure1.run ~options ~budgets ~methods:E.Figure1.extended_methods ds
+        in
+        if csv then print_string (E.Figure1.csv rows)
+        else begin
+          print_string (E.Figure1.table rows);
+          print_newline ();
+          print_string (E.Claims.table (E.Claims.all rows))
+        end)
+  in
+  Cmd.v (Cmd.info "figure1" ~doc:"Reproduce Figure 1 (SSE vs storage).")
+    Term.(ret (const run $ dataset_arg $ quick_arg $ csv_arg))
+
+let claims_cmd =
+  let run data quick =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of_quick quick in
+        let budgets = if quick then [ 8; 16; 24 ] else E.Figure1.default_budgets in
+        let rows =
+          E.Figure1.run ~options ~budgets ~methods:E.Figure1.extended_methods ds
+        in
+        print_string (E.Claims.table (E.Claims.all rows)))
+  in
+  Cmd.v (Cmd.info "claims" ~doc:"Evaluate the paper's prose claims (C1..C5).")
+    Term.(ret (const run $ dataset_arg $ quick_arg))
+
+let reopt_cmd =
+  let run data quick =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of_quick quick in
+        let budgets = if quick then [ 8; 16 ] else [ 8; 16; 24; 32 ] in
+        let rows = E.Reopt_study.run ~options ~budgets ds in
+        print_string (E.Reopt_study.table rows);
+        print_newline ();
+        print_string (E.Claims.table [ E.Reopt_study.verdict rows ]))
+  in
+  Cmd.v (Cmd.info "reopt" ~doc:"Section-5 re-optimization study (C4).")
+    Term.(ret (const run $ dataset_arg $ quick_arg))
+
+let rounding_cmd =
+  let buckets_arg =
+    Arg.(value & opt int 8 & info [ "buckets" ] ~docv:"B" ~doc:"Bucket count.")
+  in
+  let run data quick buckets =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let xs = if quick then [ 1; 8; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+        let max_states = if quick then 2_000_000 else 60_000_000 in
+        let rows = E.Rounding_study.run ~buckets ~xs ~max_states ds in
+        print_string (E.Rounding_study.table rows);
+        print_newline ();
+        print_string (E.Claims.table [ E.Rounding_study.verdict rows ]))
+  in
+  Cmd.v (Cmd.info "rounding" ~doc:"OPT-A-ROUNDED trade-off study (T4).")
+    Term.(ret (const run $ dataset_arg $ quick_arg $ buckets_arg))
+
+let scale_cmd =
+  let run quick =
+    wrap (fun () ->
+        let ns = if quick then [ 127; 255 ] else E.Scalability.default_ns in
+        print_string (E.Scalability.table (E.Scalability.run ~ns ())))
+  in
+  Cmd.v (Cmd.info "scale" ~doc:"Scalability sweep (S1).")
+    Term.(ret (const run $ quick_arg))
+
+let workload_cmd =
+  let run data =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let rows = E.Workload_study.run ds in
+        print_string (E.Workload_study.table rows);
+        print_newline ();
+        print_string (E.Claims.table [ E.Workload_study.verdict rows ]))
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Workload-aware histogram study (W1, extension).")
+    Term.(ret (const run $ dataset_arg))
+
+let dim2_cmd =
+  let n_arg =
+    Arg.(value & opt int 31 & info [ "n" ] ~docv:"N" ~doc:"Grid side length.")
+  in
+  let run n =
+    wrap (fun () ->
+        let rows = E.Dim2_study.run ~n () in
+        print_string (E.Dim2_study.table rows);
+        print_newline ();
+        print_string (E.Claims.table [ E.Dim2_study.verdict rows ]))
+  in
+  Cmd.v
+    (Cmd.info "dim2" ~doc:"Two-dimensional range aggregates (D2, footnote 2).")
+    Term.(ret (const run $ n_arg))
+
+let main_cmd =
+  let doc = "summary statistics for range aggregates (PODS 2001 reproduction)" in
+  Cmd.group
+    (Cmd.info "range_synopsis" ~version:"1.0.0" ~doc)
+    [
+      generate_cmd; info_cmd; build_cmd; query_cmd; evaluate_cmd; figure1_cmd;
+      claims_cmd; reopt_cmd; rounding_cmd; scale_cmd; workload_cmd; dim2_cmd;
+    ]
+
+(* RS_LOG=debug|info enables library instrumentation (e.g. OPT-A state
+   counts) without touching the cmdliner interface. *)
+let setup_logs () =
+  match Sys.getenv_opt "RS_LOG" with
+  | Some level ->
+      let level =
+        match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | "warning" -> Some Logs.Warning
+        | _ -> None
+      in
+      if level <> None then begin
+        Logs.set_level level;
+        Logs.set_reporter (Logs.format_reporter ())
+      end
+  | None -> ()
+
+let () =
+  setup_logs ();
+  exit (Cmd.eval main_cmd)

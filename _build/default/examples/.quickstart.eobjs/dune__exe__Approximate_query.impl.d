@@ -1,0 +1,1 @@
+examples/approximate_query.ml: Array Float List Printf Rs_core Rs_dist Rs_util

@@ -1,0 +1,1 @@
+examples/online_refinement.ml: List Printf Rs_core Rs_query Rs_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Rs_core Rs_util

@@ -1,0 +1,1 @@
+examples/selectivity_estimation.ml: Array Float List Printf Rs_core Rs_dist Rs_query Rs_util

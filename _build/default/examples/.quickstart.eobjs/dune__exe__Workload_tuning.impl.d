@@ -1,0 +1,1 @@
+examples/workload_tuning.ml: Array List Printf Rs_core Rs_dist Rs_histogram Rs_query Rs_util Rs_wavelet

@@ -1,0 +1,43 @@
+(* Quickstart: build range-optimal summary statistics for a column and
+   answer range-sum queries from them.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+
+let () =
+  (* The attribute-value distribution: A.(i) = number of records whose
+     attribute equals i+1.  Here: the paper's 127-key Zipf dataset. *)
+  let ds = Dataset.paper () in
+  Printf.printf "dataset %S: %d attribute values, %.0f records\n\n"
+    (Dataset.name ds) (Dataset.n ds) (Dataset.total ds);
+
+  (* Build three summaries under the same 24-word storage budget. *)
+  let methods = [ "equi-width"; "opt-a"; "wave-range-opt" ] in
+  let synopses =
+    List.map (fun m -> Builder.build ds ~method_name:m ~budget_words:24) methods
+  in
+  List.iter (fun s -> print_endline (Synopsis.describe s)) synopses;
+
+  (* Answer a few range queries and compare against the exact answer. *)
+  let p = Dataset.prefix ds in
+  let queries = [ (1, 5); (3, 40); (60, 127); (1, 127) ] in
+  Printf.printf "\n%-12s %10s" "range" "exact";
+  List.iter (fun s -> Printf.printf " %14s" (Synopsis.name s)) synopses;
+  print_newline ();
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "[%3d,%3d]    %10.0f" a b (Rs_util.Prefix.range_sum p ~a ~b);
+      List.iter
+        (fun s -> Printf.printf " %14.1f" (Synopsis.estimate s ~a ~b))
+        synopses;
+      print_newline ())
+    queries;
+
+  (* And the headline quality number: SSE over all n(n+1)/2 ranges. *)
+  Printf.printf "\nSSE over all ranges (lower is better):\n";
+  List.iter
+    (fun s -> Printf.printf "  %-16s %.4g\n" (Synopsis.name s) (Synopsis.sse ds s))
+    synopses

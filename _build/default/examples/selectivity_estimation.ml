@@ -1,0 +1,75 @@
+(* Selectivity estimation for a cost-based query optimizer.
+
+   Scenario: a table ORDERS with an integer attribute amount ∈ [1, 255].
+   The optimizer must decide, per predicate "amount BETWEEN lo AND hi",
+   whether to use an index scan (good when few rows qualify) or a
+   sequential scan (good when many do).  It consults a histogram of
+   bounded size; a wrong selectivity estimate on the wrong side of the
+   threshold picks the wrong plan.
+
+   We compare the classical equi-width/equi-depth histograms against the
+   paper's range-aware constructions at the same storage footprint and
+   count the plan decisions each gets right.
+
+   Run with:  dune exec examples/selectivity_estimation.exe *)
+
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+module Workload = Rs_query.Workload
+module Rng = Rs_dist.Rng
+
+let index_scan_threshold = 0.05 (* index wins below 5% selectivity *)
+
+let () =
+  (* A multi-modal amount distribution: a cheap-items bump, a mid-range
+     bump and a luxury tail — the shape that defeats equal-width
+     buckets. *)
+  let rng = Rng.create 77 in
+  let freqs = Rs_dist.Generators.gaussian_mixture rng ~n:255 ~peaks:4 ~total:100_000. in
+  let ds =
+    Dataset.of_ints ~name:"orders.amount"
+      (Rs_dist.Rounding.clamp_non_negative (Rs_dist.Rounding.randomized rng freqs))
+  in
+  let p = Dataset.prefix ds in
+  let total = Dataset.total ds in
+  Printf.printf "table ORDERS: %.0f rows, amount in [1, %d]\n" total (Dataset.n ds);
+  Printf.printf "plan rule: index scan iff selectivity < %.0f%%\n\n"
+    (100. *. index_scan_threshold);
+
+  (* The optimizer's predicate workload: short, selective ranges. *)
+  let workload =
+    Workload.short_biased (Rng.create 78) ~n:(Dataset.n ds) ~count:2_000
+      ~mean_length:12
+  in
+
+  let budget = 30 in
+  let methods = [ "equi-width"; "equi-depth"; "point-opt"; "a0"; "sap1"; "a0-reopt" ] in
+  Printf.printf "%-12s %8s %12s %14s %12s\n" "method" "words" "bad plans"
+    "mean |sel err|" "worst err";
+  List.iter
+    (fun m ->
+      let s = Builder.build ds ~method_name:m ~budget_words:budget in
+      let bad = ref 0 and errs = ref 0. and worst = ref 0. in
+      Array.iter
+        (fun { Workload.a; b; _ } ->
+          let truth = Rs_util.Prefix.range_sum p ~a ~b /. total in
+          let est = Float.max 0. (Synopsis.estimate s ~a ~b) /. total in
+          let err = abs_float (truth -. est) in
+          errs := !errs +. err;
+          worst := Float.max !worst err;
+          let plan sel = sel < index_scan_threshold in
+          if plan truth <> plan est then incr bad)
+        workload.Workload.queries;
+      Printf.printf "%-12s %8d %9d/%d %13.4f%% %11.2f%%\n" m
+        (Synopsis.storage_words s) !bad (Workload.size workload)
+        (100. *. !errs /. float_of_int (Workload.size workload))
+        (100. *. !worst))
+    methods;
+
+  print_newline ();
+  print_endline
+    "The range-aware constructions (a0, sap1, a0-reopt) place boundaries where";
+  print_endline
+    "range errors accumulate, not where point variance is high, so the same";
+  print_endline "30 words of catalog space produce materially fewer wrong plans."

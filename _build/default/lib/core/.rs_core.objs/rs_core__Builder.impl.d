@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Dataset Float List Printf Rs_histogram Rs_util Rs_wavelet String Synopsis

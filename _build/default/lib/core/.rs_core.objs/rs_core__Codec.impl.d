@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array List Printf Rs_histogram Rs_linalg Rs_util Rs_wavelet String Synopsis

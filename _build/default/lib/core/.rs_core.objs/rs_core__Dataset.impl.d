@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Filename Float List Printf Rs_dist Rs_util String

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Rs_util

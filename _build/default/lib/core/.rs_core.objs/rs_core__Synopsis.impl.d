@@ -1,0 +1,1 @@
+lib/core/synopsis.ml: Array Dataset Float Printf Rs_histogram Rs_query Rs_wavelet

@@ -1,0 +1,1 @@
+lib/core/synopsis.mli: Dataset Rs_histogram Rs_query Rs_wavelet

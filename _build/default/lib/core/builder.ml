@@ -1,0 +1,98 @@
+module H = Rs_histogram
+module W = Rs_wavelet.Synopsis
+module Checks = Rs_util.Checks
+
+type options = {
+  opt_a_max_states : int;
+  opt_a_xs : int list;
+  rounded_x : int;
+}
+
+let default_options =
+  { opt_a_max_states = 60_000_000; opt_a_xs = [ 8; 32; 128 ]; rounded_x = 8 }
+
+type kind =
+  | Hist of (options -> Rs_util.Prefix.t -> buckets:int -> H.Histogram.t)
+  | Wave of (float array -> b:int -> W.t)
+
+let require_integral name p =
+  Array.iter
+    (fun v ->
+      Checks.check (Float.is_integer v)
+        (Printf.sprintf
+           "Builder: method %S requires integral frequencies (round the data \
+            first)"
+           name))
+    (Rs_util.Prefix.data p)
+
+let opt_a opts p ~buckets =
+  require_integral "opt-a" p;
+  (H.Opt_a.build_staged ~max_states:opts.opt_a_max_states ~xs:opts.opt_a_xs p
+     ~buckets)
+    .H.Opt_a.histogram
+
+let reopt base _opts p ~buckets =
+  let h = base p ~buckets in
+  H.Reopt.apply p h
+
+let registry : (string * int * kind) list =
+  [
+    ("naive", 2, Hist (fun _ p ~buckets:_ -> H.Baselines.naive p));
+    ("equi-width", 2, Hist (fun _ p ~buckets -> H.Baselines.equi_width p ~buckets));
+    ("equi-depth", 2, Hist (fun _ p ~buckets -> H.Baselines.equi_depth p ~buckets));
+    ("max-diff", 2, Hist (fun _ p ~buckets -> H.Baselines.max_diff p ~buckets));
+    ("point-opt", 2, Hist (fun _ p ~buckets -> H.Vopt.build p ~buckets));
+    ( "v-optimal",
+      2,
+      Hist (fun _ p ~buckets -> H.Vopt.build ~weighted:false p ~buckets) );
+    ("a0", 2, Hist (fun _ p ~buckets -> H.A0.build p ~buckets));
+    ("prefix-opt", 2, Hist (fun _ p ~buckets -> H.Prefix_opt.build p ~buckets));
+    ("sap0", 3, Hist (fun _ p ~buckets -> H.Sap0.build p ~buckets));
+    ("sap1", 5, Hist (fun _ p ~buckets -> H.Sap1.build p ~buckets));
+    ("opt-a", 2, Hist opt_a);
+    ( "opt-a-rounded",
+      2,
+      Hist
+        (fun opts p ~buckets ->
+          (* Definition 3 rounds the data itself, so float frequencies
+             are fine here. *)
+          (H.Opt_a.build_rounded ~max_states:opts.opt_a_max_states p ~buckets
+             ~x:opts.rounded_x)
+            .H.Opt_a.histogram) );
+    ("a0-reopt", 2, Hist (reopt (fun p ~buckets -> H.A0.build p ~buckets)));
+    ("opt-a-reopt", 2, Hist (fun opts p ~buckets -> H.Reopt.apply p (opt_a opts p ~buckets)));
+    ( "equi-width-reopt",
+      2,
+      Hist (reopt (fun p ~buckets -> H.Baselines.equi_width p ~buckets)) );
+    ( "point-opt-reopt",
+      2,
+      Hist (reopt (fun p ~buckets -> H.Vopt.build p ~buckets)) );
+    ("topbb", 2, Wave (fun data ~b -> W.top_b_data data ~b));
+    ("topbb-rw", 2, Wave (fun data ~b -> W.top_b_range_weighted data ~b));
+    ("wave-range-opt", 2, Wave (fun data ~b -> W.range_optimal data ~b));
+    ("wave-aa", 2, Wave (fun data ~b -> W.aa_2d data ~b));
+  ]
+
+let methods = List.map (fun (name, _, _) -> name) registry
+
+let lookup name =
+  match List.find_opt (fun (n, _, _) -> n = name) registry with
+  | Some entry -> entry
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Builder: unknown method %S (known: %s)" name
+           (String.concat ", " methods))
+
+let words_per_unit name =
+  let _, w, _ = lookup name in
+  w
+
+let units_for_budget ~method_name ~budget_words =
+  max 1 (budget_words / words_per_unit method_name)
+
+let build ?(options = default_options) ds ~method_name ~budget_words =
+  let _, _, kind = lookup method_name in
+  let units = units_for_budget ~method_name ~budget_words in
+  match kind with
+  | Hist f -> Synopsis.Histogram (f options (Dataset.prefix ds) ~buckets:units)
+  | Wave f -> Synopsis.Wavelet (f (Dataset.values ds) ~b:units)

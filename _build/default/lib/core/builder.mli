@@ -1,0 +1,55 @@
+(** Name-keyed construction of synopses under a storage budget.
+
+    The experiments and the CLI specify a method by name and a budget in
+    machine words; the builder converts the budget to a bucket or
+    coefficient count using each representation's per-unit cost (2 for
+    average histograms and wavelet coefficients, 3 for SAP0, 5 for SAP1
+    — the paper's accounting) and runs the corresponding construction.
+
+    Available methods:
+    - ["naive"] — global average (budget ignored);
+    - ["equi-width"], ["equi-depth"], ["max-diff"] — classical heuristics;
+    - ["point-opt"] — V-Optimal with range-membership weights (paper §4);
+    - ["v-optimal"] — plain V-Optimal (uniform point weights);
+    - ["a0"] — cross-term-blind range DP (paper §4);
+    - ["prefix-opt"] — optimal for prefix queries [(1,b)] only (the
+      pre-paper state of the art for restricted range classes);
+    - ["sap0"], ["sap1"] — optimal suffix/prefix histograms (paper §2.2);
+    - ["opt-a"] — exact range-optimal histogram via the staged
+      pseudopolynomial DP (paper §2.1);
+    - ["opt-a-rounded"] — OPT-A-ROUNDED with grid [options.rounded_x];
+    - ["a0-reopt"], ["opt-a-reopt"], ["equi-width-reopt"],
+      ["point-opt-reopt"] — Section-5 value re-optimization on top of the
+      base method's boundaries;
+    - ["topbb"] — data-domain top-B wavelet synopsis (paper's TOPBB);
+    - ["topbb-rw"] — range-weighted data-domain selection;
+    - ["wave-range-opt"] — the provably range-optimal wavelet synopsis
+      (paper §3);
+    - ["wave-aa"] — the literal 2-D virtual-array selection of Theorem 9
+      (budget split across the two query endpoints), kept as an
+      ablation. *)
+
+type options = {
+  opt_a_max_states : int;  (** state budget for the exact DP (default 6·10⁷) *)
+  opt_a_xs : int list;  (** seeding grids for the staged driver *)
+  rounded_x : int;  (** grid for ["opt-a-rounded"] (default 8) *)
+}
+
+val default_options : options
+
+val methods : string list
+(** All accepted method names, in presentation order. *)
+
+val words_per_unit : string -> int
+(** Storage words per bucket/coefficient for the named method.
+    Raises [Invalid_argument] on unknown names. *)
+
+val units_for_budget : method_name:string -> budget_words:int -> int
+(** [max 1 (budget / words_per_unit)]. *)
+
+val build :
+  ?options:options -> Dataset.t -> method_name:string -> budget_words:int ->
+  Synopsis.t
+(** Build the named synopsis within the budget.  Raises
+    [Invalid_argument] for unknown methods, and for ["opt-a"] variants on
+    non-integral data. *)

@@ -1,0 +1,235 @@
+module H = Rs_histogram.Histogram
+module Bucket = Rs_histogram.Bucket
+module W = Rs_wavelet.Synopsis
+module Regression = Rs_linalg.Regression
+
+let version = 1
+let float_str v = Printf.sprintf "%h" v
+
+let floats_line key vs =
+  key ^ " " ^ String.concat " " (Array.to_list (Array.map float_str vs))
+
+let ints_line key vs =
+  key ^ " " ^ String.concat " " (Array.to_list (Array.map string_of_int vs))
+
+let coeffs_line key cs =
+  key ^ " "
+  ^ String.concat " "
+      (Array.to_list (Array.map (fun (i, v) -> Printf.sprintf "%d:%s" i (float_str v)) cs))
+
+let histogram_lines h =
+  let bucketing = H.bucketing h in
+  let repr_lines =
+    match H.repr h with
+    | H.Avg values -> [ "repr avg"; floats_line "values" values ]
+    | H.Sap0 { suff; pref } ->
+        [ "repr sap0"; floats_line "suff" suff; floats_line "pref" pref ]
+    | H.Sap0_explicit { avg; suff; pref } ->
+        [
+          "repr sap0x";
+          floats_line "avg" avg;
+          floats_line "suff" suff;
+          floats_line "pref" pref;
+        ]
+    | H.Sap1 { suff; pref } ->
+        let field f fits = Array.map f fits in
+        [
+          "repr sap1";
+          floats_line "suff_slope" (field (fun r -> r.Regression.slope) suff);
+          floats_line "suff_icept" (field (fun r -> r.Regression.intercept) suff);
+          floats_line "suff_rss" (field (fun r -> r.Regression.rss) suff);
+          floats_line "pref_slope" (field (fun r -> r.Regression.slope) pref);
+          floats_line "pref_icept" (field (fun r -> r.Regression.intercept) pref);
+          floats_line "pref_rss" (field (fun r -> r.Regression.rss) pref);
+        ]
+  in
+  [
+    "kind histogram";
+    "name " ^ H.name h;
+    Printf.sprintf "n %d" (Bucket.n bucketing);
+    Printf.sprintf "rounded %b" (H.rounded h);
+    ints_line "rights" (Bucket.rights bucketing);
+  ]
+  @ repr_lines
+
+let wavelet_lines w =
+  let right, left = W.sides w in
+  let domain_line =
+    match (W.domain w, left) with
+    | W.Data, _ -> "domain data"
+    | W.Prefix_sums, None -> "domain prefix"
+    | W.Prefix_sums, Some _ -> "domain two-sided"
+  in
+  [
+    "kind wavelet";
+    "name " ^ W.name w;
+    Printf.sprintf "n %d" (W.n w);
+    domain_line;
+    coeffs_line "coeffs" right;
+  ]
+  @ (match left with Some l -> [ coeffs_line "left" l ] | None -> [])
+
+let to_string s =
+  let body =
+    match s with
+    | Synopsis.Histogram h -> histogram_lines h
+    | Synopsis.Wavelet w -> wavelet_lines w
+  in
+  String.concat "\n" ((Printf.sprintf "range-synopsis %d" version :: body) @ [ "" ])
+
+(* --- parsing --- *)
+
+type cursor = { mutable lines : (int * string) list }
+
+let fail lineno fmt =
+  Printf.ksprintf
+    (fun m -> invalid_arg (Printf.sprintf "Codec: line %d: %s" lineno m))
+    fmt
+
+let next cur =
+  match cur.lines with
+  | [] -> invalid_arg "Codec: unexpected end of input"
+  | (no, l) :: rest ->
+      cur.lines <- rest;
+      (no, l)
+
+let split_kv lineno line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ignore lineno;
+      (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let expect cur key =
+  let no, line = next cur in
+  let k, v = split_kv no line in
+  if k <> key then fail no "expected %S, got %S" key k;
+  (no, v)
+
+let parse_float no s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail no "not a float: %S" s
+
+let parse_int no s =
+  match int_of_string_opt s with Some v -> v | None -> fail no "not an int: %S" s
+
+let words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+let parse_floats no s = Array.of_list (List.map (parse_float no) (words s))
+let parse_ints no s = Array.of_list (List.map (parse_int no) (words s))
+
+let parse_coeffs no s =
+  Array.of_list
+    (List.map
+       (fun w ->
+         match String.index_opt w ':' with
+         | None -> fail no "expected index:value, got %S" w
+         | Some i ->
+             ( parse_int no (String.sub w 0 i),
+               parse_float no (String.sub w (i + 1) (String.length w - i - 1)) ))
+       (words s))
+
+let expect_floats cur key =
+  let no, v = expect cur key in
+  parse_floats no v
+
+let parse_histogram cur =
+  let no_name, name = expect cur "name" in
+  ignore no_name;
+  let no_n, n_str = expect cur "n" in
+  let n = parse_int no_n n_str in
+  let no_r, rounded_str = expect cur "rounded" in
+  let rounded =
+    match bool_of_string_opt rounded_str with
+    | Some b -> b
+    | None -> fail no_r "not a bool: %S" rounded_str
+  in
+  let no_rights, rights_str = expect cur "rights" in
+  let rights = parse_ints no_rights rights_str in
+  let bucketing = Bucket.of_rights ~n rights in
+  let no_repr, repr_kind = expect cur "repr" in
+  let repr =
+    match repr_kind with
+    | "avg" -> H.Avg (expect_floats cur "values")
+    | "sap0" ->
+        let suff = expect_floats cur "suff" in
+        let pref = expect_floats cur "pref" in
+        H.Sap0 { suff; pref }
+    | "sap0x" ->
+        let avg = expect_floats cur "avg" in
+        let suff = expect_floats cur "suff" in
+        let pref = expect_floats cur "pref" in
+        H.Sap0_explicit { avg; suff; pref }
+    | "sap1" ->
+        let ss = expect_floats cur "suff_slope" in
+        let si = expect_floats cur "suff_icept" in
+        let sr = expect_floats cur "suff_rss" in
+        let ps = expect_floats cur "pref_slope" in
+        let pi = expect_floats cur "pref_icept" in
+        let pr = expect_floats cur "pref_rss" in
+        let fits slope icept rss =
+          Rs_util.Checks.check
+            (Array.length slope = Array.length icept
+            && Array.length slope = Array.length rss)
+            "Codec: sap1 arrays disagree in length";
+          Array.init (Array.length slope) (fun k ->
+              {
+                Regression.slope = slope.(k);
+                intercept = icept.(k);
+                rss = rss.(k);
+              })
+        in
+        H.Sap1 { suff = fits ss si sr; pref = fits ps pi pr }
+    | other -> fail no_repr "unknown histogram repr %S" other
+  in
+  Synopsis.Histogram (H.make ~rounded ~name bucketing repr)
+
+let parse_wavelet cur =
+  let _, name = expect cur "name" in
+  let no_n, n_str = expect cur "n" in
+  let n = parse_int no_n n_str in
+  let no_d, domain = expect cur "domain" in
+  let no_c, coeffs_str = expect cur "coeffs" in
+  let coeffs = parse_coeffs no_c coeffs_str in
+  match domain with
+  | "data" -> Synopsis.Wavelet (W.of_coefficients ~name ~n W.Data coeffs)
+  | "prefix" -> Synopsis.Wavelet (W.of_coefficients ~name ~n W.Prefix_sums coeffs)
+  | "two-sided" ->
+      let no_l, left_str = expect cur "left" in
+      let left = parse_coeffs no_l left_str in
+      Synopsis.Wavelet (W.of_two_sided ~name ~n coeffs left)
+  | other -> fail no_d "unknown wavelet domain %S" other
+
+let of_string s =
+  let lines =
+    List.filteri (fun _ (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, String.trim l)) (String.split_on_char '\n' s))
+  in
+  let cur = { lines } in
+  let no_h, header = next cur in
+  (match words header with
+  | [ "range-synopsis"; v ] when parse_int no_h v = version -> ()
+  | [ "range-synopsis"; v ] -> fail no_h "unsupported version %s" v
+  | _ -> fail no_h "not a range-synopsis file");
+  let no_k, kind = expect cur "kind" in
+  match kind with
+  | "histogram" -> parse_histogram cur
+  | "wavelet" -> parse_wavelet cur
+  | other -> fail no_k "unknown kind %S" other
+
+let save s path =
+  let oc = open_out path in
+  (try output_string oc (to_string s)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  of_string content

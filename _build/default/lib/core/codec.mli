@@ -1,0 +1,29 @@
+(** Persistence for synopses — what a database catalog would store.
+
+    The format is a versioned, line-oriented text format.  Floats are
+    written as OCaml hexadecimal literals ([%h]) so a save/load
+    round-trip reproduces every estimate bit-for-bit.
+
+    Example (an OPT-A histogram over a 6-value domain):
+
+    {v
+    range-synopsis 1
+    kind histogram
+    name opt-a
+    n 6
+    rounded false
+    rights 2 4 6
+    repr avg
+    values 0x1p+1 0x1p+3 0x1.9p+3
+    v}
+
+    Unknown versions, kinds, or malformed bodies raise
+    [Invalid_argument] with a line-numbered message. *)
+
+val to_string : Synopsis.t -> string
+val of_string : string -> Synopsis.t
+
+val save : Synopsis.t -> string -> unit
+(** Write to a file.  Raises [Sys_error] on IO failure. *)
+
+val load : string -> Synopsis.t

@@ -1,0 +1,65 @@
+module Prefix = Rs_util.Prefix
+module Checks = Rs_util.Checks
+
+type t = { name : string; data : float array; prefix : Prefix.t }
+
+let of_floats ?(name = "dataset") data =
+  Array.iter
+    (fun v ->
+      ignore (Checks.finite ~name:"Dataset.of_floats" v);
+      Checks.check (v >= 0.) "Dataset.of_floats: frequencies must be non-negative")
+    data;
+  { name; data = Array.copy data; prefix = Prefix.create data }
+
+let of_ints ?name data = of_floats ?name (Array.map float_of_int data)
+
+let generate gen_name =
+  of_ints ~name:gen_name (Rs_dist.Datasets.by_name gen_name)
+
+let paper () = generate "paper"
+let name t = t.name
+let n t = Prefix.n t.prefix
+let total t = Prefix.total t.prefix
+let values t = Array.copy t.data
+let prefix t = t.prefix
+let is_integral t = Array.for_all Float.is_integer t.data
+
+let load path =
+  let ic = open_in path in
+  let values = ref [] in
+  (try
+     let lineno = ref 0 in
+     try
+       while true do
+         incr lineno;
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match float_of_string_opt line with
+           | Some v -> values := v :: !values
+           | None ->
+               invalid_arg
+                 (Printf.sprintf "Dataset.load: %s:%d: not a number: %S" path
+                    !lineno line)
+       done
+     with End_of_file -> ()
+   with e ->
+     close_in ic;
+     raise e);
+  close_in ic;
+  let data = Array.of_list (List.rev !values) in
+  Checks.check (Array.length data > 0)
+    (Printf.sprintf "Dataset.load: %s contains no values" path);
+  of_floats ~name:(Filename.remove_extension (Filename.basename path)) data
+
+let save t path =
+  let oc = open_out path in
+  (try
+     Array.iter
+       (fun v ->
+         if Float.is_integer v then Printf.fprintf oc "%.0f\n" v
+         else Printf.fprintf oc "%.17g\n" v)
+       t.data
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

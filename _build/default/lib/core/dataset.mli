@@ -1,0 +1,42 @@
+(** Datasets: a named attribute-value distribution together with its
+    prefix-moment tables.
+
+    This is the object the public API passes around: construction
+    algorithms take the {!Rs_util.Prefix.t} inside, experiments report
+    the name, and the CLI loads/saves the values as text. *)
+
+type t
+
+val of_floats : ?name:string -> float array -> t
+(** Wrap a frequency vector ([A[i] = data.(i−1)]).  Values must be
+    finite and non-negative. *)
+
+val of_ints : ?name:string -> int array -> t
+(** Same for integer counts (the form OPT-A requires). *)
+
+val generate : string -> t
+(** Named generated datasets: ["paper"], ["zipf-<n>"], ["mixture-<n>"],
+    ["uniform-<n>"] (see {!Rs_dist.Datasets}).  Raises
+    [Invalid_argument] on unknown names. *)
+
+val paper : unit -> t
+(** The Figure-1 dataset: 127 keys, Zipf(1.8), randomly rounded. *)
+
+val name : t -> string
+val n : t -> int
+val total : t -> float
+val values : t -> float array
+(** Fresh copy of [A[1..n]]. *)
+
+val prefix : t -> Rs_util.Prefix.t
+val is_integral : t -> bool
+(** Whether every value is an integer (OPT-A's precondition). *)
+
+val load : string -> t
+(** Read a dataset from a text file: one frequency per line (blank
+    lines and [#] comments ignored).  The name is the file's basename.
+    Raises [Sys_error] on IO failure and [Invalid_argument] on
+    malformed content. *)
+
+val save : t -> string -> unit
+(** Write in the same format, one value per line. *)

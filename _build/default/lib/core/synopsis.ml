@@ -1,0 +1,60 @@
+module H = Rs_histogram.Histogram
+module W = Rs_wavelet.Synopsis
+module Error = Rs_query.Error
+
+type t = Histogram of H.t | Wavelet of W.t
+
+let name = function Histogram h -> H.name h | Wavelet w -> W.name w
+
+let storage_words = function
+  | Histogram h -> H.storage_words h
+  | Wavelet w -> W.storage_words w
+
+let estimate t ~a ~b =
+  match t with
+  | Histogram h -> H.estimate h ~a ~b
+  | Wavelet w -> W.estimate w ~a ~b
+
+let estimator t ~a ~b = estimate t ~a ~b
+let point t ~i = estimate t ~a:i ~b:i
+
+let domain_size = function
+  | Histogram h -> Rs_histogram.Bucket.n (H.bucketing h)
+  | Wavelet w -> W.n w
+
+let quantile t ~q =
+  let q = Float.min 1. (Float.max 0. q) in
+  let n = domain_size t in
+  let total = estimate t ~a:1 ~b:n in
+  let target = q *. total in
+  (* Linear scan: approximate prefixes need not be monotone, so take the
+     first crossing. *)
+  let rec go b =
+    if b >= n then n
+    else if estimate t ~a:1 ~b >= target then b
+    else go (b + 1)
+  in
+  if total <= 0. then n else go 1
+
+let sse ds t =
+  let p = Dataset.prefix ds in
+  match t with
+  | Histogram _ -> Error.sse_all_ranges p (estimator t)
+  | Wavelet w when W.shared_prefix w -> Error.sse_prefix_form p (W.prefix_hat w)
+  | Wavelet _ -> Error.sse_all_ranges p (estimator t)
+
+let metrics ds t = Error.metrics_all_ranges (Dataset.prefix ds) (estimator t)
+
+let workload_sse ds w t =
+  Error.sse_of_workload (Dataset.prefix ds) w (estimator t)
+
+let describe t =
+  match t with
+  | Histogram h ->
+      Printf.sprintf "%s: histogram, %d buckets, %d words" (H.name h)
+        (H.buckets h) (H.storage_words h)
+  | Wavelet w ->
+      Printf.sprintf "%s: wavelet synopsis, %d coefficients, %d words"
+        (W.name w)
+        (Array.length (W.coefficients w))
+        (W.storage_words w)

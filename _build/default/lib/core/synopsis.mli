@@ -1,0 +1,51 @@
+(** The unified synopsis type: every summary representation in the
+    library behind one estimator interface.
+
+    Downstream code (approximate query answering, selectivity
+    estimation, the experiment harness) works against this type and
+    never needs to know whether the summary is a histogram or a wavelet
+    coefficient set. *)
+
+type t =
+  | Histogram of Rs_histogram.Histogram.t
+  | Wavelet of Rs_wavelet.Synopsis.t
+
+val name : t -> string
+(** Construction-method tag (e.g. ["opt-a"], ["sap0"], ["topbb"]). *)
+
+val storage_words : t -> int
+(** Machine words the summary occupies under the paper's accounting. *)
+
+val estimate : t -> a:int -> b:int -> float
+(** Approximate range sum [s[a,b]], [1 ≤ a ≤ b ≤ n].  O(1). *)
+
+val estimator : t -> Rs_query.Error.estimator
+(** The same as a bare function, for the error module. *)
+
+val point : t -> i:int -> float
+(** Approximate [A[i]] (the equality query [(i,i)]). *)
+
+val domain_size : t -> int
+(** The [n] of the underlying attribute domain. *)
+
+val quantile : t -> q:float -> int
+(** [quantile t ~q] is the smallest position [b] whose estimated prefix
+    mass [ŝ[1,b]] reaches a fraction [q] of the estimated total — the
+    approximate q-quantile of the distribution the synopsis summarizes
+    (used e.g. to seed equi-depth partitioning or report medians from
+    catalog statistics).  [q] is clamped to [\[0, 1\]]; returns [n] if
+    the estimate never reaches the target (possible for non-monotone
+    estimators). *)
+
+val sse : Dataset.t -> t -> float
+(** Exact SSE over all ranges.  Uses the O(n) prefix closed form for
+    wavelet synopses and enumeration for histograms. *)
+
+val metrics : Dataset.t -> t -> Rs_query.Error.metrics
+(** Full error metrics over all ranges. *)
+
+val workload_sse : Dataset.t -> Rs_query.Workload.t -> t -> float
+(** Weighted SSE over an explicit workload. *)
+
+val describe : t -> string
+(** One-line human-readable description. *)

@@ -1,0 +1,1 @@
+lib/dist/datasets.ml: Generators Printf Rng Rounding String Zipf

@@ -1,0 +1,1 @@
+lib/dist/generators.ml: Array Float Rng Rs_util

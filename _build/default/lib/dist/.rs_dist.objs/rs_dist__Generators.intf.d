@@ -1,0 +1,1 @@
+lib/dist/generators.mli: Rng

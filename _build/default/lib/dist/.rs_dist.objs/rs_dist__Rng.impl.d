@@ -1,0 +1,1 @@
+lib/dist/rng.ml: Array Int64 Rs_util

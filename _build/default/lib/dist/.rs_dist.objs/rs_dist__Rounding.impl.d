@@ -1,0 +1,1 @@
+lib/dist/rounding.ml: Array Float Rng Rs_util

@@ -1,0 +1,1 @@
+lib/dist/rounding.mli: Rng

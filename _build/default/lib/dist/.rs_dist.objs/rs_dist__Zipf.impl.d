@@ -1,0 +1,1 @@
+lib/dist/zipf.ml: Array Float Rng Rs_util

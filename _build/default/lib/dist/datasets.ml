@@ -1,0 +1,65 @@
+let default_seed = 2001
+
+let paper ?(seed = default_seed) ?(total = 10_000.) () =
+  let rng = Rng.create seed in
+  let f = Zipf.frequencies ~alpha:1.8 ~n:127 ~total in
+  Rounding.clamp_non_negative (Rounding.half rng f)
+
+let zipf ?(seed = default_seed) ~n ~alpha ~total () =
+  let rng = Rng.create seed in
+  let f = Zipf.frequencies ~alpha ~n ~total in
+  Rounding.clamp_non_negative (Rounding.half rng f)
+
+let zipf_permuted ?(seed = default_seed) ~n ~alpha ~total () =
+  let rng = Rng.create seed in
+  let f = Zipf.permuted_frequencies rng ~alpha ~n ~total in
+  Rounding.clamp_non_negative (Rounding.half rng f)
+
+let mixture ?(seed = default_seed) ~n ~peaks ~total () =
+  let rng = Rng.create seed in
+  let f = Generators.gaussian_mixture rng ~n ~peaks ~total in
+  Rounding.clamp_non_negative (Rounding.half rng f)
+
+let uniform_ints ~seed ~n =
+  let rng = Rng.create seed in
+  let f = Generators.uniform rng ~n ~lo:0. ~hi:100. in
+  Rounding.clamp_non_negative (Rounding.half rng f)
+
+let parse_sized prefix name =
+  let plen = String.length prefix in
+  if
+    String.length name > plen
+    && String.sub name 0 plen = prefix
+  then int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let names =
+  [ "paper"; "paper-perm"; "zipf-<n>"; "zipf-perm-<n>"; "mixture-<n>"; "uniform-<n>" ]
+
+let by_name name =
+  match name with
+  | "paper" -> paper ()
+  | "paper-perm" ->
+      zipf_permuted ~n:127 ~alpha:1.8 ~total:10_000. ()
+  | _ -> (
+      match parse_sized "zipf-perm-" name with
+      | Some n when n > 0 ->
+          zipf_permuted ~n ~alpha:1.8 ~total:(float_of_int (n * 80)) ()
+      | Some _ -> invalid_arg ("Datasets.by_name: bad size in " ^ name)
+      | None -> (
+      match parse_sized "zipf-" name with
+      | Some n when n > 0 ->
+          zipf ~n ~alpha:1.8 ~total:(float_of_int (n * 80)) ()
+      | Some _ | None -> (
+          match parse_sized "mixture-" name with
+          | Some n when n > 0 ->
+              mixture ~n ~peaks:5 ~total:(float_of_int (n * 80)) ()
+          | Some _ | None -> (
+              match parse_sized "uniform-" name with
+              | Some n when n > 0 -> uniform_ints ~seed:default_seed ~n
+              | Some _ | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Datasets.by_name: unknown dataset %S (expected one of \
+                        %s)"
+                       name (String.concat ", " names))))))

@@ -1,0 +1,32 @@
+(** Named, reproducible datasets used by the experiments.
+
+    [paper] rebuilds the paper's experimental dataset recipe: 127 integer
+    keys obtained by random rounding (up or down with probability 1/2) of
+    Zipf(α = 1.8) float frequencies.  The authors do not publish the
+    instance itself, so a fixed RNG seed stands in for it; every ratio
+    reported in EXPERIMENTS.md is measured on the seeded instance and
+    spot-checked across seeds. *)
+
+val paper : ?seed:int -> ?total:float -> unit -> int array
+(** The 127-key Zipf(1.8) dataset.  [total] is the total record count
+    mass before rounding (default 10_000); [seed] defaults to 2001. *)
+
+val zipf : ?seed:int -> n:int -> alpha:float -> total:float -> unit -> int array
+(** Zipf frequencies, randomly rounded, fixed seed (default 2001). *)
+
+val zipf_permuted :
+  ?seed:int -> n:int -> alpha:float -> total:float -> unit -> int array
+(** Zipf frequencies assigned to attribute values in random order — the
+    robustness variant of the paper dataset (skew without the monotone
+    value/rank alignment). *)
+
+val mixture : ?seed:int -> n:int -> peaks:int -> total:float -> unit -> int array
+(** Gaussian-mixture frequencies, randomly rounded. *)
+
+val by_name : string -> int array
+(** Lookup for the CLI: ["paper"], ["paper-perm"], ["zipf-<n>"],
+    ["zipf-perm-<n>"], ["mixture-<n>"], ["uniform-<n>"].  Raises
+    [Invalid_argument] on unknown names. *)
+
+val names : string list
+(** Documentation of the accepted [by_name] patterns. *)

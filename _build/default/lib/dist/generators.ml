@@ -1,0 +1,118 @@
+module Checks = Rs_util.Checks
+
+let uniform rng ~n ~lo ~hi =
+  let n = Checks.positive ~name:"Generators.uniform n" n in
+  Checks.check (0. <= lo && lo <= hi) "Generators.uniform: need 0 <= lo <= hi";
+  Array.init n (fun _ -> lo +. ((hi -. lo) *. Rng.float rng))
+
+let scale_to_total ~total f =
+  let s = Array.fold_left ( +. ) 0. f in
+  if s <= 0. then Array.map (fun _ -> total /. float_of_int (Array.length f)) f
+  else Array.map (fun v -> v /. s *. total) f
+
+let gaussian_mixture rng ~n ~peaks ~total =
+  let n = Checks.positive ~name:"Generators.gaussian_mixture n" n in
+  let peaks = Checks.positive ~name:"Generators.gaussian_mixture peaks" peaks in
+  Checks.check (total > 0.) "Generators.gaussian_mixture: total must be > 0";
+  let fn = float_of_int n in
+  let centers = Array.init peaks (fun _ -> 1. +. (Rng.float rng *. fn)) in
+  let widths =
+    Array.init peaks (fun _ -> Float.max 1. (Rng.float rng *. fn /. 8.))
+  in
+  let weights = Array.init peaks (fun _ -> 0.2 +. Rng.float rng) in
+  let f =
+    Array.init n (fun i ->
+        let x = float_of_int (i + 1) in
+        let acc = ref 0. in
+        for p = 0 to peaks - 1 do
+          let z = (x -. centers.(p)) /. widths.(p) in
+          acc := !acc +. (weights.(p) *. exp (-0.5 *. z *. z))
+        done;
+        !acc)
+  in
+  scale_to_total ~total f
+
+let steps rng ~n ~segments ~hi =
+  let n = Checks.positive ~name:"Generators.steps n" n in
+  let segments = Checks.positive ~name:"Generators.steps segments" segments in
+  Checks.check (hi > 0.) "Generators.steps: hi must be > 0";
+  let segments = min segments n in
+  (* Random distinct boundaries split [0..n) into plateaus. *)
+  let cuts = Array.sub (Rng.permutation rng n) 0 (segments - 1) in
+  Array.sort compare cuts;
+  let f = Array.make n 0. in
+  let seg_start = ref 0 and cut_idx = ref 0 in
+  while !seg_start < n do
+    let seg_end =
+      if !cut_idx < Array.length cuts then cuts.(!cut_idx) else n - 1
+    in
+    let seg_end = max seg_end !seg_start in
+    let level = Rng.float rng *. hi in
+    for i = !seg_start to seg_end do
+      f.(i) <- level
+    done;
+    seg_start := seg_end + 1;
+    incr cut_idx
+  done;
+  f
+
+let spikes rng ~n ~spikes ~base ~amplitude =
+  let n = Checks.positive ~name:"Generators.spikes n" n in
+  let spikes = Checks.non_negative ~name:"Generators.spikes spikes" spikes in
+  Checks.check (base >= 0.) "Generators.spikes: base must be >= 0";
+  Checks.check (amplitude >= 0.) "Generators.spikes: amplitude must be >= 0";
+  let f = Array.make n base in
+  let positions = Rng.permutation rng n in
+  for s = 0 to min spikes n - 1 do
+    f.(positions.(s)) <- base +. (Rng.float rng *. amplitude)
+  done;
+  f
+
+let gaussian_mixture_grid rng ~rows ~cols ~peaks ~total =
+  let rows = Checks.positive ~name:"Generators.gaussian_mixture_grid rows" rows in
+  let cols = Checks.positive ~name:"Generators.gaussian_mixture_grid cols" cols in
+  let peaks = Checks.positive ~name:"Generators.gaussian_mixture_grid peaks" peaks in
+  Checks.check (total > 0.) "Generators.gaussian_mixture_grid: total must be > 0";
+  let fr = float_of_int rows and fc = float_of_int cols in
+  let centers =
+    Array.init peaks (fun _ -> (1. +. (Rng.float rng *. fr), 1. +. (Rng.float rng *. fc)))
+  in
+  let widths =
+    Array.init peaks (fun _ ->
+        ( Float.max 1. (Rng.float rng *. fr /. 6.),
+          Float.max 1. (Rng.float rng *. fc /. 6.) ))
+  in
+  let weights = Array.init peaks (fun _ -> 0.2 +. Rng.float rng) in
+  let f =
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            let x = float_of_int (i + 1) and y = float_of_int (j + 1) in
+            let acc = ref 0. in
+            for p = 0 to peaks - 1 do
+              let cx, cy = centers.(p) and wx, wy = widths.(p) in
+              let zx = (x -. cx) /. wx and zy = (y -. cy) /. wy in
+              acc := !acc +. (weights.(p) *. exp (-0.5 *. ((zx *. zx) +. (zy *. zy))))
+            done;
+            !acc))
+  in
+  let s = Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0. f in
+  if s <= 0. then
+    Array.map (Array.map (fun _ -> total /. (fr *. fc))) f
+  else Array.map (Array.map (fun v -> v /. s *. total)) f
+
+let self_similar rng ~n ~h ~total =
+  let n = Checks.positive ~name:"Generators.self_similar n" n in
+  Checks.check (0. < h && h < 1.) "Generators.self_similar: need 0 < h < 1";
+  Checks.check (total > 0.) "Generators.self_similar: total must be > 0";
+  let f = Array.make n 0. in
+  let rec fill lo hi mass =
+    if lo = hi then f.(lo) <- f.(lo) +. mass
+    else begin
+      let mid = (lo + hi) / 2 in
+      let left_share = if Rng.bool rng then h else 1. -. h in
+      fill lo mid (mass *. left_share);
+      fill (mid + 1) hi (mass *. (1. -. left_share))
+    end
+  in
+  fill 0 (n - 1) total;
+  f

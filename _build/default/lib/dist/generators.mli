@@ -1,0 +1,43 @@
+(** Synthetic frequency-vector generators beyond Zipf.
+
+    These provide the workload variety used by the extension experiments
+    (scalability sweeps, robustness of the Figure-1 conclusions across
+    data shapes).  All generators return non-negative float frequencies
+    of length [n]; combine with {!Rounding} for integer counts. *)
+
+val uniform : Rng.t -> n:int -> lo:float -> hi:float -> float array
+(** Independent uniform draws from [\[lo, hi)]; requires
+    [0 ≤ lo ≤ hi]. *)
+
+val gaussian_mixture :
+  Rng.t ->
+  n:int ->
+  peaks:int ->
+  total:float ->
+  float array
+(** Sum of [peaks] Gaussian bumps with random centers in the domain and
+    random widths, evaluated on the grid [1..n] and scaled to sum to
+    [total].  Models multi-modal attribute distributions (the classic
+    histogram-benchmark shape). *)
+
+val steps : Rng.t -> n:int -> segments:int -> hi:float -> float array
+(** Piecewise-constant data with [segments] random plateaus of height
+    uniform in [\[0, hi)] — the best case for bucket histograms; used to
+    test that optimal algorithms find exact fits. *)
+
+val spikes :
+  Rng.t -> n:int -> spikes:int -> base:float -> amplitude:float -> float array
+(** Flat background [base] plus [spikes] isolated spikes of height up to
+    [amplitude] — the adversarial case for averaging buckets. *)
+
+val gaussian_mixture_grid :
+  Rng.t -> rows:int -> cols:int -> peaks:int -> total:float -> float array array
+(** Two-dimensional analogue of [gaussian_mixture]: a sum of [peaks]
+    anisotropic Gaussian bumps on the [rows × cols] grid, scaled to
+    [total] — the joint-distribution workload for the footnote-2
+    experiments. *)
+
+val self_similar : Rng.t -> n:int -> h:float -> total:float -> float array
+(** 80/20-style self-similar allocation: recursively assign a fraction
+    [h] of the mass to the left half (with random orientation per level).
+    [n] need not be a power of two.  Requires [0 < h < 1]. *)

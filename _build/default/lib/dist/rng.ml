@@ -1,0 +1,64 @@
+module Checks = Rs_util.Checks
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  (* Two draws give a fresh seed decorrelated from the parent stream. *)
+  let a = next_int64 t in
+  let b = next_int64 t in
+  { state = mix (Int64.logxor a (Int64.mul b 0xD1B54A32D192ED03L)) }
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let int t bound =
+  let bound = Checks.positive ~name:"Rng.int bound" bound in
+  let b = Int64.of_int bound in
+  (* Rejection sampling on the top of the range to avoid modulo bias. *)
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+  let rec draw () =
+    let v = Int64.shift_right_logical (next_int64 t) 1 (* non-negative *) in
+    if v >= limit then draw () else Int64.to_int (Int64.rem v b)
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+let rec gaussian t =
+  let u = (2. *. float t) -. 1. in
+  let v = (2. *. float t) -. 1. in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1. || s = 0. then gaussian t
+  else u *. sqrt (-2. *. log s /. s)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let n = Checks.non_negative ~name:"Rng.permutation" n in
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component of the library (data generation, random
+    rounding, query sampling) takes an explicit [Rng.t] so experiments
+    are exactly reproducible from a seed, independently of the global
+    [Stdlib.Random] state. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded with the given value (any int, including 0). *)
+
+val copy : t -> t
+(** Independent clone with the same current state. *)
+
+val split : t -> t
+(** Derive a statistically independent stream; the parent advances. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound > 0] required.
+    Uses rejection sampling, so it is exactly uniform. *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [clamp p to [0,1]]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Marsaglia polar method, no state cache). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n−1]. *)

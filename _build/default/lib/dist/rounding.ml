@@ -1,0 +1,30 @@
+module Checks = Rs_util.Checks
+
+let check v = ignore (Checks.finite ~name:"Rounding" v)
+
+let randomized rng xs =
+  Array.map
+    (fun v ->
+      check v;
+      let fl = floor v in
+      let frac = v -. fl in
+      int_of_float fl + if Rng.bernoulli rng frac then 1 else 0)
+    xs
+
+let half rng xs =
+  Array.map
+    (fun v ->
+      check v;
+      let fl = floor v in
+      if fl = v then int_of_float fl
+      else int_of_float fl + if Rng.bool rng then 1 else 0)
+    xs
+
+let nearest xs =
+  Array.map
+    (fun v ->
+      check v;
+      int_of_float (Float.round v))
+    xs
+
+let clamp_non_negative xs = Array.map (fun v -> max 0 v) xs

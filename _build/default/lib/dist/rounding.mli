@@ -1,0 +1,22 @@
+(** Rounding float frequency vectors to integer counts.
+
+    [randomized] is the paper's recipe: each value is rounded up or down
+    randomly, which keeps the expectation equal to the original float
+    (unbiased randomized rounding); the paper's dataset uses probability
+    1/2 each way, which [half] reproduces exactly. *)
+
+val randomized : Rng.t -> float array -> int array
+(** Round [v] up with probability [frac v], down otherwise — unbiased:
+    [E[round v] = v].  Requires finite inputs. *)
+
+val half : Rng.t -> float array -> int array
+(** Round up or down with probability 1/2 each (the paper's wording).
+    Values that are already integral stay fixed. *)
+
+val nearest : float array -> int array
+(** Deterministic round-to-nearest (ties away from zero). *)
+
+val clamp_non_negative : int array -> int array
+(** Replace negative counts by [0] (fresh array) — frequencies are
+    counts, and rounding a near-zero float down may produce [−0]-ish
+    artifacts upstream. *)

@@ -1,0 +1,15 @@
+module Checks = Rs_util.Checks
+
+let frequencies ~alpha ~n ~total =
+  let n = Checks.positive ~name:"Zipf.frequencies n" n in
+  ignore (Checks.finite ~name:"Zipf.frequencies alpha" alpha);
+  Checks.check (alpha >= 0.) "Zipf.frequencies: alpha must be >= 0";
+  Checks.check (total > 0.) "Zipf.frequencies: total must be > 0";
+  let raw = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.alpha)) in
+  let z = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun v -> v /. z *. total) raw
+
+let permuted_frequencies rng ~alpha ~n ~total =
+  let f = frequencies ~alpha ~n ~total in
+  Rng.shuffle_in_place rng f;
+  f

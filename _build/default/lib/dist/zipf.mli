@@ -1,0 +1,20 @@
+(** Zipfian frequency vectors.
+
+    The paper's experimental dataset is "127 integer keys created after
+    doing random rounding (up or down with probability 1/2) of floats
+    that are Zipf distributed with tail exponent α = 1.8".  This module
+    produces the float frequencies; {!Rounding} turns them into integer
+    counts. *)
+
+val frequencies : alpha:float -> n:int -> total:float -> float array
+(** [frequencies ~alpha ~n ~total] is the vector [f] with
+    [f.(i) ∝ (i+1)^{−alpha}] scaled so that [Σ f = total].  Frequencies
+    are in decreasing rank order (rank 1 first).
+    Requires [n > 0], [total > 0] and a finite [alpha ≥ 0] (α = 0 is the
+    uniform distribution). *)
+
+val permuted_frequencies :
+  Rng.t -> alpha:float -> n:int -> total:float -> float array
+(** Same frequencies assigned to attribute values in a uniformly random
+    order — the usual way a Zipfian attribute looks when ranks do not
+    coincide with the value order. *)

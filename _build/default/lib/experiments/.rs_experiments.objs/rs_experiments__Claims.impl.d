@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Figure1 Float List Printf Rs_util

@@ -1,0 +1,1 @@
+lib/experiments/dim2_study.ml: Array Claims List Option Printf Rs_dist Rs_histogram Rs_query Rs_util Rs_wavelet Timing

@@ -1,0 +1,1 @@
+lib/experiments/dim2_study.mli: Claims

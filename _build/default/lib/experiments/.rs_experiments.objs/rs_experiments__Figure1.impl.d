@@ -1,0 +1,1 @@
+lib/experiments/figure1.ml: List Printf Rs_core Rs_util Timing

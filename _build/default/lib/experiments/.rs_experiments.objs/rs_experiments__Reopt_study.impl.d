@@ -1,0 +1,1 @@
+lib/experiments/reopt_study.ml: Claims Figure1 Float List Printf Rs_core Rs_util

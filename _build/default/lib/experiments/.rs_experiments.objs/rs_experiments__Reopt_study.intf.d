@@ -1,0 +1,1 @@
+lib/experiments/reopt_study.mli: Claims Rs_core

@@ -1,0 +1,1 @@
+lib/experiments/rounding_study.ml: Claims Float List Printf Rs_core Rs_histogram Rs_util Timing

@@ -1,0 +1,1 @@
+lib/experiments/rounding_study.mli: Claims Rs_core

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: List Printf Rs_core Rs_util Timing

@@ -1,0 +1,1 @@
+lib/experiments/timing.ml: Unix

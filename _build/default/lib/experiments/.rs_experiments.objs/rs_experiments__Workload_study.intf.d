@@ -1,0 +1,1 @@
+lib/experiments/workload_study.mli: Claims Rs_core

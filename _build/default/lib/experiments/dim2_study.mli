@@ -1,0 +1,25 @@
+(** Experiment D2 (extension) — two-dimensional range aggregates
+    (the paper's footnote 2).
+
+    On a joint distribution over a [n × n] grid (Gaussian-mixture
+    density, randomly rounded), compare 2-D summary methods at equal
+    storage: the global-average baseline, the equi-width grid histogram,
+    the 2-D data-domain top-B wavelet heuristic, and the range-optimal
+    2-D wavelet synopsis of {!Rs_wavelet.Synopsis2d}.  The SSE is over
+    all axis-aligned rectangles, evaluated with the O(n²) closed form. *)
+
+type row = {
+  method_name : string;
+  budget : int;
+  actual_words : int;
+  sse : float;
+  seconds : float;
+}
+
+val run :
+  ?n:int -> ?budgets:int list -> ?seed:int -> unit -> row list
+(** Defaults: [n = 31] (so the prefix array is 32×32), budgets
+    [18; 36; 72; 144], seed 2001. *)
+
+val table : row list -> string
+val verdict : row list -> Claims.verdict

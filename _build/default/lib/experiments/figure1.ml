@@ -1,0 +1,91 @@
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+module Dataset = Rs_core.Dataset
+module Text_table = Rs_util.Text_table
+
+type row = {
+  method_name : string;
+  budget : int;
+  actual_words : int;
+  units : int;
+  sse : float;
+  seconds : float;
+}
+
+let default_budgets = [ 8; 16; 24; 32; 40; 48 ]
+
+let paper_methods =
+  [ "naive"; "topbb"; "point-opt"; "opt-a"; "sap0"; "sap1"; "a0" ]
+
+let extended_methods =
+  paper_methods
+  @ [ "prefix-opt"; "topbb-rw"; "wave-range-opt"; "wave-aa"; "a0-reopt" ]
+
+let run ?options ?(budgets = default_budgets) ?(methods = paper_methods) ds =
+  List.concat_map
+    (fun method_name ->
+      List.map
+        (fun budget ->
+          let syn, seconds =
+            Timing.time (fun () ->
+                Builder.build ?options ds ~method_name ~budget_words:budget)
+          in
+          {
+            method_name;
+            budget;
+            actual_words = Synopsis.storage_words syn;
+            units = Builder.units_for_budget ~method_name ~budget_words:budget;
+            sse = Synopsis.sse ds syn;
+            seconds;
+          })
+        budgets)
+    methods
+
+let find rows ~method_name ~budget =
+  List.find_opt (fun r -> r.method_name = method_name && r.budget = budget) rows
+
+let budgets_of rows =
+  List.sort_uniq compare (List.map (fun r -> r.budget) rows)
+
+let methods_of rows =
+  (* Preserve first-appearance order. *)
+  List.fold_left
+    (fun acc r -> if List.mem r.method_name acc then acc else acc @ [ r.method_name ])
+    [] rows
+
+let pivot ~cell rows =
+  let budgets = budgets_of rows in
+  let header = "method" :: List.map (fun b -> Printf.sprintf "%dw" b) budgets in
+  let body =
+    List.map
+      (fun m ->
+        m
+        :: List.map
+             (fun b ->
+               match find rows ~method_name:m ~budget:b with
+               | Some r -> cell r
+               | None -> "-")
+             budgets)
+      (methods_of rows)
+  in
+  Text_table.render ~header body
+
+let table rows = pivot ~cell:(fun r -> Text_table.float_cell ~prec:4 r.sse) rows
+
+let timing_table rows =
+  pivot ~cell:(fun r -> Text_table.float_cell ~prec:3 r.seconds) rows
+
+let csv rows =
+  Text_table.to_csv
+    ~header:[ "method"; "budget_words"; "actual_words"; "units"; "sse"; "seconds" ]
+    (List.map
+       (fun r ->
+         [
+           r.method_name;
+           string_of_int r.budget;
+           string_of_int r.actual_words;
+           string_of_int r.units;
+           Printf.sprintf "%.6g" r.sse;
+           Printf.sprintf "%.4f" r.seconds;
+         ])
+       rows)

@@ -1,0 +1,51 @@
+(** Experiment F1 — the paper's Figure 1.
+
+    Sum-squared error over all ranges versus storage (in machine words)
+    for every summary representation, on the 127-key Zipf(1.8) dataset.
+    The paper plots NAIVE, TOPBB, POINT-OPT, OPT-A, SAP0, SAP1 and A0;
+    [extended_methods] adds this library's extra curves (the
+    range-optimal wavelet, the range-weighted TOPBB variant, and
+    A0-reopt). *)
+
+type row = {
+  method_name : string;
+  budget : int;  (** requested storage budget in words *)
+  actual_words : int;  (** words actually used (≤ budget) *)
+  units : int;  (** buckets or kept coefficients *)
+  sse : float;  (** exact SSE over all n(n+1)/2 ranges *)
+  seconds : float;  (** construction wall time *)
+}
+
+val default_budgets : int list
+(** [8; 16; 24; 32; 40; 48] words — spanning the paper's x-axis. *)
+
+val paper_methods : string list
+(** The seven curves of Figure 1, in the paper's order. *)
+
+val extended_methods : string list
+(** [paper_methods] plus this library's additions: the prefix-optimal
+    restricted-class histogram, the range-weighted TOPBB variant, the
+    range-optimal and literal-AA wavelets, and A0-reopt. *)
+
+val run :
+  ?options:Rs_core.Builder.options ->
+  ?budgets:int list ->
+  ?methods:string list ->
+  Rs_core.Dataset.t ->
+  row list
+(** Build every (method, budget) pair and measure its exact SSE.
+    Methods that cannot run on the dataset (e.g. OPT-A on non-integral
+    data) raise [Invalid_argument]. *)
+
+val find : row list -> method_name:string -> budget:int -> row option
+
+val table : row list -> string
+(** Pivot table: one row per method, one column per budget, SSE cells
+    (the figure's y-values; the paper's y-axis is logarithmic so ratios
+    are what matter). *)
+
+val timing_table : row list -> string
+(** Same pivot with construction seconds. *)
+
+val csv : row list -> string
+(** Long-form CSV (method, budget, words, units, sse, seconds). *)

@@ -1,0 +1,84 @@
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+module Dataset = Rs_core.Dataset
+module Text_table = Rs_util.Text_table
+
+type row = {
+  base : string;
+  budget : int;
+  sse_before : float;
+  sse_after : float;
+  improvement_pct : float;
+  vs_opt_a_pct : float;
+}
+
+let default_bases = [ "opt-a"; "a0"; "equi-width"; "point-opt" ]
+
+let run ?options ?(budgets = Figure1.default_budgets) ?(bases = default_bases) ds
+    =
+  List.concat_map
+    (fun budget ->
+      let opt_a =
+        Builder.build ?options ds ~method_name:"opt-a" ~budget_words:budget
+      in
+      let opt_a_sse = Synopsis.sse ds opt_a in
+      List.map
+        (fun base ->
+          let before =
+            if base = "opt-a" then opt_a
+            else Builder.build ?options ds ~method_name:base ~budget_words:budget
+          in
+          let after =
+            Builder.build ?options ds ~method_name:(base ^ "-reopt")
+              ~budget_words:budget
+          in
+          let sse_before = Synopsis.sse ds before in
+          let sse_after = Synopsis.sse ds after in
+          {
+            base;
+            budget;
+            sse_before;
+            sse_after;
+            improvement_pct =
+              (if sse_before > 0. then
+                 100. *. (sse_before -. sse_after) /. sse_before
+               else 0.);
+            vs_opt_a_pct =
+              (if opt_a_sse > 0. then
+                 100. *. (opt_a_sse -. sse_after) /. opt_a_sse
+               else 0.);
+          })
+        bases)
+    budgets
+
+let table rows =
+  Text_table.render
+    ~header:
+      [ "base"; "budget"; "sse before"; "sse after"; "improvement"; "vs opt-a" ]
+    (List.map
+       (fun r ->
+         [
+           r.base;
+           string_of_int r.budget;
+           Text_table.float_cell ~prec:4 r.sse_before;
+           Text_table.float_cell ~prec:4 r.sse_after;
+           Printf.sprintf "%.1f%%" r.improvement_pct;
+           Printf.sprintf "%+.1f%%" r.vs_opt_a_pct;
+         ])
+       rows)
+
+let verdict rows =
+  let no_harm = List.for_all (fun r -> r.improvement_pct >= -1e-6) rows in
+  let best_vs_opt_a =
+    List.fold_left (fun acc r -> Float.max acc r.vs_opt_a_pct) Float.neg_infinity
+      rows
+  in
+  {
+    Claims.claim_id = "C4";
+    description = "A-reopt is superior, up to 41% better than OPT-A (SSE)";
+    measured =
+      Printf.sprintf
+        "reopt never increased SSE: %b; best improvement over OPT-A: %.0f%%"
+        no_harm best_vs_opt_a;
+    holds = no_harm && best_vs_opt_a >= 10.;
+  }

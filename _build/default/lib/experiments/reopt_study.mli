@@ -1,0 +1,35 @@
+(** Experiment C4 — Section 5's re-optimization claim.
+
+    "We did a preliminary experiment with A-reopt on our dataset and it
+    was superior and up to 41% better than OPT-A, with respect to the
+    SSE."  We apply the reopt step to the boundaries produced by several
+    base constructions and measure the improvement, including the
+    paper's open question "does OPT-A-reopt significantly outperform
+    OPT-A?". *)
+
+type row = {
+  base : string;  (** base construction whose boundaries are kept *)
+  budget : int;
+  sse_before : float;
+  sse_after : float;
+  improvement_pct : float;  (** 100·(before − after)/before *)
+  vs_opt_a_pct : float;
+      (** how much better (+) or worse (−) the reopt histogram is than
+          plain OPT-A at the same budget, in percent of OPT-A's SSE *)
+}
+
+val default_bases : string list
+(** ["opt-a"; "a0"; "equi-width"; "point-opt"]. *)
+
+val run :
+  ?options:Rs_core.Builder.options ->
+  ?budgets:int list ->
+  ?bases:string list ->
+  Rs_core.Dataset.t ->
+  row list
+
+val table : row list -> string
+
+val verdict : row list -> Claims.verdict
+(** C4: reopt never hurts, and beats OPT-A by a double-digit percentage
+    somewhere on the sweep. *)

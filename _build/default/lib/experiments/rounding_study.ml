@@ -1,0 +1,90 @@
+module Opt_a = Rs_histogram.Opt_a
+module Dataset = Rs_core.Dataset
+module Text_table = Rs_util.Text_table
+
+type row = {
+  x : int;
+  sse : float;
+  ratio_to_exact : float;
+  states : int;
+  seconds : float;
+}
+
+let run ?(buckets = 8) ?(xs = [ 1; 2; 4; 8; 16; 32; 64 ])
+    ?(max_states = 60_000_000) ds =
+  let p = Dataset.prefix ds in
+  (* The staged driver degrades gracefully when the exact DP exceeds the
+     state budget, so the baseline is "best achievable here". *)
+  let exact, exact_dt =
+    Timing.time (fun () -> Opt_a.build_staged ~max_states p ~buckets)
+  in
+  let exact_row =
+    {
+      x = 0;
+      sse = exact.Opt_a.sse;
+      ratio_to_exact = 1.;
+      states = exact.Opt_a.states;
+      seconds = exact_dt;
+    }
+  in
+  exact_row
+  :: List.filter_map
+       (fun x ->
+         match
+           Timing.time (fun () ->
+               try Some (Opt_a.build_rounded ~max_states p ~buckets ~x)
+               with Opt_a.Too_many_states _ -> None)
+         with
+         | None, _ -> None
+         | Some r, dt ->
+             Some
+               {
+                 x;
+                 sse = r.Opt_a.sse;
+                 ratio_to_exact =
+                   (if exact.Opt_a.sse > 0. then r.Opt_a.sse /. exact.Opt_a.sse
+                    else 1.);
+                 states = r.Opt_a.states;
+                 seconds = dt;
+               })
+       xs
+
+let table rows =
+  Text_table.render
+    ~header:[ "x"; "sse"; "vs exact"; "dp states"; "seconds" ]
+    (List.map
+       (fun r ->
+         [
+           (if r.x = 0 then "exact" else string_of_int r.x);
+           Text_table.float_cell ~prec:4 r.sse;
+           Text_table.ratio_cell r.ratio_to_exact;
+           string_of_int r.states;
+           Text_table.float_cell ~prec:2 r.seconds;
+         ])
+       rows)
+
+let verdict rows =
+  let small_x = List.filter (fun r -> r.x >= 1 && r.x <= 8) rows in
+  let worst_small =
+    List.fold_left (fun acc r -> Float.max acc r.ratio_to_exact) 1. small_x
+  in
+  let exact_states =
+    match List.find_opt (fun r -> r.x = 0) rows with
+    | Some r -> r.states
+    | None -> 0
+  in
+  let biggest_x = List.fold_left (fun acc r -> max acc r.x) 0 rows in
+  let states_shrink =
+    match List.find_opt (fun r -> r.x = biggest_x) rows with
+    | Some r -> exact_states > 0 && r.states < exact_states
+    | None -> false
+  in
+  {
+    Claims.claim_id = "T4";
+    description =
+      "OPT-A-ROUNDED stays within (1+eps) of optimal while shrinking the DP";
+    measured =
+      Printf.sprintf "worst quality ratio for x <= 8: %.2fx; states shrink: %b"
+        worst_small states_shrink;
+    holds = worst_small <= 1.25 && states_shrink;
+  }

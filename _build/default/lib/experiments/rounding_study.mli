@@ -1,0 +1,29 @@
+(** Experiment T4 — Theorem 4's accuracy/time trade-off.
+
+    OPT-A-ROUNDED rounds the data to multiples of [x] before the exact
+    dynamic program; quality should degrade gracefully (within (1+ε) of
+    optimal for suitable [x]) while the state space — and with it time
+    and memory — shrinks roughly linearly in [x]. *)
+
+type row = {
+  x : int;  (** rounding grid; [x = 0] denotes the exact baseline *)
+  sse : float;
+  ratio_to_exact : float;  (** [sse / exact sse] *)
+  states : int;  (** DP states materialized *)
+  seconds : float;
+}
+
+val run :
+  ?buckets:int ->
+  ?xs:int list ->
+  ?max_states:int ->
+  Rs_core.Dataset.t ->
+  row list
+(** Default [buckets = 8], [xs = [1; 2; 4; 8; 16; 32; 64]].  The first
+    row is the exact DP. *)
+
+val table : row list -> string
+
+val verdict : row list -> Claims.verdict
+(** Quality within a small factor of exact for moderate [x], with
+    monotonically (roughly) shrinking state counts. *)

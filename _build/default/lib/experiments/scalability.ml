@@ -1,0 +1,52 @@
+module Builder = Rs_core.Builder
+module Synopsis = Rs_core.Synopsis
+module Dataset = Rs_core.Dataset
+module Text_table = Rs_util.Text_table
+
+type row = { n : int; method_name : string; seconds : float; sse : float }
+
+let default_ns = [ 127; 255; 511; 1023 ]
+
+let default_methods =
+  [ "sap0"; "sap1"; "a0"; "point-opt"; "equi-depth"; "topbb"; "wave-range-opt" ]
+
+let run ?(ns = default_ns) ?(methods = default_methods) ?(budget_words = 32) ()
+    =
+  List.concat_map
+    (fun n ->
+      let ds = Dataset.generate (Printf.sprintf "zipf-%d" n) in
+      List.map
+        (fun method_name ->
+          let syn, seconds =
+            Timing.time (fun () ->
+                Builder.build ds ~method_name ~budget_words)
+          in
+          { n; method_name; seconds; sse = Synopsis.sse ds syn })
+        methods)
+    ns
+
+let table rows =
+  let ns = List.sort_uniq compare (List.map (fun r -> r.n) rows) in
+  let methods =
+    List.fold_left
+      (fun acc r -> if List.mem r.method_name acc then acc else acc @ [ r.method_name ])
+      [] rows
+  in
+  let header = "method" :: List.map (fun n -> Printf.sprintf "n=%d" n) ns in
+  let body =
+    List.map
+      (fun m ->
+        m
+        :: List.map
+             (fun n ->
+               match
+                 List.find_opt (fun r -> r.method_name = m && r.n = n) rows
+               with
+               | Some r ->
+                   Printf.sprintf "%.3fs / %s" r.seconds
+                     (Text_table.float_cell ~prec:3 r.sse)
+               | None -> "-")
+             ns)
+      methods
+  in
+  Text_table.render ~header body

@@ -1,0 +1,34 @@
+(** Experiment S1 (extension) — construction cost and quality of the
+    polynomial-time methods as the domain grows.
+
+    The paper notes OPT-A's pseudopolynomial construction "will be
+    infeasible for realistic datasets"; SAP0/SAP1/A0 (O(n²B)) and the
+    wavelet selections (O(n log n)) are the practical alternatives.
+    This sweep quantifies that on Zipf data at n = 127..1023. *)
+
+type row = {
+  n : int;
+  method_name : string;
+  seconds : float;
+  sse : float;
+}
+
+val default_ns : int list
+(** [127; 255; 511; 1023] — powers of two minus one so the wavelet
+    prefix domain needs no padding. *)
+
+val default_methods : string list
+(** The polynomial constructions: sap0, sap1, a0, point-opt, topbb,
+    wave-range-opt, equi-depth. *)
+
+val run :
+  ?ns:int list ->
+  ?methods:string list ->
+  ?budget_words:int ->
+  unit ->
+  row list
+(** Budget defaults to 32 words.  Datasets are seeded Zipf(1.8) with
+    total mass 80·n. *)
+
+val table : row list -> string
+(** Pivot: rows (method), columns (n), cells "seconds / sse". *)

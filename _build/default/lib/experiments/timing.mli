@@ -1,0 +1,5 @@
+(** Wall-clock timing helper for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)

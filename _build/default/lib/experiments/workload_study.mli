@@ -1,0 +1,23 @@
+(** Experiment W1 (extension) — workload-aware vs. workload-blind
+    histograms.
+
+    Builds the classical SAP0 (optimal for the uniform all-ranges
+    objective) and the weighted {!Rs_histogram.Wsap0} optimum for the
+    same bucket count, then evaluates both under the {e weighted}
+    objective.  Quantifies how much a synopsis gains by knowing the
+    workload — the direction the paper's conclusions point to. *)
+
+type row = {
+  workload : string;
+  buckets : int;
+  blind_sse : float;  (** weighted SSE of the workload-blind SAP0 *)
+  aware_sse : float;  (** weighted SSE of the Wsap0 optimum *)
+  improvement_pct : float;
+}
+
+val run : ?buckets_list:int list -> Rs_core.Dataset.t -> row list
+(** Workloads: recency-biased (half-life n/8), hot middle range
+    (cold = 0.05), and uniform (sanity: improvement ≈ 0). *)
+
+val table : row list -> string
+val verdict : row list -> Claims.verdict

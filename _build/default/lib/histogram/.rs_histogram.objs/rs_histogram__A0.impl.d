@@ -1,0 +1,1 @@
+lib/histogram/a0.ml: Cost Dp Rs_util Summaries

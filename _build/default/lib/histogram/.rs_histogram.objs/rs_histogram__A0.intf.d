@@ -1,0 +1,1 @@
+lib/histogram/a0.mli: Histogram Rs_util

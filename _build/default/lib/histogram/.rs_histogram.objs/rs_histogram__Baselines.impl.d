@@ -1,0 +1,1 @@
+lib/histogram/baselines.ml: Array Bucket Rs_util Summaries

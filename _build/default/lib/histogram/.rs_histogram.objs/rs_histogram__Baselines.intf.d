@@ -1,0 +1,1 @@
+lib/histogram/baselines.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/bucket.ml: Array Format List Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/bucket.mli: Format

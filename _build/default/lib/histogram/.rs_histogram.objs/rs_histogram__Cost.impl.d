@@ -1,0 +1,1 @@
+lib/histogram/cost.ml: Array Float Rs_linalg Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/cost.mli: Rs_linalg Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/dp.ml: Array Bucket Float Rs_util

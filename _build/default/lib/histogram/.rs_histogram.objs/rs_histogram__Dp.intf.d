@@ -1,0 +1,1 @@
+lib/histogram/dp.mli: Bucket

@@ -1,0 +1,1 @@
+lib/histogram/exact_sse.ml: Bucket Cost

@@ -1,0 +1,1 @@
+lib/histogram/exact_sse.mli: Bucket Cost

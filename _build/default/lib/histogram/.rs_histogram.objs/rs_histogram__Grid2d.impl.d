@@ -1,0 +1,1 @@
+lib/histogram/grid2d.ml: Array Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/grid2d.mli: Rs_util

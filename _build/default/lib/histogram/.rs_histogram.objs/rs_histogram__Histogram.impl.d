@@ -1,0 +1,1 @@
+lib/histogram/histogram.ml: Array Bucket Float Format Printf Rs_linalg Rs_util

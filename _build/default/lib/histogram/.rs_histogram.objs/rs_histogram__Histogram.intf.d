@@ -1,0 +1,1 @@
+lib/histogram/histogram.mli: Bucket Format Rs_linalg

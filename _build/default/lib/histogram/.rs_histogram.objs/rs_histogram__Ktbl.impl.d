@@ -1,0 +1,1 @@
+lib/histogram/ktbl.ml: Array Bytes Option

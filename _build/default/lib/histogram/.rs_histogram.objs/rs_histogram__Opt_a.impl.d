@@ -1,0 +1,1 @@
+lib/histogram/opt_a.ml: A0 Array Bucket Cost Exact_sse Float Histogram Ktbl List Logs Option Printf Rs_util Summaries

@@ -1,0 +1,1 @@
+lib/histogram/opt_a.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/opt_a_warmup.ml: Array Bucket Cost Float Hashtbl Opt_a Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/opt_a_warmup.mli: Bucket Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/prefix_opt.ml: Cost Dp Rs_util Summaries

@@ -1,0 +1,1 @@
+lib/histogram/prefix_opt.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/reopt.ml: Array Bucket Histogram Rs_linalg Rs_util

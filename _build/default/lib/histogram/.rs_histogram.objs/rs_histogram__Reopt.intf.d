@@ -1,0 +1,1 @@
+lib/histogram/reopt.mli: Bucket Histogram Rs_linalg Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/sap0.ml: Cost Dp Rs_util Summaries

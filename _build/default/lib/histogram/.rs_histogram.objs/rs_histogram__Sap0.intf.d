@@ -1,0 +1,1 @@
+lib/histogram/sap0.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/sap1.ml: Cost Dp Rs_util Summaries

@@ -1,0 +1,1 @@
+lib/histogram/sap1.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/split2d.ml: Array Float List Rs_util

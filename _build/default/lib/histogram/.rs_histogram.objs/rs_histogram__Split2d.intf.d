@@ -1,0 +1,1 @@
+lib/histogram/split2d.mli: Rs_util

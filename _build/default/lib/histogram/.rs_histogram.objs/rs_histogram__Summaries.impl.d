@@ -1,0 +1,1 @@
+lib/histogram/summaries.ml: Array Bucket Cost Histogram Rs_util

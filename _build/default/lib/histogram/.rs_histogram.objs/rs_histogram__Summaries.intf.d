@@ -1,0 +1,1 @@
+lib/histogram/summaries.mli: Bucket Cost Histogram Rs_linalg Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/vopt.ml: Array Bucket Cost Dp Histogram Rs_util Summaries

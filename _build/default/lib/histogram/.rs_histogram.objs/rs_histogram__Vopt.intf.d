@@ -1,0 +1,1 @@
+lib/histogram/vopt.mli: Histogram Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/wsap0.ml: Array Bucket Dp Float Histogram List Rs_query Rs_util

@@ -1,0 +1,1 @@
+lib/histogram/wsap0.mli: Bucket Histogram Rs_query Rs_util

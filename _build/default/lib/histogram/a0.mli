@@ -1,0 +1,12 @@
+(** A0: the Section-4 heuristic — SAP0's dynamic-programming set-up
+    driven by the average-based answering procedure (1), with the cross
+    term of equation (2) ignored.
+
+    The resulting histogram stores only the bucket average (2B words,
+    Theorem 10) and is generally good but {e not} optimal: the ignored
+    cross term means the DP objective under-approximates the true SSE.
+    [build_with_cost] therefore returns the DP objective, and callers
+    measure the real SSE separately. *)
+
+val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float

@@ -1,0 +1,41 @@
+module Prefix = Rs_util.Prefix
+
+let naive p = Summaries.avg_histogram ~name:"naive" p (Bucket.single ~n:(Prefix.n p))
+
+let equi_width p ~buckets =
+  let n = Prefix.n p in
+  Summaries.avg_histogram ~name:"equi-width" p (Bucket.equi_width ~n ~buckets)
+
+let equi_depth p ~buckets =
+  let n = Prefix.n p in
+  let b = max 1 (min buckets n) in
+  let total = Prefix.total p in
+  let rights = Array.make b n in
+  let prev = ref 0 in
+  for k = 0 to b - 2 do
+    let target = total *. float_of_int (k + 1) /. float_of_int b in
+    (* First position with P[r] ≥ target, kept strictly increasing and
+       leaving room for the remaining b−1−k buckets. *)
+    let r = ref (!prev + 1) in
+    while !r < n - (b - 1 - k) && Prefix.prefix p !r < target do
+      incr r
+    done;
+    rights.(k) <- !r;
+    prev := !r
+  done;
+  Summaries.avg_histogram ~name:"equi-depth" p (Bucket.of_rights ~n rights)
+
+let max_diff p ~buckets =
+  let n = Prefix.n p in
+  let b = max 1 (min buckets n) in
+  (* Rank interior boundaries i (bucket ending at i) by |A[i+1] − A[i]|. *)
+  let diffs =
+    Array.init (n - 1) (fun i ->
+        (abs_float (Prefix.value p (i + 2) -. Prefix.value p (i + 1)), i + 1))
+  in
+  Array.sort (fun (d1, i1) (d2, i2) -> compare (d2, i1) (d1, i2)) diffs;
+  let cuts = Array.sub diffs 0 (b - 1) in
+  let rights = Array.map snd cuts in
+  Array.sort compare rights;
+  let rights = Array.append rights [| n |] in
+  Summaries.avg_histogram ~name:"max-diff" p (Bucket.of_rights ~n rights)

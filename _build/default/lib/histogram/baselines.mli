@@ -1,0 +1,21 @@
+(** Non-optimized histogram baselines.
+
+    NAIVE is the paper's upper-bound reference; equi-width, equi-depth
+    and max-diff are the classical heuristics database engines actually
+    ship, included so the experiments can situate the optimal algorithms
+    against practice. *)
+
+val naive : Rs_util.Prefix.t -> Histogram.t
+(** One bucket storing the global average (the paper's NAIVE). *)
+
+val equi_width : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+(** Equal-width buckets with true averages. *)
+
+val equi_depth : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+(** Buckets of (approximately) equal total mass: the [k]'th boundary is
+    the first position where the prefix sum reaches [k/B] of the total,
+    adjusted so buckets stay non-empty. *)
+
+val max_diff : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+(** Boundaries placed at the [B−1] largest adjacent differences
+    [|A[i+1] − A[i]|] (ties broken towards the left). *)

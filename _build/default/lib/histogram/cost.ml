@@ -1,0 +1,252 @@
+module Prefix = Rs_util.Prefix
+module Cum = Rs_util.Cum
+module Checks = Rs_util.Checks
+module Regression = Rs_linalg.Regression
+
+type t = {
+  p : Prefix.t;
+  cw : Cum.t; (* cumulative of w_i = i(n−i+1), i = 1..n *)
+  cwa : Cum.t; (* cumulative of w_i·A[i] *)
+  cwa2 : Cum.t; (* cumulative of w_i·A[i]² *)
+}
+
+let make p =
+  let n = Prefix.n p in
+  let w i =
+    (* i is 0-based here; w for position i+1. *)
+    let pos = float_of_int (i + 1) in
+    pos *. float_of_int (n - i)
+  in
+  let a i = Prefix.value p (i + 1) in
+  {
+    p;
+    cw = Cum.of_fun ~m:n w;
+    cwa = Cum.of_fun ~m:n (fun i -> w i *. a i);
+    cwa2 = Cum.of_fun ~m:n (fun i -> w i *. a i *. a i);
+  }
+
+let prefix t = t.p
+let n t = Prefix.n t.p
+
+let check t ~l ~r =
+  ignore (Checks.ordered_pair ~name:"Cost bucket" ~lo:1 ~hi:(n t) (l, r))
+
+(* Bucket statistics: width, sum, mean. *)
+let stats t ~l ~r =
+  let m = float_of_int (r - l + 1) in
+  let s = Prefix.range_sum t.p ~a:l ~b:r in
+  (m, s, s /. m)
+
+(* Σ g_t and Σ g_t² over t ∈ [u, v] for g_t = P[t] − t·mu. *)
+let sum_g t ~mu ~u ~v = Prefix.sum_p t.p ~u ~v -. (mu *. Prefix.sum_t ~u ~v)
+
+let sum_g2 t ~mu ~u ~v =
+  Prefix.sum_p2 t.p ~u ~v
+  -. (2. *. mu *. Prefix.sum_tp t.p ~u ~v)
+  +. (mu *. mu *. Prefix.sum_t2 ~u ~v)
+
+let g t ~mu k = Prefix.prefix t.p k -. (mu *. float_of_int k)
+
+let non_negative v = Float.max 0. v
+
+(* Pair identity over the m+1 values g_{l−1}, ..., g_r:
+   Σ_{u<v} (g_v − g_u)² = (m+1)·Σg² − (Σg)². *)
+let intra t ~l ~r =
+  check t ~l ~r;
+  let m, _, mu = stats t ~l ~r in
+  let sg = sum_g t ~mu ~u:(l - 1) ~v:r in
+  let sg2 = sum_g2 t ~mu ~u:(l - 1) ~v:r in
+  non_negative (((m +. 1.) *. sg2) -. (sg *. sg))
+
+(* Variance of the m values x_j over prefix indices [u, v]. *)
+let variance_of_prefixes t ~u ~v =
+  let m = float_of_int (v - u + 1) in
+  let sp = Prefix.sum_p t.p ~u ~v in
+  non_negative (Prefix.sum_p2 t.p ~u ~v -. (sp *. sp /. m))
+
+let sap0_suffix t ~l ~r =
+  check t ~l ~r;
+  (* s[j,r] = P[r] − P[j−1]: same spread as {P[j−1]}. *)
+  variance_of_prefixes t ~u:(l - 1) ~v:(r - 1)
+
+let sap0_prefix t ~l ~r =
+  check t ~l ~r;
+  (* s[l,j] = P[j] − P[l−1]: same spread as {P[j]}. *)
+  variance_of_prefixes t ~u:l ~v:r
+
+let sap0_suffix_value t ~l ~r =
+  check t ~l ~r;
+  let m = float_of_int (r - l + 1) in
+  Prefix.prefix t.p r -. (Prefix.sum_p t.p ~u:(l - 1) ~v:(r - 1) /. m)
+
+let sap0_prefix_value t ~l ~r =
+  check t ~l ~r;
+  let m = float_of_int (r - l + 1) in
+  (Prefix.sum_p t.p ~u:l ~v:r /. m) -. Prefix.prefix t.p (l - 1)
+
+let sap1_suffix_fit t ~l ~r =
+  check t ~l ~r;
+  let m = float_of_int (r - l + 1) in
+  let pr = Prefix.prefix t.p r in
+  let sp = Prefix.sum_p t.p ~u:(l - 1) ~v:(r - 1) in
+  let sp2 = Prefix.sum_p2 t.p ~u:(l - 1) ~v:(r - 1) in
+  let sjp =
+    (* Σ_j j·P[j−1] = Σ_{t=l−1}^{r−1} (t+1)·P[t] *)
+    Prefix.sum_tp t.p ~u:(l - 1) ~v:(r - 1) +. sp
+  in
+  let sx = Prefix.sum_t ~u:l ~v:r in
+  Regression.fit_moments ~m ~sx
+    ~sy:((m *. pr) -. sp)
+    ~sxx:(Prefix.sum_t2 ~u:l ~v:r)
+    ~sxy:((pr *. sx) -. sjp)
+    ~syy:((m *. pr *. pr) -. (2. *. pr *. sp) +. sp2)
+
+let sap1_prefix_fit t ~l ~r =
+  check t ~l ~r;
+  let m = float_of_int (r - l + 1) in
+  let pl = Prefix.prefix t.p (l - 1) in
+  let sp = Prefix.sum_p t.p ~u:l ~v:r in
+  let sp2 = Prefix.sum_p2 t.p ~u:l ~v:r in
+  let stp = Prefix.sum_tp t.p ~u:l ~v:r in
+  let sx = Prefix.sum_t ~u:l ~v:r in
+  Regression.fit_moments ~m ~sx
+    ~sy:(sp -. (m *. pl))
+    ~sxx:(Prefix.sum_t2 ~u:l ~v:r)
+    ~sxy:(stp -. (pl *. sx))
+    ~syy:(sp2 -. (2. *. pl *. sp) +. (m *. pl *. pl))
+
+let sap1_suffix t ~l ~r = (sap1_suffix_fit t ~l ~r).Regression.rss
+let sap1_prefix t ~l ~r = (sap1_prefix_fit t ~l ~r).Regression.rss
+
+(* δ^suf_j = g_r − g_{j−1}; Σ_j over j ∈ [l, r]. *)
+let a0_suffix t ~l ~r =
+  check t ~l ~r;
+  let m, _, mu = stats t ~l ~r in
+  let gr = g t ~mu r in
+  let sg = sum_g t ~mu ~u:(l - 1) ~v:(r - 1) in
+  let sg2 = sum_g2 t ~mu ~u:(l - 1) ~v:(r - 1) in
+  non_negative ((m *. gr *. gr) -. (2. *. gr *. sg) +. sg2)
+
+(* δ^pre_j = g_j − g_{l−1}. *)
+let a0_prefix t ~l ~r =
+  check t ~l ~r;
+  let m, _, mu = stats t ~l ~r in
+  let gl = g t ~mu (l - 1) in
+  let sg = sum_g t ~mu ~u:l ~v:r in
+  let sg2 = sum_g2 t ~mu ~u:l ~v:r in
+  non_negative (sg2 -. (2. *. gl *. sg) +. (m *. gl *. gl))
+
+let a0_suffix_delta_sum t ~l ~r =
+  check t ~l ~r;
+  let m, _, mu = stats t ~l ~r in
+  (m *. g t ~mu r) -. sum_g t ~mu ~u:(l - 1) ~v:(r - 1)
+
+let a0_prefix_delta_sum t ~l ~r =
+  check t ~l ~r;
+  let m, _, mu = stats t ~l ~r in
+  sum_g t ~mu ~u:l ~v:r -. (m *. g t ~mu (l - 1))
+
+let point_unweighted t ~l ~r =
+  check t ~l ~r;
+  let m, s, _ = stats t ~l ~r in
+  non_negative (Prefix.sum_a2 t.p ~a:l ~b:r -. (s *. s /. m))
+
+let point_range_weighted t ~l ~r =
+  check t ~l ~r;
+  let sw = Cum.range t.cw ~u:(l - 1) ~v:(r - 1) in
+  let swa = Cum.range t.cwa ~u:(l - 1) ~v:(r - 1) in
+  let swa2 = Cum.range t.cwa2 ~u:(l - 1) ~v:(r - 1) in
+  non_negative (swa2 -. (swa *. swa /. sw))
+
+let point_range_weighted_value t ~l ~r =
+  check t ~l ~r;
+  let sw = Cum.range t.cw ~u:(l - 1) ~v:(r - 1) in
+  Cum.range t.cwa ~u:(l - 1) ~v:(r - 1) /. sw
+
+let weighted_bucket ~suffix ~prefix t ~l ~r =
+  let nn = float_of_int (n t) in
+  intra t ~l ~r
+  +. (suffix t ~l ~r *. (nn -. float_of_int r))
+  +. (prefix t ~l ~r *. float_of_int (l - 1))
+
+let sap0_bucket t ~l ~r = weighted_bucket ~suffix:sap0_suffix ~prefix:sap0_prefix t ~l ~r
+let sap1_bucket t ~l ~r = weighted_bucket ~suffix:sap1_suffix ~prefix:sap1_prefix t ~l ~r
+let a0_bucket t ~l ~r = weighted_bucket ~suffix:a0_suffix ~prefix:a0_prefix t ~l ~r
+
+module Brute = struct
+  let s t a b = Prefix.range_sum t.p ~a ~b
+
+  let intra t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    let acc = ref 0. in
+    for a = l to r do
+      for b = a to r do
+        let d = s t a b -. (float_of_int (b - a + 1) *. mu) in
+        acc := !acc +. (d *. d)
+      done
+    done;
+    !acc
+
+  let sum_over_j f ~l ~r =
+    let acc = ref 0. in
+    for j = l to r do
+      acc := !acc +. f j
+    done;
+    !acc
+
+  let sap0_suffix t ~l ~r =
+    check t ~l ~r;
+    let m = float_of_int (r - l + 1) in
+    let mean = sum_over_j (fun j -> s t j r) ~l ~r /. m in
+    sum_over_j (fun j -> (s t j r -. mean) ** 2.) ~l ~r
+
+  let sap0_prefix t ~l ~r =
+    check t ~l ~r;
+    let m = float_of_int (r - l + 1) in
+    let mean = sum_over_j (fun j -> s t l j) ~l ~r /. m in
+    sum_over_j (fun j -> (s t l j -. mean) ** 2.) ~l ~r
+
+  let sap1_suffix t ~l ~r =
+    check t ~l ~r;
+    let pts = Array.init (r - l + 1) (fun k -> (float_of_int (l + k), s t (l + k) r)) in
+    (Regression.fit_points pts).Regression.rss
+
+  let sap1_prefix t ~l ~r =
+    check t ~l ~r;
+    let pts = Array.init (r - l + 1) (fun k -> (float_of_int (l + k), s t l (l + k))) in
+    (Regression.fit_points pts).Regression.rss
+
+  let a0_suffix t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    sum_over_j (fun j -> (s t j r -. (float_of_int (r - j + 1) *. mu)) ** 2.) ~l ~r
+
+  let a0_prefix t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    sum_over_j (fun j -> (s t l j -. (float_of_int (j - l + 1) *. mu)) ** 2.) ~l ~r
+
+  let a0_suffix_delta_sum t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    sum_over_j (fun j -> s t j r -. (float_of_int (r - j + 1) *. mu)) ~l ~r
+
+  let a0_prefix_delta_sum t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    sum_over_j (fun j -> s t l j -. (float_of_int (j - l + 1) *. mu)) ~l ~r
+
+  let point_unweighted t ~l ~r =
+    check t ~l ~r;
+    let _, _, mu = stats t ~l ~r in
+    sum_over_j (fun i -> (Prefix.value t.p i -. mu) ** 2.) ~l ~r
+
+  let point_range_weighted t ~l ~r =
+    check t ~l ~r;
+    let nn = n t in
+    let w i = float_of_int i *. float_of_int (nn - i + 1) in
+    let sw = sum_over_j w ~l ~r in
+    let mean = sum_over_j (fun i -> w i *. Prefix.value t.p i) ~l ~r /. sw in
+    sum_over_j (fun i -> w i *. ((Prefix.value t.p i -. mean) ** 2.)) ~l ~r
+end

@@ -1,0 +1,109 @@
+(** Closed-form per-bucket error terms for the histogram dynamic
+    programs.
+
+    Every function takes a bucket [\[l, r\] ⊆ \[1, n\]] (1-based,
+    inclusive) and evaluates in O(1) using the prefix-moment tables of
+    {!Rs_util.Prefix}.  Notation: [m = r − l + 1], [s = s[l,r]],
+    [μ = s/m], [P] the prefix sums, and [g_t = P[t] − t·μ] (so that
+    [s[a,b] − (b−a+1)μ = g_b − g_{a−1}]).
+
+    The module also exposes brute-force twins ({!Brute}) with identical
+    signatures; the test suite checks closed form = brute force on random
+    inputs, which pins down every algebraic identity used here. *)
+
+type t
+(** Evaluation context over one dataset. *)
+
+val make : Rs_util.Prefix.t -> t
+val prefix : t -> Rs_util.Prefix.t
+val n : t -> int
+
+val intra : t -> l:int -> r:int -> float
+(** [Σ_{l≤a≤b≤r} (s[a,b] − (b−a+1)μ)²] — the error of answering every
+    intra-bucket query with the bucket average.  Equals
+    [(m+1)·Σ_{t=l−1}^{r} g_t² − (Σ_{t=l−1}^{r} g_t)²]. *)
+
+(** {1 SAP0 terms (Section 2.2.1)} *)
+
+val sap0_suffix : t -> l:int -> r:int -> float
+(** [Σ_{j=l}^{r} (s[j,r] − suff)²] with [suff] the mean of the bucket's
+    suffix sums — the variance of [{P[j−1] : j ∈ [l,r]}]. *)
+
+val sap0_prefix : t -> l:int -> r:int -> float
+(** [Σ_{j=l}^{r} (s[l,j] − pref)²] with [pref] the mean of the bucket's
+    prefix sums — the variance of [{P[j] : j ∈ [l,r]}]. *)
+
+val sap0_suffix_value : t -> l:int -> r:int -> float
+(** The optimal stored suffix value: the mean of the suffix sums. *)
+
+val sap0_prefix_value : t -> l:int -> r:int -> float
+
+(** {1 SAP1 terms (Section 2.2.2)} *)
+
+val sap1_suffix : t -> l:int -> r:int -> float
+(** Residual sum of squares of the best linear fit to
+    [{(j, s[j,r]) : j ∈ [l,r]}]. *)
+
+val sap1_prefix : t -> l:int -> r:int -> float
+(** RSS of the best linear fit to [{(j, s[l,j]) : j ∈ [l,r]}]. *)
+
+val sap1_suffix_fit : t -> l:int -> r:int -> Rs_linalg.Regression.fit
+(** The fit itself, as a function of the global position [j]. *)
+
+val sap1_prefix_fit : t -> l:int -> r:int -> Rs_linalg.Regression.fit
+
+(** {1 OPT-A / A0 terms (Sections 2.1 and 4)} *)
+
+val a0_suffix : t -> l:int -> r:int -> float
+(** [Σ_{j=l}^{r} (δ^suf_j)²] with [δ^suf_j = s[j,r] − (r−j+1)μ] — the
+    end-piece error of the average-based answering procedure (1). *)
+
+val a0_prefix : t -> l:int -> r:int -> float
+(** [Σ_{j=l}^{r} (δ^pre_j)²] with [δ^pre_j = s[l,j] − (j−l+1)μ]. *)
+
+val a0_suffix_delta_sum : t -> l:int -> r:int -> float
+(** [S = Σ_{j=l}^{r} δ^suf_j = Σ_j s[j,r] − s(m+1)/2]; a half-integer
+    for integer data — the quantity the OPT-A dynamic program tracks. *)
+
+val a0_prefix_delta_sum : t -> l:int -> r:int -> float
+(** [Σ_{j=l}^{r} δ^pre_j]. *)
+
+(** {1 Point-query (V-Optimal) terms (Section 4)} *)
+
+val point_unweighted : t -> l:int -> r:int -> float
+(** [Σ_{i=l}^{r} (A[i] − μ)²] — the classic V-Optimal bucket cost. *)
+
+val point_range_weighted : t -> l:int -> r:int -> float
+(** [Σ_{i=l}^{r} w_i (A[i] − μ_w)²] with [w_i = i(n−i+1)] (the number of
+    ranges containing [i]) and [μ_w] the [w]-weighted mean — the paper's
+    POINT-OPT adjustment. *)
+
+val point_range_weighted_value : t -> l:int -> r:int -> float
+(** The [w]-weighted mean, i.e. the value POINT-OPT stores. *)
+
+(** {1 Aggregate bucket costs for the DPs}
+
+    Each is [intra + suffix-term·(n−r) + prefix-term·(l−1)] for the
+    respective representation — the exact contribution of the bucket to
+    the total SSE whenever the representation makes cross-terms vanish
+    (SAP0/SAP1), and the cross-term-free part otherwise (A0, OPT-A). *)
+
+val sap0_bucket : t -> l:int -> r:int -> float
+val sap1_bucket : t -> l:int -> r:int -> float
+val a0_bucket : t -> l:int -> r:int -> float
+
+(** {1 Brute-force twins} *)
+
+module Brute : sig
+  val intra : t -> l:int -> r:int -> float
+  val sap0_suffix : t -> l:int -> r:int -> float
+  val sap0_prefix : t -> l:int -> r:int -> float
+  val sap1_suffix : t -> l:int -> r:int -> float
+  val sap1_prefix : t -> l:int -> r:int -> float
+  val a0_suffix : t -> l:int -> r:int -> float
+  val a0_prefix : t -> l:int -> r:int -> float
+  val a0_suffix_delta_sum : t -> l:int -> r:int -> float
+  val a0_prefix_delta_sum : t -> l:int -> r:int -> float
+  val point_unweighted : t -> l:int -> r:int -> float
+  val point_range_weighted : t -> l:int -> r:int -> float
+end

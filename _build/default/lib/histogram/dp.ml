@@ -1,0 +1,53 @@
+module Checks = Rs_util.Checks
+
+type result = { cost : float; bucketing : Bucket.t }
+
+let run ~n ~buckets ~cost =
+  let n = Checks.positive ~name:"Dp.solve n" n in
+  let b = max 1 (min buckets n) in
+  let inf = Float.infinity in
+  (* e.(k).(i): best cost of covering [1..i] with exactly k buckets. *)
+  let e = Array.make_matrix (b + 1) (n + 1) inf in
+  let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
+  e.(0).(0) <- 0.;
+  for k = 1 to b do
+    (* Need at least k positions for k non-empty buckets, and at most
+       n − (future buckets) — pruning the trivially infeasible cells. *)
+    for i = k to n do
+      let best = ref inf and best_j = ref (-1) in
+      for j = k - 1 to i - 1 do
+        if e.(k - 1).(j) < inf then begin
+          let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
+          if c < !best then begin
+            best := c;
+            best_j := j
+          end
+        end
+      done;
+      e.(k).(i) <- !best;
+      parent.(k).(i) <- !best_j
+    done
+  done;
+  (e, parent, b)
+
+let reconstruct parent ~n ~k =
+  let rights = Array.make k 0 in
+  let i = ref n and kk = ref k in
+  while !kk > 0 do
+    rights.(!kk - 1) <- !i;
+    i := parent.(!kk).(!i);
+    decr kk
+  done;
+  Bucket.of_rights ~n rights
+
+let solve ~n ~buckets ~cost =
+  let e, parent, b = run ~n ~buckets ~cost in
+  let best_k = ref 1 in
+  for k = 2 to b do
+    if e.(k).(n) < e.(!best_k).(n) then best_k := k
+  done;
+  { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
+
+let solve_exact_buckets ~n ~buckets ~cost =
+  let e, parent, b = run ~n ~buckets ~cost in
+  { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }

@@ -1,0 +1,25 @@
+(** Generic interval dynamic program for histogram construction.
+
+    Minimizes [Σ_k cost(l_k, r_k)] over partitions of [1..n] into at most
+    [buckets] contiguous buckets — the classical O(n²·B) scheme shared by
+    V-Optimal, SAP0, SAP1 and A0 (each of which supplies its own O(1)
+    bucket-cost function from {!Cost}).
+
+    [cost] must be non-negative; additivity across buckets is the
+    caller's responsibility (it holds exactly for SAP0/SAP1 thanks to the
+    Decomposition Lemma, and by construction for point-query costs). *)
+
+type result = {
+  cost : float;  (** optimal objective value *)
+  bucketing : Bucket.t;
+}
+
+val solve : n:int -> buckets:int -> cost:(l:int -> r:int -> float) -> result
+(** [solve ~n ~buckets ~cost] runs the DP.  [buckets] is clamped to
+    [\[1, n\]].  The returned bucketing may use fewer than [buckets]
+    buckets when that is no worse. *)
+
+val solve_exact_buckets :
+  n:int -> buckets:int -> cost:(l:int -> r:int -> float) -> result
+(** Same, but the partition uses exactly [min buckets n] buckets — used
+    by comparisons that must hold the bucket count fixed. *)

@@ -1,0 +1,19 @@
+let sum_bucket_costs cost ctx bucketing =
+  Bucket.fold (fun acc _k ~l ~r -> acc +. cost ctx ~l ~r) 0. bucketing
+
+(* Cross term 2 Σ_{i<j} S_i P_j evaluated with a running sum of S. *)
+let avg_cross ctx bucketing =
+  let acc = ref 0. and s_so_far = ref 0. in
+  Bucket.iter
+    (fun _k ~l ~r ->
+      let p = Cost.a0_prefix_delta_sum ctx ~l ~r in
+      acc := !acc +. (2. *. !s_so_far *. p);
+      s_so_far := !s_so_far +. Cost.a0_suffix_delta_sum ctx ~l ~r)
+    bucketing;
+  !acc
+
+let avg_histogram ctx bucketing =
+  sum_bucket_costs Cost.a0_bucket ctx bucketing +. avg_cross ctx bucketing
+
+let sap0_histogram ctx bucketing = sum_bucket_costs Cost.sap0_bucket ctx bucketing
+let sap1_histogram ctx bucketing = sum_bucket_costs Cost.sap1_bucket ctx bucketing

@@ -1,0 +1,22 @@
+(** Closed-form total SSE (over all ranges) of canonical histograms,
+    in O(B) per evaluation.
+
+    "Canonical" means the summary values are the ones the construction
+    optimizes: true bucket averages for the Avg representation,
+    suffix/prefix averages for SAP0, suffix/prefix least-squares fits
+    for SAP1.  For those histograms these functions agree exactly with
+    brute-force enumeration of all [n(n+1)/2] ranges (a property the
+    test suite checks); they are what makes the experiment sweeps cheap
+    and what the OPT-A state-space bound builds on. *)
+
+val avg_histogram : Cost.t -> Bucket.t -> float
+(** SSE of the average-value histogram under answering procedure (1)
+    (unrounded):
+    [Σ_b (intra + suf·(n−r) + pre·(l−1)) + 2·Σ_{i<j} S_i·P_j]. *)
+
+val sap0_histogram : Cost.t -> Bucket.t -> float
+(** SSE of the SAP0 histogram with optimal summary values (cross terms
+    vanish by the Decomposition Lemma). *)
+
+val sap1_histogram : Cost.t -> Bucket.t -> float
+(** SSE of the SAP1 histogram with optimal summary values. *)

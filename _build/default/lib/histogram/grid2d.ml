@@ -1,0 +1,58 @@
+module Prefix2d = Rs_util.Prefix2d
+module Checks = Rs_util.Checks
+
+type t = {
+  grid_rows : int;
+  grid_cols : int;
+  n1 : int;
+  n2 : int;
+  d_hat : float array array;
+}
+
+let equi p ~rows ~cols =
+  let n1 = Prefix2d.rows p and n2 = Prefix2d.cols p in
+  let gr = max 1 (min rows n1) and gc = max 1 (min cols n2) in
+  (* Cell boundaries as in Bucket.equi_width: r_k = ⌊(k+1)n/g⌋. *)
+  let bound n g k = (k + 1) * n / g in
+  (* Reconstruction value per position = its cell average; build its
+     prefix array directly. *)
+  let cell_of n g pos =
+    (* Smallest k with bound n g k >= pos. *)
+    let rec go k = if bound n g k >= pos then k else go (k + 1) in
+    go 0
+  in
+  let avg = Array.make_matrix gr gc 0. in
+  for ci = 0 to gr - 1 do
+    for cj = 0 to gc - 1 do
+      let a1 = if ci = 0 then 1 else bound n1 gr (ci - 1) + 1 in
+      let b1 = bound n1 gr ci in
+      let a2 = if cj = 0 then 1 else bound n2 gc (cj - 1) + 1 in
+      let b2 = bound n2 gc cj in
+      avg.(ci).(cj) <-
+        Prefix2d.range_sum p ~a1 ~b1 ~a2 ~b2
+        /. float_of_int ((b1 - a1 + 1) * (b2 - a2 + 1))
+    done
+  done;
+  let d_hat = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  for i = 1 to n1 do
+    let ci = cell_of n1 gr i in
+    for j = 1 to n2 do
+      let cj = cell_of n2 gc j in
+      d_hat.(i).(j) <-
+        avg.(ci).(cj) +. d_hat.(i - 1).(j) +. d_hat.(i).(j - 1)
+        -. d_hat.(i - 1).(j - 1)
+    done
+  done;
+  { grid_rows = gr; grid_cols = gc; n1; n2; d_hat }
+
+let rows t = t.grid_rows
+let cols t = t.grid_cols
+let storage_words t = (t.grid_rows * t.grid_cols) + t.grid_rows + t.grid_cols
+
+let estimate t ~a1 ~b1 ~a2 ~b2 =
+  let a1, b1 = Checks.ordered_pair ~name:"Grid2d.estimate dim1" ~lo:1 ~hi:t.n1 (a1, b1) in
+  let a2, b2 = Checks.ordered_pair ~name:"Grid2d.estimate dim2" ~lo:1 ~hi:t.n2 (a2, b2) in
+  t.d_hat.(b1).(b2) -. t.d_hat.(a1 - 1).(b2) -. t.d_hat.(b1).(a2 - 1)
+  +. t.d_hat.(a1 - 1).(a2 - 1)
+
+let prefix_hat t = Array.map Array.copy t.d_hat

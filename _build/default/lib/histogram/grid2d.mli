@@ -1,0 +1,26 @@
+(** Equi-width grid histograms over two-dimensional data — the baseline
+    the 2-D wavelet synopses are compared against (footnote-2
+    extension).
+
+    The domain is cut into [rows × cols] rectangular cells, each storing
+    its average; a rectangle query is answered by overlap-weighted cell
+    values, which is the four-corner difference of the prefix array of
+    the piecewise-constant reconstruction (precomputed, so queries are
+    O(1) and the closed-form SSE of {!Rs_query.Error2d.sse_prefix_form}
+    applies). *)
+
+type t
+
+val equi : Rs_util.Prefix2d.t -> rows:int -> cols:int -> t
+(** Grid dimensions are clamped to the data dimensions. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val storage_words : t -> int
+(** [rows·cols + rows + cols]: one value per cell plus the two boundary
+    vectors. *)
+
+val estimate : t -> a1:int -> b1:int -> a2:int -> b2:int -> float
+val prefix_hat : t -> float array array
+(** The [(n1+1) × (n2+1)] prefix of the reconstruction. *)

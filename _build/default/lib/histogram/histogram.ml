@@ -1,0 +1,131 @@
+module Checks = Rs_util.Checks
+module Regression = Rs_linalg.Regression
+
+type repr =
+  | Avg of float array
+  | Sap0 of { suff : float array; pref : float array }
+  | Sap0_explicit of {
+      avg : float array;
+      suff : float array;
+      pref : float array;
+    }
+  | Sap1 of {
+      suff : Regression.fit array;
+      pref : Regression.fit array;
+    }
+
+type t = {
+  bucketing : Bucket.t;
+  repr : repr;
+  rounded : bool;
+  name : string;
+  avg : float array; (* per-bucket value used for intra answering *)
+  cum : float array; (* cum.(k) = Σ_{k'<k} width_{k'}·avg_{k'} *)
+}
+
+let check_len ~buckets ~what len =
+  Checks.check (len = buckets)
+    (Printf.sprintf "Histogram.make: %s has %d entries for %d buckets" what len
+       buckets)
+
+(* Recover the per-bucket intra value.  For SAP representations the
+   identity suff + pref = (m+1)·s/m gives avg = (suff+pref)/(m+1); for
+   SAP1 the mean of the fitted values over the bucket equals the mean of
+   the fitted data (OLS), so evaluating at the mean position works. *)
+let recover_avg bucketing repr =
+  let b = Bucket.count bucketing in
+  match repr with
+  | Avg v -> Array.copy v
+  | Sap0_explicit { avg; _ } -> Array.copy avg
+  | Sap0 { suff; pref } ->
+      Array.init b (fun k ->
+          let m = float_of_int (Bucket.width bucketing k) in
+          (suff.(k) +. pref.(k)) /. (m +. 1.))
+  | Sap1 { suff; pref } ->
+      Array.init b (fun k ->
+          let l, r = Bucket.bounds bucketing k in
+          let m = float_of_int (r - l + 1) in
+          let mid = float_of_int (l + r) /. 2. in
+          let suff_mean = Regression.predict suff.(k) mid in
+          let pref_mean = Regression.predict pref.(k) mid in
+          (suff_mean +. pref_mean) /. (m +. 1.))
+
+let make ?(rounded = false) ?(name = "histogram") bucketing repr =
+  let b = Bucket.count bucketing in
+  (match repr with
+  | Avg v -> check_len ~buckets:b ~what:"value array" (Array.length v)
+  | Sap0 { suff; pref } ->
+      check_len ~buckets:b ~what:"suffix array" (Array.length suff);
+      check_len ~buckets:b ~what:"prefix array" (Array.length pref)
+  | Sap0_explicit { avg; suff; pref } ->
+      check_len ~buckets:b ~what:"average array" (Array.length avg);
+      check_len ~buckets:b ~what:"suffix array" (Array.length suff);
+      check_len ~buckets:b ~what:"prefix array" (Array.length pref)
+  | Sap1 { suff; pref } ->
+      check_len ~buckets:b ~what:"suffix fits" (Array.length suff);
+      check_len ~buckets:b ~what:"prefix fits" (Array.length pref));
+  let avg = recover_avg bucketing repr in
+  let cum = Array.make (b + 1) 0. in
+  for k = 0 to b - 1 do
+    cum.(k + 1) <- cum.(k) +. (float_of_int (Bucket.width bucketing k) *. avg.(k))
+  done;
+  { bucketing; repr; rounded; name; avg; cum }
+
+let bucketing t = t.bucketing
+let repr t = t.repr
+let name t = t.name
+let rounded t = t.rounded
+let buckets t = Bucket.count t.bucketing
+
+let storage_words t =
+  let b = buckets t in
+  match t.repr with
+  | Avg _ -> 2 * b
+  | Sap0 _ -> 3 * b
+  | Sap0_explicit _ -> 4 * b
+  | Sap1 _ -> 5 * b
+
+let estimate t ~a ~b =
+  let n = Bucket.n t.bucketing in
+  let a, b = Checks.ordered_pair ~name:"Histogram.estimate" ~lo:1 ~hi:n (a, b) in
+  let ka = Bucket.bucket_of t.bucketing a in
+  let kb = Bucket.bucket_of t.bucketing b in
+  let raw =
+    if ka = kb then float_of_int (b - a + 1) *. t.avg.(ka)
+    else begin
+      let middle = t.cum.(kb) -. t.cum.(ka + 1) in
+      let left =
+        match t.repr with
+        | Avg v ->
+            let r_a = snd (Bucket.bounds t.bucketing ka) in
+            float_of_int (r_a - a + 1) *. v.(ka)
+        | Sap0 { suff; _ } | Sap0_explicit { suff; _ } -> suff.(ka)
+        | Sap1 { suff; _ } -> Regression.predict suff.(ka) (float_of_int a)
+      in
+      let right =
+        match t.repr with
+        | Avg v ->
+            let l_b = fst (Bucket.bounds t.bucketing kb) in
+            float_of_int (b - l_b + 1) *. v.(kb)
+        | Sap0 { pref; _ } | Sap0_explicit { pref; _ } -> pref.(kb)
+        | Sap1 { pref; _ } -> Regression.predict pref.(kb) (float_of_int b)
+      in
+      left +. middle +. right
+    end
+  in
+  if t.rounded then Float.round raw else raw
+
+let avg_values t = Array.copy t.avg
+
+let with_values t ?name values =
+  match t.repr with
+  | Avg _ ->
+      check_len ~buckets:(buckets t) ~what:"value array" (Array.length values);
+      let name = match name with Some n -> n | None -> t.name ^ "-reopt" in
+      make ~rounded:t.rounded ~name t.bucketing (Avg (Array.copy values))
+  | Sap0 _ | Sap0_explicit _ | Sap1 _ ->
+      invalid_arg "Histogram.with_values: only Avg histograms can be re-valued"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s: %d buckets, %d words, %a@]" t.name (buckets t)
+    (storage_words t) Bucket.pp t.bucketing

@@ -1,0 +1,71 @@
+(** Histogram synopses: a bucketing plus per-bucket summary statistics,
+    with the paper's answering procedures.
+
+    Three representations are supported, mirroring Sections 2.1–2.2:
+
+    - {b Avg}: one value per bucket (classical).  A query [(a,b)] is
+      answered by formula (1): overlap-weighted bucket values
+      [ŝ[a,b] = Σ_i |[a,b] ∩ bucket_i| · v_i].  Used by OPT-A, A0,
+      POINT-OPT, the equi-* baselines, NAIVE, and re-optimized
+      histograms (whose [v_i] need not be averages).  Storage: 2 words
+      per bucket.
+    - {b Sap0}: stored suffix/prefix averages.  Inter-bucket queries are
+      answered by [suff(buck a) + exact middle + pref(buck b)];
+      intra-bucket queries by [(b−a+1)·avg] where the average is
+      recovered as [(suff+pref)/(m+1)].  Storage: 3 words per bucket.
+    - {b Sap1}: stored suffix/prefix linear fits (slope and intercept as
+      functions of the global position).  Storage: 5 words per bucket.
+
+    [estimate] is O(1) per query after O(B) precomputation held inside
+    [t]. *)
+
+type repr =
+  | Avg of float array  (** value per bucket *)
+  | Sap0 of { suff : float array; pref : float array }
+  | Sap0_explicit of {
+      avg : float array;
+      suff : float array;
+      pref : float array;
+    }
+      (** SAP0 answering with an explicitly stored per-bucket average —
+          used by the workload-weighted variant, where the suffix and
+          prefix values are weighted means and the [(suff+pref)/(m+1)]
+          recovery identity no longer holds.  Storage: 4 words per
+          bucket. *)
+  | Sap1 of {
+      suff : Rs_linalg.Regression.fit array;
+      pref : Rs_linalg.Regression.fit array;
+    }
+
+type t
+
+val make : ?rounded:bool -> ?name:string -> Bucket.t -> repr -> t
+(** Assembles a histogram.  Array lengths must equal the bucket count.
+    [rounded] applies the paper's [⌊·⌉] integer rounding to every
+    answer (default [false]).  [name] tags the construction method for
+    reports. *)
+
+val bucketing : t -> Bucket.t
+val repr : t -> repr
+val name : t -> string
+val rounded : t -> bool
+val buckets : t -> int
+
+val storage_words : t -> int
+(** 2B / 3B / 5B following the paper's accounting (Theorems 4, 7, 8,
+    10). *)
+
+val estimate : t -> a:int -> b:int -> float
+(** Approximate [s[a,b]], [1 ≤ a ≤ b ≤ n].  O(1). *)
+
+val avg_values : t -> float array
+(** The per-bucket values used for intra-bucket answering: the stored
+    values for [Avg], the recovered averages for [Sap0]/[Sap1].  Fresh
+    array. *)
+
+val with_values : t -> ?name:string -> float array -> t
+(** Replace the per-bucket values of an [Avg] histogram (used by
+    re-optimization).  Raises [Invalid_argument] on other
+    representations or on length mismatch. *)
+
+val pp : Format.formatter -> t -> unit

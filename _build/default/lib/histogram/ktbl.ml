@@ -1,0 +1,108 @@
+type t = {
+  mutable keys : int array;
+  mutable fs : float array;
+  mutable pjs : int array;
+  mutable pks : int array;
+  mutable used : Bytes.t;
+  mutable size : int;
+  mutable mask : int;
+}
+
+let initial_capacity = 8
+
+let create () =
+  {
+    keys = Array.make initial_capacity 0;
+    fs = Array.make initial_capacity 0.;
+    pjs = Array.make initial_capacity 0;
+    pks = Array.make initial_capacity 0;
+    used = Bytes.make initial_capacity '\000';
+    size = 0;
+    mask = initial_capacity - 1;
+  }
+
+let length t = t.size
+
+(* Fibonacci hashing on the key, folded to the table size. *)
+let slot_of t key =
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land t.mask
+
+let rec probe t key slot =
+  if Bytes.get t.used slot = '\000' then (slot, false)
+  else if t.keys.(slot) = key then (slot, true)
+  else probe t key ((slot + 1) land t.mask)
+
+let grow t =
+  let old_keys = t.keys
+  and old_fs = t.fs
+  and old_pjs = t.pjs
+  and old_pks = t.pks
+  and old_used = t.used in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap 0;
+  t.fs <- Array.make cap 0.;
+  t.pjs <- Array.make cap 0;
+  t.pks <- Array.make cap 0;
+  t.used <- Bytes.make cap '\000';
+  t.mask <- cap - 1;
+  t.size <- 0;
+  for i = 0 to Array.length old_keys - 1 do
+    if Bytes.get old_used i = '\001' then begin
+      let slot, found = probe t old_keys.(i) (slot_of t old_keys.(i)) in
+      assert (not found);
+      Bytes.set t.used slot '\001';
+      t.keys.(slot) <- old_keys.(i);
+      t.fs.(slot) <- old_fs.(i);
+      t.pjs.(slot) <- old_pjs.(i);
+      t.pks.(slot) <- old_pks.(i);
+      t.size <- t.size + 1
+    end
+  done
+
+let update_min t ~key ~f ~prev_j ~prev_key =
+  if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t;
+  let slot, found = probe t key (slot_of t key) in
+  if found then begin
+    if f < t.fs.(slot) then begin
+      t.fs.(slot) <- f;
+      t.pjs.(slot) <- prev_j;
+      t.pks.(slot) <- prev_key
+    end;
+    false
+  end
+  else begin
+    Bytes.set t.used slot '\001';
+    t.keys.(slot) <- key;
+    t.fs.(slot) <- f;
+    t.pjs.(slot) <- prev_j;
+    t.pks.(slot) <- prev_key;
+    t.size <- t.size + 1;
+    true
+  end
+
+let find t key =
+  if t.size = 0 then None
+  else
+    let slot, found = probe t key (slot_of t key) in
+    if found then Some slot else None
+
+let find_f t key = Option.map (fun slot -> t.fs.(slot)) (find t key)
+
+let find_parent t key =
+  Option.map (fun slot -> (t.pjs.(slot), t.pks.(slot))) (find t key)
+
+let iter visit t =
+  for i = 0 to t.mask do
+    if Bytes.get t.used i = '\001' then visit ~key:t.keys.(i) ~f:t.fs.(i)
+  done
+
+let fold_min_f t =
+  let best = ref None in
+  iter
+    (fun ~key ~f ->
+      match !best with
+      | Some (_, bf) when bf <= f -> ()
+      | _ -> best := Some (key, f))
+    t;
+  !best

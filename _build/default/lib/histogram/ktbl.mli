@@ -1,0 +1,32 @@
+(** Flat open-addressing hash table specialized for the OPT-A dynamic
+    program: integer key (the [2Λ] state) → (best partial cost, parent
+    pointers).
+
+    Values live in parallel unboxed arrays (no per-entry allocation), so
+    a DP with tens of millions of states stays within a few hundred MB
+    and avoids GC pressure.  Internal to {!Opt_a}; exposed for its unit
+    tests. *)
+
+type t
+
+val create : unit -> t
+(** Empty table (small initial capacity; grows by doubling). *)
+
+val length : t -> int
+
+val update_min : t -> key:int -> f:float -> prev_j:int -> prev_key:int -> bool
+(** Insert the state, or replace an existing entry with the same key if
+    the new [f] is smaller.  Returns [true] iff a {e new} key was
+    inserted (used for global state accounting). *)
+
+val find_f : t -> int -> float option
+(** Partial cost stored for a key, if present. *)
+
+val find_parent : t -> int -> (int * int) option
+(** [(prev_j, prev_key)] stored for a key, if present. *)
+
+val iter : (key:int -> f:float -> unit) -> t -> unit
+(** Visit every entry (order unspecified). *)
+
+val fold_min_f : t -> (int * float) option
+(** Entry with the smallest [f], if any. *)

@@ -1,0 +1,217 @@
+module Prefix = Rs_util.Prefix
+module Checks = Rs_util.Checks
+
+let log_src = Logs.Src.create "rs.opt_a" ~doc:"OPT-A dynamic program"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Too_many_states of { states : int; limit : int }
+
+type result = { histogram : Histogram.t; sse : float; states : int }
+
+let integer_prefix p =
+  let n = Prefix.n p in
+  let ip = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    let v = Prefix.value p i in
+    Checks.check (Float.is_integer v)
+      "Opt_a: data must be integral (use build_rounded or round the data)";
+    ip.(i) <- ip.(i - 1) + int_of_float v
+  done;
+  ip
+
+(* The provably safe cap on |2Λ|: |Λ| ≤ √(n·OPT) because every δ^suf_l
+   is the error of the intra-bucket query (l, B^>_l), so Σ(δ^suf)² ≤ OPT,
+   and any upper bound on OPT (here: the A0 histogram's exact SSE) can
+   stand in. *)
+let derive_key_cap ?ub ctx p ~buckets =
+  let a0 = A0.build p ~buckets in
+  let a0_sse = Exact_sse.avg_histogram ctx (Histogram.bucketing a0) in
+  let ub = match ub with Some u -> Float.min u a0_sse | None -> a0_sse in
+  let n = float_of_int (Prefix.n p) in
+  let cap = 2. *. ceil (sqrt (Float.max 0. (n *. ub))) in
+  (* +2 slack for float rounding in the bound itself. *)
+  let cap = int_of_float (Float.min cap 4e18) + 2 in
+  Log.debug (fun m -> m "key cap %d from UB %.4g (A0 UB %.4g)" cap ub a0_sse);
+  cap
+
+(* Keep only the [beam] entries with the smallest partial cost;
+   returns the replacement table and the number of dropped states. *)
+let truncate_to_beam cell beam =
+  if Ktbl.length cell <= beam then (cell, 0)
+  else begin
+    let entries = ref [] in
+    Ktbl.iter (fun ~key ~f -> entries := (key, f) :: !entries) cell;
+    let entries = List.sort (fun (_, f1) (_, f2) -> compare f1 f2) !entries in
+    let fresh = Ktbl.create () in
+    List.iteri
+      (fun rank (key, f) ->
+        if rank < beam then begin
+          match Ktbl.find_parent cell key with
+          | Some (prev_j, prev_key) ->
+              ignore (Ktbl.update_min fresh ~key ~f ~prev_j ~prev_key)
+          | None -> assert false
+        end)
+      entries;
+    (fresh, Ktbl.length cell - Ktbl.length fresh)
+  end
+
+let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam p ~buckets =
+  let n = Prefix.n p in
+  let b = max 1 (min buckets n) in
+  let ip = integer_prefix p in
+  let cip = Array.make (n + 1) 0 in
+  cip.(0) <- ip.(0);
+  for t = 1 to n do
+    cip.(t) <- cip.(t - 1) + ip.(t)
+  done;
+  let sum_ip u v = if u > v then 0 else cip.(v) - if u = 0 then 0 else cip.(u - 1) in
+  let seg l r = ip.(r) - ip.(l - 1) in
+  (* 2S and 2P are exact integers for integer data:
+     S = Σ_j s[j,r] − s(m+1)/2 and Σ_j s[j,r] = m·P[r] − Σ_{t=l−1}^{r−1} P[t]. *)
+  let two_s l r =
+    let m = r - l + 1 in
+    (2 * ((m * ip.(r)) - sum_ip (l - 1) (r - 1))) - (seg l r * (m + 1))
+  in
+  let two_p l r =
+    let m = r - l + 1 in
+    (2 * (sum_ip l r - (m * ip.(l - 1)))) - (seg l r * (m + 1))
+  in
+  let ctx = Cost.make p in
+  let cost l r = Cost.a0_bucket ctx ~l ~r in
+  let key_cap =
+    match key_cap with
+    | Some c -> Checks.positive ~name:"Opt_a key_cap" c
+    | None -> derive_key_cap ?ub ctx p ~buckets:b
+  in
+  (* levels.(k).(i): key (= 2Λ) → best partial cost and parent. *)
+  let levels =
+    Array.init (b + 1) (fun _ -> Array.init (n + 1) (fun _ -> Ktbl.create ()))
+  in
+  ignore (Ktbl.update_min levels.(0).(0) ~key:0 ~f:0. ~prev_j:(-1) ~prev_key:0);
+  let total_states = ref 1 in
+  let bump delta =
+    total_states := !total_states + delta;
+    if !total_states > max_states then
+      raise (Too_many_states { states = !total_states; limit = max_states })
+  in
+  for k = 1 to b do
+    for i = k to n do
+      let cell = ref levels.(k).(i) in
+      for j = k - 1 to i - 1 do
+        let prev = levels.(k - 1).(j) in
+        if Ktbl.length prev > 0 then begin
+          let l = j + 1 in
+          let c = cost l i in
+          let s2 = two_s l i in
+          let p2 = float_of_int (two_p l i) in
+          Ktbl.iter
+            (fun ~key ~f ->
+              (* cross term 2·Λ·P = (2Λ)(2P)/2 *)
+              let f' = f +. c +. (0.5 *. float_of_int key *. p2) in
+              let key' = key + s2 in
+              (* Prune by the Λ bound, except at the very end where Λ no
+                 longer interacts with anything. *)
+              if i = n || abs key' <= key_cap then
+                if Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j ~prev_key:key
+                then bump 1)
+            prev
+        end
+      done;
+      (match beam with
+      | Some beam when i < n ->
+          let fresh, dropped = truncate_to_beam !cell beam in
+          cell := fresh;
+          bump (-dropped)
+      | Some _ | None -> ());
+      levels.(k).(i) <- !cell
+    done;
+    Log.debug (fun m -> m "level k=%d done, %d states total" k !total_states)
+  done;
+  (* Best over at most b buckets. *)
+  let best = ref None in
+  for k = 1 to b do
+    Ktbl.iter
+      (fun ~key ~f ->
+        match !best with
+        | Some (_, _, bf) when bf <= f -> ()
+        | _ -> best := Some (k, key, f))
+      levels.(k).(n)
+  done;
+  match !best with
+  | None -> assert false (* k = 1 always yields a state *)
+  | Some (k, key, f) ->
+      (* Walk the parent chain to recover the right endpoints. *)
+      let rights = Array.make k 0 in
+      let i = ref n and kk = ref k and cur_key = ref key in
+      while !kk > 0 do
+        rights.(!kk - 1) <- !i;
+        if !kk > 1 then begin
+          match Ktbl.find_parent levels.(!kk).(!i) !cur_key with
+          | Some (j, pk) ->
+              cur_key := pk;
+              i := j
+          | None -> assert false
+        end;
+        decr kk
+      done;
+      (Bucket.of_rights ~n rights, f, !total_states)
+
+let build_exact ?key_cap ?ub ?max_states ?beam p ~buckets =
+  let bucketing, sse, states = solve ?key_cap ?ub ?max_states ?beam p ~buckets in
+  {
+    histogram = Summaries.avg_histogram ~name:"opt-a" p bucketing;
+    sse;
+    states;
+  }
+
+let build p ~buckets = (build_exact p ~buckets).histogram
+
+let build_rounded ?max_states ?beam p ~buckets ~x =
+  let x = Checks.positive ~name:"Opt_a.build_rounded x" x in
+  let fx = float_of_int x in
+  let scaled =
+    Array.map (fun v -> Float.round (v /. fx)) (Prefix.data p)
+  in
+  let p_scaled = Prefix.create scaled in
+  let bucketing, _, states = solve ?max_states ?beam p_scaled ~buckets in
+  let name = Printf.sprintf "opt-a-rounded(x=%d)" x in
+  let histogram = Summaries.avg_histogram ~name p bucketing in
+  let ctx = Cost.make p in
+  {
+    histogram;
+    sse = Exact_sse.avg_histogram ctx bucketing;
+    states;
+  }
+
+(* Staged construction: a cheap rounded pass supplies a tight upper
+   bound on OPT, which shrinks the Λ cap (∝ √UB) for the exact run.
+   Escalates the rounding grid when the exact DP still exceeds its state
+   budget, so it always returns something. *)
+let build_staged ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ]) p ~buckets =
+  let seed_ub =
+    List.fold_left
+      (fun acc x ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            try Some (build_rounded ~max_states p ~buckets ~x)
+            with Too_many_states _ -> None))
+      None xs
+  in
+  let ub = Option.map (fun r -> r.sse) seed_ub in
+  try build_exact ?ub ~max_states p ~buckets
+  with Too_many_states { states; limit } -> (
+    Log.info (fun m ->
+        m "exact DP exceeded %d states (limit %d); returning rounded result"
+          states limit);
+    match seed_ub with
+    | Some r -> r
+    | None ->
+        (* Last resort: very coarse rounding. *)
+        build_rounded ~max_states p ~buckets
+          ~x:(max 1 (int_of_float (Prefix.total p /. 100.))))
+
+let x_of_eps p ~eps =
+  Checks.check (eps > 0.) "Opt_a.x_of_eps: eps must be > 0";
+  max 1 (int_of_float (ceil (eps *. Prefix.total p /. float_of_int (Prefix.n p))))

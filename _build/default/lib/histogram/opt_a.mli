@@ -1,0 +1,96 @@
+(** OPT-A: the range-optimal classical histogram (Sections 2.1.1–2.1.3).
+
+    The dynamic program runs over states [(i, k, Λ)] where
+    [Λ = Σ_{l≤i} δ_{l,B^>_l}] is the accumulated sum of suffix errors —
+    the quantity through which earlier buckets interact with later ones
+    (the "long-range dependence" the paper identifies).  Writing the
+    total SSE as
+
+    [Σ_b (intra_b + suf_b·(n−r_b) + pre_b·(l_b−1)) + 2·Σ_{b<b'} S_b·P_{b'}]
+
+    the recurrence extends a solution for [\[1..j\]] by a bucket
+    [\[j+1..i\]] at an extra cost [cost(j+1,i) + 2·Λ·P(j+1,i)], exactly
+    the paper's improved recurrence (Section 2.1.2).
+
+    For integer data, [2S] and [2P] are integers
+    ([S = Σ_j s[j,r] − s·(m+1)/2]), so the DP tracks the integer key
+    [2Λ] exactly — this replaces the paper's answer-rounding argument
+    and keeps the algorithm exact.  State space is pruned safely with
+    the bound [|Λ| ≤ √(n·OPT)] (each [δ^suf_l] is the error of the
+    intra-bucket query [(l, B^>_l)], so [Σ(δ^suf)² ≤ OPT], and
+    Cauchy–Schwarz does the rest); any upper bound on OPT works and the
+    A0 histogram supplies one.
+
+    Complexity is pseudopolynomial — [O(n²·B·|Λ|)] time — exactly as in
+    Theorem 2; [build_rounded] is the paper's OPT-A-ROUNDED remedy
+    (Definition 3): round the data to multiples of [x], solve exactly on
+    the scaled data, and keep the boundaries. *)
+
+exception Too_many_states of { states : int; limit : int }
+(** The exact DP exceeded its state budget; retry with [build_rounded]
+    (larger [x]) or a [beam]. *)
+
+type result = {
+  histogram : Histogram.t;
+  sse : float;
+      (** the DP's objective — the exact range-SSE of [histogram]
+          (unrounded answering) when no [beam] truncation occurred *)
+  states : int;  (** total DP states materialized (diagnostics) *)
+}
+
+val build_exact :
+  ?key_cap:int ->
+  ?ub:float ->
+  ?max_states:int ->
+  ?beam:int ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  result
+(** Exact OPT-A.  Requires every [A[i]] to be integral (raises
+    [Invalid_argument] otherwise — round the data first, e.g. with
+    {!build_rounded}).
+
+    - [key_cap]: override the derived bound on [|2Λ|] (pruning keys
+      beyond it; the default is provably safe).
+    - [ub]: a known upper bound on the optimal SSE (e.g. from a cheap
+      OPT-A-ROUNDED pass); tightens the derived [|Λ| ≤ √(n·UB)] cap and
+      can shrink the state space dramatically.  Must be a genuine upper
+      bound or optimality is lost.
+    - [max_states]: hard state-count guard (default [30_000_000]);
+      raises {!Too_many_states} when exceeded.
+    - [beam]: if set, keep only the [beam] states with the smallest
+      partial cost per [(i,k)] cell — a documented heuristic that
+      trades optimality for bounded memory.  Unset by default. *)
+
+val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+(** [build_exact] with defaults, returning just the histogram. *)
+
+val build_rounded :
+  ?max_states:int ->
+  ?beam:int ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  x:int ->
+  result
+(** OPT-A-ROUNDED (Definition 3): rounds [A] to the nearest multiple of
+    [x], divides through, runs the exact DP on the scaled data, and
+    returns the resulting boundaries filled with the {e original} data's
+    bucket averages (never worse than multiplying the scaled averages
+    back, and with the same (1+ε) boundary guarantee of Theorem 4).
+    The reported [sse] is the exact range-SSE of the returned histogram
+    on the original data. *)
+
+val build_staged :
+  ?max_states:int -> ?xs:int list -> Rs_util.Prefix.t -> buckets:int -> result
+(** Practical driver used by the experiments: run OPT-A-ROUNDED with the
+    first workable grid from [xs] (default [8; 32; 128]) to obtain an
+    upper bound, then the exact DP with that bound as its [ub].  Falls
+    back to the rounded result if the exact state space still exceeds
+    [max_states] (default 10⁷).  The result is exact whenever the second
+    stage completes — check [Histogram.name] ("opt-a" vs
+    "opt-a-rounded(x=…)") to know which one you got. *)
+
+val x_of_eps : Rs_util.Prefix.t -> eps:float -> int
+(** Heuristic grid for a target accuracy: [max(1, ⌈eps·s[1,n]/n⌉)] —
+    rounding perturbs each prefix sum by at most [n·x/2], so this keeps
+    the perturbation within roughly [eps/2] of the total mass. *)

@@ -1,0 +1,103 @@
+module Prefix = Rs_util.Prefix
+module Checks = Rs_util.Checks
+
+type result = { sse : float; bucketing : Bucket.t; states : int }
+
+type state = { e : float; prev_j : int; prev_key : int * float }
+
+let build_exact ?(max_states = 2_000_000) p ~buckets =
+  let n = Prefix.n p in
+  let b = max 1 (min buckets n) in
+  (* Integer prefix machinery shared with the improved algorithm:
+     2S and 2P per bucket are integers, and 4·Σ(δ^suf)² is an integer
+     (squares of half-integers are quarter-integers). *)
+  let ip = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    let v = Prefix.value p i in
+    Checks.check (Float.is_integer v) "Opt_a_warmup: data must be integral";
+    ip.(i) <- ip.(i - 1) + int_of_float v
+  done;
+  let cip = Array.make (n + 1) 0 in
+  cip.(0) <- ip.(0);
+  for t = 1 to n do
+    cip.(t) <- cip.(t - 1) + ip.(t)
+  done;
+  let sum_ip u v = if u > v then 0 else cip.(v) - if u = 0 then 0 else cip.(u - 1) in
+  let seg l r = ip.(r) - ip.(l - 1) in
+  let two_s l r =
+    let m = r - l + 1 in
+    (2 * ((m * ip.(r)) - sum_ip (l - 1) (r - 1))) - (seg l r * (m + 1))
+  in
+  let two_p l r =
+    let m = r - l + 1 in
+    (2 * (sum_ip l r - (m * ip.(l - 1)))) - (seg l r * (m + 1))
+  in
+  let ctx = Cost.make p in
+  (* levels.(k).(i): (2Λ, Λ₂) → best partial E.  2Λ is an exact integer;
+     Λ₂ = Σ(δ^suf)² is rational with per-bucket denominator m², so it is
+     kept as a float matched bit-exactly (the paper's integral Λ₂ relies
+     on its rounded answering procedure; we validate the unrounded
+     objective, where only the sums 2S and 2P are integral). *)
+  let levels =
+    Array.init (b + 1) (fun _ ->
+        Array.init (n + 1) (fun _ -> (Hashtbl.create 0 : (int * float, state) Hashtbl.t)))
+  in
+  Hashtbl.replace levels.(0).(0) (0, 0.) { e = 0.; prev_j = -1; prev_key = (0, 0.) };
+  let total = ref 1 in
+  for k = 1 to b do
+    for i = k to n do
+      let cell = levels.(k).(i) in
+      for j = k - 1 to i - 1 do
+        let prev = levels.(k - 1).(j) in
+        if Hashtbl.length prev > 0 then begin
+          let l = j + 1 in
+          let intra = Cost.intra ctx ~l ~r:i in
+          let pre = Cost.a0_prefix ctx ~l ~r:i in
+          let suf2 = Cost.a0_suffix ctx ~l ~r:i in
+          let s2 = two_s l i and p2 = two_p l i in
+          Hashtbl.iter
+            (fun (key1, lam2) st ->
+              let e =
+                st.e +. intra
+                +. (lam2 *. float_of_int (i - j))
+                +. (pre *. float_of_int j)
+                +. (0.5 *. float_of_int key1 *. float_of_int p2)
+              in
+              let key' = (key1 + s2, lam2 +. suf2) in
+              match Hashtbl.find_opt cell key' with
+              | Some old when old.e <= e -> ()
+              | Some _ -> Hashtbl.replace cell key' { e; prev_j = j; prev_key = (key1, lam2) }
+              | None ->
+                  Hashtbl.replace cell key' { e; prev_j = j; prev_key = (key1, lam2) };
+                  incr total;
+                  if !total > max_states then
+                    raise (Opt_a.Too_many_states { states = !total; limit = max_states }))
+            prev
+        end
+      done
+    done
+  done;
+  let best = ref None in
+  for k = 1 to b do
+    Hashtbl.iter
+      (fun key st ->
+        match !best with
+        | Some (_, _, be) when be <= st.e -> ()
+        | _ -> best := Some (k, key, st.e))
+      levels.(k).(n)
+  done;
+  match !best with
+  | None -> assert false
+  | Some (k, key, e) ->
+      let rights = Array.make k 0 in
+      let i = ref n and kk = ref k and cur = ref key in
+      while !kk > 0 do
+        rights.(!kk - 1) <- !i;
+        if !kk > 1 then begin
+          let st = Hashtbl.find levels.(!kk).(!i) !cur in
+          cur := st.prev_key;
+          i := st.prev_j
+        end;
+        decr kk
+      done;
+      { sse = e; bucketing = Bucket.of_rights ~n rights; states = !total }

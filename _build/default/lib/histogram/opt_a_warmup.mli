@@ -1,0 +1,28 @@
+(** The paper's warm-up OPT-A algorithm (Section 2.1.1, Theorem 1):
+    dynamic programming over states [(i, k, Λ, Λ₂)] where
+    [Λ = Σ_{l≤i} δ_{l,B^>_l}] and [Λ₂ = Σ_{l≤i} δ²_{l,B^>_l}].
+
+    The partial value [E(i,k,Λ,Λ₂)] counts only the queries contained in
+    [\[1, i\]]; extending by a bucket [\[j+1, i\]] adds
+
+    [intra + Λ₂·(i−j) + pre·j + 2Λ·P]
+
+    (the spanning queries decompose as [δ^suf_l + δ^pre_r], and
+    [Σ_{l,r} (δ^suf_l)² = Λ₂·(i−j)]) — exactly the paper's recurrence.
+    For integer data [2Λ] is an integer; [Λ₂] is rational with
+    per-bucket denominator [m²] (the paper's integral [Λ₂] relies on its
+    answer-rounding), so the state keeps it as a bit-exact float.
+
+    The improved algorithm of Section 2.1.2 ({!Opt_a}) folds the
+    suffix-error term into the value and drops [Λ₂] from the state; this
+    module exists to validate that refinement (the test-suite checks the
+    two produce identical optima) and as the faithful Theorem-1
+    artifact.  Its state space is larger by the [Λ₂] factor, so it is
+    only practical for small inputs. *)
+
+type result = { sse : float; bucketing : Bucket.t; states : int }
+
+val build_exact :
+  ?max_states:int -> Rs_util.Prefix.t -> buckets:int -> result
+(** Requires integral data.  [max_states] defaults to [2_000_000];
+    raises {!Opt_a.Too_many_states} beyond it. *)

@@ -1,0 +1,112 @@
+module Prefix = Rs_util.Prefix
+module Matrix = Rs_linalg.Matrix
+module Solve = Rs_linalg.Solve
+
+(* Σ_{t=1}^{m} t² *)
+let t2 m = float_of_int m *. float_of_int (m + 1) *. float_of_int ((2 * m) + 1) /. 6.
+
+(* Σ_{t=1}^{m} t³ = (m(m+1)/2)² *)
+let t3 m =
+  let h = float_of_int m *. float_of_int (m + 1) /. 2. in
+  h *. h
+
+let normal_equations p bucketing =
+  let n = Prefix.n p in
+  Rs_util.Checks.check
+    (Bucket.n bucketing = n)
+    "Reopt: bucketing domain mismatch";
+  let b = Bucket.count bucketing in
+  let q = Matrix.create ~rows:b ~cols:b in
+  (* Off-diagonal: separable product of one factor per side. *)
+  let c_left = Array.make b 0. and c_right = Array.make b 0. in
+  Bucket.iter
+    (fun k ~l ~r ->
+      let m = r - l + 1 in
+      let half = float_of_int m *. float_of_int (m + 1) /. 2. in
+      c_left.(k) <- (float_of_int ((l - 1) * m)) +. half;
+      c_right.(k) <- (float_of_int ((n - r) * m)) +. half)
+    bucketing;
+  for i = 0 to b - 1 do
+    for j = i + 1 to b - 1 do
+      let v = c_left.(i) *. c_right.(j) in
+      Matrix.set q i j v;
+      Matrix.set q j i v
+    done
+  done;
+  (* Diagonal: queries split by whether each endpoint is inside the
+     bucket or beyond it. *)
+  Bucket.iter
+    (fun k ~l ~r ->
+      let m = r - l + 1 in
+      let fl = float_of_int (l - 1) and fr = float_of_int (n - r) in
+      let fm = float_of_int m in
+      let w = ((float_of_int (m + 1)) *. t2 m) -. t3 m in
+      Matrix.set q k k ((fm *. fm *. fl *. fr) +. ((fl +. fr) *. t2 m) +. w))
+    bucketing;
+  (* g_i = Σ_{t ∈ bucket_i} W(t), W(t) = Σ_{a≤t≤b} s[a,b]. *)
+  let g = Array.make b 0. in
+  Bucket.iter
+    (fun k ~l ~r ->
+      let acc = ref 0. in
+      for t = l to r do
+        let suf = Prefix.sum_p p ~u:t ~v:n in
+        let pre = Prefix.sum_p p ~u:0 ~v:(t - 1) in
+        acc := !acc +. ((float_of_int t *. suf) -. (float_of_int (n - t + 1) *. pre))
+      done;
+      g.(k) <- !acc)
+    bucketing;
+  (* const = Σ_q s_q² over all ranges, by the pair identity on P[0..n]. *)
+  let sp = Prefix.sum_p p ~u:0 ~v:n in
+  let sp2 = Prefix.sum_p2 p ~u:0 ~v:n in
+  let const = (float_of_int (n + 1) *. sp2) -. (sp *. sp) in
+  (q, g, const)
+
+let sse_of_values p bucketing x =
+  let q, g, const = normal_equations p bucketing in
+  let qx = Matrix.mul_vec q x in
+  Rs_linalg.Vector.dot x qx -. (2. *. Rs_linalg.Vector.dot g x) +. const
+
+let optimal_values p bucketing =
+  let q, g, _ = normal_equations p bucketing in
+  Solve.solve_spd q g
+
+let apply p h =
+  match Histogram.repr h with
+  | Histogram.Avg _ ->
+      let bucketing = Histogram.bucketing h in
+      Histogram.with_values h
+        ~name:(Histogram.name h ^ "-reopt")
+        (optimal_values p bucketing)
+  | Histogram.Sap0 _ | Histogram.Sap0_explicit _ | Histogram.Sap1 _ ->
+      invalid_arg
+        "Reopt.apply: SAP histograms already optimize their summary values"
+
+module Brute = struct
+  let normal_equations p bucketing =
+    let n = Prefix.n p in
+    let b = Bucket.count bucketing in
+    let q = Matrix.create ~rows:b ~cols:b in
+    let g = Array.make b 0. in
+    let const = ref 0. in
+    for a = 1 to n do
+      for bq = a to n do
+        let s = Prefix.range_sum p ~a ~b:bq in
+        const := !const +. (s *. s);
+        let c = Array.make b 0. in
+        for k = 0 to b - 1 do
+          let l, r = Bucket.bounds bucketing k in
+          let overlap = min bq r - max a l + 1 in
+          if overlap > 0 then c.(k) <- float_of_int overlap
+        done;
+        for i = 0 to b - 1 do
+          if c.(i) <> 0. then begin
+            g.(i) <- g.(i) +. (s *. c.(i));
+            for j = 0 to b - 1 do
+              if c.(j) <> 0. then Matrix.set q i j (Matrix.get q i j +. (c.(i) *. c.(j)))
+            done
+          end
+        done
+      done
+    done;
+    (q, g, !const)
+end

@@ -1,0 +1,43 @@
+(** Re-optimization of stored values for fixed bucket boundaries
+    (Section 5 of the paper).
+
+    With the overlap counts [c_i(a,b) = |[a,b] ∩ bucket_i|], formula (1)
+    with free values [x_i] answers [ŝ[a,b] = Σ_i c_i(a,b)·x_i], and the
+    total SSE is the quadratic [xᵀQx − 2gᵀx + const] with
+    [Q = Σ_q c_q c_qᵀ] and [g = Σ_q s_q·c_q].  The paper observes [Q]
+    and [g] are computable in [O(N + B³)]; concretely:
+
+    - for [i < j], [Q_{ij} = C^L_i · C^R_j] separates, with
+      [C^L_i = (l_i−1)·m_i + m_i(m_i+1)/2] and
+      [C^R_j = (n−r_j)·m_j + m_j(m_j+1)/2];
+    - the diagonal has a four-case closed form;
+    - [g_i = Σ_{t∈bucket_i} W(t)] with
+      [W(t) = t·Σ_{u=t}^{n} P[u] − (n−t+1)·Σ_{u<t} P[u]], an O(n) sweep.
+
+    Solving [Qx = g] gives the values that minimize the range-SSE for
+    the given boundaries — the "A-reopt" histograms of the paper's final
+    experiment. *)
+
+val normal_equations :
+  Rs_util.Prefix.t -> Bucket.t -> Rs_linalg.Matrix.t * float array * float
+(** [(q, g, const)] such that the SSE of values [x] is
+    [xᵀqx − 2gᵀx + const].  O(n + B²). *)
+
+val sse_of_values :
+  Rs_util.Prefix.t -> Bucket.t -> float array -> float
+(** Evaluate that quadratic for given values. *)
+
+val optimal_values : Rs_util.Prefix.t -> Bucket.t -> float array
+(** The minimizing values ([Qx = g]; SPD solve with safe fallback). *)
+
+val apply : Rs_util.Prefix.t -> Histogram.t -> Histogram.t
+(** [apply p h] keeps [h]'s boundaries and replaces its values by the
+    optimal ones — the paper's [A]-reopt.  Requires an [Avg]
+    histogram (raises [Invalid_argument] otherwise; SAP0/SAP1 already
+    optimize their summary values, as the paper notes). *)
+
+(** Enumeration-based twins for the test-suite. *)
+module Brute : sig
+  val normal_equations :
+    Rs_util.Prefix.t -> Bucket.t -> Rs_linalg.Matrix.t * float array * float
+end

@@ -1,0 +1,13 @@
+(** SAP1: the higher-order suffix/prefix histogram of Section 2.2.2.
+
+    Buckets store the coefficients of the least-squares linear fits to
+    their suffix and prefix sums; cross terms vanish as for SAP0, so the
+    O(n²B) dynamic program is exactly range-optimal among SAP1
+    histograms (Theorem 8).  Storage: 5B words.  For equal bucket
+    counts, SAP1 is never worse than OPT-A (it strictly generalizes the
+    average-based answering). *)
+
+val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+
+val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
+(** The DP objective equals the true range-SSE of the histogram. *)

@@ -1,0 +1,120 @@
+module Prefix2d = Rs_util.Prefix2d
+module Checks = Rs_util.Checks
+
+type leaf = { a1 : int; b1 : int; a2 : int; b2 : int; avg : float }
+
+type t = {
+  n1 : int;
+  n2 : int;
+  leaves : leaf array;
+  d_hat : float array array;
+}
+
+(* Within-rectangle sum of squared deviations from the mean, from the
+   prefix arrays of A and A². *)
+let rect_cost p p2 ~a1 ~b1 ~a2 ~b2 =
+  let s = Prefix2d.range_sum p ~a1 ~b1 ~a2 ~b2 in
+  let s2 = Prefix2d.range_sum p2 ~a1 ~b1 ~a2 ~b2 in
+  let area = float_of_int ((b1 - a1 + 1) * (b2 - a2 + 1)) in
+  Float.max 0. (s2 -. (s *. s /. area))
+
+(* Best split of one rectangle: (gain, resulting pair), or None if the
+   rectangle is a single cell. *)
+let best_split p p2 (r : int * int * int * int) =
+  let a1, b1, a2, b2 = r in
+  let base = rect_cost p p2 ~a1 ~b1 ~a2 ~b2 in
+  let best = ref None in
+  let consider cost_pair pair =
+    let gain = base -. cost_pair in
+    match !best with
+    | Some (g, _) when g >= gain -> ()
+    | _ -> best := Some (gain, pair)
+  in
+  for cut = a1 to b1 - 1 do
+    consider
+      (rect_cost p p2 ~a1 ~b1:cut ~a2 ~b2 +. rect_cost p p2 ~a1:(cut + 1) ~b1 ~a2 ~b2)
+      ((a1, cut, a2, b2), (cut + 1, b1, a2, b2))
+  done;
+  for cut = a2 to b2 - 1 do
+    consider
+      (rect_cost p p2 ~a1 ~b1 ~a2 ~b2:cut +. rect_cost p p2 ~a1 ~b1 ~a2:(cut + 1) ~b2)
+      ((a1, b1, a2, cut), (a1, b1, cut + 1, b2))
+  done;
+  !best
+
+let build p ~leaves:want =
+  let n1 = Prefix2d.rows p and n2 = Prefix2d.cols p in
+  let want = max 1 (min want (n1 * n2)) in
+  let p2 =
+    Prefix2d.create
+      (Array.init n1 (fun i ->
+           Array.init n2 (fun j ->
+               let v = Prefix2d.value p ~i:(i + 1) ~j:(j + 1) in
+               v *. v)))
+  in
+  let rects = ref [ (1, n1, 1, n2) ] in
+  let count = ref 1 in
+  let continue_ = ref true in
+  while !count < want && !continue_ do
+    (* Pick the globally best (leaf, split) pair. *)
+    let best = ref None in
+    List.iter
+      (fun r ->
+        match best_split p p2 r with
+        | None -> ()
+        | Some (gain, pair) -> (
+            match !best with
+            | Some (g, _, _) when g >= gain -> ()
+            | _ -> best := Some (gain, r, pair)))
+      !rects;
+    match !best with
+    | None -> continue_ := false (* every leaf is a single cell *)
+    | Some (_, r, (left, right)) ->
+        rects := left :: right :: List.filter (fun r' -> r' <> r) !rects;
+        incr count
+  done;
+  let leaves =
+    Array.of_list
+      (List.map
+         (fun (a1, b1, a2, b2) ->
+           {
+             a1;
+             b1;
+             a2;
+             b2;
+             avg =
+               Prefix2d.range_sum p ~a1 ~b1 ~a2 ~b2
+               /. float_of_int ((b1 - a1 + 1) * (b2 - a2 + 1));
+           })
+         !rects)
+  in
+  (* Prefix array of the piecewise-constant reconstruction. *)
+  let recon = Array.make_matrix n1 n2 0. in
+  Array.iter
+    (fun { a1; b1; a2; b2; avg } ->
+      for i = a1 to b1 do
+        for j = a2 to b2 do
+          recon.(i - 1).(j - 1) <- avg
+        done
+      done)
+    leaves;
+  let d_hat = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  for i = 1 to n1 do
+    for j = 1 to n2 do
+      d_hat.(i).(j) <-
+        recon.(i - 1).(j - 1) +. d_hat.(i - 1).(j) +. d_hat.(i).(j - 1)
+        -. d_hat.(i - 1).(j - 1)
+    done
+  done;
+  { n1; n2; leaves; d_hat }
+
+let leaves t = Array.copy t.leaves
+let storage_words t = (3 * Array.length t.leaves) - 2
+
+let estimate t ~a1 ~b1 ~a2 ~b2 =
+  let a1, b1 = Checks.ordered_pair ~name:"Split2d.estimate dim1" ~lo:1 ~hi:t.n1 (a1, b1) in
+  let a2, b2 = Checks.ordered_pair ~name:"Split2d.estimate dim2" ~lo:1 ~hi:t.n2 (a2, b2) in
+  t.d_hat.(b1).(b2) -. t.d_hat.(a1 - 1).(b2) -. t.d_hat.(b1).(a2 - 1)
+  +. t.d_hat.(a1 - 1).(a2 - 1)
+
+let prefix_hat t = Array.map Array.copy t.d_hat

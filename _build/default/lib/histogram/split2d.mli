@@ -1,0 +1,30 @@
+(** Greedy recursive-split 2-D histograms (MHIST-style baseline).
+
+    Starting from one rectangle covering the whole grid, repeatedly
+    split the leaf whose best axis-aligned split most reduces the total
+    within-rectangle sum of squared deviations (the V-Optimal bucket
+    cost generalized to rectangles, evaluated in O(1) per candidate from
+    2-D prefix sums of [A] and [A²]).  This is the classical greedy
+    spatial-partitioning heuristic 2-D histogram literature uses; it is
+    the stronger histogram baseline for the footnote-2 experiments.
+
+    Storage accounting: the split tree needs [B−1] internal nodes of
+    (axis, position) plus [B] leaf averages — [3B − 2] words. *)
+
+type t
+
+type leaf = { a1 : int; b1 : int; a2 : int; b2 : int; avg : float }
+
+val build : Rs_util.Prefix2d.t -> leaves:int -> t
+(** [leaves] is clamped to [\[1, n1·n2\]].  Ties in split gain break
+    deterministically (first leaf, first axis, lowest position). *)
+
+val leaves : t -> leaf array
+val storage_words : t -> int
+
+val estimate : t -> a1:int -> b1:int -> a2:int -> b2:int -> float
+(** O(1) after construction. *)
+
+val prefix_hat : t -> float array array
+(** Prefix array of the piecewise-constant reconstruction, for the
+    closed-form SSE. *)

@@ -1,0 +1,45 @@
+module Prefix = Rs_util.Prefix
+
+let averages p bucketing =
+  Array.init (Bucket.count bucketing) (fun k ->
+      let l, r = Bucket.bounds bucketing k in
+      Prefix.mean p ~a:l ~b:r)
+
+let sap0 ctx bucketing =
+  let b = Bucket.count bucketing in
+  let suff =
+    Array.init b (fun k ->
+        let l, r = Bucket.bounds bucketing k in
+        Cost.sap0_suffix_value ctx ~l ~r)
+  in
+  let pref =
+    Array.init b (fun k ->
+        let l, r = Bucket.bounds bucketing k in
+        Cost.sap0_prefix_value ctx ~l ~r)
+  in
+  (suff, pref)
+
+let sap1 ctx bucketing =
+  let b = Bucket.count bucketing in
+  let suff =
+    Array.init b (fun k ->
+        let l, r = Bucket.bounds bucketing k in
+        Cost.sap1_suffix_fit ctx ~l ~r)
+  in
+  let pref =
+    Array.init b (fun k ->
+        let l, r = Bucket.bounds bucketing k in
+        Cost.sap1_prefix_fit ctx ~l ~r)
+  in
+  (suff, pref)
+
+let avg_histogram ?rounded ?(name = "avg") p bucketing =
+  Histogram.make ?rounded ~name bucketing (Histogram.Avg (averages p bucketing))
+
+let sap0_histogram ?(name = "sap0") ctx bucketing =
+  let suff, pref = sap0 ctx bucketing in
+  Histogram.make ~name bucketing (Histogram.Sap0 { suff; pref })
+
+let sap1_histogram ?(name = "sap1") ctx bucketing =
+  let suff, pref = sap1 ctx bucketing in
+  Histogram.make ~name bucketing (Histogram.Sap1 { suff; pref })

@@ -1,0 +1,21 @@
+module Prefix = Rs_util.Prefix
+
+let build_with_cost ?(weighted = true) p ~buckets =
+  let ctx = Cost.make p in
+  let n = Prefix.n p in
+  let cost ~l ~r =
+    if weighted then Cost.point_range_weighted ctx ~l ~r
+    else Cost.point_unweighted ctx ~l ~r
+  in
+  let { Dp.cost = dp_cost; bucketing } = Dp.solve ~n ~buckets ~cost in
+  let values =
+    if weighted then
+      Array.init (Bucket.count bucketing) (fun k ->
+          let l, r = Bucket.bounds bucketing k in
+          Cost.point_range_weighted_value ctx ~l ~r)
+    else Summaries.averages p bucketing
+  in
+  let name = if weighted then "point-opt" else "v-optimal" in
+  (Histogram.make ~name bucketing (Histogram.Avg values), dp_cost)
+
+let build ?weighted p ~buckets = fst (build_with_cost ?weighted p ~buckets)

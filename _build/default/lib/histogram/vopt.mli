@@ -1,0 +1,17 @@
+(** POINT-OPT: the V-Optimal histogram for point (equality) queries
+    [Jagadish et al.], the paper's Section-4 baseline.
+
+    The dynamic program minimizes the per-point squared error with
+    weights adjusted "to reflect the probability that A[i] is part of a
+    random range-query", i.e. [w_i ∝ i(n−i+1)]; the stored bucket value
+    is the corresponding weighted mean.  With [weighted:false] this is
+    the textbook V-Optimal histogram (uniform weights, plain means).
+    O(n²B) either way. *)
+
+val build : ?weighted:bool -> Rs_util.Prefix.t -> buckets:int -> Histogram.t
+(** [weighted] defaults to [true] (the paper's adjustment). *)
+
+val build_with_cost :
+  ?weighted:bool -> Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
+(** Also returns the DP objective — the (weighted) point-query SSE, not
+    the range SSE. *)

@@ -1,0 +1,234 @@
+module Prefix = Rs_util.Prefix
+module Checks = Rs_util.Checks
+
+type weights = { u : float array; v : float array }
+
+let uniform_weights ~n =
+  let n = Checks.positive ~name:"Wsap0.uniform_weights" n in
+  { u = Array.make n 1.; v = Array.make n 1. }
+
+let recency_weights ~n ~half_life =
+  let n = Checks.positive ~name:"Wsap0.recency_weights" n in
+  Checks.check (half_life > 0.) "Wsap0.recency_weights: half_life must be > 0";
+  let w =
+    Array.init n (fun i ->
+        Float.pow 2. (-.float_of_int (n - 1 - i) /. half_life))
+  in
+  { u = Array.copy w; v = w }
+
+let hot_range_weights ~n ~lo ~hi ~cold =
+  let n = Checks.positive ~name:"Wsap0.hot_range_weights" n in
+  let lo, hi =
+    Checks.ordered_pair ~name:"Wsap0.hot_range_weights" ~lo:1 ~hi:n (lo, hi)
+  in
+  Checks.check (cold >= 0.) "Wsap0.hot_range_weights: cold must be >= 0";
+  let w = Array.init n (fun i -> if i + 1 >= lo && i + 1 <= hi then 1. else cold) in
+  { u = Array.copy w; v = w }
+
+(* Moment selectors.  f is evaluated at the left-endpoint prefix index
+   t = a−1, g at the right-endpoint index b; P is the prefix sum. *)
+let n_moments = 6
+
+let moment p k idx =
+  let t = float_of_int idx in
+  match k with
+  | 0 -> 1.
+  | 1 -> t
+  | 2 -> t *. t
+  | 3 -> Prefix.prefix p idx
+  | 4 -> t *. Prefix.prefix p idx
+  | _ -> Prefix.prefix p idx *. Prefix.prefix p idx
+
+(* Nested pairs (f, g) needed by the intra-bucket expansion. *)
+let pairs = [ (0, 2); (1, 1); (2, 0); (0, 4); (3, 1); (1, 3); (4, 0); (0, 5); (3, 3); (5, 0) ]
+
+type ctx = {
+  p : Prefix.t;
+  weights : weights;
+  cu : float array array; (* cu.(f).(a) = Σ_{α≤a} u(α)·f(α−1), a = 0..n *)
+  vg : float array array; (* vg.(g).(b) = Σ_{β≤b} v(β)·g(β),  b = 0..n *)
+  nest : (int * int * float array) list;
+      (* (f, g, N) with N.(b) = Σ_{β≤b} v(β)·g(β)·cu.(f).(β) *)
+}
+
+let make p { u; v } =
+  let n = Prefix.n p in
+  Checks.check (Array.length u = n && Array.length v = n)
+    "Wsap0.make: weight vectors must have length n";
+  let check_weights w =
+    Array.iter
+      (fun x ->
+        ignore (Checks.finite ~name:"Wsap0 weight" x);
+        Checks.check (x >= 0.) "Wsap0: weights must be non-negative")
+      w
+  in
+  check_weights u;
+  check_weights v;
+  let build_cum weight_of value_of =
+    Array.init n_moments (fun k ->
+        let arr = Array.make (n + 1) 0. in
+        for i = 1 to n do
+          arr.(i) <- arr.(i - 1) +. (weight_of i *. value_of k i)
+        done;
+        arr)
+  in
+  let cu = build_cum (fun a -> u.(a - 1)) (fun k a -> moment p k (a - 1)) in
+  let vg = build_cum (fun b -> v.(b - 1)) (fun k b -> moment p k b) in
+  let nest =
+    List.map
+      (fun (f, g) ->
+        let arr = Array.make (n + 1) 0. in
+        for b = 1 to n do
+          arr.(b) <- arr.(b - 1) +. (v.(b - 1) *. moment p g b *. cu.(f).(b))
+        done;
+        (f, g, arr))
+      pairs
+  in
+  { p; weights = { u = Array.copy u; v = Array.copy v }; cu; vg; nest }
+
+let check_bucket ctx ~l ~r =
+  ignore (Checks.ordered_pair ~name:"Wsap0 bucket" ~lo:1 ~hi:(Prefix.n ctx.p) (l, r))
+
+(* T(f,g) = Σ_{l≤a≤b≤r} u(a)f(a−1)·v(b)g(b). *)
+let t_sum ctx ~l ~r (f, g) =
+  let nest_arr =
+    match List.find_opt (fun (f', g', _) -> f' = f && g' = g) ctx.nest with
+    | Some (_, _, arr) -> arr
+    | None -> invalid_arg "Wsap0.t_sum: moment pair not prepared"
+  in
+  nest_arr.(r) -. nest_arr.(l - 1)
+  -. (ctx.cu.(f).(l - 1) *. (ctx.vg.(g).(r) -. ctx.vg.(g).(l - 1)))
+
+let cu_range ctx f ~l ~r = ctx.cu.(f).(r) -. ctx.cu.(f).(l - 1)
+let vg_range ctx g ~l ~r = ctx.vg.(g).(r) -. ctx.vg.(g).(l - 1)
+
+let intra_terms ctx ~l ~r =
+  let t = t_sum ctx ~l ~r in
+  let a0 = t (0, 2) -. (2. *. t (1, 1)) +. t (2, 0) in
+  let a1 = t (0, 4) -. t (3, 1) -. t (1, 3) +. t (4, 0) in
+  let a2 = t (0, 5) -. (2. *. t (3, 3)) +. t (5, 0) in
+  (a0, a1, a2)
+
+(* Weighted spread of the suffix sums {s[a,r]} with u-weights, and the
+   optimal (u-weighted mean) stored value. *)
+let suffix_stats ctx ~l ~r =
+  let uw = cu_range ctx 0 ~l ~r in
+  if uw <= 0. then (0., 0.)
+  else begin
+    let pr = Prefix.prefix ctx.p r in
+    let cup = cu_range ctx 3 ~l ~r in
+    let cup2 = cu_range ctx 5 ~l ~r in
+    let sum_us = (pr *. uw) -. cup in
+    let sum_us2 = (pr *. pr *. uw) -. (2. *. pr *. cup) +. cup2 in
+    (Float.max 0. (sum_us2 -. (sum_us *. sum_us /. uw)), sum_us /. uw)
+  end
+
+let prefix_stats ctx ~l ~r =
+  let vw = vg_range ctx 0 ~l ~r in
+  if vw <= 0. then (0., 0.)
+  else begin
+    let pl = Prefix.prefix ctx.p (l - 1) in
+    let vp = vg_range ctx 3 ~l ~r in
+    let vp2 = vg_range ctx 5 ~l ~r in
+    let sum_vs = vp -. (pl *. vw) in
+    let sum_vs2 = vp2 -. (2. *. pl *. vp) +. (pl *. pl *. vw) in
+    (Float.max 0. (sum_vs2 -. (sum_vs *. sum_vs /. vw)), sum_vs /. vw)
+  end
+
+let v_after ctx r = ctx.vg.(0).(Prefix.n ctx.p) -. ctx.vg.(0).(r)
+let u_before ctx l = ctx.cu.(0).(l - 1)
+
+let bucket_cost ctx ~l ~r =
+  check_bucket ctx ~l ~r;
+  let avg = Prefix.mean ctx.p ~a:l ~b:r in
+  let a0, a1, a2 = intra_terms ctx ~l ~r in
+  let intra = Float.max 0. (a2 -. (2. *. avg *. a1) +. (avg *. avg *. a0)) in
+  let suf_err, _ = suffix_stats ctx ~l ~r in
+  let pre_err, _ = prefix_stats ctx ~l ~r in
+  intra +. (suf_err *. v_after ctx r) +. (pre_err *. u_before ctx l)
+
+let weighted_sse_of_bucketing ctx bucketing =
+  Bucket.fold (fun acc _ ~l ~r -> acc +. bucket_cost ctx ~l ~r) 0. bucketing
+
+let histogram_of_bucketing ctx bucketing =
+  let b = Bucket.count bucketing in
+  let avg = Array.make b 0. and suff = Array.make b 0. and pref = Array.make b 0. in
+  Bucket.iter
+    (fun k ~l ~r ->
+      avg.(k) <- Prefix.mean ctx.p ~a:l ~b:r;
+      suff.(k) <- snd (suffix_stats ctx ~l ~r);
+      pref.(k) <- snd (prefix_stats ctx ~l ~r))
+    bucketing;
+  Histogram.make ~name:"wsap0" bucketing (Histogram.Sap0_explicit { avg; suff; pref })
+
+let build_with_cost p weights ~buckets =
+  let ctx = make p weights in
+  let { Dp.cost; bucketing } =
+    Dp.solve ~n:(Prefix.n p) ~buckets ~cost:(bucket_cost ctx)
+  in
+  (histogram_of_bucketing ctx bucketing, cost)
+
+let build p weights ~buckets = fst (build_with_cost p weights ~buckets)
+
+let workload { u; v } =
+  let n = Array.length u in
+  Checks.check (Array.length v = n) "Wsap0.workload: weight length mismatch";
+  let queries = ref [] in
+  for a = n downto 1 do
+    for b = n downto a do
+      queries :=
+        { Rs_query.Workload.a; b; weight = u.(a - 1) *. v.(b - 1) } :: !queries
+    done
+  done;
+  Rs_query.Workload.of_queries ~n (Array.of_list !queries)
+
+module Brute = struct
+  let bucket_cost ctx ~l ~r =
+    check_bucket ctx ~l ~r;
+    let p = ctx.p in
+    let n = Prefix.n p in
+    let u a = ctx.weights.u.(a - 1) and v b = ctx.weights.v.(b - 1) in
+    let s a b = Prefix.range_sum p ~a ~b in
+    let avg = Prefix.mean p ~a:l ~b:r in
+    (* Intra-bucket queries. *)
+    let intra = ref 0. in
+    for a = l to r do
+      for b = a to r do
+        let d = s a b -. (float_of_int (b - a + 1) *. avg) in
+        intra := !intra +. (u a *. v b *. d *. d)
+      done
+    done;
+    (* Weighted suffix spread around the u-weighted mean. *)
+    let uw = ref 0. and us = ref 0. in
+    for a = l to r do
+      uw := !uw +. u a;
+      us := !us +. (u a *. s a r)
+    done;
+    let suffw = if !uw > 0. then !us /. !uw else 0. in
+    let suf_err = ref 0. in
+    for a = l to r do
+      let d = s a r -. suffw in
+      suf_err := !suf_err +. (u a *. d *. d)
+    done;
+    let v_after = ref 0. in
+    for b = r + 1 to n do
+      v_after := !v_after +. v b
+    done;
+    (* Weighted prefix spread. *)
+    let vw = ref 0. and vs = ref 0. in
+    for b = l to r do
+      vw := !vw +. v b;
+      vs := !vs +. (v b *. s l b)
+    done;
+    let prefw = if !vw > 0. then !vs /. !vw else 0. in
+    let pre_err = ref 0. in
+    for b = l to r do
+      let d = s l b -. prefw in
+      pre_err := !pre_err +. (v b *. d *. d)
+    done;
+    let u_before = ref 0. in
+    for a = 1 to l - 1 do
+      u_before := !u_before +. u a
+    done;
+    !intra +. (!suf_err *. !v_after) +. (!pre_err *. !u_before)
+end

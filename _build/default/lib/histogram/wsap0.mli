@@ -1,0 +1,79 @@
+(** Workload-aware SAP0 (extension).
+
+    The paper optimizes the unweighted sum over {e all} ranges.  Real
+    workloads are skewed — recent values are queried more, some regions
+    are hot.  This module generalizes SAP0 to any workload whose weight
+    factors over the endpoints, [w(a,b) = u(a)·v(b)] with non-negative
+    endpoint weights, covering uniform ([u = v = 1]), recency-biased,
+    and hot-region workloads.
+
+    The Decomposition Lemma survives the generalization: choosing each
+    bucket's suffix value as the {e u-weighted} mean of its suffix sums
+    (and the prefix value as the v-weighted mean) makes the weighted
+    residuals sum to zero, so the cross terms of the weighted SSE vanish
+    and the total error is again a sum of independent per-bucket costs:
+
+    [cost(l,r) = intra_w + SufW(l,r)·V>(r) + PreW(l,r)·U<(l)]
+
+    where [V>(r) = Σ_{b>r} v(b)], [U<(l) = Σ_{a<l} u(a)], and every term
+    is O(1) from cumulative tables: the intra term expands into sums
+    [T(f,g) = Σ_{l≤a≤b≤r} u(a)f(a−1)·v(b)g(b)] over the moment pairs
+    [f, g ∈ {1, t, t², P, tP, P²}], each computable from a precomputed
+    nested cumulative [Σ_b v·g·(Σ_{a≤b} u·f)].
+
+    Intra-bucket queries are answered with the {e true} bucket average
+    (stored explicitly — the weighted suffix/prefix values no longer
+    determine it), which also keeps the middle piece of inter-bucket
+    queries exact.  Storage: 4 words per bucket
+    ({!Histogram.repr}[.Sap0_explicit]).
+
+    The O(n²B) dynamic program is exactly optimal among such histograms
+    for the given workload, by the same argument as Theorem 6. *)
+
+type weights = {
+  u : float array;  (** [u.(a−1)] = weight of left endpoint [a], length n *)
+  v : float array;  (** [v.(b−1)] = weight of right endpoint [b] *)
+}
+
+val uniform_weights : n:int -> weights
+(** [u = v = 1]: recovers an unweighted objective (SAP0 with explicit
+    averages). *)
+
+val recency_weights : n:int -> half_life:float -> weights
+(** Both endpoints weighted [2^{−(n−i)/half_life}] — queries concentrate
+    on the high end of the domain (e.g. recent time buckets). *)
+
+val hot_range_weights : n:int -> lo:int -> hi:int -> cold:float -> weights
+(** Weight 1 inside [\[lo, hi\]], [cold] (< 1) outside. *)
+
+type ctx
+(** Prepared cumulative tables for one dataset and one weight vector. *)
+
+val make : Rs_util.Prefix.t -> weights -> ctx
+
+val bucket_cost : ctx -> l:int -> r:int -> float
+(** The O(1) weighted bucket cost above. *)
+
+val weighted_sse_of_bucketing : ctx -> Bucket.t -> float
+(** Σ bucket costs — the exact weighted SSE of the histogram
+    {!histogram_of_bucketing} builds (cross terms vanish). *)
+
+val histogram_of_bucketing : ctx -> Bucket.t -> Histogram.t
+(** Fill a bucketing with true averages and weighted suffix/prefix
+    values. *)
+
+val build_with_cost :
+  Rs_util.Prefix.t -> weights -> buckets:int -> Histogram.t * float
+(** The optimal workload-aware histogram; the cost is its exact weighted
+    SSE. *)
+
+val build : Rs_util.Prefix.t -> weights -> buckets:int -> Histogram.t
+
+val workload : weights -> Rs_query.Workload.t
+(** The explicit product workload (all ranges, weight [u(a)·v(b)]) —
+    quadratic in [n]; used by tests and small-scale evaluation. *)
+
+(** Brute-force twins (direct enumeration) for the test-suite. *)
+module Brute : sig
+  val bucket_cost : ctx -> l:int -> r:int -> float
+end

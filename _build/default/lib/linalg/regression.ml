@@ -1,0 +1,38 @@
+type fit = { slope : float; intercept : float; rss : float }
+
+let degenerate ~m ~sy ~syy =
+  if m <= 0. then { slope = 0.; intercept = 0.; rss = 0. }
+  else
+    let mean = sy /. m in
+    { slope = 0.; intercept = mean; rss = Float.max 0. (syy -. (sy *. sy /. m)) }
+
+let fit_moments ~m ~sx ~sy ~sxx ~sxy ~syy =
+  if m < 2. then degenerate ~m ~sy ~syy
+  else begin
+    let sxx_c = sxx -. (sx *. sx /. m) in
+    let sxy_c = sxy -. (sx *. sy /. m) in
+    let syy_c = syy -. (sy *. sy /. m) in
+    (* Relative guard: an x-spread that is zero up to rounding means the
+       regressor is constant and the fit degenerates to the mean. *)
+    if sxx_c <= 1e-12 *. Float.max 1. (abs_float sxx) then
+      degenerate ~m ~sy ~syy
+    else begin
+      let slope = sxy_c /. sxx_c in
+      let intercept = (sy -. (slope *. sx)) /. m in
+      let rss = Float.max 0. (syy_c -. (sxy_c *. sxy_c /. sxx_c)) in
+      { slope; intercept; rss }
+    end
+  end
+
+let fit_points pts =
+  let m = float_of_int (Array.length pts) in
+  let acc f = Array.fold_left (fun a p -> a +. f p) 0. pts in
+  let sx = acc fst
+  and sy = acc snd
+  and sxx = acc (fun (x, _) -> x *. x)
+  and sxy = acc (fun (x, y) -> x *. y)
+  and syy = acc (fun (_, y) -> y *. y) in
+  fit_moments ~m ~sx ~sy ~sxx ~sxy ~syy
+
+let predict f x = (f.slope *. x) +. f.intercept
+let mean_fit f = f.slope = 0.

@@ -1,0 +1,39 @@
+(** Simple (one-regressor, with intercept) least-squares fits.
+
+    SAP1 buckets (Section 2.2.2 of the paper) store the coefficients of
+    the best vertical-offset sum-squared-error linear fit to the bucket's
+    suffix (resp. prefix) sums.  The dynamic program needs the residual
+    sum of squares of such fits in O(1) per bucket, which [fit_moments]
+    provides given range moments; [fit_points] is the direct form used
+    for answering and for cross-checking in tests. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  rss : float;  (** residual sum of squares of the fit *)
+}
+
+val fit_points : (float * float) array -> fit
+(** Least-squares line through the given [(x, y)] points.  With zero or
+    one point, or when all [x] coincide, the slope is [0.] and the
+    intercept is the mean of [y] ([0.] for the empty input). *)
+
+val fit_moments :
+  m:float ->
+  sx:float ->
+  sy:float ->
+  sxx:float ->
+  sxy:float ->
+  syy:float ->
+  fit
+(** Fit from sufficient statistics of [m] points:
+    [sx = Σx], [sy = Σy], [sxx = Σx²], [sxy = Σxy], [syy = Σy²].
+    Numerically guarded: a non-positive centered [Σ(x−x̄)²] yields a
+    degenerate (constant) fit, and tiny negative RSS from cancellation is
+    clamped to [0.]. *)
+
+val predict : fit -> float -> float
+(** [predict f x = f.slope·x + f.intercept]. *)
+
+val mean_fit : fit -> bool
+(** [true] when the fit is degenerate (constant = mean). *)

@@ -1,0 +1,138 @@
+module Checks = Rs_util.Checks
+
+exception Singular
+exception Not_positive_definite
+
+(* Work on a copy of [a] augmented with columns [bs]; returns the
+   solutions column by column. *)
+let eliminate a bs =
+  let n = Matrix.rows a in
+  Checks.check (Matrix.rows a = Matrix.cols a) "Solve: square matrix required";
+  let k = Array.length bs in
+  Array.iter
+    (fun b ->
+      Checks.check (Array.length b = n) "Solve: right-hand-side length mismatch")
+    bs;
+  let m = Array.init n (fun i -> Array.init n (fun j -> Matrix.get a i j)) in
+  let rhs = Array.map Array.copy bs in
+  (* Forward elimination with partial pivoting. *)
+  for col = 0 to n - 1 do
+    let pivot_row = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!pivot_row).(col) then
+        pivot_row := r
+    done;
+    if abs_float m.(!pivot_row).(col) < 1e-300 then raise Singular;
+    if !pivot_row <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot_row);
+      m.(!pivot_row) <- tmp;
+      for c = 0 to k - 1 do
+        let t = rhs.(c).(col) in
+        rhs.(c).(col) <- rhs.(c).(!pivot_row);
+        rhs.(c).(!pivot_row) <- t
+      done
+    end;
+    for r = col + 1 to n - 1 do
+      let factor = m.(r).(col) /. m.(col).(col) in
+      if factor <> 0. then begin
+        m.(r).(col) <- 0.;
+        for c = col + 1 to n - 1 do
+          m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
+        done;
+        for c = 0 to k - 1 do
+          rhs.(c).(r) <- rhs.(c).(r) -. (factor *. rhs.(c).(col))
+        done
+      end
+    done
+  done;
+  (* Back substitution. *)
+  Array.map
+    (fun b ->
+      let x = Array.make n 0. in
+      for i = n - 1 downto 0 do
+        let acc = ref b.(i) in
+        for j = i + 1 to n - 1 do
+          acc := !acc -. (m.(i).(j) *. x.(j))
+        done;
+        x.(i) <- !acc /. m.(i).(i)
+      done;
+      x)
+    rhs
+
+let gaussian a b = (eliminate a [| b |]).(0)
+
+let inverse a =
+  let n = Matrix.rows a in
+  let cols =
+    Array.init n (fun j -> Array.init n (fun i -> if i = j then 1. else 0.))
+  in
+  let sols = eliminate a cols in
+  Matrix.init ~rows:n ~cols:n (fun i j -> sols.(j).(i))
+
+let cholesky a =
+  let n = Matrix.rows a in
+  Checks.check (Matrix.rows a = Matrix.cols a) "Solve.cholesky: square required";
+  let l = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0. then raise Not_positive_definite;
+        Matrix.set l i j (sqrt !s)
+      end
+      else Matrix.set l i j (!s /. Matrix.get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve a b =
+  let n = Matrix.rows a in
+  Checks.check (Array.length b = n) "Solve.cholesky_solve: length mismatch";
+  let l = cholesky a in
+  (* L y = b *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Matrix.get l i i
+  done;
+  (* Lᵀ x = y *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get l j i *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get l i i
+  done;
+  x
+
+let residual_norm a x b = Vector.norm (Vector.sub (Matrix.mul_vec a x) b)
+
+let solve_spd ?(ridge = 1e-12) q g =
+  let n = Matrix.rows q in
+  let trace = ref 0. in
+  for i = 0 to n - 1 do
+    trace := !trace +. Matrix.get q i i
+  done;
+  let scale = Float.max (!trace /. float_of_int n) 1. in
+  let try_chol r =
+    let q' = if r = 0. then q else Matrix.add_ridge q (r *. scale) in
+    try Some (cholesky_solve q' g) with Not_positive_definite -> None
+  in
+  let rec attempt r =
+    if r > 1e-6 then None
+    else match try_chol r with Some x -> Some x | None -> attempt (r *. 100.)
+  in
+  match try_chol 0. with
+  | Some x -> x
+  | None -> (
+      match attempt ridge with
+      | Some x -> x
+      | None -> gaussian (Matrix.add_ridge q (1e-9 *. scale)) g)

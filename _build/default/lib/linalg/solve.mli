@@ -1,0 +1,39 @@
+(** Direct solvers for the small dense systems used by the library.
+
+    The re-optimization step of Section 5 of the paper solves the
+    [B×B] normal equations [Q x = g] where [Q] is symmetric positive
+    semi-definite; [solve_spd] handles that case robustly (Cholesky with
+    a ridge fallback), while [gaussian] is the general-purpose solver. *)
+
+exception Singular
+(** Raised when elimination meets a pivot that is numerically zero. *)
+
+exception Not_positive_definite
+(** Raised by [cholesky] when the matrix is not (numerically) SPD. *)
+
+val gaussian : Matrix.t -> float array -> float array
+(** [gaussian a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] must be square and match [b]'s length.
+    Raises [Singular] when no usable pivot exists. *)
+
+val inverse : Matrix.t -> Matrix.t
+(** Matrix inverse via elimination.  Raises [Singular]. *)
+
+val cholesky : Matrix.t -> Matrix.t
+(** Lower-triangular factor [L] with [L Lᵀ = a] for symmetric positive
+    definite [a].  Raises [Not_positive_definite]. *)
+
+val cholesky_solve : Matrix.t -> float array -> float array
+(** Solve an SPD system using [cholesky].  Raises
+    [Not_positive_definite]. *)
+
+val solve_spd : ?ridge:float -> Matrix.t -> float array -> float array
+(** [solve_spd q g] solves [q x = g] for symmetric positive
+    semi-definite [q].  Tries Cholesky first; if the factorization fails
+    (singular or slightly indefinite from rounding), retries with
+    [q + ridge·tr(q)/n·I] (default relative ridge [1e-12], escalating by
+    ×100 up to [1e-6]) and finally falls back to [gaussian].  Raises
+    [Singular] only if everything fails. *)
+
+val residual_norm : Matrix.t -> float array -> float array -> float
+(** [residual_norm a x b = ‖a x − b‖₂], for verifying solutions. *)

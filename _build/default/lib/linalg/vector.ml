@@ -1,0 +1,43 @@
+let check_same_length name x y =
+  Rs_util.Checks.check
+    (Array.length x = Array.length y)
+    (name ^ ": vector length mismatch")
+
+let dot x y =
+  check_same_length "Vector.dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = dot x x
+let norm x = sqrt (norm2 x)
+
+let sum x =
+  let s = ref 0. and c = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let y = x.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+let scale c x = Array.map (fun v -> c *. v) x
+
+let add x y =
+  check_same_length "Vector.add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_length "Vector.sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let axpy_in_place ~alpha ~x ~y =
+  check_same_length "Vector.axpy_in_place" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let max_abs x = Array.fold_left (fun m v -> Float.max m (abs_float v)) 0. x

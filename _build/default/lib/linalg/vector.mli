@@ -1,0 +1,32 @@
+(** Small dense-vector helpers on plain [float array]s.
+
+    Vectors are ordinary arrays so callers can interoperate freely with
+    the rest of the library; the functions here never mutate their
+    arguments unless the name says so ([*_in_place]). *)
+
+val dot : float array -> float array -> float
+(** Inner product.  Raises [Invalid_argument] on length mismatch. *)
+
+val norm2 : float array -> float
+(** Squared Euclidean norm. *)
+
+val norm : float array -> float
+(** Euclidean norm. *)
+
+val sum : float array -> float
+(** Σ components (Kahan compensated). *)
+
+val scale : float -> float array -> float array
+(** [scale c x] is a fresh [c·x]. *)
+
+val add : float array -> float array -> float array
+(** Componentwise sum (fresh array). *)
+
+val sub : float array -> float array -> float array
+(** Componentwise difference (fresh array). *)
+
+val axpy_in_place : alpha:float -> x:float array -> y:float array -> unit
+(** [y ← y + alpha·x]. *)
+
+val max_abs : float array -> float
+(** Largest absolute component ([0.] for the empty vector). *)

@@ -1,0 +1,1 @@
+lib/query/error.ml: Array Float Rs_util Workload

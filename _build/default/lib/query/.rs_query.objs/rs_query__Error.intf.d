@@ -1,0 +1,1 @@
+lib/query/error.mli: Rs_util Workload

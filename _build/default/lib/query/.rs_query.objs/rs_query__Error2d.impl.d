@@ -1,0 +1,1 @@
+lib/query/error2d.ml: Array Float Rs_util

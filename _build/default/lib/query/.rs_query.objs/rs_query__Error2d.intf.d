@@ -1,0 +1,1 @@
+lib/query/error2d.mli: Rs_util

@@ -1,0 +1,1 @@
+lib/query/workload.ml: Array Float Rs_dist Rs_util

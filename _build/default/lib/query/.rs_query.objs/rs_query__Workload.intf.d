@@ -1,0 +1,1 @@
+lib/query/workload.mli: Rs_dist

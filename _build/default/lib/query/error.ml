@@ -1,0 +1,97 @@
+module Prefix = Rs_util.Prefix
+module Checks = Rs_util.Checks
+
+type estimator = a:int -> b:int -> float
+
+let sse_all_ranges p estimate =
+  let n = Prefix.n p in
+  let acc = ref 0. in
+  for a = 1 to n do
+    let pa = Prefix.prefix p (a - 1) in
+    for b = a to n do
+      let truth = Prefix.prefix p b -. pa in
+      let d = truth -. estimate ~a ~b in
+      acc := !acc +. (d *. d)
+    done
+  done;
+  !acc
+
+let sse_prefix_form p d_hat =
+  let n = Prefix.n p in
+  Checks.check
+    (Array.length d_hat = n + 1)
+    "Error.sse_prefix_form: approximate prefix vector must have length n+1";
+  let sum = ref 0. and sum2 = ref 0. in
+  for t = 0 to n do
+    let d = Prefix.prefix p t -. d_hat.(t) in
+    sum := !sum +. d;
+    sum2 := !sum2 +. (d *. d)
+  done;
+  (float_of_int (n + 1) *. !sum2) -. (!sum *. !sum)
+
+let sse_of_workload p (w : Workload.t) estimate =
+  Checks.check
+    (Workload.size w = 0 || w.Workload.n = Prefix.n p)
+    "Error.sse_of_workload: workload domain mismatch";
+  Array.fold_left
+    (fun acc { Workload.a; b; weight } ->
+      let d = Prefix.range_sum p ~a ~b -. estimate ~a ~b in
+      acc +. (weight *. d *. d))
+    0. w.Workload.queries
+
+type metrics = {
+  sse : float;
+  rmse : float;
+  max_abs : float;
+  mean_abs : float;
+  mean_rel : float;
+}
+
+let metrics_fold fold count =
+  let sse = ref 0.
+  and max_abs = ref 0.
+  and sum_abs = ref 0.
+  and sum_rel = ref 0. in
+  fold (fun ~truth ~est ~weight ->
+      let d = truth -. est in
+      let ad = abs_float d in
+      sse := !sse +. (weight *. d *. d);
+      max_abs := Float.max !max_abs ad;
+      sum_abs := !sum_abs +. (weight *. ad);
+      sum_rel := !sum_rel +. (weight *. ad /. Float.max (abs_float truth) 1.));
+  let c = Float.max count 1. in
+  {
+    sse = !sse;
+    rmse = sqrt (!sse /. c);
+    max_abs = !max_abs;
+    mean_abs = !sum_abs /. c;
+    mean_rel = !sum_rel /. c;
+  }
+
+let metrics_all_ranges p estimate =
+  let n = Prefix.n p in
+  let fold visit =
+    for a = 1 to n do
+      let pa = Prefix.prefix p (a - 1) in
+      for b = a to n do
+        visit ~truth:(Prefix.prefix p b -. pa) ~est:(estimate ~a ~b) ~weight:1.
+      done
+    done
+  in
+  metrics_fold fold (float_of_int (n * (n + 1) / 2))
+
+let metrics_of_workload p (w : Workload.t) estimate =
+  Checks.check
+    (Workload.size w = 0 || w.Workload.n = Prefix.n p)
+    "Error.metrics_of_workload: workload domain mismatch";
+  let fold visit =
+    Array.iter
+      (fun { Workload.a; b; weight } ->
+        visit ~truth:(Prefix.range_sum p ~a ~b) ~est:(estimate ~a ~b) ~weight)
+      w.Workload.queries
+  in
+  metrics_fold fold (Workload.total_weight w)
+
+let naive_estimator p =
+  let avg = Prefix.total p /. float_of_int (Prefix.n p) in
+  fun ~a ~b -> float_of_int (b - a + 1) *. avg

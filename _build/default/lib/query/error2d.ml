@@ -1,0 +1,64 @@
+module Prefix2d = Rs_util.Prefix2d
+module Checks = Rs_util.Checks
+
+type estimator = a1:int -> b1:int -> a2:int -> b2:int -> float
+
+let sse_all_ranges p estimate =
+  let n1 = Prefix2d.rows p and n2 = Prefix2d.cols p in
+  let acc = ref 0. in
+  for a1 = 1 to n1 do
+    for b1 = a1 to n1 do
+      for a2 = 1 to n2 do
+        for b2 = a2 to n2 do
+          let d =
+            Prefix2d.range_sum p ~a1 ~b1 ~a2 ~b2 -. estimate ~a1 ~b1 ~a2 ~b2
+          in
+          acc := !acc +. (d *. d)
+        done
+      done
+    done
+  done;
+  !acc
+
+(* dᵀ(Q1⊗Q2)d with Q = m·I − 𝟙𝟙ᵀ applied separably:
+   (Q2 along rows, then Q1 along columns), then ⟨d, ·⟩. *)
+let sse_prefix_form p d_hat =
+  let n1 = Prefix2d.rows p and n2 = Prefix2d.cols p in
+  let m1 = n1 + 1 and m2 = n2 + 1 in
+  Checks.check
+    (Array.length d_hat = m1 && Array.for_all (fun r -> Array.length r = m2) d_hat)
+    "Error2d.sse_prefix_form: approximate prefix must be (n1+1)x(n2+1)";
+  let d = Array.make_matrix m1 m2 0. in
+  for i = 0 to n1 do
+    for j = 0 to n2 do
+      d.(i).(j) <- Prefix2d.prefix p ~i ~j -. d_hat.(i).(j)
+    done
+  done;
+  (* w = Q2 applied along dim2: w[i][j] = m2·d[i][j] − Σ_j d[i][·]. *)
+  let w = Array.make_matrix m1 m2 0. in
+  for i = 0 to n1 do
+    let row_sum = Array.fold_left ( +. ) 0. d.(i) in
+    for j = 0 to n2 do
+      w.(i).(j) <- (float_of_int m2 *. d.(i).(j)) -. row_sum
+    done
+  done;
+  (* z = Q1 applied along dim1 to w; accumulate ⟨d, z⟩ on the fly. *)
+  let col_sum = Array.make m2 0. in
+  for i = 0 to n1 do
+    for j = 0 to n2 do
+      col_sum.(j) <- col_sum.(j) +. w.(i).(j)
+    done
+  done;
+  let acc = ref 0. in
+  for i = 0 to n1 do
+    for j = 0 to n2 do
+      let z = (float_of_int m1 *. w.(i).(j)) -. col_sum.(j) in
+      acc := !acc +. (d.(i).(j) *. z)
+    done
+  done;
+  Float.max 0. !acc
+
+let naive_estimator p =
+  let avg = Prefix2d.total p /. float_of_int (Prefix2d.rows p * Prefix2d.cols p) in
+  fun ~a1 ~b1 ~a2 ~b2 ->
+    float_of_int ((b1 - a1 + 1) * (b2 - a2 + 1)) *. avg

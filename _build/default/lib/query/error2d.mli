@@ -1,0 +1,23 @@
+(** Quality metrics for two-dimensional range-sum estimators
+    (footnote-2 extension).
+
+    The objective generalizes the paper's SSE to all
+    [n1(n1+1)/2 · n2(n2+1)/2] axis-aligned rectangles.  For estimators of
+    the prefix form [ŝ = ΔΔD̂] (four-corner evaluation of an approximate
+    prefix array), the SSE is the quadratic form [dᵀ(Q1 ⊗ Q2)d] with
+    [d = D − D̂] and [Q = m·I − 𝟙𝟙ᵀ] per dimension — computable in
+    O(n1·n2) by applying the two operators separably
+    ([sse_prefix_form]). *)
+
+type estimator = a1:int -> b1:int -> a2:int -> b2:int -> float
+
+val sse_all_ranges : Rs_util.Prefix2d.t -> estimator -> float
+(** Exact SSE by enumeration — O(n1²·n2²) queries; for tests and small
+    grids. *)
+
+val sse_prefix_form : Rs_util.Prefix2d.t -> float array array -> float
+(** [sse_prefix_form p d_hat] with [d_hat] of shape [(n1+1) × (n2+1)].
+    O(n1·n2). *)
+
+val naive_estimator : Rs_util.Prefix2d.t -> estimator
+(** Global-average baseline: [ŝ = area · total/(n1·n2)]. *)

@@ -1,0 +1,68 @@
+module Checks = Rs_util.Checks
+module Rng = Rs_dist.Rng
+
+type query = { a : int; b : int; weight : float }
+type t = { n : int; queries : query array }
+
+let validate ~n q =
+  ignore (Checks.ordered_pair ~name:"Workload query" ~lo:1 ~hi:n (q.a, q.b));
+  ignore (Checks.finite ~name:"Workload weight" q.weight);
+  Checks.check (q.weight >= 0.) "Workload: negative weight"
+
+let of_queries ~n queries =
+  let n = Checks.positive ~name:"Workload.of_queries n" n in
+  Array.iter (validate ~n) queries;
+  { n; queries = Array.copy queries }
+
+let of_pairs ~n pairs =
+  of_queries ~n (Array.map (fun (a, b) -> { a; b; weight = 1. }) pairs)
+
+let all_ranges ~n =
+  let n = Checks.positive ~name:"Workload.all_ranges n" n in
+  let queries = Array.make (n * (n + 1) / 2) { a = 1; b = 1; weight = 1. } in
+  let k = ref 0 in
+  for a = 1 to n do
+    for b = a to n do
+      queries.(!k) <- { a; b; weight = 1. };
+      incr k
+    done
+  done;
+  { n; queries }
+
+let point_queries ~n =
+  let n = Checks.positive ~name:"Workload.point_queries n" n in
+  { n; queries = Array.init n (fun i -> { a = i + 1; b = i + 1; weight = 1. }) }
+
+let random_ranges rng ~n ~count =
+  let n = Checks.positive ~name:"Workload.random_ranges n" n in
+  let count = Checks.non_negative ~name:"Workload.random_ranges count" count in
+  let queries =
+    Array.init count (fun _ ->
+        let x = 1 + Rng.int rng n and y = 1 + Rng.int rng n in
+        { a = min x y; b = max x y; weight = 1. })
+  in
+  { n; queries }
+
+let short_biased rng ~n ~count ~mean_length =
+  let n = Checks.positive ~name:"Workload.short_biased n" n in
+  let count = Checks.non_negative ~name:"Workload.short_biased count" count in
+  let mean_length =
+    Checks.positive ~name:"Workload.short_biased mean_length" mean_length
+  in
+  let p = 1. /. float_of_int mean_length in
+  let geometric () =
+    (* length ≥ 1, P(len = k) = p(1−p)^{k−1} *)
+    let u = Rng.float rng in
+    let k = 1 + int_of_float (Float.floor (log1p (-.u) /. log1p (-.p))) in
+    min n (max 1 k)
+  in
+  let queries =
+    Array.init count (fun _ ->
+        let len = geometric () in
+        let a = 1 + Rng.int rng (n - len + 1) in
+        { a; b = a + len - 1; weight = 1. })
+  in
+  { n; queries }
+
+let size t = Array.length t.queries
+let total_weight t = Array.fold_left (fun acc q -> acc +. q.weight) 0. t.queries

@@ -1,0 +1,41 @@
+(** Range-query workloads.
+
+    A workload is a multiset of (possibly weighted) range queries
+    [(a, b)] with [1 ≤ a ≤ b ≤ n].  The paper's quality metric is the
+    unweighted sum over {e all} [n(n+1)/2] ranges, which [all_ranges]
+    produces implicitly (without materializing the quadratic list —
+    {!Error} treats it specially); the other constructors build explicit
+    workloads for workload-aware extensions and for sampled evaluation on
+    large domains. *)
+
+type query = { a : int; b : int; weight : float }
+
+type t = private {
+  n : int;  (** domain size the queries refer to *)
+  queries : query array;
+}
+
+val of_queries : n:int -> query array -> t
+(** Validates every query against the domain.  Weights must be finite
+    and non-negative. *)
+
+val of_pairs : n:int -> (int * int) array -> t
+(** Unweighted ([weight = 1]) workload from raw pairs. *)
+
+val all_ranges : n:int -> t
+(** Every range [(a, b)], [a ≤ b], each with weight 1.  Materialized —
+    use only for small [n]; {!Error.sse_all_ranges} avoids building it. *)
+
+val point_queries : n:int -> t
+(** The [n] equality queries [(i, i)]. *)
+
+val random_ranges : Rs_dist.Rng.t -> n:int -> count:int -> t
+(** [count] ranges with endpoints uniform over valid pairs. *)
+
+val short_biased : Rs_dist.Rng.t -> n:int -> count:int -> mean_length:int -> t
+(** Random ranges whose lengths are geometrically distributed with the
+    given mean (capped at [n]) and positions uniform — models the short
+    selective ranges common in OLAP predicates. *)
+
+val size : t -> int
+val total_weight : t -> float

@@ -1,0 +1,1 @@
+lib/util/checks.ml: Array Float Printf

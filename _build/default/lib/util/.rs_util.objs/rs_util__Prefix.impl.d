@@ -1,0 +1,1 @@
+lib/util/prefix.ml: Array Checks Cum

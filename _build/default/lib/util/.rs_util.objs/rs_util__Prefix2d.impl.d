@@ -1,0 +1,1 @@
+lib/util/prefix2d.ml: Array Checks

@@ -1,0 +1,39 @@
+(* Failure messages are only formatted on the failure path: these
+   helpers sit inside the O(n²B) dynamic-programming loops, where an
+   eager sprintf per call would dominate the running time. *)
+
+let check cond msg = if not cond then invalid_arg msg
+
+let positive ~name v =
+  if v <= 0 then
+    invalid_arg (Printf.sprintf "%s: expected a positive value, got %d" name v);
+  v
+
+let non_negative ~name v =
+  if v < 0 then
+    invalid_arg
+      (Printf.sprintf "%s: expected a non-negative value, got %d" name v);
+  v
+
+let in_range ~name ~lo ~hi v =
+  if v < lo || v > hi then
+    invalid_arg
+      (Printf.sprintf "%s: expected a value in [%d, %d], got %d" name lo hi v);
+  v
+
+let ordered_pair ~name ~lo ~hi (a, b) =
+  if not (lo <= a && a <= b && b <= hi) then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d <= a <= b <= %d, got (%d, %d)" name lo hi
+         a b);
+  (a, b)
+
+let non_empty_array ~name a =
+  if Array.length a = 0 then
+    invalid_arg (Printf.sprintf "%s: expected a non-empty array" name);
+  a
+
+let finite ~name v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "%s: expected a finite float, got %h" name v);
+  v

@@ -1,0 +1,28 @@
+(** Argument-validation helpers shared across the library.
+
+    All functions raise [Invalid_argument] with a message that names the
+    offending function and parameter; they return [unit] (or the checked
+    value) on success.  Centralising validation keeps the per-module code
+    focused on the algorithmic content. *)
+
+val check : bool -> string -> unit
+(** [check cond msg] raises [Invalid_argument msg] unless [cond]. *)
+
+val positive : name:string -> int -> int
+(** [positive ~name v] returns [v] if [v > 0]. *)
+
+val non_negative : name:string -> int -> int
+(** [non_negative ~name v] returns [v] if [v >= 0]. *)
+
+val in_range : name:string -> lo:int -> hi:int -> int -> int
+(** [in_range ~name ~lo ~hi v] returns [v] if [lo <= v <= hi]. *)
+
+val ordered_pair : name:string -> lo:int -> hi:int -> int * int -> int * int
+(** [ordered_pair ~name ~lo ~hi (a, b)] returns [(a, b)] if
+    [lo <= a <= b <= hi]. *)
+
+val non_empty_array : name:string -> 'a array -> 'a array
+(** [non_empty_array ~name a] returns [a] if [Array.length a > 0]. *)
+
+val finite : name:string -> float -> float
+(** [finite ~name v] returns [v] if it is neither NaN nor infinite. *)

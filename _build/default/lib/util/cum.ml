@@ -1,0 +1,31 @@
+type t = { c : float array }
+(* c.(i) = Σ_{j<i} x(j); length m+1. *)
+
+let of_fun ~m f =
+  let m = Checks.non_negative ~name:"Cum.of_fun" m in
+  let c = Array.make (m + 1) 0. in
+  (* Kahan compensated running sum. *)
+  let sum = ref 0. and comp = ref 0. in
+  for i = 0 to m - 1 do
+    let x = Checks.finite ~name:"Cum.of_fun" (f i) in
+    let y = x -. !comp in
+    let t = !sum +. y in
+    comp := t -. !sum -. y;
+    sum := t;
+    c.(i + 1) <- !sum
+  done;
+  { c }
+
+let of_array x = of_fun ~m:(Array.length x) (Array.get x)
+let length t = Array.length t.c - 1
+
+let range t ~u ~v =
+  if u > v then 0.
+  else begin
+    let m = length t in
+    let u = Checks.in_range ~name:"Cum.range u" ~lo:0 ~hi:(m - 1) u in
+    let v = Checks.in_range ~name:"Cum.range v" ~lo:0 ~hi:(m - 1) v in
+    t.c.(v + 1) -. t.c.(u)
+  end
+
+let total t = t.c.(Array.length t.c - 1)

@@ -1,0 +1,27 @@
+(** Cumulative-sum tables over a fixed sequence of floats.
+
+    A table built from values [x(0), ..., x(m-1)] answers range sums
+    [Σ_{i=u}^{v} x(i)] in O(1).  Construction uses Kahan compensated
+    summation so the cumulative array stays accurate even for long
+    sequences of mixed-magnitude values. *)
+
+type t
+
+val of_array : float array -> t
+(** [of_array x] builds a table over the values of [x].  The array may be
+    empty.  Raises [Invalid_argument] if any value is not finite. *)
+
+val of_fun : m:int -> (int -> float) -> t
+(** [of_fun ~m f] builds a table over [f 0, ..., f (m-1)].
+    Raises [Invalid_argument] if [m < 0] or any value is not finite. *)
+
+val length : t -> int
+(** Number of values in the table. *)
+
+val range : t -> u:int -> v:int -> float
+(** [range t ~u ~v] is [Σ_{i=u}^{v} x(i)].  Returns [0.] when [u > v].
+    Raises [Invalid_argument] when indices fall outside [0, length-1]
+    (except for the empty-range case, which only requires [u > v]). *)
+
+val total : t -> float
+(** Sum of all values. *)

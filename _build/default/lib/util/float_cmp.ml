@@ -1,0 +1,16 @@
+let default_rel_tol = 1e-9
+let default_abs_tol = 1e-9
+
+let close ?(rel_tol = default_rel_tol) ?(abs_tol = default_abs_tol) x y =
+  if Float.is_nan x || Float.is_nan y then false
+  else if x = y then true
+  else
+    abs_float (x -. y)
+    <= abs_tol +. (rel_tol *. Float.max (abs_float x) (abs_float y))
+
+let close_arrays ?rel_tol ?abs_tol x y =
+  Array.length x = Array.length y
+  && Array.for_all2 (fun a b -> close ?rel_tol ?abs_tol a b) x y
+
+let relative_gap x y =
+  abs_float (x -. y) /. Float.max (Float.max (abs_float x) (abs_float y)) 1e-300

@@ -1,0 +1,22 @@
+(** Tolerant floating-point comparison used by tests and by numerical
+    sanity checks inside the library.
+
+    Two values are considered close when
+    [|x − y| ≤ abs_tol + rel_tol · max(|x|, |y|)]. *)
+
+val default_rel_tol : float
+(** [1e-9]. *)
+
+val default_abs_tol : float
+(** [1e-9]. *)
+
+val close : ?rel_tol:float -> ?abs_tol:float -> float -> float -> bool
+(** [close x y] tests the combined relative/absolute criterion. *)
+
+val close_arrays :
+  ?rel_tol:float -> ?abs_tol:float -> float array -> float array -> bool
+(** Pointwise [close]; [false] when lengths differ. *)
+
+val relative_gap : float -> float -> float
+(** [relative_gap x y = |x − y| / max(|x|, |y|, 1e-300)]; useful for
+    reporting how far apart two error figures are. *)

@@ -1,0 +1,71 @@
+type t = {
+  n : int;
+  a : float array; (* a.(i-1) = A[i] *)
+  p : float array; (* p.(t) = P[t], t = 0..n *)
+  cp : Cum.t; (* cumulative of P[t], t = 0..n *)
+  cp2 : Cum.t; (* cumulative of P[t]² *)
+  ctp : Cum.t; (* cumulative of t·P[t] *)
+  ca2 : Cum.t; (* cumulative of A[i]², i = 1..n *)
+}
+
+let create a =
+  let a = Checks.non_empty_array ~name:"Prefix.create" a in
+  let n = Array.length a in
+  Array.iter (fun v -> ignore (Checks.finite ~name:"Prefix.create" v)) a;
+  let p = Array.make (n + 1) 0. in
+  for i = 1 to n do
+    p.(i) <- p.(i - 1) +. a.(i - 1)
+  done;
+  {
+    n;
+    a = Array.copy a;
+    p;
+    cp = Cum.of_fun ~m:(n + 1) (fun t -> p.(t));
+    cp2 = Cum.of_fun ~m:(n + 1) (fun t -> p.(t) *. p.(t));
+    ctp = Cum.of_fun ~m:(n + 1) (fun t -> float_of_int t *. p.(t));
+    ca2 = Cum.of_fun ~m:n (fun i -> a.(i) *. a.(i));
+  }
+
+let of_ints a = create (Array.map float_of_int a)
+let n t = t.n
+
+let value t i =
+  let i = Checks.in_range ~name:"Prefix.value" ~lo:1 ~hi:t.n i in
+  t.a.(i - 1)
+
+let data t = Array.copy t.a
+
+let prefix t k =
+  let k = Checks.in_range ~name:"Prefix.prefix" ~lo:0 ~hi:t.n k in
+  t.p.(k)
+
+let prefix_vector t = Array.copy t.p
+
+let range_sum t ~a ~b =
+  let a, b = Checks.ordered_pair ~name:"Prefix.range_sum" ~lo:1 ~hi:t.n (a, b) in
+  t.p.(b) -. t.p.(a - 1)
+
+let total t = t.p.(t.n)
+let mean t ~a ~b = range_sum t ~a ~b /. float_of_int (b - a + 1)
+let sum_p t ~u ~v = Cum.range t.cp ~u ~v
+let sum_p2 t ~u ~v = Cum.range t.cp2 ~u ~v
+let sum_tp t ~u ~v = Cum.range t.ctp ~u ~v
+
+(* Σ_{t=0}^{v} t = v(v+1)/2; the difference form handles u > 0. *)
+let sum_t ~u ~v =
+  if u > v then 0.
+  else
+    let s k = float_of_int k *. float_of_int (k + 1) /. 2. in
+    s v -. s (u - 1)
+
+(* Σ_{t=0}^{v} t² = v(v+1)(2v+1)/6. *)
+let sum_t2 ~u ~v =
+  if u > v then 0.
+  else
+    let s k =
+      float_of_int k *. float_of_int (k + 1) *. float_of_int ((2 * k) + 1) /. 6.
+    in
+    s v -. s (u - 1)
+
+let sum_a t ~a ~b = if a > b then 0. else range_sum t ~a ~b
+let sum_a2 t ~a ~b = if a > b then 0. else Cum.range t.ca2 ~u:(a - 1) ~v:(b - 1)

@@ -1,0 +1,78 @@
+(** Prefix sums and range moments of an attribute-value distribution.
+
+    Throughout the library the data is an array [A[1..n]] of attribute
+    frequencies (1-based, following the paper).  This module stores the
+    prefix sums [P[t] = Σ_{i≤t} A[i]] (with [P[0] = 0]) together with
+    cumulative moment tables that let every per-bucket quantity used by
+    the histogram dynamic programs be evaluated in O(1):
+
+    - [Σ P[t]], [Σ P[t]²], [Σ t·P[t]] over any prefix-index range
+      [u..v ⊆ 0..n];
+    - [Σ A[i]], [Σ A[i]²] over any data-index range [a..b ⊆ 1..n];
+    - closed forms for [Σ t] and [Σ t²].
+
+    The range sum of a query [(a, b)] is [s[a,b] = P[b] − P[a−1]]. *)
+
+type t
+
+val create : float array -> t
+(** [create a] builds the tables for the data [A[i] = a.(i−1)],
+    [i = 1..n] where [n = Array.length a].  Raises [Invalid_argument] if
+    [a] is empty or contains non-finite values. *)
+
+val of_ints : int array -> t
+(** [of_ints a] is [create] on the float image of [a]. *)
+
+val n : t -> int
+(** Domain size. *)
+
+val value : t -> int -> float
+(** [value t i] is [A[i]], [1 ≤ i ≤ n]. *)
+
+val data : t -> float array
+(** A fresh copy of [A[1..n]] (0-indexed). *)
+
+val prefix : t -> int -> float
+(** [prefix t k] is [P[k]], [0 ≤ k ≤ n]. *)
+
+val prefix_vector : t -> float array
+(** The vector [P[0..n]] (length [n+1]), freshly allocated. *)
+
+val range_sum : t -> a:int -> b:int -> float
+(** [range_sum t ~a ~b] is [s[a,b] = Σ_{a≤i≤b} A[i]], [1 ≤ a ≤ b ≤ n]. *)
+
+val total : t -> float
+(** [total t = s[1,n]]. *)
+
+val mean : t -> a:int -> b:int -> float
+(** Average of [A[a..b]]. *)
+
+(** {1 Prefix-index moments}
+
+    All take prefix indices [0 ≤ u], [v ≤ n] and return [0.] when
+    [u > v]. *)
+
+val sum_p : t -> u:int -> v:int -> float
+(** [Σ_{t=u}^{v} P[t]]. *)
+
+val sum_p2 : t -> u:int -> v:int -> float
+(** [Σ_{t=u}^{v} P[t]²]. *)
+
+val sum_tp : t -> u:int -> v:int -> float
+(** [Σ_{t=u}^{v} t·P[t]]. *)
+
+val sum_t : u:int -> v:int -> float
+(** [Σ_{t=u}^{v} t] (closed form; no table needed). *)
+
+val sum_t2 : u:int -> v:int -> float
+(** [Σ_{t=u}^{v} t²] (closed form). *)
+
+(** {1 Data-index moments}
+
+    Take data indices [1 ≤ a], [b ≤ n]; return [0.] when [a > b]. *)
+
+val sum_a : t -> a:int -> b:int -> float
+(** Same as [range_sum] but tolerant of empty ranges. *)
+
+val sum_a2 : t -> a:int -> b:int -> float
+(** [Σ_{i=a}^{b} A[i]²]. *)

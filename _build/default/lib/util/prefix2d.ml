@@ -1,0 +1,48 @@
+type t = {
+  n1 : int;
+  n2 : int;
+  a : float array array; (* original values, n1 × n2 *)
+  d : float array array; (* prefix array, (n1+1) × (n2+1) *)
+}
+
+let create a =
+  let a = Checks.non_empty_array ~name:"Prefix2d.create" a in
+  let n1 = Array.length a in
+  let n2 = Array.length a.(0) in
+  ignore (Checks.positive ~name:"Prefix2d.create cols" n2);
+  Array.iter
+    (fun row ->
+      Checks.check (Array.length row = n2) "Prefix2d.create: ragged rows";
+      Array.iter (fun v -> ignore (Checks.finite ~name:"Prefix2d.create" v)) row)
+    a;
+  let d = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  for i = 1 to n1 do
+    for j = 1 to n2 do
+      d.(i).(j) <-
+        a.(i - 1).(j - 1) +. d.(i - 1).(j) +. d.(i).(j - 1) -. d.(i - 1).(j - 1)
+    done
+  done;
+  { n1; n2; a = Array.map Array.copy a; d }
+
+let of_ints a = create (Array.map (Array.map float_of_int) a)
+let rows t = t.n1
+let cols t = t.n2
+
+let value t ~i ~j =
+  let i = Checks.in_range ~name:"Prefix2d.value i" ~lo:1 ~hi:t.n1 i in
+  let j = Checks.in_range ~name:"Prefix2d.value j" ~lo:1 ~hi:t.n2 j in
+  t.a.(i - 1).(j - 1)
+
+let total t = t.d.(t.n1).(t.n2)
+
+let prefix t ~i ~j =
+  let i = Checks.in_range ~name:"Prefix2d.prefix i" ~lo:0 ~hi:t.n1 i in
+  let j = Checks.in_range ~name:"Prefix2d.prefix j" ~lo:0 ~hi:t.n2 j in
+  t.d.(i).(j)
+
+let prefix_matrix t = Array.map Array.copy t.d
+
+let range_sum t ~a1 ~b1 ~a2 ~b2 =
+  let a1, b1 = Checks.ordered_pair ~name:"Prefix2d.range_sum dim1" ~lo:1 ~hi:t.n1 (a1, b1) in
+  let a2, b2 = Checks.ordered_pair ~name:"Prefix2d.range_sum dim2" ~lo:1 ~hi:t.n2 (a2, b2) in
+  t.d.(b1).(b2) -. t.d.(a1 - 1).(b2) -. t.d.(b1).(a2 - 1) +. t.d.(a1 - 1).(a2 - 1)

@@ -1,0 +1,35 @@
+(** Two-dimensional prefix sums — the substrate for the paper's
+    footnote-2 extension to higher dimensions.
+
+    The data is a matrix [A[i][j]] of joint frequencies over
+    [(i, j) ∈ [1, n1] × [1, n2]]; the prefix array is
+    [D(s, t) = Σ_{i≤s, j≤t} A[i][j]] with [D(0, ·) = D(·, 0) = 0], and a
+    2-D range sum is the four-corner inclusion–exclusion
+
+    [s[a1..b1, a2..b2] = D(b1,b2) − D(a1−1,b2) − D(b1,a2−1) + D(a1−1,a2−1)]. *)
+
+type t
+
+val create : float array array -> t
+(** [create a] takes [n1] rows of length [n2] ([A[i][j] = a.(i−1).(j−1)]).
+    Raises [Invalid_argument] on empty or ragged input or non-finite
+    values. *)
+
+val of_ints : int array array -> t
+val rows : t -> int
+(** [n1]. *)
+
+val cols : t -> int
+(** [n2]. *)
+
+val value : t -> i:int -> j:int -> float
+val total : t -> float
+
+val prefix : t -> i:int -> j:int -> float
+(** [D(i,j)], [0 ≤ i ≤ n1], [0 ≤ j ≤ n2]. *)
+
+val prefix_matrix : t -> float array array
+(** The [(n1+1) × (n2+1)] prefix array, freshly allocated. *)
+
+val range_sum : t -> a1:int -> b1:int -> a2:int -> b2:int -> float
+(** [s[a1..b1, a2..b2]]; requires [1 ≤ a ≤ b ≤ n] in each dimension. *)

@@ -1,0 +1,77 @@
+type align = Left | Right
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let normalize_rows ~ncols rows =
+  List.map
+    (fun row ->
+      let len = List.length row in
+      Checks.check (len <= ncols) "Text_table.render: row longer than header";
+      row @ List.init (ncols - len) (fun _ -> ""))
+    rows
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  Checks.check (ncols > 0) "Text_table.render: empty header";
+  let aligns =
+    match aligns with
+    | Some a ->
+        Checks.check
+          (List.length a = ncols)
+          "Text_table.render: aligns length mismatch";
+        a
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let rows = normalize_rows ~ncols rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let csv_cell s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quote then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let to_csv ~header rows =
+  let ncols = List.length header in
+  let rows = normalize_rows ~ncols rows in
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let float_cell ?(prec = 3) v =
+  let a = abs_float v in
+  if Float.is_nan v then "nan"
+  else if a <> 0. && (a >= 1e7 || a < 1e-4) then Printf.sprintf "%.*e" prec v
+  else Printf.sprintf "%.*f" prec v
+
+let ratio_cell v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,27 @@
+(** Plain-text rendering of result tables (aligned ASCII and CSV).
+
+    Used by the experiment harness and the CLI to print the
+    paper-reproduction tables.  Deliberately minimal: no colours, no
+    wrapping — output is meant to be diffable and greppable. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with column widths fitted to
+    the longest cell.  [aligns] defaults to [Left] for the first column
+    and [Right] for the rest (the common "label, numbers..." shape).
+    Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val to_csv : header:string list -> string list list -> string
+(** RFC-4180-style CSV (quotes doubled, cells containing separators or
+    quotes wrapped in quotes). *)
+
+val float_cell : ?prec:int -> float -> string
+(** Format a float for a table cell.  Uses fixed-point with [prec]
+    digits (default 3) for moderate magnitudes and scientific notation
+    for very large or very small values. *)
+
+val ratio_cell : float -> string
+(** Format a ratio as e.g. ["3.21x"]. *)

@@ -1,0 +1,1 @@
+lib/wavelet/haar.mli:

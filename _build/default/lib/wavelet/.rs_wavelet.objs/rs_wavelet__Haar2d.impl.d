@@ -1,0 +1,1 @@
+lib/wavelet/haar2d.ml: Array Haar Rs_util

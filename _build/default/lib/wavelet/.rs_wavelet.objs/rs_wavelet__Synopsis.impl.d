@@ -1,0 +1,1 @@
+lib/wavelet/synopsis.ml: Array Float Haar Hashtbl List Option Rs_util

@@ -1,0 +1,1 @@
+lib/wavelet/synopsis2d.ml: Array Haar2d List Rs_util

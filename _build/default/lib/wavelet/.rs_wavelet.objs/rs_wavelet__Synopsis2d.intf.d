@@ -1,0 +1,1 @@
+lib/wavelet/synopsis2d.mli:

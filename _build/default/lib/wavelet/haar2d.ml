@@ -1,0 +1,51 @@
+module Checks = Rs_util.Checks
+
+let check_shape ~name m =
+  let m = Checks.non_empty_array ~name m in
+  let cols = Array.length m.(0) in
+  Array.iter (fun r -> Checks.check (Array.length r = cols) (name ^ ": ragged rows")) m;
+  Checks.check (Haar.is_pow2 (Array.length m)) (name ^ ": rows must be a power of two");
+  Checks.check (Haar.is_pow2 cols) (name ^ ": cols must be a power of two");
+  m
+
+let map_rows f m = Array.map f m
+
+let map_cols f m =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  let out = Array.make_matrix rows cols 0. in
+  for j = 0 to cols - 1 do
+    let col = Array.init rows (fun i -> m.(i).(j)) in
+    let col' = f col in
+    for i = 0 to rows - 1 do
+      out.(i).(j) <- col'.(i)
+    done
+  done;
+  out
+
+let transform m =
+  let m = check_shape ~name:"Haar2d.transform" m in
+  map_cols Haar.transform (map_rows Haar.transform m)
+
+let inverse m =
+  let m = check_shape ~name:"Haar2d.inverse" m in
+  map_rows Haar.inverse (map_cols Haar.inverse m)
+
+let pad mode m =
+  let m = Checks.non_empty_array ~name:"Haar2d.pad" m in
+  let rows_padded = Array.map (Haar.pad mode) m in
+  let target_rows = Haar.next_pow2 (Array.length m) in
+  let last = rows_padded.(Array.length m - 1) in
+  Array.init target_rows (fun i ->
+      if i < Array.length m then Array.copy rows_padded.(i)
+      else
+        match mode with
+        | `Zero -> Array.make (Array.length last) 0.
+        | `Repeat_last -> Array.copy last)
+
+let psi2 ~rows ~cols ~k ~l ~i ~j =
+  Haar.psi ~n:rows ~index:k ~pos:i *. Haar.psi ~n:cols ~index:l ~pos:j
+
+let reconstruct_point ~rows ~cols ~coeffs ~i ~j =
+  Array.fold_left
+    (fun acc (k, l, c) -> acc +. (c *. psi2 ~rows ~cols ~k ~l ~i ~j))
+    0. coeffs

@@ -1,0 +1,21 @@
+(** Two-dimensional (tensor-product) orthonormal Haar transform.
+
+    The 2-D basis is [Ψ_{k,l} = ψ_k ⊗ ψ_l]; the transform applies the
+    1-D transform to every row, then to every column, and is orthonormal
+    (2-D Parseval).  Dimensions must each be a power of two — use [pad]
+    first. *)
+
+val transform : float array array -> float array array
+val inverse : float array array -> float array array
+
+val pad : [ `Zero | `Repeat_last ] -> float array array -> float array array
+(** Extend both dimensions to the next power of two ([`Repeat_last]
+    replicates the last column of each row, then the last row). *)
+
+val psi2 : rows:int -> cols:int -> k:int -> l:int -> i:int -> j:int -> float
+(** [Ψ_{k,l}(i,j) = ψ_k(i)·ψ_l(j)] for the [rows × cols] basis.  O(1). *)
+
+val reconstruct_point :
+  rows:int -> cols:int -> coeffs:(int * int * float) array -> i:int -> j:int -> float
+(** Value at [(i,j)] of the matrix whose transform is the sparse
+    coefficient set. *)

@@ -1,0 +1,98 @@
+module Checks = Rs_util.Checks
+
+type t = {
+  n1 : int;
+  n2 : int;
+  name : string;
+  coeffs : (int * int * float) array;
+  d_hat : float array array; (* (n1+1) × (n2+1) approximate prefix *)
+}
+
+let n1 t = t.n1
+let n2 t = t.n2
+let name t = t.name
+let coefficients t = Array.copy t.coeffs
+let storage_words t = 2 * Array.length t.coeffs
+
+let check_data data =
+  let data = Checks.non_empty_array ~name:"Synopsis2d data" data in
+  let n2 = Array.length data.(0) in
+  ignore (Checks.positive ~name:"Synopsis2d data cols" n2);
+  Array.iter
+    (fun row ->
+      Checks.check (Array.length row = n2) "Synopsis2d: ragged data";
+      Array.iter (fun v -> ignore (Checks.finite ~name:"Synopsis2d data" v)) row)
+    data;
+  (Array.length data, n2)
+
+(* Top-b entries of the coefficient matrix among those [eligible]. *)
+let select_top w ~b ~eligible =
+  let rows = Array.length w and cols = Array.length w.(0) in
+  let all = ref [] in
+  for k = 0 to rows - 1 do
+    for l = 0 to cols - 1 do
+      if eligible k l then all := (k, l, w.(k).(l)) :: !all
+    done
+  done;
+  let sorted =
+    List.sort
+      (fun (k1, l1, c1) (k2, l2, c2) ->
+        match compare (abs_float c2) (abs_float c1) with
+        | 0 -> compare (k1, l1) (k2, l2)
+        | c -> c)
+      !all
+  in
+  Array.of_list (List.filteri (fun rank _ -> rank < b) sorted)
+
+(* Dense reconstruction of the padded matrix from a sparse set. *)
+let dense_reconstruct ~rows ~cols coeffs =
+  let w = Array.make_matrix rows cols 0. in
+  Array.iter (fun (k, l, c) -> w.(k).(l) <- c) coeffs;
+  Haar2d.inverse w
+
+let range_optimal data ~b =
+  let n1, n2 = check_data data in
+  let b = Checks.positive ~name:"Synopsis2d.range_optimal b" b in
+  (* Prefix array D, (n1+1) × (n2+1). *)
+  let d = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  for i = 1 to n1 do
+    for j = 1 to n2 do
+      d.(i).(j) <-
+        data.(i - 1).(j - 1) +. d.(i - 1).(j) +. d.(i).(j - 1) -. d.(i - 1).(j - 1)
+    done
+  done;
+  let padded = Haar2d.pad `Repeat_last d in
+  let w = Haar2d.transform padded in
+  (* Only detail⊗detail coefficients carry range error. *)
+  let coeffs = select_top w ~b ~eligible:(fun k l -> k >= 1 && l >= 1) in
+  let rows = Array.length padded and cols = Array.length padded.(0) in
+  let full = dense_reconstruct ~rows ~cols coeffs in
+  let d_hat = Array.init (n1 + 1) (fun i -> Array.sub full.(i) 0 (n2 + 1)) in
+  { n1; n2; name = "wave2d-range-opt"; coeffs; d_hat }
+
+let top_b_data data ~b =
+  let n1, n2 = check_data data in
+  let b = Checks.positive ~name:"Synopsis2d.top_b_data b" b in
+  let padded = Haar2d.pad `Zero data in
+  let w = Haar2d.transform padded in
+  let coeffs = select_top w ~b ~eligible:(fun _ _ -> true) in
+  let rows = Array.length padded and cols = Array.length padded.(0) in
+  let a_hat = dense_reconstruct ~rows ~cols coeffs in
+  (* Prefix of the reconstructed data, restricted to the true domain. *)
+  let d_hat = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  for i = 1 to n1 do
+    for j = 1 to n2 do
+      d_hat.(i).(j) <-
+        a_hat.(i - 1).(j - 1) +. d_hat.(i - 1).(j) +. d_hat.(i).(j - 1)
+        -. d_hat.(i - 1).(j - 1)
+    done
+  done;
+  { n1; n2; name = "wave2d-topb"; coeffs; d_hat }
+
+let estimate t ~a1 ~b1 ~a2 ~b2 =
+  let a1, b1 = Checks.ordered_pair ~name:"Synopsis2d.estimate dim1" ~lo:1 ~hi:t.n1 (a1, b1) in
+  let a2, b2 = Checks.ordered_pair ~name:"Synopsis2d.estimate dim2" ~lo:1 ~hi:t.n2 (a2, b2) in
+  t.d_hat.(b1).(b2) -. t.d_hat.(a1 - 1).(b2) -. t.d_hat.(b1).(a2 - 1)
+  +. t.d_hat.(a1 - 1).(a2 - 1)
+
+let prefix_hat t = Array.map Array.copy t.d_hat

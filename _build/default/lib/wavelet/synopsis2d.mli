@@ -1,0 +1,48 @@
+(** Two-dimensional wavelet synopses for rectangle-sum queries — the
+    realization of the paper's footnote 2 ("straightforward extension
+    of our results to higher dimensions").
+
+    The range-optimality argument generalizes: a rectangle sum is the
+    four-corner difference [ΔΔD] of the 2-D prefix array [D], the SSE
+    over all rectangles is the quadratic form [dᵀ(Q1⊗Q2)d] with
+    [Q = m·I − 𝟙𝟙ᵀ] per dimension, and [Q] annihilates the scaling
+    direction while acting as [m·I] on details.  Hence, in the tensor
+    Haar basis of [D]:
+
+    - every coefficient with a scaling factor in either dimension is
+      {e free} (additive row/column components cancel in [ΔΔ]);
+    - the SSE of keeping a set [S] of detail⊗detail coefficients is
+      exactly [m1·m2·Σ_{(k,l)∉S} γ_{k,l}²] (for power-of-two [m1, m2]);
+    - so the optimal B-term synopsis keeps the B largest-magnitude
+      detail⊗detail coefficients — [range_optimal], O(N² + N² log N)
+      construction.
+
+    [top_b_data] is the classical 2-D data-domain heuristic for
+    comparison.  Storage accounting: 2 words per kept coefficient
+    (packed index + value). *)
+
+type t
+
+val range_optimal : float array array -> b:int -> t
+(** Optimal B-term tensor-Haar synopsis of the prefix array for
+    rectangle sums (exact optimality when [n+1] is a power of two in
+    each dimension; padding adds boundary terms otherwise). *)
+
+val top_b_data : float array array -> b:int -> t
+(** Largest-magnitude coefficients of the (zero-padded) data matrix. *)
+
+val n1 : t -> int
+val n2 : t -> int
+val name : t -> string
+
+val coefficients : t -> (int * int * float) array
+(** Kept [(k, l, value)] triples. *)
+
+val storage_words : t -> int
+
+val estimate : t -> a1:int -> b1:int -> a2:int -> b2:int -> float
+(** Approximate rectangle sum, O(1) after construction. *)
+
+val prefix_hat : t -> float array array
+(** The induced approximate prefix array [(n1+1) × (n2+1)], for the
+    closed-form SSE of {!Rs_query.Error2d.sse_prefix_form}. *)

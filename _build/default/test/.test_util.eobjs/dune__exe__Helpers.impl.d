@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array QCheck QCheck_alcotest Rs_dist Rs_histogram Rs_query Rs_util String

@@ -1,0 +1,1 @@
+test/test_2d.ml: Alcotest Array Float Helpers List Printf Rs_dist Rs_histogram Rs_query Rs_util Rs_wavelet

@@ -1,0 +1,1 @@
+test/test_bucket.ml: Alcotest Array Format Helpers List Printf QCheck Rs_dist Rs_histogram

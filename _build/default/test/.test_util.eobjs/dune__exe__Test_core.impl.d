@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Filename Float Helpers Lazy List Printf Rs_core Rs_histogram Rs_query Rs_util Sys

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Hashtbl Helpers List Printf Rs_dist Rs_histogram

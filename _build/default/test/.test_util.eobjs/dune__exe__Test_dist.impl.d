@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Fun Helpers QCheck Rs_dist Rs_util

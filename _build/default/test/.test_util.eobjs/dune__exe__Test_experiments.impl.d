@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Helpers Lazy List Printf Rs_core Rs_experiments

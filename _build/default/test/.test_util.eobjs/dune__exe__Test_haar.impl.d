@@ -1,0 +1,1 @@
+test/test_haar.ml: Alcotest Array Helpers List Printf QCheck Rs_dist Rs_util Rs_wavelet

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Float Helpers List Rs_dist Rs_histogram Rs_query Rs_util

@@ -1,0 +1,1 @@
+test/test_ktbl.ml: Alcotest Hashtbl Helpers List QCheck Rs_dist Rs_histogram

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Helpers QCheck Rs_dist Rs_linalg Rs_util

@@ -1,0 +1,1 @@
+test/test_opt_a.ml: Alcotest Array Float Helpers List Printf Rs_dist Rs_histogram Rs_util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Helpers List Rs_core Rs_dist Rs_histogram Rs_query Rs_util Rs_wavelet

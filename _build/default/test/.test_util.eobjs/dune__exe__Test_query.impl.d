@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Hashtbl Helpers Rs_dist Rs_query Rs_util

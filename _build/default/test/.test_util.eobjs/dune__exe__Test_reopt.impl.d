@@ -1,0 +1,1 @@
+test/test_reopt.ml: Alcotest Array Hashtbl Helpers List Printf Rs_dist Rs_histogram Rs_linalg Rs_util

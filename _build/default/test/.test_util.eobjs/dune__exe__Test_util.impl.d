@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Helpers Rs_dist Rs_util

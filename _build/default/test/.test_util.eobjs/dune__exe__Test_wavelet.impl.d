@@ -1,0 +1,1 @@
+test/test_wavelet.ml: Alcotest Array Float Hashtbl Helpers List Printf Rs_dist Rs_query Rs_util Rs_wavelet

@@ -1,0 +1,1 @@
+test/test_wsap0.ml: Alcotest Array Float Helpers List Printf Rs_dist Rs_histogram Rs_query Rs_util

@@ -1,0 +1,62 @@
+(* Shared test utilities. *)
+
+module Prefix = Rs_util.Prefix
+module Rng = Rs_dist.Rng
+
+let close ?(tol = 1e-6) a b = Rs_util.Float_cmp.close ~rel_tol:tol ~abs_tol:tol a b
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if not (close ~tol expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g (rel gap %.3g)" msg expected
+      actual
+      (Rs_util.Float_cmp.relative_gap expected actual)
+
+(* Random non-negative integer data of length n. *)
+let random_int_data rng ~n ~hi =
+  Array.init n (fun _ -> float_of_int (Rng.int rng hi))
+
+(* Random float data (non-negative). *)
+let random_float_data rng ~n ~hi = Array.init n (fun _ -> Rng.float rng *. hi)
+
+let prefix_of a = Prefix.create a
+
+(* Estimator from a histogram. *)
+let hist_estimator h ~a ~b = Rs_histogram.Histogram.estimate h ~a ~b
+
+(* Brute-force SSE over all ranges of a histogram. *)
+let hist_sse p h = Rs_query.Error.sse_all_ranges p (hist_estimator h)
+
+(* A selection of interesting small datasets for exhaustive checks. *)
+let small_datasets =
+  [
+    ("constant", [| 5.; 5.; 5.; 5.; 5.; 5. |]);
+    ("ramp", [| 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7. |]);
+    ("paper-example", [| 1.; 3.; 5.; 11.; 12.; 13. |]);
+    ("spike", [| 0.; 0.; 0.; 100.; 0.; 0.; 0. |]);
+    ("two-level", [| 10.; 10.; 10.; 1.; 1.; 1.; 1.; 9.; 9. |]);
+    ("singleton", [| 42. |]);
+    ("pair", [| 7.; 3. |]);
+  ]
+
+let qcheck_seed = 0xC0FFEE
+
+(* QCheck generator for small integer datasets (n in [1, 24], values in
+   [0, 20]). *)
+let small_data_gen =
+  QCheck.Gen.(
+    int_range 1 24 >>= fun n ->
+    array_size (return n) (map float_of_int (int_range 0 20)))
+
+let small_data_arb =
+  QCheck.make ~print:(fun a ->
+      "[|" ^ String.concat "; " (Array.to_list (Array.map string_of_float a)) ^ "|]")
+    small_data_gen
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Substring containment. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0

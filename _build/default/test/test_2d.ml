@@ -1,0 +1,415 @@
+(* Tests for the footnote-2 extension: 2-D prefix sums, 2-D error
+   metrics, the tensor Haar transform, 2-D synopses, and the grid
+   baseline. *)
+
+module Prefix2d = Rs_util.Prefix2d
+module Error2d = Rs_query.Error2d
+module Haar2d = Rs_wavelet.Haar2d
+module Synopsis2d = Rs_wavelet.Synopsis2d
+module Grid2d = Rs_histogram.Grid2d
+module Rng = Rs_dist.Rng
+
+let random_grid rng ~rows ~cols ~hi =
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> float_of_int (Rng.int rng hi)))
+
+(* --- Prefix2d --- *)
+
+let test_prefix2d_range_sum () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10 do
+    let n1 = 1 + Rng.int rng 8 and n2 = 1 + Rng.int rng 8 in
+    let a = random_grid rng ~rows:n1 ~cols:n2 ~hi:10 in
+    let p = Prefix2d.create a in
+    for a1 = 1 to n1 do
+      for b1 = a1 to n1 do
+        for a2 = 1 to n2 do
+          for b2 = a2 to n2 do
+            let expected = ref 0. in
+            for i = a1 to b1 do
+              for j = a2 to b2 do
+                expected := !expected +. a.(i - 1).(j - 1)
+              done
+            done;
+            Helpers.check_close "range sum" !expected
+              (Prefix2d.range_sum p ~a1 ~b1 ~a2 ~b2)
+          done
+        done
+      done
+    done
+  done
+
+let test_prefix2d_validation () =
+  (try
+     ignore (Prefix2d.create [||]);
+     Alcotest.fail "empty"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Prefix2d.create [| [| 1. |]; [| 1.; 2. |] |]);
+    Alcotest.fail "ragged"
+  with Invalid_argument _ -> ()
+
+(* --- Error2d --- *)
+
+let test_error2d_prefix_form_equals_brute () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 8 do
+    let n1 = 1 + Rng.int rng 6 and n2 = 1 + Rng.int rng 6 in
+    let a = random_grid rng ~rows:n1 ~cols:n2 ~hi:12 in
+    let p = Prefix2d.create a in
+    (* Random approximate prefix array. *)
+    let d_hat =
+      Array.init (n1 + 1) (fun i ->
+          Array.init (n2 + 1) (fun j ->
+              Prefix2d.prefix p ~i ~j +. ((Rng.float rng -. 0.5) *. 6.)))
+    in
+    let estimate ~a1 ~b1 ~a2 ~b2 =
+      d_hat.(b1).(b2) -. d_hat.(a1 - 1).(b2) -. d_hat.(b1).(a2 - 1)
+      +. d_hat.(a1 - 1).(a2 - 1)
+    in
+    Helpers.check_close ~tol:1e-6 "2d prefix form"
+      (Error2d.sse_all_ranges p estimate)
+      (Error2d.sse_prefix_form p d_hat)
+  done
+
+let test_error2d_additive_components_free () =
+  (* Perturbing D̂ by f(i) + g(j) changes no rectangle answer, hence no
+     SSE — the 2-D analogue of the free scaling coefficient. *)
+  let rng = Rng.create 3 in
+  let n1 = 5 and n2 = 7 in
+  let a = random_grid rng ~rows:n1 ~cols:n2 ~hi:9 in
+  let p = Prefix2d.create a in
+  let d_hat =
+    Array.init (n1 + 1) (fun _ -> Array.init (n2 + 1) (fun _ -> Rng.float rng *. 20.))
+  in
+  let f = Array.init (n1 + 1) (fun _ -> Rng.float rng *. 5.) in
+  let g = Array.init (n2 + 1) (fun _ -> Rng.float rng *. 5.) in
+  let shifted =
+    Array.init (n1 + 1) (fun i ->
+        Array.init (n2 + 1) (fun j -> d_hat.(i).(j) +. f.(i) +. g.(j)))
+  in
+  Helpers.check_close ~tol:1e-5 "additive free"
+    (Error2d.sse_prefix_form p d_hat)
+    (Error2d.sse_prefix_form p shifted)
+
+(* --- Haar2d --- *)
+
+let test_haar2d_roundtrip_and_parseval () =
+  let rng = Rng.create 4 in
+  List.iter
+    (fun (rows, cols) ->
+      let m = random_grid rng ~rows ~cols ~hi:50 in
+      let w = Haar2d.transform m in
+      let back = Haar2d.inverse w in
+      let energy x =
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun a v -> a +. (v *. v)) acc row)
+          0. x
+      in
+      Helpers.check_close ~tol:1e-6 "parseval" (energy m) (energy w);
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          Helpers.check_close ~tol:1e-8 "roundtrip" m.(i).(j) back.(i).(j)
+        done
+      done)
+    [ (1, 1); (2, 4); (8, 8); (16, 4) ]
+
+let test_haar2d_psi2_matches_transform () =
+  let rows = 4 and cols = 8 in
+  for k = 0 to rows - 1 do
+    for l = 0 to cols - 1 do
+      let basis =
+        Array.init rows (fun i ->
+            Array.init cols (fun j -> Haar2d.psi2 ~rows ~cols ~k ~l ~i ~j))
+      in
+      let w = Haar2d.transform basis in
+      for k' = 0 to rows - 1 do
+        for l' = 0 to cols - 1 do
+          Helpers.check_close ~tol:1e-9 "unit coefficient"
+            (if k = k' && l = l' then 1. else 0.)
+            w.(k').(l')
+        done
+      done
+    done
+  done
+
+let test_haar2d_pad () =
+  let m = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let z = Haar2d.pad `Zero m in
+  Alcotest.(check int) "rows" 2 (Array.length z);
+  Alcotest.(check int) "cols" 4 (Array.length z.(0));
+  Helpers.check_close "zero fill" 0. z.(1).(3);
+  let r = Haar2d.pad `Repeat_last m in
+  Helpers.check_close "repeat col" 6. r.(1).(3)
+
+(* --- Synopsis2d --- *)
+
+let test_synopsis2d_full_budget_exact () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 5 do
+    let n1 = 1 + Rng.int rng 7 and n2 = 1 + Rng.int rng 7 in
+    let a = random_grid rng ~rows:n1 ~cols:n2 ~hi:15 in
+    let p = Prefix2d.create a in
+    let budget_all = 4 * (n1 + 2) * (n2 + 2) in
+    List.iter
+      (fun s ->
+        Helpers.check_close ~tol:1e-4 "exact with full budget" 0.
+          (Error2d.sse_prefix_form p (Synopsis2d.prefix_hat s)))
+      [
+        Synopsis2d.range_optimal a ~b:budget_all;
+        Synopsis2d.top_b_data a ~b:budget_all;
+      ]
+  done
+
+let test_synopsis2d_estimate_matches_prefix_hat () =
+  let rng = Rng.create 6 in
+  let a = random_grid rng ~rows:7 ~cols:7 ~hi:20 in
+  let p = Prefix2d.create a in
+  List.iter
+    (fun s ->
+      let dh = Synopsis2d.prefix_hat s in
+      let est ~a1 ~b1 ~a2 ~b2 =
+        dh.(b1).(b2) -. dh.(a1 - 1).(b2) -. dh.(b1).(a2 - 1) +. dh.(a1 - 1).(a2 - 1)
+      in
+      Helpers.check_close ~tol:1e-6 "sse consistent"
+        (Error2d.sse_all_ranges p (fun ~a1 ~b1 ~a2 ~b2 -> Synopsis2d.estimate s ~a1 ~b1 ~a2 ~b2))
+        (Error2d.sse_all_ranges p est))
+    [ Synopsis2d.range_optimal a ~b:5; Synopsis2d.top_b_data a ~b:5 ]
+
+let subsets list k =
+  let rec go list k =
+    if k = 0 then [ [] ]
+    else
+      match list with
+      | [] -> []
+      | x :: rest -> List.map (fun s -> x :: s) (go rest (k - 1)) @ go rest k
+  in
+  go list k
+
+let test_synopsis2d_range_optimal_exhaustive () =
+  (* n1 = n2 = 3 → prefix 4×4, 3×3 = 9 detail⊗detail coefficients;
+     check all 2-subsets. *)
+  let rng = Rng.create 7 in
+  for _trial = 1 to 3 do
+    let a = random_grid rng ~rows:3 ~cols:3 ~hi:10 in
+    let p = Prefix2d.create a in
+    let d = Prefix2d.prefix_matrix p in
+    let w = Haar2d.transform d in
+    let details =
+      List.concat_map (fun k -> List.map (fun l -> (k, l)) [ 1; 2; 3 ]) [ 1; 2; 3 ]
+    in
+    let opt = Synopsis2d.range_optimal a ~b:2 in
+    let opt_sse = Error2d.sse_prefix_form p (Synopsis2d.prefix_hat opt) in
+    List.iter
+      (fun subset ->
+        (* Reconstruct D̂ from this subset. *)
+        let coeffs =
+          Array.of_list (List.map (fun (k, l) -> (k, l, w.(k).(l))) subset)
+        in
+        let d_hat =
+          Array.init 4 (fun i ->
+              Array.init 4 (fun j ->
+                  Haar2d.reconstruct_point ~rows:4 ~cols:4 ~coeffs ~i ~j))
+        in
+        let sse = Error2d.sse_prefix_form p d_hat in
+        Alcotest.(check bool) "range_optimal minimal" true (opt_sse <= sse +. 1e-6))
+      (subsets details 2)
+  done
+
+let test_synopsis2d_sse_identity () =
+  (* For power-of-two prefix dims: SSE = m1·m2·Σ dropped detail². *)
+  let rng = Rng.create 8 in
+  let n1 = 7 and n2 = 7 in
+  let a = random_grid rng ~rows:n1 ~cols:n2 ~hi:30 in
+  let p = Prefix2d.create a in
+  let d = Prefix2d.prefix_matrix p in
+  let w = Haar2d.transform d in
+  List.iter
+    (fun b ->
+      let s = Synopsis2d.range_optimal a ~b in
+      let kept = Synopsis2d.coefficients s in
+      let is_kept k l = Array.exists (fun (k', l', _) -> k = k' && l = l') kept in
+      let dropped = ref 0. in
+      for k = 1 to n1 do
+        for l = 1 to n2 do
+          if not (is_kept k l) then dropped := !dropped +. (w.(k).(l) *. w.(k).(l))
+        done
+      done;
+      Helpers.check_close ~tol:1e-5
+        (Printf.sprintf "identity b=%d" b)
+        (float_of_int ((n1 + 1) * (n2 + 1)) *. !dropped)
+        (Error2d.sse_prefix_form p (Synopsis2d.prefix_hat s)))
+    [ 1; 3; 9 ]
+
+let test_synopsis2d_never_keeps_scaling_lines () =
+  let rng = Rng.create 9 in
+  let a = random_grid rng ~rows:15 ~cols:15 ~hi:40 in
+  let s = Synopsis2d.range_optimal a ~b:10 in
+  Array.iter
+    (fun (k, l, _) ->
+      Alcotest.(check bool) "detail x detail" true (k >= 1 && l >= 1))
+    (Synopsis2d.coefficients s)
+
+let test_synopsis2d_storage () =
+  let a = Array.make_matrix 4 4 1. in
+  let s = Synopsis2d.range_optimal a ~b:3 in
+  Alcotest.(check int) "2 per coeff" 6 (Synopsis2d.storage_words s)
+
+(* --- Grid2d --- *)
+
+let test_grid2d_exact_on_blocky_data () =
+  (* Data constant per cell ⇒ the grid histogram is exact. *)
+  let a =
+    Array.init 8 (fun i ->
+        Array.init 8 (fun j ->
+            float_of_int (((i / 4) * 10) + ((j / 4) * 3) + 1)))
+  in
+  let p = Prefix2d.create a in
+  let g = Grid2d.equi p ~rows:2 ~cols:2 in
+  Helpers.check_close ~tol:1e-6 "exact" 0.
+    (Error2d.sse_prefix_form p (Grid2d.prefix_hat g))
+
+let test_grid2d_estimate_matches_overlap () =
+  let rng = Rng.create 10 in
+  let a = random_grid rng ~rows:9 ~cols:6 ~hi:20 in
+  let p = Prefix2d.create a in
+  let g = Grid2d.equi p ~rows:3 ~cols:2 in
+  (* Full-domain query is exact (averages are true). *)
+  Helpers.check_close ~tol:1e-6 "full domain"
+    (Prefix2d.total p)
+    (Grid2d.estimate g ~a1:1 ~b1:9 ~a2:1 ~b2:6);
+  (* SSE via prefix form = brute force. *)
+  Helpers.check_close ~tol:1e-6 "sse consistent"
+    (Error2d.sse_all_ranges p (fun ~a1 ~b1 ~a2 ~b2 -> Grid2d.estimate g ~a1 ~b1 ~a2 ~b2))
+    (Error2d.sse_prefix_form p (Grid2d.prefix_hat g))
+
+let test_grid2d_storage_and_clamp () =
+  let p = Prefix2d.create (Array.make_matrix 5 5 1.) in
+  let g = Grid2d.equi p ~rows:3 ~cols:2 in
+  Alcotest.(check int) "storage" (6 + 3 + 2) (Grid2d.storage_words g);
+  let clamped = Grid2d.equi p ~rows:99 ~cols:0 in
+  Alcotest.(check int) "clamped rows" 5 (Grid2d.rows clamped);
+  Alcotest.(check int) "clamped cols" 1 (Grid2d.cols clamped)
+
+(* --- Split2d --- *)
+
+let test_split2d_exact_on_blocky () =
+  (* Four constant quadrants need exactly four leaves. *)
+  let a =
+    Array.init 8 (fun i ->
+        Array.init 8 (fun j -> float_of_int (((i / 4) * 7) + ((j / 4) * 2))))
+  in
+  let p = Prefix2d.create a in
+  let s = Rs_histogram.Split2d.build p ~leaves:4 in
+  Helpers.check_close ~tol:1e-6 "exact" 0.
+    (Error2d.sse_prefix_form p (Rs_histogram.Split2d.prefix_hat s));
+  Alcotest.(check int) "4 leaves" 4 (Array.length (Rs_histogram.Split2d.leaves s))
+
+let test_split2d_monotone_in_leaves () =
+  let rng = Rng.create 12 in
+  let a = random_grid rng ~rows:12 ~cols:10 ~hi:25 in
+  let p = Prefix2d.create a in
+  let prev = ref Float.infinity in
+  List.iter
+    (fun leaves ->
+      let s = Rs_histogram.Split2d.build p ~leaves in
+      let sse = Error2d.sse_prefix_form p (Rs_histogram.Split2d.prefix_hat s) in
+      Alcotest.(check bool) "monotone" true (sse <= !prev +. 1e-6);
+      prev := sse)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_split2d_leaves_partition_domain () =
+  let rng = Rng.create 13 in
+  let a = random_grid rng ~rows:9 ~cols:7 ~hi:15 in
+  let p = Prefix2d.create a in
+  let s = Rs_histogram.Split2d.build p ~leaves:11 in
+  let covered = Array.make_matrix 9 7 0 in
+  Array.iter
+    (fun { Rs_histogram.Split2d.a1; b1; a2; b2; _ } ->
+      for i = a1 to b1 do
+        for j = a2 to b2 do
+          covered.(i - 1).(j - 1) <- covered.(i - 1).(j - 1) + 1
+        done
+      done)
+    (Rs_histogram.Split2d.leaves s);
+  Array.iter
+    (Array.iter (fun c -> Alcotest.(check int) "covered exactly once" 1 c))
+    covered
+
+let test_split2d_estimate_consistent () =
+  let rng = Rng.create 14 in
+  let a = random_grid rng ~rows:6 ~cols:6 ~hi:20 in
+  let p = Prefix2d.create a in
+  let s = Rs_histogram.Split2d.build p ~leaves:5 in
+  Helpers.check_close ~tol:1e-6 "sse consistent"
+    (Error2d.sse_all_ranges p (fun ~a1 ~b1 ~a2 ~b2 ->
+         Rs_histogram.Split2d.estimate s ~a1 ~b1 ~a2 ~b2))
+    (Error2d.sse_prefix_form p (Rs_histogram.Split2d.prefix_hat s));
+  (* Full-domain query exact. *)
+  Helpers.check_close ~tol:1e-6 "full domain" (Prefix2d.total p)
+    (Rs_histogram.Split2d.estimate s ~a1:1 ~b1:6 ~a2:1 ~b2:6)
+
+let test_split2d_storage_and_saturation () =
+  let p = Prefix2d.create (Array.make_matrix 3 3 2.) in
+  let s = Rs_histogram.Split2d.build p ~leaves:100 in
+  (* Constant data: no split ever has positive gain... splits still
+     happen with gain 0 until cells saturate; leaves ≤ 9. *)
+  Alcotest.(check bool) "saturates" true
+    (Array.length (Rs_histogram.Split2d.leaves s) <= 9);
+  let s2 = Rs_histogram.Split2d.build p ~leaves:4 in
+  Alcotest.(check int) "storage" (3 * Array.length (Rs_histogram.Split2d.leaves s2) - 2)
+    (Rs_histogram.Split2d.storage_words s2)
+
+let test_generator_grid () =
+  let rng = Rng.create 11 in
+  let g = Rs_dist.Generators.gaussian_mixture_grid rng ~rows:16 ~cols:12 ~peaks:3 ~total:500. in
+  Alcotest.(check int) "rows" 16 (Array.length g);
+  Alcotest.(check int) "cols" 12 (Array.length g.(0));
+  let total = Array.fold_left (fun acc r -> Array.fold_left ( +. ) acc r) 0. g in
+  Helpers.check_close ~tol:1e-6 "total" 500. total;
+  Array.iter (Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0.))) g
+
+let () =
+  Alcotest.run "two_dimensional"
+    [
+      ( "prefix2d",
+        [
+          Alcotest.test_case "range sums" `Quick test_prefix2d_range_sum;
+          Alcotest.test_case "validation" `Quick test_prefix2d_validation;
+        ] );
+      ( "error2d",
+        [
+          Alcotest.test_case "prefix form = brute" `Quick test_error2d_prefix_form_equals_brute;
+          Alcotest.test_case "additive free" `Quick test_error2d_additive_components_free;
+        ] );
+      ( "haar2d",
+        [
+          Alcotest.test_case "roundtrip/parseval" `Quick test_haar2d_roundtrip_and_parseval;
+          Alcotest.test_case "psi2 = transform" `Quick test_haar2d_psi2_matches_transform;
+          Alcotest.test_case "pad" `Quick test_haar2d_pad;
+        ] );
+      ( "synopsis2d",
+        [
+          Alcotest.test_case "full budget exact" `Quick test_synopsis2d_full_budget_exact;
+          Alcotest.test_case "estimate = prefix_hat" `Quick test_synopsis2d_estimate_matches_prefix_hat;
+          Alcotest.test_case "exhaustive optimality" `Quick test_synopsis2d_range_optimal_exhaustive;
+          Alcotest.test_case "sse identity" `Quick test_synopsis2d_sse_identity;
+          Alcotest.test_case "details only" `Quick test_synopsis2d_never_keeps_scaling_lines;
+          Alcotest.test_case "storage" `Quick test_synopsis2d_storage;
+        ] );
+      ( "split2d",
+        [
+          Alcotest.test_case "exact on blocky" `Quick test_split2d_exact_on_blocky;
+          Alcotest.test_case "monotone" `Quick test_split2d_monotone_in_leaves;
+          Alcotest.test_case "partition" `Quick test_split2d_leaves_partition_domain;
+          Alcotest.test_case "estimate consistent" `Quick test_split2d_estimate_consistent;
+          Alcotest.test_case "storage/saturation" `Quick test_split2d_storage_and_saturation;
+        ] );
+      ( "grid2d",
+        [
+          Alcotest.test_case "exact on blocky" `Quick test_grid2d_exact_on_blocky_data;
+          Alcotest.test_case "estimate/overlap" `Quick test_grid2d_estimate_matches_overlap;
+          Alcotest.test_case "storage/clamp" `Quick test_grid2d_storage_and_clamp;
+          Alcotest.test_case "2d generator" `Quick test_generator_grid;
+        ] );
+    ]

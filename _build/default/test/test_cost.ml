@@ -1,0 +1,163 @@
+(* Closed-form bucket costs vs brute-force twins: this pins down every
+   algebraic identity in Cost. *)
+
+module Cost = Rs_histogram.Cost
+module Rng = Rs_dist.Rng
+
+let pairs : (string * (Cost.t -> l:int -> r:int -> float) * (Cost.t -> l:int -> r:int -> float)) list
+    =
+  [
+    ("intra", Cost.intra, Cost.Brute.intra);
+    ("sap0_suffix", Cost.sap0_suffix, Cost.Brute.sap0_suffix);
+    ("sap0_prefix", Cost.sap0_prefix, Cost.Brute.sap0_prefix);
+    ("sap1_suffix", Cost.sap1_suffix, Cost.Brute.sap1_suffix);
+    ("sap1_prefix", Cost.sap1_prefix, Cost.Brute.sap1_prefix);
+    ("a0_suffix", Cost.a0_suffix, Cost.Brute.a0_suffix);
+    ("a0_prefix", Cost.a0_prefix, Cost.Brute.a0_prefix);
+    ("a0_suffix_delta_sum", Cost.a0_suffix_delta_sum, Cost.Brute.a0_suffix_delta_sum);
+    ("a0_prefix_delta_sum", Cost.a0_prefix_delta_sum, Cost.Brute.a0_prefix_delta_sum);
+    ("point_unweighted", Cost.point_unweighted, Cost.Brute.point_unweighted);
+    ("point_range_weighted", Cost.point_range_weighted, Cost.Brute.point_range_weighted);
+  ]
+
+let check_all_buckets data =
+  let p = Helpers.prefix_of data in
+  let ctx = Cost.make p in
+  let n = Array.length data in
+  List.iter
+    (fun (name, closed, brute) ->
+      for l = 1 to n do
+        for r = l to n do
+          let c = closed ctx ~l ~r and b = brute ctx ~l ~r in
+          Helpers.check_close ~tol:1e-6 (Printf.sprintf "%s [%d,%d]" name l r) b c
+        done
+      done)
+    pairs
+
+let test_small_datasets () =
+  List.iter (fun (_, data) -> check_all_buckets data) Helpers.small_datasets
+
+let test_random_int_data () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10 do
+    let n = 1 + Rng.int rng 20 in
+    check_all_buckets (Helpers.random_int_data rng ~n ~hi:30)
+  done
+
+let test_random_float_data () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10 do
+    let n = 1 + Rng.int rng 20 in
+    check_all_buckets (Helpers.random_float_data rng ~n ~hi:40.)
+  done
+
+(* Degenerate buckets of width 1 have zero error everywhere except the
+   point costs (which are also zero: a single value equals its mean). *)
+let test_width_one_buckets () =
+  let data = [| 3.; 9.; 1.; 7. |] in
+  let ctx = Cost.make (Helpers.prefix_of data) in
+  for i = 1 to 4 do
+    List.iter
+      (fun (name, closed, _) ->
+        Helpers.check_close
+          (Printf.sprintf "%s width-1 at %d" name i)
+          0. (closed ctx ~l:i ~r:i))
+      (List.filter
+         (fun (name, _, _) ->
+           name <> "a0_suffix_delta_sum" && name <> "a0_prefix_delta_sum")
+         pairs)
+  done
+
+(* A perfectly constant bucket has zero cost in every representation
+   except SAP0's suffix/prefix terms: those store a constant while the
+   true suffix/prefix sums still vary linearly with the endpoint — the
+   insensitivity the paper blames for SAP0's inferiority. *)
+let test_constant_bucket_zero () =
+  let data = Array.make 12 4. in
+  let ctx = Cost.make (Helpers.prefix_of data) in
+  List.iter
+    (fun (name, closed, _) ->
+      Helpers.check_close (name ^ " constant") 0. (closed ctx ~l:1 ~r:12))
+    (List.filter
+       (fun (name, _, _) -> name <> "sap0_suffix" && name <> "sap0_prefix")
+       pairs);
+  (* And the SAP0 terms are exactly the variance of an arithmetic
+     progression with step 4: Σ (x − x̄)² for x = 0, 4, ..., 44. *)
+  let xs = Array.init 12 (fun i -> 4. *. float_of_int i) in
+  let mean = Array.fold_left ( +. ) 0. xs /. 12. in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+  Helpers.check_close "sap0 constant = AP variance" var
+    (Cost.sap0_suffix ctx ~l:1 ~r:12);
+  Helpers.check_close "sap0 prefix constant" var (Cost.sap0_prefix ctx ~l:1 ~r:12)
+
+(* SAP1's fit generalizes SAP0's constant, so its RSS is never larger. *)
+let test_sap1_no_worse_than_sap0 () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 20 in
+    let data = Helpers.random_int_data rng ~n ~hi:25 in
+    let ctx = Cost.make (Helpers.prefix_of data) in
+    for l = 1 to n do
+      for r = l to n do
+        let s0 = Cost.sap0_suffix ctx ~l ~r and s1 = Cost.sap1_suffix ctx ~l ~r in
+        Alcotest.(check bool)
+          (Printf.sprintf "suffix rss <= var [%d,%d]" l r)
+          true
+          (s1 <= s0 +. 1e-6);
+        let p0 = Cost.sap0_prefix ctx ~l ~r and p1 = Cost.sap1_prefix ctx ~l ~r in
+        Alcotest.(check bool)
+          (Printf.sprintf "prefix rss <= var [%d,%d]" l r)
+          true
+          (p1 <= p0 +. 1e-6)
+      done
+    done
+  done
+
+(* The paper's worked example (Section 2.1.1): A = (1,3,5,11,12,13),
+   buckets (1,3) and (5,11); with i = 4 the total error E(4,2,·,·) over
+   ranges within [1,4] plus suffix deltas of [1,4] equals 36. *)
+let test_paper_worked_example () =
+  let data = [| 1.; 3.; 5.; 11.; 12.; 13. |] in
+  let ctx = Cost.make (Helpers.prefix_of data) in
+  (* Buckets [1,2] (avg 2) and [3,4] (avg 8). *)
+  (* Σ_{t≤4} δ_{t,B>_t}: suffix deltas. *)
+  let lam =
+    Cost.a0_suffix_delta_sum ctx ~l:1 ~r:2 +. Cost.a0_suffix_delta_sum ctx ~l:3 ~r:4
+  in
+  Helpers.check_close "Λ = 4" 4. lam;
+  let lam2 =
+    Cost.a0_suffix ctx ~l:1 ~r:2 +. Cost.a0_suffix ctx ~l:3 ~r:4
+  in
+  Helpers.check_close "Λ₂ = 10" 10. lam2
+
+let prop_closed_equals_brute =
+  Helpers.qtest ~count:100 "closed = brute on random buckets" Helpers.small_data_arb
+    (fun data ->
+      let n = Array.length data in
+      let ctx = Cost.make (Helpers.prefix_of data) in
+      let l = 1 + (Hashtbl.hash data mod n) in
+      let r = l + (Hashtbl.hash (data, 1) mod (n - l + 1)) in
+      List.for_all
+        (fun (_, closed, brute) ->
+          Helpers.close ~tol:1e-6 (closed ctx ~l ~r) (brute ctx ~l ~r))
+        pairs)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "closed-vs-brute",
+        [
+          Alcotest.test_case "small datasets" `Quick test_small_datasets;
+          Alcotest.test_case "random int data" `Quick test_random_int_data;
+          Alcotest.test_case "random float data" `Quick test_random_float_data;
+          prop_closed_equals_brute;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "width-1 buckets" `Quick test_width_one_buckets;
+          Alcotest.test_case "constant bucket" `Quick test_constant_bucket_zero;
+          Alcotest.test_case "sap1 <= sap0 per bucket" `Quick
+            test_sap1_no_worse_than_sap0;
+          Alcotest.test_case "paper worked example" `Quick test_paper_worked_example;
+        ] );
+    ]

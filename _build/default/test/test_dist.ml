@@ -1,0 +1,205 @@
+module Rng = Rs_dist.Rng
+module Zipf = Rs_dist.Zipf
+module Rounding = Rs_dist.Rounding
+module Generators = Rs_dist.Generators
+module Datasets = Rs_dist.Datasets
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_int_uniform () =
+  let rng = Rng.create 4 in
+  let counts = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let k = Rng.int rng 10 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = draws / 10 in
+      Alcotest.(check bool) "roughly uniform" true
+        (abs (c - expected) < expected / 5))
+    counts
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  Alcotest.(check int) "bound 1" 0 (Rng.int rng 1);
+  try
+    ignore (Rng.int rng 0);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 6 in
+  let n = 50_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let g = Rng.gaussian rng in
+    sum := !sum +. g;
+    sum2 := !sum2 +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.03);
+  Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.) < 0.05)
+
+let test_permutation () =
+  let rng = Rng.create 7 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_split_independence () =
+  let parent = Rng.create 8 in
+  let child = Rng.split parent in
+  (* Not a statistical test — just that the streams differ and both
+     advance deterministically. *)
+  Alcotest.(check bool) "differ" true (Rng.next_int64 parent <> Rng.next_int64 child)
+
+let test_zipf_shape () =
+  let f = Zipf.frequencies ~alpha:1.8 ~n:127 ~total:10_000. in
+  Alcotest.(check int) "length" 127 (Array.length f);
+  Helpers.check_close ~tol:1e-9 "total" 10_000. (Array.fold_left ( +. ) 0. f);
+  (* Decreasing in rank. *)
+  for i = 0 to 125 do
+    Alcotest.(check bool) "monotone" true (f.(i) >= f.(i + 1))
+  done;
+  (* Ratio between rank 1 and rank 2 is 2^1.8. *)
+  Helpers.check_close ~tol:1e-9 "ratio" (Float.pow 2. 1.8) (f.(0) /. f.(1))
+
+let test_zipf_alpha_zero_uniform () =
+  let f = Zipf.frequencies ~alpha:0. ~n:10 ~total:100. in
+  Array.iter (fun v -> Helpers.check_close "uniform" 10. v) f
+
+let test_zipf_permuted_is_permutation () =
+  let rng = Rng.create 9 in
+  let f = Zipf.frequencies ~alpha:1.2 ~n:20 ~total:100. in
+  let g = Zipf.permuted_frequencies (Rng.copy rng) ~alpha:1.2 ~n:20 ~total:100. in
+  let sf = Array.copy f and sg = Array.copy g in
+  Array.sort compare sf;
+  Array.sort compare sg;
+  Alcotest.(check bool) "same multiset" true (Rs_util.Float_cmp.close_arrays sf sg)
+
+let test_rounding_randomized_unbiased () =
+  let rng = Rng.create 10 in
+  let v = 2.3 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + (Rounding.randomized rng [| v |]).(0)
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "unbiased" true (abs_float (mean -. v) < 0.02)
+
+let test_rounding_half_integral_fixed () =
+  let rng = Rng.create 11 in
+  let out = Rounding.half rng [| 3.; 4.2; 5. |] in
+  Alcotest.(check int) "integral stays" 3 out.(0);
+  Alcotest.(check int) "integral stays" 5 out.(2);
+  Alcotest.(check bool) "rounded" true (out.(1) = 4 || out.(1) = 5)
+
+let test_rounding_nearest () =
+  Alcotest.(check (array int)) "nearest" [| 2; 3; -1 |]
+    (Rounding.nearest [| 2.4; 2.6; -1.4 |])
+
+let test_rounding_clamp () =
+  Alcotest.(check (array int)) "clamp" [| 0; 3 |]
+    (Rounding.clamp_non_negative [| -2; 3 |])
+
+let test_generators_shapes () =
+  let rng = Rng.create 12 in
+  let u = Generators.uniform rng ~n:100 ~lo:1. ~hi:5. in
+  Array.iter (fun v -> Alcotest.(check bool) "uniform range" true (v >= 1. && v < 5.)) u;
+  let m = Generators.gaussian_mixture rng ~n:64 ~peaks:3 ~total:1000. in
+  Helpers.check_close ~tol:1e-6 "mixture total" 1000. (Array.fold_left ( +. ) 0. m);
+  Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0.)) m;
+  let s = Generators.steps rng ~n:50 ~segments:5 ~hi:10. in
+  Alcotest.(check int) "steps length" 50 (Array.length s);
+  let sp = Generators.spikes rng ~n:30 ~spikes:3 ~base:1. ~amplitude:50. in
+  let above = Array.fold_left (fun acc v -> if v > 1. then acc + 1 else acc) 0 sp in
+  Alcotest.(check bool) "spike count" true (above <= 3);
+  let ss = Generators.self_similar rng ~n:33 ~h:0.8 ~total:500. in
+  Helpers.check_close ~tol:1e-6 "self-similar total" 500. (Array.fold_left ( +. ) 0. ss)
+
+let test_paper_dataset () =
+  let d = Datasets.paper () in
+  Alcotest.(check int) "127 keys" 127 (Array.length d);
+  Array.iter (fun v -> Alcotest.(check bool) "counts" true (v >= 0)) d;
+  (* Reproducible. *)
+  Alcotest.(check (array int)) "deterministic" d (Datasets.paper ());
+  (* Zipf head dominates. *)
+  Alcotest.(check bool) "head heavy" true (d.(0) > d.(63));
+  (* Total is within rounding distance of the target mass. *)
+  let total = Array.fold_left ( + ) 0 d in
+  Alcotest.(check bool) "total near 10000" true (abs (total - 10_000) < 200)
+
+let test_datasets_by_name () =
+  Alcotest.(check int) "paper" 127 (Array.length (Datasets.by_name "paper"));
+  Alcotest.(check int) "zipf-64" 64 (Array.length (Datasets.by_name "zipf-64"));
+  Alcotest.(check int) "mixture-32" 32 (Array.length (Datasets.by_name "mixture-32"));
+  Alcotest.(check int) "uniform-16" 16 (Array.length (Datasets.by_name "uniform-16"));
+  try
+    ignore (Datasets.by_name "bogus");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_rounding_within_one =
+  Helpers.qtest "randomized rounding within 1 of input"
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 100.))
+    (fun xs ->
+      let rng = Rng.create 13 in
+      let out = Rounding.randomized rng xs in
+      Array.for_all2 (fun v r -> abs_float (float_of_int r -. v) < 1. +. 1e-9) xs out)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "split" `Quick test_split_independence;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "shape" `Quick test_zipf_shape;
+          Alcotest.test_case "alpha 0" `Quick test_zipf_alpha_zero_uniform;
+          Alcotest.test_case "permuted" `Quick test_zipf_permuted_is_permutation;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "unbiased" `Quick test_rounding_randomized_unbiased;
+          Alcotest.test_case "half keeps ints" `Quick test_rounding_half_integral_fixed;
+          Alcotest.test_case "nearest" `Quick test_rounding_nearest;
+          Alcotest.test_case "clamp" `Quick test_rounding_clamp;
+          prop_rounding_within_one;
+        ] );
+      ( "generators",
+        [ Alcotest.test_case "shapes" `Quick test_generators_shapes ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "paper" `Quick test_paper_dataset;
+          Alcotest.test_case "by_name" `Quick test_datasets_by_name;
+        ] );
+    ]

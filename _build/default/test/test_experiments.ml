@@ -1,0 +1,126 @@
+(* Integration tests of the experiment harness on a small dataset —
+   fast enough for the regular test run, and enough to catch wiring
+   regressions before the (long) full bench. *)
+
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module E = Rs_experiments
+
+let small_options =
+  { Builder.default_options with Builder.opt_a_max_states = 500_000 }
+
+let small_ds = lazy (Dataset.generate "zipf-24")
+let budgets = [ 6; 12 ]
+
+let rows =
+  lazy
+    (E.Figure1.run ~options:small_options ~budgets
+       ~methods:E.Figure1.extended_methods (Lazy.force small_ds))
+
+let test_figure1_rows_complete () =
+  let rows = Lazy.force rows in
+  Alcotest.(check int) "one row per (method, budget)"
+    (List.length E.Figure1.extended_methods * List.length budgets)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "sse finite & non-negative" true
+        (Float.is_finite r.E.Figure1.sse && r.E.Figure1.sse >= 0.);
+      Alcotest.(check bool) "within budget" true
+        (r.E.Figure1.actual_words <= r.E.Figure1.budget))
+    rows
+
+let test_figure1_opt_a_dominates_avg_class () =
+  (* On this small dataset the staged OPT-A is exact, so no other
+     2-words-per-bucket average histogram may beat it. *)
+  let rows = Lazy.force rows in
+  List.iter
+    (fun budget ->
+      let sse m =
+        match E.Figure1.find rows ~method_name:m ~budget with
+        | Some r -> r.E.Figure1.sse
+        | None -> Alcotest.failf "missing row %s/%d" m budget
+      in
+      let opt = sse "opt-a" in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "opt-a <= %s at %dw" m budget)
+            true
+            (opt <= sse m +. 1e-6))
+        [ "a0"; "naive" ])
+    budgets
+
+let test_figure1_tables_render () =
+  let rows = Lazy.force rows in
+  let t = E.Figure1.table rows in
+  Alcotest.(check bool) "has opt-a" true (Helpers.contains t "opt-a");
+  Alcotest.(check bool) "has budget col" true (Helpers.contains t "12w");
+  let tt = E.Figure1.timing_table rows in
+  Alcotest.(check bool) "timing renders" true (Helpers.contains tt "sap1");
+  let csv = E.Figure1.csv rows in
+  Alcotest.(check bool) "csv header" true
+    (Helpers.contains csv "method,budget_words")
+
+let test_claims_run () =
+  let rows = Lazy.force rows in
+  let verdicts = E.Claims.all rows in
+  Alcotest.(check int) "five claims" 5 (List.length verdicts);
+  let t = E.Claims.table verdicts in
+  List.iter
+    (fun id -> Alcotest.(check bool) id true (Helpers.contains t id))
+    [ "C1"; "C2"; "C3"; "C5a"; "C5b" ]
+
+let test_reopt_study () =
+  let rows =
+    E.Reopt_study.run ~options:small_options ~budgets:[ 6 ]
+      ~bases:[ "a0"; "equi-width" ] (Lazy.force small_ds)
+  in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "reopt never hurts" true
+        (r.E.Reopt_study.improvement_pct >= -1e-6))
+    rows;
+  ignore (E.Reopt_study.table rows)
+
+let test_rounding_study () =
+  let rows =
+    E.Rounding_study.run ~buckets:3 ~xs:[ 1; 4 ] ~max_states:500_000
+      (Lazy.force small_ds)
+  in
+  (* Baseline plus the feasible xs. *)
+  Alcotest.(check bool) "has baseline" true
+    (List.exists (fun r -> r.E.Rounding_study.x = 0) rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ratio >= 1 up to noise" true
+        (r.E.Rounding_study.ratio_to_exact >= 1. -. 1e-6))
+    rows;
+  ignore (E.Rounding_study.table rows)
+
+let test_scalability_smoke () =
+  let rows =
+    E.Scalability.run ~ns:[ 31 ] ~methods:[ "sap0"; "wave-range-opt" ]
+      ~budget_words:8 ()
+  in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  ignore (E.Scalability.table rows)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "rows complete" `Quick test_figure1_rows_complete;
+          Alcotest.test_case "opt-a dominates" `Quick test_figure1_opt_a_dominates_avg_class;
+          Alcotest.test_case "tables render" `Quick test_figure1_tables_render;
+        ] );
+      ( "studies",
+        [
+          Alcotest.test_case "claims" `Quick test_claims_run;
+          Alcotest.test_case "reopt" `Quick test_reopt_study;
+          Alcotest.test_case "rounding" `Quick test_rounding_study;
+          Alcotest.test_case "scalability" `Quick test_scalability_smoke;
+        ] );
+    ]

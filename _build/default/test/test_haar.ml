@@ -1,0 +1,153 @@
+module Haar = Rs_wavelet.Haar
+module Rng = Rs_dist.Rng
+
+let test_pow2_helpers () =
+  Alcotest.(check bool) "1" true (Haar.is_pow2 1);
+  Alcotest.(check bool) "64" true (Haar.is_pow2 64);
+  Alcotest.(check bool) "0" false (Haar.is_pow2 0);
+  Alcotest.(check bool) "12" false (Haar.is_pow2 12);
+  Alcotest.(check int) "next 1" 1 (Haar.next_pow2 0);
+  Alcotest.(check int) "next 5" 8 (Haar.next_pow2 5);
+  Alcotest.(check int) "next 8" 8 (Haar.next_pow2 8);
+  Alcotest.(check int) "next 129" 256 (Haar.next_pow2 129)
+
+let test_known_transform () =
+  (* N = 4 worked example: scaling = Σ/2, first detail = (x0+x1−x2−x3)/2. *)
+  let w = Haar.transform [| 4.; 2.; 5.; 7. |] in
+  Helpers.check_close "c0" 9. w.(0);
+  Helpers.check_close "c1" (-3.) w.(1);
+  Helpers.check_close "c2" (2. /. sqrt 2.) w.(2);
+  Helpers.check_close "c3" (-2. /. sqrt 2.) w.(3)
+
+let test_roundtrip () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun len ->
+      let x = Array.init len (fun _ -> Rng.float rng *. 100.) in
+      let back = Haar.inverse (Haar.transform x) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %d" len)
+        true
+        (Rs_util.Float_cmp.close_arrays ~rel_tol:1e-9 ~abs_tol:1e-9 x back))
+    [ 1; 2; 4; 8; 64; 256 ]
+
+let test_parseval () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let x = Array.init 32 (fun _ -> Rng.float rng *. 10.) in
+    let w = Haar.transform x in
+    let e v = Array.fold_left (fun acc a -> acc +. (a *. a)) 0. v in
+    Helpers.check_close ~tol:1e-9 "energy preserved" (e x) (e w)
+  done
+
+let test_orthonormal_basis () =
+  let n = 16 in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let bi = Haar.basis ~n ~index:i and bj = Haar.basis ~n ~index:j in
+      let dot = ref 0. in
+      for t = 0 to n - 1 do
+        dot := !dot +. (bi.(t) *. bj.(t))
+      done;
+      Helpers.check_close ~tol:1e-9
+        (Printf.sprintf "<ψ%d,ψ%d>" i j)
+        (if i = j then 1. else 0.)
+        !dot
+    done
+  done
+
+let test_psi_matches_transform () =
+  (* Transforming a basis vector yields the corresponding unit
+     coefficient vector. *)
+  let n = 32 in
+  for index = 0 to n - 1 do
+    let w = Haar.transform (Haar.basis ~n ~index) in
+    for k = 0 to n - 1 do
+      Helpers.check_close ~tol:1e-9 "unit" (if k = index then 1. else 0.) w.(k)
+    done
+  done
+
+let test_psi_prefix_matches_sum () =
+  let n = 64 in
+  for index = 0 to n - 1 do
+    let b = Haar.basis ~n ~index in
+    let acc = ref 0. in
+    Helpers.check_close "empty prefix" 0. (Haar.psi_prefix ~n ~index ~upto:(-1));
+    for upto = 0 to n - 1 do
+      acc := !acc +. b.(upto);
+      Helpers.check_close ~tol:1e-9
+        (Printf.sprintf "I_%d(%d)" index upto)
+        !acc
+        (Haar.psi_prefix ~n ~index ~upto)
+    done;
+    (* Every non-scaling wavelet sums to zero — the key fact behind the
+       range-optimal selection. *)
+    if index > 0 then Helpers.check_close ~tol:1e-9 "zero sum" 0. !acc
+  done
+
+let test_sparse_reconstruction () =
+  let rng = Rng.create 3 in
+  let n = 64 in
+  let x = Array.init n (fun _ -> Rng.float rng *. 20.) in
+  let w = Haar.transform x in
+  (* Keep a random subset; compare sparse reconstruction against dense
+     inverse of the zero-filled coefficients. *)
+  for _ = 1 to 5 do
+    let keep = Array.init n (fun i -> (i, Rng.bool rng)) in
+    let coeffs =
+      Array.of_list
+        (List.filter_map
+           (fun (i, k) -> if k then Some (i, w.(i)) else None)
+           (Array.to_list keep))
+    in
+    let dense = Array.make n 0. in
+    Array.iter (fun (i, c) -> dense.(i) <- c) coeffs;
+    let expect = Haar.inverse dense in
+    let got = Haar.reconstruct ~n ~coeffs in
+    Alcotest.(check bool) "sparse = dense" true
+      (Rs_util.Float_cmp.close_arrays ~rel_tol:1e-8 ~abs_tol:1e-8 expect got)
+  done
+
+let test_pad () =
+  let x = [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "zero" true
+    (Rs_util.Float_cmp.close_arrays [| 1.; 2.; 3.; 0. |] (Haar.pad `Zero x));
+  Alcotest.(check bool) "repeat" true
+    (Rs_util.Float_cmp.close_arrays [| 1.; 2.; 3.; 3. |] (Haar.pad `Repeat_last x));
+  Alcotest.(check bool) "already pow2" true
+    (Rs_util.Float_cmp.close_arrays [| 1.; 2. |] (Haar.pad `Zero [| 1.; 2. |]))
+
+let test_rejects_non_pow2 () =
+  try
+    ignore (Haar.transform [| 1.; 2.; 3. |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_roundtrip =
+  Helpers.qtest "transform/inverse roundtrip"
+    QCheck.(array_of_size (QCheck.Gen.return 32) (float_bound_exclusive 100.))
+    (fun x ->
+      Rs_util.Float_cmp.close_arrays ~rel_tol:1e-8 ~abs_tol:1e-8 x
+        (Haar.inverse (Haar.transform x)))
+
+let () =
+  Alcotest.run "haar"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "pow2 helpers" `Quick test_pow2_helpers;
+          Alcotest.test_case "known values" `Quick test_known_transform;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+          Alcotest.test_case "rejects non-pow2" `Quick test_rejects_non_pow2;
+          prop_roundtrip;
+        ] );
+      ( "basis",
+        [
+          Alcotest.test_case "orthonormal" `Quick test_orthonormal_basis;
+          Alcotest.test_case "psi = transform" `Quick test_psi_matches_transform;
+          Alcotest.test_case "psi_prefix = sums" `Quick test_psi_prefix_matches_sum;
+          Alcotest.test_case "sparse reconstruction" `Quick test_sparse_reconstruction;
+          Alcotest.test_case "pad" `Quick test_pad;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+module Ktbl = Rs_histogram.Ktbl
+module Rng = Rs_dist.Rng
+
+let test_empty () =
+  let t = Ktbl.create () in
+  Alcotest.(check int) "length" 0 (Ktbl.length t);
+  Alcotest.(check bool) "find" true (Ktbl.find_f t 42 = None);
+  Alcotest.(check bool) "min" true (Ktbl.fold_min_f t = None)
+
+let test_insert_and_update () =
+  let t = Ktbl.create () in
+  Alcotest.(check bool) "new key" true
+    (Ktbl.update_min t ~key:5 ~f:10. ~prev_j:1 ~prev_key:2);
+  Alcotest.(check bool) "existing key" false
+    (Ktbl.update_min t ~key:5 ~f:20. ~prev_j:3 ~prev_key:4);
+  (* Larger f must not replace. *)
+  Alcotest.(check (option (pair int int))) "parent kept" (Some (1, 2))
+    (Ktbl.find_parent t 5);
+  Alcotest.(check bool) "f kept" true (Ktbl.find_f t 5 = Some 10.);
+  (* Smaller f replaces value and parent. *)
+  ignore (Ktbl.update_min t ~key:5 ~f:3. ~prev_j:7 ~prev_key:8);
+  Alcotest.(check (option (pair int int))) "parent updated" (Some (7, 8))
+    (Ktbl.find_parent t 5);
+  Alcotest.(check bool) "f updated" true (Ktbl.find_f t 5 = Some 3.);
+  Alcotest.(check int) "length" 1 (Ktbl.length t)
+
+let test_negative_and_zero_keys () =
+  let t = Ktbl.create () in
+  List.iter
+    (fun k -> ignore (Ktbl.update_min t ~key:k ~f:(float_of_int k) ~prev_j:0 ~prev_key:0))
+    [ 0; -1; 1; min_int + 1; max_int; -999999 ];
+  Alcotest.(check int) "all present" 6 (Ktbl.length t);
+  Alcotest.(check bool) "negative found" true (Ktbl.find_f t (-999999) = Some (-999999.))
+
+let test_growth_many_keys () =
+  let t = Ktbl.create () in
+  let n = 100_000 in
+  for k = 0 to n - 1 do
+    ignore (Ktbl.update_min t ~key:(k * 7) ~f:(float_of_int k) ~prev_j:k ~prev_key:(-k))
+  done;
+  Alcotest.(check int) "length" n (Ktbl.length t);
+  for k = 0 to n - 1 do
+    if Ktbl.find_f t (k * 7) <> Some (float_of_int k) then
+      Alcotest.failf "lost key %d" (k * 7)
+  done
+
+let test_iter_visits_all () =
+  let t = Ktbl.create () in
+  for k = 1 to 500 do
+    ignore (Ktbl.update_min t ~key:(-k) ~f:(float_of_int (k mod 17)) ~prev_j:0 ~prev_key:0)
+  done;
+  let seen = ref 0 and sum = ref 0 in
+  Ktbl.iter (fun ~key ~f:_ -> incr seen; sum := !sum + key) t;
+  Alcotest.(check int) "count" 500 !seen;
+  Alcotest.(check int) "keys" (-(500 * 501 / 2)) !sum
+
+let test_fold_min () =
+  let t = Ktbl.create () in
+  ignore (Ktbl.update_min t ~key:1 ~f:5. ~prev_j:0 ~prev_key:0);
+  ignore (Ktbl.update_min t ~key:2 ~f:3. ~prev_j:0 ~prev_key:0);
+  ignore (Ktbl.update_min t ~key:3 ~f:9. ~prev_j:0 ~prev_key:0);
+  Alcotest.(check bool) "min" true (Ktbl.fold_min_f t = Some (2, 3.))
+
+(* Randomized differential test against Hashtbl semantics. *)
+let prop_matches_hashtbl =
+  Helpers.qtest ~count:100 "ktbl = hashtbl model"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let t = Ktbl.create () in
+      let model : (int, float * (int * int)) Hashtbl.t = Hashtbl.create 16 in
+      for _ = 1 to 2_000 do
+        let key = Rng.int rng 300 - 150 in
+        let f = float_of_int (Rng.int rng 1000) in
+        let pj = Rng.int rng 50 and pk = Rng.int rng 50 in
+        ignore (Ktbl.update_min t ~key ~f ~prev_j:pj ~prev_key:pk);
+        match Hashtbl.find_opt model key with
+        | Some (f0, _) when f0 <= f -> ()
+        | _ -> Hashtbl.replace model key (f, (pj, pk))
+      done;
+      Hashtbl.length model = Ktbl.length t
+      && Hashtbl.fold
+           (fun key (f, parent) ok ->
+             ok
+             && Ktbl.find_f t key = Some f
+             && Ktbl.find_parent t key = Some parent)
+           model true)
+
+let () =
+  Alcotest.run "ktbl"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/update" `Quick test_insert_and_update;
+          Alcotest.test_case "negative keys" `Quick test_negative_and_zero_keys;
+          Alcotest.test_case "growth" `Quick test_growth_many_keys;
+          Alcotest.test_case "iter" `Quick test_iter_visits_all;
+          Alcotest.test_case "fold_min" `Quick test_fold_min;
+          prop_matches_hashtbl;
+        ] );
+    ]

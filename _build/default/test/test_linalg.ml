@@ -1,0 +1,184 @@
+module Matrix = Rs_linalg.Matrix
+module Vector = Rs_linalg.Vector
+module Solve = Rs_linalg.Solve
+module Regression = Rs_linalg.Regression
+module Rng = Rs_dist.Rng
+
+let test_vector_ops () =
+  Helpers.check_close "dot" 32. (Vector.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  Helpers.check_close "norm2" 14. (Vector.norm2 [| 1.; 2.; 3. |]);
+  Helpers.check_close "norm" (sqrt 14.) (Vector.norm [| 1.; 2.; 3. |]);
+  Helpers.check_close "sum" 6. (Vector.sum [| 1.; 2.; 3. |]);
+  Alcotest.(check bool) "add" true
+    (Rs_util.Float_cmp.close_arrays [| 5.; 7. |] (Vector.add [| 1.; 2. |] [| 4.; 5. |]));
+  Alcotest.(check bool) "sub" true
+    (Rs_util.Float_cmp.close_arrays [| -3.; -3. |] (Vector.sub [| 1.; 2. |] [| 4.; 5. |]));
+  let y = [| 1.; 1. |] in
+  Vector.axpy_in_place ~alpha:2. ~x:[| 3.; 4. |] ~y;
+  Alcotest.(check bool) "axpy" true (Rs_util.Float_cmp.close_arrays [| 7.; 9. |] y);
+  Helpers.check_close "max_abs" 4. (Vector.max_abs [| -4.; 3. |]);
+  try
+    ignore (Vector.dot [| 1. |] [| 1.; 2. |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_matrix_basic () =
+  let m = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Helpers.check_close "get" 3. (Matrix.get m 1 0);
+  let mt = Matrix.transpose m in
+  Helpers.check_close "transpose" 2. (Matrix.get mt 1 0);
+  let prod = Matrix.mul m (Matrix.identity 2) in
+  Alcotest.(check bool) "mul id" true
+    (Matrix.frobenius_norm (Matrix.sub prod m) < 1e-12);
+  let v = Matrix.mul_vec m [| 1.; 1. |] in
+  Alcotest.(check bool) "mul_vec" true
+    (Rs_util.Float_cmp.close_arrays [| 3.; 7. |] v);
+  Alcotest.(check bool) "sym no" false (Matrix.is_symmetric m);
+  let s = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 5. |] |] in
+  Alcotest.(check bool) "sym yes" true (Matrix.is_symmetric s)
+
+let random_spd rng n =
+  (* AᵀA + I is SPD. *)
+  let a =
+    Matrix.init ~rows:n ~cols:n (fun _ _ -> Rng.float rng -. 0.5)
+  in
+  Matrix.add_ridge (Matrix.mul (Matrix.transpose a) a) 1.
+
+let test_gaussian_solve () =
+  let rng = Rng.create 300 in
+  for _ = 1 to 20 do
+    let n = 1 + Rng.int rng 10 in
+    let a = Matrix.init ~rows:n ~cols:n (fun _ _ -> Rng.float rng -. 0.5) in
+    let a = Matrix.add_ridge a 2. (* keep it comfortably nonsingular *) in
+    let x_true = Array.init n (fun _ -> Rng.float rng *. 4.) in
+    let b = Matrix.mul_vec a x_true in
+    let x = Solve.gaussian a b in
+    Alcotest.(check bool) "residual" true (Solve.residual_norm a x b < 1e-8);
+    Alcotest.(check bool) "solution" true
+      (Rs_util.Float_cmp.close_arrays ~rel_tol:1e-6 ~abs_tol:1e-6 x_true x)
+  done
+
+let test_singular_raises () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  try
+    ignore (Solve.gaussian a [| 1.; 1. |]);
+    Alcotest.fail "expected Singular"
+  with Solve.Singular -> ()
+
+let test_inverse () =
+  let rng = Rng.create 301 in
+  for _ = 1 to 10 do
+    let n = 1 + Rng.int rng 6 in
+    let a = Matrix.add_ridge (Matrix.init ~rows:n ~cols:n (fun _ _ -> Rng.float rng)) 3. in
+    let inv = Solve.inverse a in
+    let prod = Matrix.mul a inv in
+    Alcotest.(check bool) "a·a⁻¹ = I" true
+      (Matrix.frobenius_norm (Matrix.sub prod (Matrix.identity n)) < 1e-8)
+  done
+
+let test_cholesky () =
+  let rng = Rng.create 302 in
+  for _ = 1 to 10 do
+    let n = 1 + Rng.int rng 8 in
+    let a = random_spd rng n in
+    let l = Solve.cholesky a in
+    let llt = Matrix.mul l (Matrix.transpose l) in
+    Alcotest.(check bool) "LLᵀ = A" true
+      (Matrix.frobenius_norm (Matrix.sub llt a) < 1e-8);
+    let b = Array.init n (fun _ -> Rng.float rng) in
+    let x = Solve.cholesky_solve a b in
+    Alcotest.(check bool) "solve" true (Solve.residual_norm a x b < 1e-8)
+  done
+
+let test_cholesky_rejects_indefinite () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  try
+    ignore (Solve.cholesky a);
+    Alcotest.fail "expected Not_positive_definite"
+  with Solve.Not_positive_definite -> ()
+
+let test_solve_spd_handles_semidefinite () =
+  (* Rank-deficient PSD: ridge fallback still produces a usable least-
+     squares-ish solution with small residual for consistent systems. *)
+  let a = Matrix.of_arrays [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let b = [| 2.; 2. |] in
+  let x = Solve.solve_spd a b in
+  Alcotest.(check bool) "residual small" true (Solve.residual_norm a x b < 1e-3)
+
+let test_regression_exact_line () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3. *. float_of_int i) +. 2.)) in
+  let f = Regression.fit_points pts in
+  Helpers.check_close "slope" 3. f.Regression.slope;
+  Helpers.check_close "intercept" 2. f.Regression.intercept;
+  Helpers.check_close "rss" 0. f.Regression.rss;
+  Helpers.check_close "predict" 17. (Regression.predict f 5.)
+
+let test_regression_degenerate () =
+  let f0 = Regression.fit_points [||] in
+  Helpers.check_close "empty rss" 0. f0.Regression.rss;
+  let f1 = Regression.fit_points [| (2., 7.) |] in
+  Helpers.check_close "single intercept" 7. f1.Regression.intercept;
+  Helpers.check_close "single rss" 0. f1.Regression.rss;
+  Alcotest.(check bool) "mean fit" true (Regression.mean_fit f1);
+  (* All x equal: degenerate to the mean of y. *)
+  let f2 = Regression.fit_points [| (1., 2.); (1., 4.) |] in
+  Helpers.check_close "const-x intercept" 3. f2.Regression.intercept;
+  Helpers.check_close "const-x rss" 2. f2.Regression.rss
+
+let test_regression_moments_match_points () =
+  let rng = Rng.create 303 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 15 in
+    let pts =
+      Array.init n (fun i -> (float_of_int i, Rng.float rng *. 20.))
+    in
+    let direct = Regression.fit_points pts in
+    let acc f = Array.fold_left (fun a p -> a +. f p) 0. pts in
+    let via_moments =
+      Regression.fit_moments ~m:(float_of_int n) ~sx:(acc fst) ~sy:(acc snd)
+        ~sxx:(acc (fun (x, _) -> x *. x))
+        ~sxy:(acc (fun (x, y) -> x *. y))
+        ~syy:(acc (fun (_, y) -> y *. y))
+    in
+    Helpers.check_close ~tol:1e-6 "slope" direct.Regression.slope
+      via_moments.Regression.slope;
+    Helpers.check_close ~tol:1e-6 "intercept" direct.Regression.intercept
+      via_moments.Regression.intercept;
+    Helpers.check_close ~tol:1e-6 "rss" direct.Regression.rss
+      via_moments.Regression.rss
+  done
+
+let prop_rss_below_variance =
+  Helpers.qtest "regression rss ≤ total variance"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 20) (pair (float_bound_exclusive 10.) (float_bound_exclusive 10.)))
+    (fun pts ->
+      let pts = Array.of_list pts in
+      let f = Regression.fit_points pts in
+      let n = float_of_int (Array.length pts) in
+      let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let syy = Array.fold_left (fun a (_, y) -> a +. (y *. y)) 0. pts in
+      let var = syy -. (sy *. sy /. n) in
+      f.Regression.rss <= var +. 1e-6)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ("vector", [ Alcotest.test_case "ops" `Quick test_vector_ops ]);
+      ("matrix", [ Alcotest.test_case "basic" `Quick test_matrix_basic ]);
+      ( "solve",
+        [
+          Alcotest.test_case "gaussian" `Quick test_gaussian_solve;
+          Alcotest.test_case "singular" `Quick test_singular_raises;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "cholesky" `Quick test_cholesky;
+          Alcotest.test_case "indefinite" `Quick test_cholesky_rejects_indefinite;
+          Alcotest.test_case "spd fallback" `Quick test_solve_spd_handles_semidefinite;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "exact line" `Quick test_regression_exact_line;
+          Alcotest.test_case "degenerate" `Quick test_regression_degenerate;
+          Alcotest.test_case "moments = points" `Quick test_regression_moments_match_points;
+          prop_rss_below_variance;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module Workload = Rs_query.Workload
+module Error = Rs_query.Error
+module Prefix = Rs_util.Prefix
+module Rng = Rs_dist.Rng
+
+let test_all_ranges_size () =
+  let w = Workload.all_ranges ~n:10 in
+  Alcotest.(check int) "size" 55 (Workload.size w);
+  Helpers.check_close "weight" 55. (Workload.total_weight w)
+
+let test_point_queries () =
+  let w = Workload.point_queries ~n:5 in
+  Alcotest.(check int) "size" 5 (Workload.size w);
+  Array.iter
+    (fun { Workload.a; b; weight } ->
+      Alcotest.(check int) "point" a b;
+      Helpers.check_close "weight 1" 1. weight)
+    w.Workload.queries
+
+let test_random_ranges_valid () =
+  let rng = Rng.create 1 in
+  let w = Workload.random_ranges rng ~n:30 ~count:500 in
+  Alcotest.(check int) "count" 500 (Workload.size w);
+  Array.iter
+    (fun { Workload.a; b; _ } ->
+      Alcotest.(check bool) "valid" true (1 <= a && a <= b && b <= 30))
+    w.Workload.queries
+
+let test_short_biased_lengths () =
+  let rng = Rng.create 2 in
+  let w = Workload.short_biased rng ~n:1000 ~count:2000 ~mean_length:10 in
+  let mean_len =
+    Array.fold_left
+      (fun acc { Workload.a; b; _ } -> acc +. float_of_int (b - a + 1))
+      0. w.Workload.queries
+    /. 2000.
+  in
+  Alcotest.(check bool) "mean near 10" true (mean_len > 6. && mean_len < 14.)
+
+let test_workload_validation () =
+  (try
+     ignore (Workload.of_pairs ~n:5 [| (0, 3) |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Workload.of_pairs ~n:5 [| (4, 2) |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Workload.of_queries ~n:5 [| { Workload.a = 1; b = 2; weight = -1. } |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* The closed form (n+1)·Σd² − (Σd)² equals enumeration for
+   prefix-difference estimators. *)
+let test_prefix_form_equals_brute () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let n = 1 + Rng.int rng 30 in
+    let data = Helpers.random_float_data rng ~n ~hi:20. in
+    let p = Prefix.create data in
+    (* Random approximate prefix vector. *)
+    let d_hat =
+      Array.init (n + 1) (fun t -> Prefix.prefix p t +. ((Rng.float rng -. 0.5) *. 10.))
+    in
+    let estimate ~a ~b = d_hat.(b) -. d_hat.(a - 1) in
+    Helpers.check_close ~tol:1e-6 "prefix form = brute"
+      (Error.sse_all_ranges p estimate)
+      (Error.sse_prefix_form p d_hat)
+  done
+
+let test_sse_all_ranges_equals_workload_enumeration () =
+  let rng = Rng.create 4 in
+  let n = 15 in
+  let data = Helpers.random_int_data rng ~n ~hi:10 in
+  let p = Prefix.create data in
+  let estimate ~a ~b = float_of_int (b - a + 1) *. 2. in
+  let w = Workload.all_ranges ~n in
+  Helpers.check_close ~tol:1e-9 "same"
+    (Error.sse_all_ranges p estimate)
+    (Error.sse_of_workload p w estimate)
+
+let test_perfect_estimator_zero_error () =
+  let data = [| 3.; 1.; 4.; 1.; 5. |] in
+  let p = Prefix.create data in
+  let perfect ~a ~b = Prefix.range_sum p ~a ~b in
+  Helpers.check_close "sse 0" 0. (Error.sse_all_ranges p perfect);
+  let m = Error.metrics_all_ranges p perfect in
+  Helpers.check_close "rmse 0" 0. m.Error.rmse;
+  Helpers.check_close "max 0" 0. m.Error.max_abs;
+  Helpers.check_close "mean_rel 0" 0. m.Error.mean_rel
+
+let test_metrics_known_values () =
+  (* n = 2, data (1, 3): queries (1,1)=1, (2,2)=3, (1,2)=4.
+     Estimator always answers 2: errors 1, −1, 2. *)
+  let p = Prefix.create [| 1.; 3. |] in
+  let estimate ~a ~b =
+    ignore a;
+    ignore b;
+    2.
+  in
+  let m = Error.metrics_all_ranges p estimate in
+  Helpers.check_close "sse" 6. m.Error.sse;
+  Helpers.check_close "rmse" (sqrt 2.) m.Error.rmse;
+  Helpers.check_close "max" 2. m.Error.max_abs;
+  Helpers.check_close "mean_abs" (4. /. 3.) m.Error.mean_abs;
+  (* rel: 1/1, 1/3, 2/4 → mean 11/18 *)
+  Helpers.check_close "mean_rel" (11. /. 18.) m.Error.mean_rel
+
+let test_naive_estimator () =
+  let p = Prefix.create [| 2.; 4.; 6. |] in
+  let naive = Error.naive_estimator p in
+  Helpers.check_close "naive" 8. (naive ~a:1 ~b:2);
+  Helpers.check_close "naive full" 12. (naive ~a:1 ~b:3)
+
+let test_workload_mismatch_rejected () =
+  let p = Prefix.create [| 1.; 2. |] in
+  let w = Workload.all_ranges ~n:3 in
+  try
+    ignore (Error.sse_of_workload p w (fun ~a:_ ~b:_ -> 0.));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_sse_non_negative =
+  Helpers.qtest "sse non-negative" Helpers.small_data_arb (fun data ->
+      let p = Prefix.create data in
+      let est ~a ~b = float_of_int (b - a) in
+      Error.sse_all_ranges p est >= 0.)
+
+let prop_prefix_form_invariant_to_shift =
+  (* Adding a constant to D̂ does not change range answers, hence not the
+     SSE — the identity behind the free wavelet scaling coefficient. *)
+  Helpers.qtest "prefix-form SSE shift-invariant" Helpers.small_data_arb
+    (fun data ->
+      let p = Prefix.create data in
+      let n = Array.length data in
+      let rng = Rng.create (Hashtbl.hash data) in
+      let d_hat = Array.init (n + 1) (fun _ -> Rng.float rng *. 30.) in
+      let shifted = Array.map (fun v -> v +. 17.5) d_hat in
+      Helpers.close ~tol:1e-5
+        (Error.sse_prefix_form p d_hat)
+        (Error.sse_prefix_form p shifted))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "all ranges" `Quick test_all_ranges_size;
+          Alcotest.test_case "points" `Quick test_point_queries;
+          Alcotest.test_case "random valid" `Quick test_random_ranges_valid;
+          Alcotest.test_case "short biased" `Quick test_short_biased_lengths;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+        ] );
+      ( "error",
+        [
+          Alcotest.test_case "prefix form = brute" `Quick test_prefix_form_equals_brute;
+          Alcotest.test_case "all = workload" `Quick test_sse_all_ranges_equals_workload_enumeration;
+          Alcotest.test_case "perfect" `Quick test_perfect_estimator_zero_error;
+          Alcotest.test_case "known metrics" `Quick test_metrics_known_values;
+          Alcotest.test_case "naive" `Quick test_naive_estimator;
+          Alcotest.test_case "mismatch" `Quick test_workload_mismatch_rejected;
+          prop_sse_non_negative;
+          prop_prefix_form_invariant_to_shift;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+module Prefix = Rs_util.Prefix
+module Cum = Rs_util.Cum
+module Text_table = Rs_util.Text_table
+module Float_cmp = Rs_util.Float_cmp
+module Rng = Rs_dist.Rng
+
+let test_cum_ranges () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  let c = Cum.of_array x in
+  Alcotest.(check int) "length" 5 (Cum.length c);
+  Helpers.check_close "total" 15. (Cum.total c);
+  for u = 0 to 4 do
+    for v = u to 4 do
+      let expected = ref 0. in
+      for i = u to v do
+        expected := !expected +. x.(i)
+      done;
+      Helpers.check_close "range" !expected (Cum.range c ~u ~v)
+    done
+  done;
+  Helpers.check_close "empty range" 0. (Cum.range c ~u:3 ~v:2)
+
+let test_cum_empty () =
+  let c = Cum.of_array [||] in
+  Alcotest.(check int) "length" 0 (Cum.length c);
+  Helpers.check_close "total" 0. (Cum.total c)
+
+let test_cum_rejects_nan () =
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Cum.of_fun: expected a finite float, got nan") (fun () ->
+      ignore (Cum.of_array [| Float.nan |]))
+
+let test_cum_kahan_precision () =
+  (* Many tiny values after a huge one: naive summation loses them. *)
+  let n = 100_000 in
+  let c = Cum.of_fun ~m:(n + 1) (fun i -> if i = 0 then 1e16 else 1.) in
+  let tail = Cum.range c ~u:1 ~v:n in
+  Helpers.check_close ~tol:1e-9 "tail survives" (float_of_int n) tail
+
+let test_prefix_basic () =
+  let p = Prefix.create [| 1.; 3.; 5.; 11.; 12.; 13. |] in
+  Alcotest.(check int) "n" 6 (Prefix.n p);
+  Helpers.check_close "P[0]" 0. (Prefix.prefix p 0);
+  Helpers.check_close "P[6]" 45. (Prefix.prefix p 6);
+  Helpers.check_close "s[2,4]" 19. (Prefix.range_sum p ~a:2 ~b:4);
+  Helpers.check_close "value" 11. (Prefix.value p 4);
+  Helpers.check_close "mean" (45. /. 6.) (Prefix.mean p ~a:1 ~b:6);
+  Helpers.check_close "total" 45. (Prefix.total p)
+
+let test_prefix_moments_match_loops () =
+  let rng = Rng.create 42 in
+  for _trial = 1 to 20 do
+    let n = 1 + Rng.int rng 30 in
+    let a = Helpers.random_float_data rng ~n ~hi:50. in
+    let p = Prefix.create a in
+    let pv = Prefix.prefix_vector p in
+    let u = Rng.int rng (n + 1) in
+    let v = u + Rng.int rng (n + 1 - u) in
+    let loop f =
+      let acc = ref 0. in
+      for t = u to v do
+        acc := !acc +. f t
+      done;
+      !acc
+    in
+    Helpers.check_close "sum_p" (loop (fun t -> pv.(t))) (Prefix.sum_p p ~u ~v);
+    Helpers.check_close "sum_p2"
+      (loop (fun t -> pv.(t) *. pv.(t)))
+      (Prefix.sum_p2 p ~u ~v);
+    Helpers.check_close "sum_tp"
+      (loop (fun t -> float_of_int t *. pv.(t)))
+      (Prefix.sum_tp p ~u ~v);
+    Helpers.check_close "sum_t" (loop float_of_int) (Prefix.sum_t ~u ~v);
+    Helpers.check_close "sum_t2"
+      (loop (fun t -> float_of_int (t * t)))
+      (Prefix.sum_t2 ~u ~v);
+    (* Data-index moments: 1-based [a0, b0]. *)
+    let a0 = 1 + Rng.int rng n in
+    let b0 = a0 + Rng.int rng (n + 1 - a0) in
+    let loop_data f =
+      let acc = ref 0. in
+      for i = a0 to b0 do
+        acc := !acc +. f a.(i - 1)
+      done;
+      !acc
+    in
+    Helpers.check_close "sum_a" (loop_data Fun.id) (Prefix.sum_a p ~a:a0 ~b:b0);
+    Helpers.check_close "sum_a2"
+      (loop_data (fun x -> x *. x))
+      (Prefix.sum_a2 p ~a:a0 ~b:b0)
+  done
+
+let test_prefix_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Prefix.create: expected a non-empty array") (fun () ->
+      ignore (Prefix.create [||]))
+
+let test_prefix_bounds_checked () =
+  let p = Prefix.create [| 1.; 2. |] in
+  (try
+     ignore (Prefix.range_sum p ~a:0 ~b:1);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Prefix.prefix p 3);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_text_table_render () =
+  let out =
+    Text_table.render ~header:[ "method"; "sse" ]
+      [ [ "naive"; "100.0" ]; [ "opt-a"; "3.5" ] ]
+  in
+  Alcotest.(check bool) "contains header" true (Helpers.contains out "method");
+  Alcotest.(check bool) "contains row" true (Helpers.contains out "opt-a")
+
+let test_text_table_csv () =
+  let out =
+    Text_table.to_csv ~header:[ "a"; "b" ] [ [ "x,y"; "he said \"hi\"" ] ]
+  in
+  Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n" out
+
+let test_float_cells () =
+  Alcotest.(check string) "fixed" "3.142" (Text_table.float_cell 3.14159);
+  Alcotest.(check string) "sci" "1.000e+09" (Text_table.float_cell 1e9);
+  Alcotest.(check string) "ratio" "2.50x" (Text_table.ratio_cell 2.5)
+
+let test_float_cmp () =
+  Alcotest.(check bool) "equal" true (Float_cmp.close 1. 1.);
+  Alcotest.(check bool) "close rel" true (Float_cmp.close 1e12 (1e12 +. 1e2));
+  Alcotest.(check bool) "not close" false (Float_cmp.close 1. 2.);
+  Alcotest.(check bool) "nan" false (Float_cmp.close Float.nan Float.nan);
+  Alcotest.(check bool) "arrays" true
+    (Float_cmp.close_arrays [| 1.; 2. |] [| 1.; 2. |]);
+  Alcotest.(check bool) "arrays len" false
+    (Float_cmp.close_arrays [| 1. |] [| 1.; 2. |])
+
+let prop_prefix_range_sum =
+  Helpers.qtest "prefix range_sum equals loop" Helpers.small_data_arb (fun a ->
+      let p = Prefix.create a in
+      let n = Array.length a in
+      let ok = ref true in
+      for x = 1 to n do
+        for y = x to n do
+          let expected = ref 0. in
+          for i = x to y do
+            expected := !expected +. a.(i - 1)
+          done;
+          if not (Helpers.close !expected (Prefix.range_sum p ~a:x ~b:y)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "rs_util"
+    [
+      ( "cum",
+        [
+          Alcotest.test_case "ranges" `Quick test_cum_ranges;
+          Alcotest.test_case "empty" `Quick test_cum_empty;
+          Alcotest.test_case "rejects nan" `Quick test_cum_rejects_nan;
+          Alcotest.test_case "kahan precision" `Quick test_cum_kahan_precision;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "basic" `Quick test_prefix_basic;
+          Alcotest.test_case "moments match loops" `Quick
+            test_prefix_moments_match_loops;
+          Alcotest.test_case "rejects empty" `Quick test_prefix_rejects_empty;
+          Alcotest.test_case "bounds checked" `Quick test_prefix_bounds_checked;
+          prop_prefix_range_sum;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_text_table_render;
+          Alcotest.test_case "csv" `Quick test_text_table_csv;
+          Alcotest.test_case "float cells" `Quick test_float_cells;
+        ] );
+      ("float_cmp", [ Alcotest.test_case "close" `Quick test_float_cmp ]);
+    ]
