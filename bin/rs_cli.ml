@@ -10,12 +10,17 @@
      claims     evaluate the paper's prose claims (C1..C5)
      reopt      the Section-5 re-optimization study (C4)
      rounding   the OPT-A-ROUNDED trade-off study (T4)
-     scale      scalability sweep of the polynomial methods (S1) *)
+     scale      scalability sweep of the polynomial methods (S1)
+
+   Exit codes follow Rs_util.Error.exit_code: 0 success, 2 bad input
+   (dataset, method, IO), 3 corrupt synopsis, 4 state budget or
+   deadline exhausted (cmdliner reserves 124/125 for CLI errors). *)
 
 open Cmdliner
 module Dataset = Rs_core.Dataset
 module Builder = Rs_core.Builder
 module Synopsis = Rs_core.Synopsis
+module Error = Rs_util.Error
 module E = Rs_experiments
 
 (* --- shared arguments --- *)
@@ -28,7 +33,8 @@ let dataset_arg =
   Arg.(value & opt string "paper" & info [ "d"; "data" ] ~docv:"DATA" ~doc)
 
 let load_dataset spec =
-  if Sys.file_exists spec then Dataset.load spec else Dataset.generate spec
+  if Sys.file_exists spec then Error.get (Dataset.load_result spec)
+  else Dataset.generate spec
 
 let budget_arg =
   let doc = "Storage budget in machine words." in
@@ -55,9 +61,17 @@ let quick_arg =
 let opt_a_states_arg =
   let doc =
     "State budget for the exact OPT-A dynamic program (default 6e7; the \
-     staged builder falls back to OPT-A-ROUNDED beyond it)."
+     staged builder falls down the degradation ladder beyond it)."
   in
   Arg.(value & opt (some int) None & info [ "opt-a-states" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline in seconds for synopsis construction; the opt-a \
+     ladder degrades to cheaper rungs (opt-a-rounded, then a0) rather than \
+     overrun it."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
 let options_of quick states =
   let base =
@@ -71,7 +85,30 @@ let options_of quick states =
 
 let options_of_quick quick = options_of quick None
 
-let wrap f = try `Ok (f ()) with Invalid_argument m | Failure m -> `Error (false, m)
+(* Typed errors become distinct exit codes (see Rs_util.Error.exit_code);
+   everything the library reports lands here as an Error.t. *)
+let wrap f =
+  match Error.guard f with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "rs_cli: %s\n%!" (Error.to_string e);
+      Error.exit_code e
+
+let exits =
+  Cmd.Exit.defaults
+  @ [
+      Cmd.Exit.info 2 ~doc:"on bad input (dataset, unknown method, IO).";
+      Cmd.Exit.info 3 ~doc:"on a corrupt synopsis file.";
+      Cmd.Exit.info 4 ~doc:"on an exhausted state budget or deadline.";
+    ]
+
+let command name ~doc term = Cmd.v (Cmd.info name ~doc ~exits) term
+
+let print_report built =
+  match built.Builder.report with
+  | Some r when r.Builder.delivered <> r.Builder.requested ->
+      List.iter print_endline (Builder.report_lines r)
+  | _ -> ()
 
 (* --- generate --- *)
 
@@ -91,8 +128,8 @@ let generate_cmd =
         Printf.printf "wrote %s: n=%d total=%.0f\n" out (Dataset.n ds)
           (Dataset.total ds))
   in
-  Cmd.v (Cmd.info "generate" ~doc:"Write a synthetic dataset to a file.")
-    Term.(ret (const run $ name_arg $ out_arg))
+  command "generate" ~doc:"Write a synthetic dataset to a file."
+    Term.(const run $ name_arg $ out_arg)
 
 (* --- info --- *)
 
@@ -106,8 +143,7 @@ let info_cmd =
           (Dataset.name ds) (Dataset.n ds) (Dataset.total ds) mx
           (Dataset.is_integral ds))
   in
-  Cmd.v (Cmd.info "info" ~doc:"Describe a dataset.")
-    Term.(ret (const run $ dataset_arg))
+  command "info" ~doc:"Describe a dataset." Term.(const run $ dataset_arg)
 
 (* --- build --- *)
 
@@ -116,15 +152,19 @@ let build_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Persist the synopsis to a file (see the Codec format).")
   in
-  let run data m budget quick states save =
+  let run data m budget quick states deadline save =
     wrap (fun () ->
         let ds = load_dataset data in
         let options = options_of quick states in
-        let s, dt =
+        let built, dt =
           E.Timing.time (fun () ->
-              Builder.build ~options ds ~method_name:m ~budget_words:budget)
+              Error.get
+                (Builder.build_result ~options ?deadline ds ~method_name:m
+                   ~budget_words:budget))
         in
+        let s = built.Builder.synopsis in
         print_endline (Synopsis.describe s);
+        print_report built;
         Printf.printf "built in %.3fs\n" dt;
         Printf.printf "SSE over all ranges: %.6g\n" (Synopsis.sse ds s);
         match save with
@@ -133,11 +173,10 @@ let build_cmd =
             Printf.printf "saved to %s\n" path
         | None -> ())
   in
-  Cmd.v (Cmd.info "build" ~doc:"Build a synopsis and report its quality.")
+  command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
-      ret
-        (const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
-       $ opt_a_states_arg $ save_arg))
+      const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
+      $ opt_a_states_arg $ deadline_arg $ save_arg)
 
 (* --- query --- *)
 
@@ -157,8 +196,11 @@ let query_cmd =
         let ds = load_dataset data in
         let s =
           match synopsis with
-          | Some path -> Rs_core.Codec.load path
-          | None -> Builder.build ds ~method_name:m ~budget_words:budget
+          | Some path -> Error.get (Rs_core.Codec.load_result path)
+          | None ->
+              (Error.get
+                 (Builder.build_result ds ~method_name:m ~budget_words:budget))
+                .Builder.synopsis
         in
         let p = Dataset.prefix ds in
         Printf.printf "%-14s %14s %14s %10s\n" "range" "exact" "estimate" "error";
@@ -170,27 +212,33 @@ let query_cmd =
               (100. *. abs_float (est -. exact) /. Float.max 1. exact))
           ranges)
   in
-  Cmd.v
-    (Cmd.info "query" ~doc:"Answer range-sum queries from a synopsis.")
+  command "query" ~doc:"Answer range-sum queries from a synopsis."
     Term.(
-      ret
-        (const run $ dataset_arg $ method_arg $ budget_arg $ ranges_arg
-       $ synopsis_arg))
+      const run $ dataset_arg $ method_arg $ budget_arg $ ranges_arg
+      $ synopsis_arg)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run data methods budget quick =
+  let run data methods budget quick deadline =
     wrap (fun () ->
         let ds = load_dataset data in
         let options = options_of_quick quick in
+        let reports = ref [] in
         let rows =
           List.map
             (fun m ->
-              let s, dt =
+              let built, dt =
                 E.Timing.time (fun () ->
-                    Builder.build ~options ds ~method_name:m ~budget_words:budget)
+                    Error.get
+                      (Builder.build_result ~options ?deadline ds
+                         ~method_name:m ~budget_words:budget))
               in
+              (match built.Builder.report with
+              | Some r when r.Builder.delivered <> r.Builder.requested ->
+                  reports := r :: !reports
+              | _ -> ());
+              let s = built.Builder.synopsis in
               let metrics = Synopsis.metrics ds s in
               [
                 m;
@@ -206,11 +254,15 @@ let evaluate_cmd =
         print_string
           (Rs_util.Text_table.render
              ~header:[ "method"; "words"; "sse"; "rmse"; "max err"; "mean rel"; "build" ]
-             rows))
+             rows);
+        List.iter
+          (fun r -> List.iter print_endline (Builder.report_lines r))
+          (List.rev !reports))
   in
-  Cmd.v
-    (Cmd.info "evaluate" ~doc:"Compare methods on one dataset and budget.")
-    Term.(ret (const run $ dataset_arg $ methods_arg $ budget_arg $ quick_arg))
+  command "evaluate" ~doc:"Compare methods on one dataset and budget."
+    Term.(
+      const run $ dataset_arg $ methods_arg $ budget_arg $ quick_arg
+      $ deadline_arg)
 
 (* --- experiment commands --- *)
 
@@ -233,8 +285,8 @@ let figure1_cmd =
           print_string (E.Claims.table (E.Claims.all rows))
         end)
   in
-  Cmd.v (Cmd.info "figure1" ~doc:"Reproduce Figure 1 (SSE vs storage).")
-    Term.(ret (const run $ dataset_arg $ quick_arg $ csv_arg))
+  command "figure1" ~doc:"Reproduce Figure 1 (SSE vs storage)."
+    Term.(const run $ dataset_arg $ quick_arg $ csv_arg)
 
 let claims_cmd =
   let run data quick =
@@ -247,8 +299,8 @@ let claims_cmd =
         in
         print_string (E.Claims.table (E.Claims.all rows)))
   in
-  Cmd.v (Cmd.info "claims" ~doc:"Evaluate the paper's prose claims (C1..C5).")
-    Term.(ret (const run $ dataset_arg $ quick_arg))
+  command "claims" ~doc:"Evaluate the paper's prose claims (C1..C5)."
+    Term.(const run $ dataset_arg $ quick_arg)
 
 let reopt_cmd =
   let run data quick =
@@ -261,8 +313,8 @@ let reopt_cmd =
         print_newline ();
         print_string (E.Claims.table [ E.Reopt_study.verdict rows ]))
   in
-  Cmd.v (Cmd.info "reopt" ~doc:"Section-5 re-optimization study (C4).")
-    Term.(ret (const run $ dataset_arg $ quick_arg))
+  command "reopt" ~doc:"Section-5 re-optimization study (C4)."
+    Term.(const run $ dataset_arg $ quick_arg)
 
 let rounding_cmd =
   let buckets_arg =
@@ -278,8 +330,8 @@ let rounding_cmd =
         print_newline ();
         print_string (E.Claims.table [ E.Rounding_study.verdict rows ]))
   in
-  Cmd.v (Cmd.info "rounding" ~doc:"OPT-A-ROUNDED trade-off study (T4).")
-    Term.(ret (const run $ dataset_arg $ quick_arg $ buckets_arg))
+  command "rounding" ~doc:"OPT-A-ROUNDED trade-off study (T4)."
+    Term.(const run $ dataset_arg $ quick_arg $ buckets_arg)
 
 let scale_cmd =
   let run quick =
@@ -287,8 +339,7 @@ let scale_cmd =
         let ns = if quick then [ 127; 255 ] else E.Scalability.default_ns in
         print_string (E.Scalability.table (E.Scalability.run ~ns ())))
   in
-  Cmd.v (Cmd.info "scale" ~doc:"Scalability sweep (S1).")
-    Term.(ret (const run $ quick_arg))
+  command "scale" ~doc:"Scalability sweep (S1)." Term.(const run $ quick_arg)
 
 let workload_cmd =
   let run data =
@@ -299,9 +350,8 @@ let workload_cmd =
         print_newline ();
         print_string (E.Claims.table [ E.Workload_study.verdict rows ]))
   in
-  Cmd.v
-    (Cmd.info "workload" ~doc:"Workload-aware histogram study (W1, extension).")
-    Term.(ret (const run $ dataset_arg))
+  command "workload" ~doc:"Workload-aware histogram study (W1, extension)."
+    Term.(const run $ dataset_arg)
 
 let dim2_cmd =
   let n_arg =
@@ -314,14 +364,13 @@ let dim2_cmd =
         print_newline ();
         print_string (E.Claims.table [ E.Dim2_study.verdict rows ]))
   in
-  Cmd.v
-    (Cmd.info "dim2" ~doc:"Two-dimensional range aggregates (D2, footnote 2).")
-    Term.(ret (const run $ n_arg))
+  command "dim2" ~doc:"Two-dimensional range aggregates (D2, footnote 2)."
+    Term.(const run $ n_arg)
 
 let main_cmd =
   let doc = "summary statistics for range aggregates (PODS 2001 reproduction)" in
   Cmd.group
-    (Cmd.info "range_synopsis" ~version:"1.0.0" ~doc)
+    (Cmd.info "range_synopsis" ~version:"1.0.0" ~doc ~exits)
     [
       generate_cmd; info_cmd; build_cmd; query_cmd; evaluate_cmd; figure1_cmd;
       claims_cmd; reopt_cmd; rounding_cmd; scale_cmd; workload_cmd; dim2_cmd;
@@ -347,4 +396,4 @@ let setup_logs () =
 
 let () =
   setup_logs ();
-  exit (Cmd.eval main_cmd)
+  exit (Cmd.eval' main_cmd)

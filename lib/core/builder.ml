@@ -1,15 +1,23 @@
 module H = Rs_histogram
 module W = Rs_wavelet.Synopsis
 module Checks = Rs_util.Checks
+module Error = Rs_util.Error
+module Governor = Rs_util.Governor
 
 type options = {
   opt_a_max_states : int;
   opt_a_xs : int list;
   rounded_x : int;
+  governor : Governor.t;
 }
 
 let default_options =
-  { opt_a_max_states = 60_000_000; opt_a_xs = [ 8; 32; 128 ]; rounded_x = 8 }
+  {
+    opt_a_max_states = 60_000_000;
+    opt_a_xs = [ 8; 32; 128 ];
+    rounded_x = 8;
+    governor = Governor.unlimited;
+  }
 
 type kind =
   | Hist of (options -> Rs_util.Prefix.t -> buckets:int -> H.Histogram.t)
@@ -27,8 +35,8 @@ let require_integral name p =
 
 let opt_a opts p ~buckets =
   require_integral "opt-a" p;
-  (H.Opt_a.build_staged ~max_states:opts.opt_a_max_states ~xs:opts.opt_a_xs p
-     ~buckets)
+  (H.Opt_a.build_staged ~max_states:opts.opt_a_max_states ~xs:opts.opt_a_xs
+     ~governor:opts.governor p ~buckets)
     .H.Opt_a.histogram
 
 let reopt base _opts p ~buckets =
@@ -41,14 +49,38 @@ let registry : (string * int * kind) list =
     ("equi-width", 2, Hist (fun _ p ~buckets -> H.Baselines.equi_width p ~buckets));
     ("equi-depth", 2, Hist (fun _ p ~buckets -> H.Baselines.equi_depth p ~buckets));
     ("max-diff", 2, Hist (fun _ p ~buckets -> H.Baselines.max_diff p ~buckets));
-    ("point-opt", 2, Hist (fun _ p ~buckets -> H.Vopt.build p ~buckets));
+    ( "point-opt",
+      2,
+      Hist
+        (fun o p ~buckets ->
+          H.Vopt.build ~governor:o.governor ~stage:"point-opt" p ~buckets) );
     ( "v-optimal",
       2,
-      Hist (fun _ p ~buckets -> H.Vopt.build ~weighted:false p ~buckets) );
-    ("a0", 2, Hist (fun _ p ~buckets -> H.A0.build p ~buckets));
-    ("prefix-opt", 2, Hist (fun _ p ~buckets -> H.Prefix_opt.build p ~buckets));
-    ("sap0", 3, Hist (fun _ p ~buckets -> H.Sap0.build p ~buckets));
-    ("sap1", 5, Hist (fun _ p ~buckets -> H.Sap1.build p ~buckets));
+      Hist
+        (fun o p ~buckets ->
+          H.Vopt.build ~weighted:false ~governor:o.governor ~stage:"v-optimal"
+            p ~buckets) );
+    ( "a0",
+      2,
+      Hist
+        (fun o p ~buckets ->
+          H.A0.build ~governor:o.governor ~stage:"a0" p ~buckets) );
+    ( "prefix-opt",
+      2,
+      Hist
+        (fun o p ~buckets ->
+          H.Prefix_opt.build ~governor:o.governor ~stage:"prefix-opt" p
+            ~buckets) );
+    ( "sap0",
+      3,
+      Hist
+        (fun o p ~buckets ->
+          H.Sap0.build ~governor:o.governor ~stage:"sap0" p ~buckets) );
+    ( "sap1",
+      5,
+      Hist
+        (fun o p ~buckets ->
+          H.Sap1.build ~governor:o.governor ~stage:"sap1" p ~buckets) );
     ("opt-a", 2, Hist opt_a);
     ( "opt-a-rounded",
       2,
@@ -56,17 +88,30 @@ let registry : (string * int * kind) list =
         (fun opts p ~buckets ->
           (* Definition 3 rounds the data itself, so float frequencies
              are fine here. *)
-          (H.Opt_a.build_rounded ~max_states:opts.opt_a_max_states p ~buckets
-             ~x:opts.rounded_x)
+          (H.Opt_a.build_rounded ~max_states:opts.opt_a_max_states
+             ~governor:opts.governor p ~buckets ~x:opts.rounded_x)
             .H.Opt_a.histogram) );
-    ("a0-reopt", 2, Hist (reopt (fun p ~buckets -> H.A0.build p ~buckets)));
+    ( "a0-reopt",
+      2,
+      Hist
+        (fun o p ~buckets ->
+          reopt
+            (fun p ~buckets ->
+              H.A0.build ~governor:o.governor ~stage:"a0-reopt" p ~buckets)
+            o p ~buckets) );
     ("opt-a-reopt", 2, Hist (fun opts p ~buckets -> H.Reopt.apply p (opt_a opts p ~buckets)));
     ( "equi-width-reopt",
       2,
       Hist (reopt (fun p ~buckets -> H.Baselines.equi_width p ~buckets)) );
     ( "point-opt-reopt",
       2,
-      Hist (reopt (fun p ~buckets -> H.Vopt.build p ~buckets)) );
+      Hist
+        (fun o p ~buckets ->
+          reopt
+            (fun p ~buckets ->
+              H.Vopt.build ~governor:o.governor ~stage:"point-opt-reopt" p
+                ~buckets)
+            o p ~buckets) );
     ("topbb", 2, Wave (fun data ~b -> W.top_b_data data ~b));
     ("topbb-rw", 2, Wave (fun data ~b -> W.top_b_range_weighted data ~b));
     ("wave-range-opt", 2, Wave (fun data ~b -> W.range_optimal data ~b));
@@ -79,9 +124,7 @@ let lookup name =
   match List.find_opt (fun (n, _, _) -> n = name) registry with
   | Some entry -> entry
   | None ->
-      invalid_arg
-        (Printf.sprintf "Builder: unknown method %S (known: %s)" name
-           (String.concat ", " methods))
+      Error.raise_error (Error.Unknown_method { name; known = methods })
 
 let words_per_unit name =
   let _, w, _ = lookup name in
@@ -96,3 +139,123 @@ let build ?(options = default_options) ds ~method_name ~budget_words =
   match kind with
   | Hist f -> Synopsis.Histogram (f options (Dataset.prefix ds) ~buckets:units)
   | Wave f -> Synopsis.Wavelet (f (Dataset.values ds) ~b:units)
+
+(* --- the Result-returning boundary with degradation reporting --- *)
+
+type degradation_report = {
+  requested : string;
+  delivered : string;
+  attempts : H.Opt_a.attempt list;
+  elapsed : float;
+}
+
+type built = { synopsis : Synopsis.t; report : degradation_report option }
+
+let report_lines r =
+  Printf.sprintf "degradation ladder: requested %s, delivered %s (%.3fs total)"
+    r.requested r.delivered r.elapsed
+  :: List.map
+       (fun a ->
+         Printf.sprintf "  %-22s %s (%.3fs)" a.H.Opt_a.rung
+           (H.Opt_a.describe_outcome a.H.Opt_a.outcome)
+           a.H.Opt_a.elapsed)
+       r.attempts
+
+(* When even the A0 floor failed, surface the most actionable reason:
+   a deadline beats a state budget beats an injected fault. *)
+let ladder_error attempts =
+  let timeout =
+    List.find_map
+      (fun a ->
+        match a.H.Opt_a.outcome with
+        | H.Opt_a.Timed_out { elapsed; deadline } ->
+            Some (Error.Timeout { stage = a.H.Opt_a.rung; elapsed; deadline })
+        | _ -> None)
+      attempts
+  in
+  let exhausted =
+    List.find_map
+      (fun a ->
+        match a.H.Opt_a.outcome with
+        | H.Opt_a.Exhausted { states; limit } ->
+            Some
+              (Error.Budget_exhausted
+                 { stage = a.H.Opt_a.rung; states_used = states; limit })
+        | _ -> None)
+      attempts
+  in
+  match (timeout, exhausted) with
+  | Some e, _ | None, Some e -> e
+  | None, None ->
+      Error.Invalid_input
+        (Printf.sprintf "every ladder rung failed: %s"
+           (String.concat "; "
+              (List.map
+                 (fun a ->
+                   Printf.sprintf "%s: %s" a.H.Opt_a.rung
+                     (H.Opt_a.describe_outcome a.H.Opt_a.outcome))
+                 attempts)))
+
+let build_result ?(options = default_options) ?deadline ds ~method_name
+    ~budget_words =
+  match List.find_opt (fun (n, _, _) -> n = method_name) registry with
+  | None ->
+      Error.fail (Error.Unknown_method { name = method_name; known = methods })
+  | Some (_, _, kind) ->
+      let governor =
+        match deadline with
+        | Some d -> Governor.create ~deadline:d ()
+        | None -> options.governor
+      in
+      let options = { options with governor } in
+      let t0 = Unix.gettimeofday () in
+      let run f =
+        match f () with
+        | v -> Ok v
+        | exception Error.Rs_error e -> Error e
+        | exception Invalid_argument m -> Error (Error.Invalid_input m)
+        | exception Failure m -> Error (Error.Invalid_input m)
+        | exception H.Opt_a.Too_many_states { states; limit } ->
+            Error
+              (Error.Budget_exhausted
+                 { stage = method_name; states_used = states; limit })
+        | exception Governor.Deadline_exceeded { stage; elapsed; deadline } ->
+            Error (Error.Timeout { stage; elapsed; deadline })
+        | exception Rs_util.Faults.Injected { site; reason } ->
+            Error
+              (Error.Invalid_input
+                 (Printf.sprintf "injected fault at %s: %s" site reason))
+      in
+      if method_name = "opt-a" then
+        (* The governed ladder: deliver from a lower rung rather than
+           fail, and report every rung attempted. *)
+        run (fun () ->
+            let p = Dataset.prefix ds in
+            require_integral "opt-a" p;
+            let units = units_for_budget ~method_name ~budget_words in
+            match
+              H.Opt_a.build_governed ~max_states:options.opt_a_max_states
+                ~xs:options.opt_a_xs ~governor p ~buckets:units
+            with
+            | staged ->
+                {
+                  synopsis =
+                    Synopsis.Histogram
+                      staged.H.Opt_a.result.H.Opt_a.histogram;
+                  report =
+                    Some
+                      {
+                        requested = method_name;
+                        delivered = staged.H.Opt_a.delivered;
+                        attempts = staged.H.Opt_a.attempts;
+                        elapsed = Unix.gettimeofday () -. t0;
+                      };
+                }
+            | exception H.Opt_a.All_rungs_failed attempts ->
+                Error.raise_error (ladder_error attempts))
+      else
+        run (fun () ->
+            ignore kind;
+            Governor.check governor ~stage:method_name;
+            let synopsis = build ~options ds ~method_name ~budget_words in
+            { synopsis; report = None })

@@ -33,6 +33,10 @@ type options = {
   opt_a_max_states : int;  (** state budget for the exact DP (default 6·10⁷) *)
   opt_a_xs : int list;  (** seeding grids for the staged driver *)
   rounded_x : int;  (** grid for ["opt-a-rounded"] (default 8) *)
+  governor : Rs_util.Governor.t;
+      (** wall-clock governor threaded through the ["opt-a"]-family
+          constructions (default {!Rs_util.Governor.unlimited});
+          {!build_result}'s [deadline] overrides it *)
 }
 
 val default_options : options
@@ -51,5 +55,42 @@ val build :
   ?options:options -> Dataset.t -> method_name:string -> budget_words:int ->
   Synopsis.t
 (** Build the named synopsis within the budget.  Raises
-    [Invalid_argument] for unknown methods, and for ["opt-a"] variants on
-    non-integral data. *)
+    [Rs_util.Error.Rs_error (Unknown_method _)] for unknown methods, and
+    [Invalid_argument] for ["opt-a"] variants on non-integral data. *)
+
+(** {2 Result-returning boundary with degradation reporting} *)
+
+type degradation_report = {
+  requested : string;  (** the method the caller asked for *)
+  delivered : string;  (** the ladder rung that actually produced it *)
+  attempts : Rs_histogram.Opt_a.attempt list;
+      (** every rung tried, in order, with the reason it fell through *)
+  elapsed : float;  (** wall-clock seconds for the whole build *)
+}
+
+type built = {
+  synopsis : Synopsis.t;
+  report : degradation_report option;
+      (** [Some] for ["opt-a"] (the governed ladder); [None] for
+          single-rung methods *)
+}
+
+val report_lines : degradation_report -> string list
+(** Human-readable rendering, one line per rung (CLI output). *)
+
+val build_result :
+  ?options:options ->
+  ?deadline:float ->
+  Dataset.t ->
+  method_name:string ->
+  budget_words:int ->
+  (built, Rs_util.Error.t) result
+(** Like {!build} but never raises.  [deadline] (seconds of wall clock)
+    creates a {!Rs_util.Governor} for this build; ["opt-a"] degrades
+    down its ladder (OPT-A → OPT-A-ROUNDED(x ∈ [opt_a_xs]) → A0) under
+    state-budget or deadline pressure and reports each rung, so a
+    deadline normally yields [Ok] from a lower rung rather than
+    [Error (Timeout _)].  Errors: [Unknown_method], [Invalid_input]
+    (e.g. non-integral data for ["opt-a"]), [Budget_exhausted] /
+    [Timeout] when a non-laddered method (or every rung) runs out of
+    resources. *)

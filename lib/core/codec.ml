@@ -3,7 +3,11 @@ module Bucket = Rs_histogram.Bucket
 module W = Rs_wavelet.Synopsis
 module Regression = Rs_linalg.Regression
 
-let version = 1
+module Error = Rs_util.Error
+module Crc32 = Rs_util.Crc32
+module Faults = Rs_util.Faults
+
+let version = 2
 let float_str v = Printf.sprintf "%h" v
 
 let floats_line key vs =
@@ -69,26 +73,39 @@ let wavelet_lines w =
   ]
   @ (match left with Some l -> [ coeffs_line "left" l ] | None -> [])
 
-let to_string s =
+let to_string ?(version = version) s =
   let body =
     match s with
     | Synopsis.Histogram h -> histogram_lines h
     | Synopsis.Wavelet w -> wavelet_lines w
   in
-  String.concat "\n" ((Printf.sprintf "range-synopsis %d" version :: body) @ [ "" ])
+  let body_str = String.concat "\n" body ^ "\n" in
+  match version with
+  | 1 -> Printf.sprintf "range-synopsis 1\n%s" body_str
+  | 2 ->
+      (* The CRC line covers every byte after itself (the body,
+         CR-normalized), so any bit flip, truncation, or duplicated line
+         below it is detected before parsing begins. *)
+      Printf.sprintf "range-synopsis 2\ncrc %s\n%s" (Crc32.digest body_str)
+        body_str
+  | v -> invalid_arg (Printf.sprintf "Codec.to_string: unsupported version %d" v)
 
 (* --- parsing --- *)
+
+(* Internal only: [decode_result] is the boundary that turns this into a
+   typed [Corrupt_synopsis]. *)
+exception Parse_error of { line : int; reason : string }
 
 type cursor = { mutable lines : (int * string) list }
 
 let fail lineno fmt =
   Printf.ksprintf
-    (fun m -> invalid_arg (Printf.sprintf "Codec: line %d: %s" lineno m))
+    (fun reason -> raise (Parse_error { line = lineno; reason }))
     fmt
 
 let next cur =
   match cur.lines with
-  | [] -> invalid_arg "Codec: unexpected end of input"
+  | [] -> raise (Parse_error { line = 0; reason = "unexpected end of input" })
   | (no, l) :: rest ->
       cur.lines <- rest;
       (no, l)
@@ -202,24 +219,79 @@ let parse_wavelet cur =
       Synopsis.Wavelet (W.of_two_sided ~name ~n coeffs left)
   | other -> fail no_d "unknown wavelet domain %S" other
 
-let of_string s =
+let parse_body ~first_line body =
   let lines =
-    List.filteri (fun _ (_, l) -> String.trim l <> "")
-      (List.mapi (fun i l -> (i + 1, String.trim l)) (String.split_on_char '\n' s))
+    List.filteri
+      (fun _ (_, l) -> String.trim l <> "")
+      (List.mapi
+         (fun i l -> (i + first_line, String.trim l))
+         (String.split_on_char '\n' body))
   in
   let cur = { lines } in
-  let no_h, header = next cur in
-  (match words header with
-  | [ "range-synopsis"; v ] when parse_int no_h v = version -> ()
-  | [ "range-synopsis"; v ] -> fail no_h "unsupported version %s" v
-  | _ -> fail no_h "not a range-synopsis file");
   let no_k, kind = expect cur "kind" in
   match kind with
   | "histogram" -> parse_histogram cur
   | "wavelet" -> parse_wavelet cur
   | other -> fail no_k "unknown kind %S" other
 
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* CRLF-tolerant: CR bytes are stripped before anything (including the
+   CRC) looks at the content, so both line conventions verify and parse
+   identically. *)
+let normalize s =
+  if String.contains s '\r' then
+    String.concat "" (String.split_on_char '\r' s)
+  else s
+
+let decode s =
+  Faults.trip "codec.decode";
+  let s = normalize s in
+  let header, rest = split_first_line s in
+  match words (String.trim header) with
+  | [ "range-synopsis"; "1" ] -> parse_body ~first_line:2 rest
+  | [ "range-synopsis"; "2" ] -> (
+      let crc_line, body = split_first_line rest in
+      match words (String.trim crc_line) with
+      | [ "crc"; hex ] -> (
+          match Crc32.of_hex hex with
+          | None -> fail 2 "malformed crc %S" hex
+          | Some expected ->
+              let actual = Crc32.string body in
+              if actual <> expected then
+                fail 2 "CRC mismatch: stored %s, computed %s" hex
+                  (Crc32.to_hex actual);
+              parse_body ~first_line:3 body)
+      | _ -> fail 2 "expected a crc line, got %S" crc_line)
+  | [ "range-synopsis"; v ] -> fail 1 "unsupported version %s" v
+  | _ -> fail 1 "not a range-synopsis file"
+
+let decode_result s =
+  match decode s with
+  | v -> Ok v
+  | exception Parse_error { line; reason } ->
+      Error.fail (Error.Corrupt_synopsis { line; reason })
+  | exception Invalid_argument reason ->
+      (* Structural constraints (bucket bounds, array lengths) enforced
+         by the constructors downstream of parsing. *)
+      Error.fail (Error.Corrupt_synopsis { line = 0; reason })
+  | exception Faults.Injected { site; reason } ->
+      Error.fail
+        (Error.Corrupt_synopsis
+           { line = 0; reason = Printf.sprintf "%s: %s" site reason })
+
+let of_string s =
+  match decode_result s with
+  | Ok v -> v
+  | Error (Error.Corrupt_synopsis { line; reason }) ->
+      invalid_arg (Printf.sprintf "Codec: line %d: %s" line reason)
+  | Error e -> invalid_arg ("Codec: " ^ Error.to_string e)
+
 let save s path =
+  Faults.trip "codec.save";
   let oc = open_out path in
   (try output_string oc (to_string s)
    with e ->
@@ -227,9 +299,20 @@ let save s path =
      raise e);
   close_out oc
 
+let load_result path =
+  match
+    Faults.trip "codec.load";
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error reason -> Error.fail (Error.Io_failure { path; reason })
+  | exception Faults.Injected { reason; _ } ->
+      Error.fail (Error.Io_failure { path; reason })
+  | content -> decode_result content
+
 let load path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
-  of_string content
+  match load_result path with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Codec: " ^ Error.to_string e)

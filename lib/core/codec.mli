@@ -2,12 +2,16 @@
 
     The format is a versioned, line-oriented text format.  Floats are
     written as OCaml hexadecimal literals ([%h]) so a save/load
-    round-trip reproduces every estimate bit-for-bit.
+    round-trip reproduces every estimate bit-for-bit.  Format v2 adds a
+    CRC-32 line immediately after the header, covering every byte below
+    it, so bit flips, truncation, and duplicated lines are detected
+    before parsing; v1 files (no CRC) remain decodable.
 
     Example (an OPT-A histogram over a 6-value domain):
 
     {v
-    range-synopsis 1
+    range-synopsis 2
+    crc 7b0883a1
     kind histogram
     name opt-a
     n 6
@@ -17,13 +21,31 @@
     values 0x1p+1 0x1p+3 0x1.9p+3
     v}
 
-    Unknown versions, kinds, or malformed bodies raise
-    [Invalid_argument] with a line-numbered message. *)
+    CR bytes are stripped before checksumming and parsing, so CRLF and
+    LF files are equivalent.  {!decode_result} returns every failure —
+    unknown versions or kinds, malformed bodies, checksum mismatches —
+    as a typed [Corrupt_synopsis] with a 1-based line number (0 when no
+    single line is to blame); it never raises. *)
 
-val to_string : Synopsis.t -> string
+val to_string : ?version:int -> Synopsis.t -> string
+(** Encode; [version] is 2 (default, checksummed) or 1 (legacy).
+    Raises [Invalid_argument] on any other version. *)
+
+val decode_result : string -> (Synopsis.t, Rs_util.Error.t) result
+(** Parse either format version.  All failures are
+    [Error (Corrupt_synopsis _)]. *)
+
 val of_string : string -> Synopsis.t
+(** [decode_result], raising [Invalid_argument] with a line-numbered
+    message (legacy interface). *)
 
 val save : Synopsis.t -> string -> unit
-(** Write to a file.  Raises [Sys_error] on IO failure. *)
+(** Write (always v2).  Raises [Sys_error] on IO failure. *)
+
+val load_result : string -> (Synopsis.t, Rs_util.Error.t) result
+(** Read and decode a file: [Io_failure] when the OS refuses the read,
+    [Corrupt_synopsis] on malformed content. *)
 
 val load : string -> Synopsis.t
+(** [load_result], raising [Invalid_argument] on any error (legacy
+    interface). *)

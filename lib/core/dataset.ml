@@ -1,7 +1,82 @@
 module Prefix = Rs_util.Prefix
 module Checks = Rs_util.Checks
+module Error = Rs_util.Error
 
 type t = { name : string; data : float array; prefix : Prefix.t }
+
+type policy = Reject | Clamp | Repair
+
+let invalid v = Float.is_nan v || not (Float.is_finite v) || v < 0.
+
+(* Largest finite value present — the Clamp ceiling for +∞ entries. *)
+let finite_max data =
+  Array.fold_left
+    (fun acc v -> if Float.is_finite v && v > acc then v else acc)
+    0. data
+
+(* Mean of the nearest valid neighbours on each side (either one if the
+   other side has none, 0. if the whole array is invalid). *)
+let repair_value data i =
+  let n = Array.length data in
+  let rec scan j step =
+    if j < 0 || j >= n then None
+    else if invalid data.(j) then scan (j + step) step
+    else Some data.(j)
+  in
+  match (scan (i - 1) (-1), scan (i + 1) 1) with
+  | Some l, Some r -> 0.5 *. (l +. r)
+  | Some v, None | None, Some v -> v
+  | None, None -> 0.
+
+let validate ?(source = "dataset") ~policy data =
+  let bad = ref None in
+  Array.iteri
+    (fun i v -> if !bad = None && invalid v then bad := Some i)
+    data;
+  match !bad with
+  | None -> Ok (Array.copy data, 0)
+  | Some first -> (
+      match policy with
+      | Reject ->
+          Error.fail
+            (Error.Bad_dataset
+               {
+                 source;
+                 line = Some (first + 1);
+                 reason =
+                   Printf.sprintf
+                     "invalid frequency %h (must be finite and non-negative)"
+                     data.(first);
+               })
+      | Clamp ->
+          let ceiling = finite_max data in
+          let modified = ref 0 in
+          let fixed =
+            Array.map
+              (fun v ->
+                if not (invalid v) then v
+                else begin
+                  incr modified;
+                  if Float.is_nan v then 0.
+                  else if v = Float.infinity then ceiling
+                  else 0. (* negative, including -∞ *)
+                end)
+              data
+          in
+          Ok (fixed, !modified)
+      | Repair ->
+          let modified = ref 0 in
+          let fixed =
+            Array.mapi
+              (fun i v ->
+                if invalid v then begin
+                  incr modified;
+                  repair_value data i
+                end
+                else v)
+              data
+          in
+          Ok (fixed, !modified))
 
 let of_floats ?(name = "dataset") data =
   Array.iter
@@ -10,6 +85,11 @@ let of_floats ?(name = "dataset") data =
       Checks.check (v >= 0.) "Dataset.of_floats: frequencies must be non-negative")
     data;
   { name; data = Array.copy data; prefix = Prefix.create data }
+
+let of_floats_result ?(name = "dataset") ?(policy = Reject) data =
+  match validate ~source:name ~policy data with
+  | Error _ as e -> e
+  | Ok (data, _) -> Ok { name; data; prefix = Prefix.create data }
 
 let of_ints ?name data = of_floats ?name (Array.map float_of_int data)
 
@@ -24,32 +104,68 @@ let values t = Array.copy t.data
 let prefix t = t.prefix
 let is_integral t = Array.for_all Float.is_integer t.data
 
+(* Strip one trailing '\r' so CRLF files parse like LF files. *)
+let chomp_cr line =
+  let len = String.length line in
+  if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := chomp_cr (input_line ic) :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let load_result ?(policy = Reject) path =
+  match
+    Rs_util.Faults.trip "dataset.load";
+    read_lines path
+  with
+  | exception Sys_error reason -> Error.fail (Error.Io_failure { path; reason })
+  | exception Rs_util.Faults.Injected { reason; _ } ->
+      Error.fail (Error.Io_failure { path; reason })
+  | lines -> (
+      let parsed = ref (Ok []) in
+      List.iteri
+        (fun i line ->
+          match !parsed with
+          | Error _ -> ()
+          | Ok acc -> (
+              let line = String.trim line in
+              if line <> "" && line.[0] <> '#' then
+                match float_of_string_opt line with
+                | Some v -> parsed := Ok (v :: acc)
+                | None ->
+                    parsed :=
+                      Error.fail
+                        (Error.Bad_dataset
+                           {
+                             source = path;
+                             line = Some (i + 1);
+                             reason = Printf.sprintf "not a number: %S" line;
+                           })))
+        lines;
+      match !parsed with
+      | Error _ as e -> e
+      | Ok [] ->
+          Error.fail
+            (Error.Bad_dataset
+               { source = path; line = None; reason = "contains no values" })
+      | Ok acc ->
+          let data = Array.of_list (List.rev acc) in
+          let name = Filename.remove_extension (Filename.basename path) in
+          of_floats_result ~name ~policy data)
+
 let load path =
-  let ic = open_in path in
-  let values = ref [] in
-  (try
-     let lineno = ref 0 in
-     try
-       while true do
-         incr lineno;
-         let line = String.trim (input_line ic) in
-         if line <> "" && line.[0] <> '#' then
-           match float_of_string_opt line with
-           | Some v -> values := v :: !values
-           | None ->
-               invalid_arg
-                 (Printf.sprintf "Dataset.load: %s:%d: not a number: %S" path
-                    !lineno line)
-       done
-     with End_of_file -> ()
-   with e ->
-     close_in ic;
-     raise e);
-  close_in ic;
-  let data = Array.of_list (List.rev !values) in
-  Checks.check (Array.length data > 0)
-    (Printf.sprintf "Dataset.load: %s contains no values" path);
-  of_floats ~name:(Filename.remove_extension (Filename.basename path)) data
+  match load_result path with
+  | Ok ds -> ds
+  | Error e -> invalid_arg ("Dataset.load: " ^ Error.to_string e)
 
 let save t path =
   let oc = open_out path in

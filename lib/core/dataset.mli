@@ -7,9 +7,34 @@
 
 type t
 
+type policy = Reject | Clamp | Repair
+(** What {!validate} does with NaN/∞/negative frequencies:
+    - [Reject]: return a typed [Bad_dataset] error naming the first
+      offending position (the default — nothing is silently altered);
+    - [Clamp]: project each bad value onto the valid domain — NaN and
+      negatives (including −∞) become [0.], +∞ becomes the largest
+      finite value present in the data;
+    - [Repair]: replace each bad value with the mean of its nearest
+      valid neighbours (one-sided at the edges, [0.] if no valid value
+      exists at all). *)
+
+val validate :
+  ?source:string ->
+  policy:policy ->
+  float array ->
+  (float array * int, Rs_util.Error.t) result
+(** Apply [policy] to the raw frequencies.  [Ok (data, modified)]
+    returns a fresh array and how many entries were altered (0 under
+    [Reject]); [Error (Bad_dataset _)] carries the 1-based position of
+    the first offender. *)
+
 val of_floats : ?name:string -> float array -> t
 (** Wrap a frequency vector ([A[i] = data.(i−1)]).  Values must be
     finite and non-negative. *)
+
+val of_floats_result :
+  ?name:string -> ?policy:policy -> float array -> (t, Rs_util.Error.t) result
+(** {!validate} then wrap — the [Result]-returning boundary. *)
 
 val of_ints : ?name:string -> int array -> t
 (** Same for integer counts (the form OPT-A requires). *)
@@ -32,11 +57,20 @@ val prefix : t -> Rs_util.Prefix.t
 val is_integral : t -> bool
 (** Whether every value is an integer (OPT-A's precondition). *)
 
-val load : string -> t
+val load_result : ?policy:policy -> string -> (t, Rs_util.Error.t) result
 (** Read a dataset from a text file: one frequency per line (blank
-    lines and [#] comments ignored).  The name is the file's basename.
-    Raises [Sys_error] on IO failure and [Invalid_argument] on
-    malformed content. *)
+    lines, trailing blank lines, and [#] comments ignored; CRLF and LF
+    line endings both accepted).  The name is the file's basename.
+    Errors are typed: [Io_failure] when the OS refuses the read,
+    [Bad_dataset] with the offending 1-based line number on malformed
+    content, [Bad_dataset] with no line on an empty/value-free file,
+    and whatever {!validate} decides for out-of-domain values under
+    [policy] (default [Reject]). *)
+
+val load : string -> t
+(** [load_result] with the [Reject] policy, raising
+    [Invalid_argument] with the rendered error message (legacy
+    interface). *)
 
 val save : t -> string -> unit
 (** Write in the same format, one value per line. *)

@@ -1,8 +1,10 @@
-let build_with_cost p ~buckets =
+let build_with_cost ?governor ?stage p ~buckets =
   let ctx = Cost.make p in
   let { Dp.cost; bucketing } =
-    Dp.solve ~n:(Rs_util.Prefix.n p) ~buckets ~cost:(Cost.a0_bucket ctx)
+    Dp.solve ?governor ?stage ~n:(Rs_util.Prefix.n p) ~buckets
+      ~cost:(Cost.a0_bucket ctx) ()
   in
   (Summaries.avg_histogram ~name:"a0" p bucketing, cost)
 
-let build p ~buckets = fst (build_with_cost p ~buckets)
+let build ?governor ?stage p ~buckets =
+  fst (build_with_cost ?governor ?stage p ~buckets)

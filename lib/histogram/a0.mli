@@ -8,5 +8,19 @@
     [build_with_cost] therefore returns the DP objective, and callers
     measure the real SSE separately. *)
 
-val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
-val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
+val build :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t
+
+val build_with_cost :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t * float
+(** [governor]/[stage] govern the underlying {!Dp} (polled per DP row);
+    OPT-A's key-cap derivation passes its governor through here so even
+    the seeding work respects a deadline. *)

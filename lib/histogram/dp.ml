@@ -1,8 +1,10 @@
 module Checks = Rs_util.Checks
+module Governor = Rs_util.Governor
 
 type result = { cost : float; bucketing : Bucket.t }
 
-let run ~n ~buckets ~cost =
+let run ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets ~cost ()
+    =
   let n = Checks.positive ~name:"Dp.solve n" n in
   let b = max 1 (min buckets n) in
   let inf = Float.infinity in
@@ -14,6 +16,8 @@ let run ~n ~buckets ~cost =
     (* Need at least k positions for k non-empty buckets, and at most
        n − (future buckets) — pruning the trivially infeasible cells. *)
     for i = k to n do
+      (* Deadline poll once per O(n) row, never per cell. *)
+      Governor.check governor ~stage;
       let best = ref inf and best_j = ref (-1) in
       for j = k - 1 to i - 1 do
         if e.(k - 1).(j) < inf then begin
@@ -40,14 +44,14 @@ let reconstruct parent ~n ~k =
   done;
   Bucket.of_rights ~n rights
 
-let solve ~n ~buckets ~cost =
-  let e, parent, b = run ~n ~buckets ~cost in
+let solve ?governor ?stage ~n ~buckets ~cost () =
+  let e, parent, b = run ?governor ?stage ~n ~buckets ~cost () in
   let best_k = ref 1 in
   for k = 2 to b do
     if e.(k).(n) < e.(!best_k).(n) then best_k := k
   done;
   { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
 
-let solve_exact_buckets ~n ~buckets ~cost =
-  let e, parent, b = run ~n ~buckets ~cost in
+let solve_exact_buckets ?governor ?stage ~n ~buckets ~cost () =
+  let e, parent, b = run ?governor ?stage ~n ~buckets ~cost () in
   { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }

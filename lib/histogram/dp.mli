@@ -14,12 +14,27 @@ type result = {
   bucketing : Bucket.t;
 }
 
-val solve : n:int -> buckets:int -> cost:(l:int -> r:int -> float) -> result
-(** [solve ~n ~buckets ~cost] runs the DP.  [buckets] is clamped to
+val solve :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  n:int ->
+  buckets:int ->
+  cost:(l:int -> r:int -> float) ->
+  unit ->
+  result
+(** [solve ~n ~buckets ~cost ()] runs the DP.  [buckets] is clamped to
     [\[1, n\]].  The returned bucketing may use fewer than [buckets]
-    buckets when that is no worse. *)
+    buckets when that is no worse.  [governor] is polled once per DP
+    row (never per cell); on expiry it raises
+    {!Rs_util.Governor.Deadline_exceeded} tagged with [stage]. *)
 
 val solve_exact_buckets :
-  n:int -> buckets:int -> cost:(l:int -> r:int -> float) -> result
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  n:int ->
+  buckets:int ->
+  cost:(l:int -> r:int -> float) ->
+  unit ->
+  result
 (** Same, but the partition uses exactly [min buckets n] buckets — used
     by comparisons that must hold the bucket count fixed. *)

@@ -1,5 +1,7 @@
 module Prefix = Rs_util.Prefix
 module Checks = Rs_util.Checks
+module Governor = Rs_util.Governor
+module Faults = Rs_util.Faults
 
 let log_src = Logs.Src.create "rs.opt_a" ~doc:"OPT-A dynamic program"
 
@@ -24,8 +26,8 @@ let integer_prefix p =
    is the error of the intra-bucket query (l, B^>_l), so Σ(δ^suf)² ≤ OPT,
    and any upper bound on OPT (here: the A0 histogram's exact SSE) can
    stand in. *)
-let derive_key_cap ?ub ctx p ~buckets =
-  let a0 = A0.build p ~buckets in
+let derive_key_cap ?ub ?governor ?stage ctx p ~buckets =
+  let a0 = A0.build ?governor ?stage p ~buckets in
   let a0_sse = Exact_sse.avg_histogram ctx (Histogram.bucketing a0) in
   let ub = match ub with Some u -> Float.min u a0_sse | None -> a0_sse in
   let n = float_of_int (Prefix.n p) in
@@ -56,7 +58,9 @@ let truncate_to_beam cell beam =
     (fresh, Ktbl.length cell - Ktbl.length fresh)
   end
 
-let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam p ~buckets =
+let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
+    ?(governor = Governor.unlimited) ?(stage = "opt-a") p ~buckets =
+  Governor.check governor ~stage;
   let n = Prefix.n p in
   let b = max 1 (min buckets n) in
   let ip = integer_prefix p in
@@ -82,7 +86,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam p ~buckets =
   let key_cap =
     match key_cap with
     | Some c -> Checks.positive ~name:"Opt_a key_cap" c
-    | None -> derive_key_cap ?ub ctx p ~buckets:b
+    | None -> derive_key_cap ?ub ~governor ~stage ctx p ~buckets:b
   in
   (* levels.(k).(i): key (= 2Λ) → best partial cost and parent. *)
   let levels =
@@ -97,6 +101,9 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam p ~buckets =
   in
   for k = 1 to b do
     for i = k to n do
+      (* Cooperative deadline poll: once per DP row (a row holds up to
+         |Λ|·i states), never per state. *)
+      Governor.check governor ~stage;
       let cell = ref levels.(k).(i) in
       for j = k - 1 to i - 1 do
         let prev = levels.(k - 1).(j) in
@@ -157,8 +164,11 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam p ~buckets =
       done;
       (Bucket.of_rights ~n rights, f, !total_states)
 
-let build_exact ?key_cap ?ub ?max_states ?beam p ~buckets =
-  let bucketing, sse, states = solve ?key_cap ?ub ?max_states ?beam p ~buckets in
+let build_exact ?key_cap ?ub ?max_states ?beam ?governor p ~buckets =
+  Faults.trip "opt_a.exact";
+  let bucketing, sse, states =
+    solve ?key_cap ?ub ?max_states ?beam ?governor p ~buckets
+  in
   {
     histogram = Summaries.avg_histogram ~name:"opt-a" p bucketing;
     sse;
@@ -167,16 +177,20 @@ let build_exact ?key_cap ?ub ?max_states ?beam p ~buckets =
 
 let build p ~buckets = (build_exact p ~buckets).histogram
 
-let build_rounded ?max_states ?beam p ~buckets ~x =
+let rounded_name x = Printf.sprintf "opt-a-rounded(x=%d)" x
+
+let build_rounded ?max_states ?beam ?governor p ~buckets ~x =
   let x = Checks.positive ~name:"Opt_a.build_rounded x" x in
+  Faults.trip "opt_a.rounded";
   let fx = float_of_int x in
   let scaled =
     Array.map (fun v -> Float.round (v /. fx)) (Prefix.data p)
   in
   let p_scaled = Prefix.create scaled in
-  let bucketing, _, states = solve ?max_states ?beam p_scaled ~buckets in
-  let name = Printf.sprintf "opt-a-rounded(x=%d)" x in
-  let histogram = Summaries.avg_histogram ~name p bucketing in
+  let bucketing, _, states =
+    solve ?max_states ?beam ?governor ~stage:(rounded_name x) p_scaled ~buckets
+  in
+  let histogram = Summaries.avg_histogram ~name:(rounded_name x) p bucketing in
   let ctx = Cost.make p in
   {
     histogram;
@@ -184,33 +198,159 @@ let build_rounded ?max_states ?beam p ~buckets ~x =
     states;
   }
 
-(* Staged construction: a cheap rounded pass supplies a tight upper
-   bound on OPT, which shrinks the Λ cap (∝ √UB) for the exact run.
-   Escalates the rounding grid when the exact DP still exceeds its state
-   budget, so it always returns something. *)
-let build_staged ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ]) p ~buckets =
-  let seed_ub =
-    List.fold_left
-      (fun acc x ->
-        match acc with
-        | Some _ -> acc
-        | None -> (
-            try Some (build_rounded ~max_states p ~buckets ~x)
-            with Too_many_states _ -> None))
-      None xs
+(* --- the governed degradation ladder --- *)
+
+type outcome =
+  | Completed of { states : int }
+  | Exhausted of { states : int; limit : int }
+  | Timed_out of { elapsed : float; deadline : float }
+  | Faulted of string
+
+type attempt = { rung : string; outcome : outcome; elapsed : float }
+
+type staged = {
+  result : result;
+  delivered : string;
+  attempts : attempt list;
+  degraded : bool;
+}
+
+exception All_rungs_failed of attempt list
+
+let describe_outcome = function
+  | Completed { states } -> Printf.sprintf "completed (%d states)" states
+  | Exhausted { states; limit } ->
+      Printf.sprintf "state budget exhausted (%d states, limit %d)" states limit
+  | Timed_out { elapsed; deadline } ->
+      Printf.sprintf "deadline exceeded (%.3fs elapsed, deadline %.3fs)" elapsed
+        deadline
+  | Faulted reason -> Printf.sprintf "fault injected (%s)" reason
+
+(* The ladder OPT-A → OPT-A-ROUNDED(x ∈ xs) → A0.  The exact rung seeds
+   its Λ cap with the first workable rounded grid (which shrinks the
+   state space ∝ √UB); rounded results computed during seeding are
+   cached so a fall-through rung reuses them instead of re-running the
+   DP.  Every rung except the final A0 floor is governed; A0 is the
+   polynomial-time guarantee that the ladder always delivers. *)
+let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
+    ?(governor = Governor.unlimited) p ~buckets =
+  let attempts = ref [] in
+  let record rung outcome elapsed =
+    attempts := { rung; outcome; elapsed } :: !attempts
   in
-  let ub = Option.map (fun r -> r.sse) seed_ub in
-  try build_exact ?ub ~max_states p ~buckets
-  with Too_many_states { states; limit } -> (
-    Log.info (fun m ->
-        m "exact DP exceeded %d states (limit %d); returning rounded result"
-          states limit);
-    match seed_ub with
-    | Some r -> r
+  (* x → what happened when the seeding pass ran this grid. *)
+  let cache : (int, outcome * result option * float) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let run_rounded x =
+    let t0 = Unix.gettimeofday () in
+    let outcome, res =
+      match build_rounded ~max_states ~governor p ~buckets ~x with
+      | r -> (Completed { states = r.states }, Some r)
+      | exception Too_many_states { states; limit } ->
+          (Exhausted { states; limit }, None)
+      | exception Governor.Deadline_exceeded { elapsed; deadline; _ } ->
+          (Timed_out { elapsed; deadline }, None)
+      | exception Faults.Injected { site; reason } ->
+          (Faulted (Printf.sprintf "%s: %s" site reason), None)
+    in
+    let entry = (outcome, res, Unix.gettimeofday () -. t0) in
+    Hashtbl.replace cache x entry;
+    entry
+  in
+  let exact_rung () =
+    let t0 = Unix.gettimeofday () in
+    let outcome, res =
+      match
+        (* Seeding is charged to the exact rung: it exists only to make
+           the exact DP feasible. *)
+        let seed =
+          List.fold_left
+            (fun acc x ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let _, res, _ = run_rounded x in
+                  res)
+            None xs
+        in
+        let ub = Option.map (fun r -> r.sse) seed in
+        build_exact ?ub ~max_states ~governor p ~buckets
+      with
+      | r -> (Completed { states = r.states }, Some r)
+      | exception Too_many_states { states; limit } ->
+          (Exhausted { states; limit }, None)
+      | exception Governor.Deadline_exceeded { elapsed; deadline; _ } ->
+          (Timed_out { elapsed; deadline }, None)
+      | exception Faults.Injected { site; reason } ->
+          (Faulted (Printf.sprintf "%s: %s" site reason), None)
+    in
+    record "opt-a" outcome (Unix.gettimeofday () -. t0);
+    res
+  in
+  let rounded_rung x =
+    let outcome, res, elapsed =
+      match Hashtbl.find_opt cache x with
+      | Some entry -> entry
+      | None -> run_rounded x
+    in
+    record (rounded_name x) outcome elapsed;
+    res
+  in
+  let a0_rung () =
+    let t0 = Unix.gettimeofday () in
+    let outcome, res =
+      match
+        Faults.trip "ladder.a0";
+        let histogram = A0.build p ~buckets:(max 1 (min buckets (Prefix.n p))) in
+        let ctx = Cost.make p in
+        let sse = Exact_sse.avg_histogram ctx (Histogram.bucketing histogram) in
+        { histogram; sse; states = 0 }
+      with
+      | r -> (Completed { states = 0 }, Some r)
+      | exception Faults.Injected { site; reason } ->
+          (Faulted (Printf.sprintf "%s: %s" site reason), None)
+    in
+    record "a0" outcome (Unix.gettimeofday () -. t0);
+    res
+  in
+  let delivered_by rung = Option.map (fun r -> (rung, r)) in
+  let res =
+    match exact_rung () with
+    | Some r -> Some ("opt-a", r)
     | None ->
-        (* Last resort: very coarse rounding. *)
-        build_rounded ~max_states p ~buckets
-          ~x:(max 1 (int_of_float (Prefix.total p /. 100.))))
+        let rounded =
+          List.fold_left
+            (fun acc x ->
+              match acc with
+              | Some _ -> acc
+              | None -> delivered_by (rounded_name x) (rounded_rung x))
+            None xs
+        in
+        (match rounded with
+        | Some _ -> rounded
+        | None -> delivered_by "a0" (a0_rung ()))
+  in
+  let attempts = List.rev !attempts in
+  match res with
+  | None -> raise (All_rungs_failed attempts)
+  | Some (delivered, result) ->
+      if delivered <> "opt-a" then
+        Log.info (fun m ->
+            m "degraded to %s after: %s" delivered
+              (String.concat "; "
+                 (List.map
+                    (fun a ->
+                      Printf.sprintf "%s: %s" a.rung (describe_outcome a.outcome))
+                    attempts)));
+      { result; delivered; attempts; degraded = delivered <> "opt-a" }
+
+(* Staged construction: a cheap rounded pass supplies a tight upper
+   bound on OPT, which shrinks the Λ cap (∝ √UB) for the exact run,
+   falling down the ladder when the exact DP exceeds its budget — so it
+   always returns something. *)
+let build_staged ?max_states ?xs ?governor p ~buckets =
+  (build_governed ?max_states ?xs ?governor p ~buckets).result
 
 let x_of_eps p ~eps =
   Checks.check (eps > 0.) "Opt_a.x_of_eps: eps must be > 0";

@@ -43,6 +43,7 @@ val build_exact :
   ?ub:float ->
   ?max_states:int ->
   ?beam:int ->
+  ?governor:Rs_util.Governor.t ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result
@@ -60,7 +61,10 @@ val build_exact :
       raises {!Too_many_states} when exceeded.
     - [beam]: if set, keep only the [beam] states with the smallest
       partial cost per [(i,k)] cell — a documented heuristic that
-      trades optimality for bounded memory.  Unset by default. *)
+      trades optimality for bounded memory.  Unset by default.
+    - [governor]: wall-clock governor, polled cooperatively once per DP
+      row (never per state); raises
+      {!Rs_util.Governor.Deadline_exceeded} on expiry. *)
 
 val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
 (** [build_exact] with defaults, returning just the histogram. *)
@@ -68,6 +72,7 @@ val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
 val build_rounded :
   ?max_states:int ->
   ?beam:int ->
+  ?governor:Rs_util.Governor.t ->
   Rs_util.Prefix.t ->
   buckets:int ->
   x:int ->
@@ -80,15 +85,69 @@ val build_rounded :
     The reported [sse] is the exact range-SSE of the returned histogram
     on the original data. *)
 
+(** {2 The governed degradation ladder}
+
+    OPT-A → OPT-A-ROUNDED(x ∈ xs) → A0, driven by a state budget and an
+    optional wall-clock {!Rs_util.Governor}.  Every rung that falls
+    through is recorded with its reason, so a caller (or an operator
+    reading a degradation report) can see exactly which quality level
+    was delivered and why. *)
+
+type outcome =
+  | Completed of { states : int }  (** the rung delivered its histogram *)
+  | Exhausted of { states : int; limit : int }
+      (** the DP blew its state budget *)
+  | Timed_out of { elapsed : float; deadline : float }
+      (** the governor's deadline expired mid-rung *)
+  | Faulted of string  (** a {!Rs_util.Faults} injection fired *)
+
+type attempt = {
+  rung : string;  (** ["opt-a"], ["opt-a-rounded(x=…)"], or ["a0"] *)
+  outcome : outcome;
+  elapsed : float;  (** wall-clock seconds spent on this rung *)
+}
+
+type staged = {
+  result : result;  (** the histogram the winning rung delivered *)
+  delivered : string;  (** the winning rung's name *)
+  attempts : attempt list;  (** every rung tried, in ladder order *)
+  degraded : bool;  (** [delivered <> "opt-a"] *)
+}
+
+exception All_rungs_failed of attempt list
+(** Every rung (including the A0 floor) failed — only possible under
+    fault injection, since A0 is polynomial and ungoverned. *)
+
+val describe_outcome : outcome -> string
+
+val build_governed :
+  ?max_states:int ->
+  ?xs:int list ->
+  ?governor:Rs_util.Governor.t ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  staged
+(** Run the ladder.  The exact rung first seeds its [ub] with the first
+    workable OPT-A-ROUNDED grid from [xs] (default [8; 32; 128]); that
+    seeding work is charged to the exact rung's [elapsed], and any
+    rounded result it computes is cached so a fall-through rung reuses
+    it rather than re-running the DP.  The final A0 rung ignores the
+    governor: it is the polynomial-time floor that makes the ladder
+    total (it can only be stopped by fault injection, which raises
+    {!All_rungs_failed}). *)
+
 val build_staged :
-  ?max_states:int -> ?xs:int list -> Rs_util.Prefix.t -> buckets:int -> result
-(** Practical driver used by the experiments: run OPT-A-ROUNDED with the
-    first workable grid from [xs] (default [8; 32; 128]) to obtain an
-    upper bound, then the exact DP with that bound as its [ub].  Falls
-    back to the rounded result if the exact state space still exceeds
-    [max_states] (default 10⁷).  The result is exact whenever the second
-    stage completes — check [Histogram.name] ("opt-a" vs
-    "opt-a-rounded(x=…)") to know which one you got. *)
+  ?max_states:int ->
+  ?xs:int list ->
+  ?governor:Rs_util.Governor.t ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  result
+(** [build_governed] keeping only the winning rung's result — the
+    practical driver used by the experiments.  The result is exact
+    whenever the exact rung completes — check [Histogram.name]
+    ("opt-a" vs "opt-a-rounded(x=…)" vs "a0") to know which rung you
+    got. *)
 
 val x_of_eps : Rs_util.Prefix.t -> eps:float -> int
 (** Heuristic grid for a target accuracy: [max(1, ⌈eps·s[1,n]/n⌉)] —

@@ -1,9 +1,10 @@
-let build_with_cost p ~buckets =
+let build_with_cost ?governor ?stage p ~buckets =
   let ctx = Cost.make p in
   let cost ~l ~r = Cost.a0_prefix ctx ~l ~r in
   let { Dp.cost; bucketing } =
-    Dp.solve ~n:(Rs_util.Prefix.n p) ~buckets ~cost
+    Dp.solve ?governor ?stage ~n:(Rs_util.Prefix.n p) ~buckets ~cost ()
   in
   (Summaries.avg_histogram ~name:"prefix-opt" p bucketing, cost)
 
-let build p ~buckets = fst (build_with_cost p ~buckets)
+let build ?governor ?stage p ~buckets =
+  fst (build_with_cost ?governor ?stage p ~buckets)

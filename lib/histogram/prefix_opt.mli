@@ -13,7 +13,18 @@
     observation: optimizing for a restricted query class (points,
     prefixes) is {e not} enough for general ranges. *)
 
-val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+val build :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t
 
-val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
-(** The cost is the SSE over the [n] prefix queries (not all ranges). *)
+val build_with_cost :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t * float
+(** The cost is the SSE over the [n] prefix queries (not all ranges).
+    [governor]/[stage] govern the underlying {!Dp} (polled per row). *)

@@ -6,8 +6,19 @@
     SAP0 histograms (boundaries and summary values simultaneously —
     Theorem 6).  Storage: 3B words (Theorem 7). *)
 
-val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+val build :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t
 
-val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
+val build_with_cost :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t * float
 (** The returned cost is the DP objective, which for SAP0 equals the
-    true range-SSE of the histogram. *)
+    true range-SSE of the histogram.  [governor]/[stage] govern the
+    underlying {!Dp} (polled per row). *)

@@ -7,7 +7,18 @@
     counts, SAP1 is never worse than OPT-A (it strictly generalizes the
     average-based answering). *)
 
-val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
+val build :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t
 
-val build_with_cost : Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
-(** The DP objective equals the true range-SSE of the histogram. *)
+val build_with_cost :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t * float
+(** The DP objective equals the true range-SSE of the histogram.
+    [governor]/[stage] govern the underlying {!Dp} (polled per row). *)

@@ -1,13 +1,15 @@
 module Prefix = Rs_util.Prefix
 
-let build_with_cost ?(weighted = true) p ~buckets =
+let build_with_cost ?(weighted = true) ?governor ?stage p ~buckets =
   let ctx = Cost.make p in
   let n = Prefix.n p in
   let cost ~l ~r =
     if weighted then Cost.point_range_weighted ctx ~l ~r
     else Cost.point_unweighted ctx ~l ~r
   in
-  let { Dp.cost = dp_cost; bucketing } = Dp.solve ~n ~buckets ~cost in
+  let { Dp.cost = dp_cost; bucketing } =
+    Dp.solve ?governor ?stage ~n ~buckets ~cost ()
+  in
   let values =
     if weighted then
       Array.init (Bucket.count bucketing) (fun k ->
@@ -18,4 +20,5 @@ let build_with_cost ?(weighted = true) p ~buckets =
   let name = if weighted then "point-opt" else "v-optimal" in
   (Histogram.make ~name bucketing (Histogram.Avg values), dp_cost)
 
-let build ?weighted p ~buckets = fst (build_with_cost ?weighted p ~buckets)
+let build ?weighted ?governor ?stage p ~buckets =
+  fst (build_with_cost ?weighted ?governor ?stage p ~buckets)

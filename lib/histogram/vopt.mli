@@ -8,10 +8,21 @@
     the textbook V-Optimal histogram (uniform weights, plain means).
     O(n²B) either way. *)
 
-val build : ?weighted:bool -> Rs_util.Prefix.t -> buckets:int -> Histogram.t
+val build :
+  ?weighted:bool ->
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t
 (** [weighted] defaults to [true] (the paper's adjustment). *)
 
 val build_with_cost :
-  ?weighted:bool -> Rs_util.Prefix.t -> buckets:int -> Histogram.t * float
+  ?weighted:bool ->
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  Rs_util.Prefix.t ->
+  buckets:int ->
+  Histogram.t * float
 (** Also returns the DP objective — the (weighted) point-query SSE, not
     the range SSE. *)

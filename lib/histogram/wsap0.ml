@@ -164,7 +164,7 @@ let histogram_of_bucketing ctx bucketing =
 let build_with_cost p weights ~buckets =
   let ctx = make p weights in
   let { Dp.cost; bucketing } =
-    Dp.solve ~n:(Prefix.n p) ~buckets ~cost:(bucket_cost ctx)
+    Dp.solve ~n:(Prefix.n p) ~buckets ~cost:(bucket_cost ctx) ()
   in
   (histogram_of_bucketing ctx bucketing, cost)
 

@@ -1,0 +1,51 @@
+type t =
+  | Bad_dataset of { source : string; line : int option; reason : string }
+  | Unknown_method of { name : string; known : string list }
+  | Corrupt_synopsis of { line : int; reason : string }
+  | Budget_exhausted of { stage : string; states_used : int; limit : int }
+  | Timeout of { stage : string; elapsed : float; deadline : float }
+  | Io_failure of { path : string; reason : string }
+  | Invalid_input of string
+
+exception Rs_error of t
+
+let to_string = function
+  | Bad_dataset { source; line; reason } -> (
+      match line with
+      | Some l -> Printf.sprintf "bad dataset %s:%d: %s" source l reason
+      | None -> Printf.sprintf "bad dataset %s: %s" source reason)
+  | Unknown_method { name; known } ->
+      Printf.sprintf "unknown method %S (known: %s)" name
+        (String.concat ", " known)
+  | Corrupt_synopsis { line; reason } ->
+      Printf.sprintf "corrupt synopsis: line %d: %s" line reason
+  | Budget_exhausted { stage; states_used; limit } ->
+      Printf.sprintf "state budget exhausted in %s: %d states (limit %d)" stage
+        states_used limit
+  | Timeout { stage; elapsed; deadline } ->
+      Printf.sprintf "deadline exceeded in %s: %.3fs elapsed (deadline %.3fs)"
+        stage elapsed deadline
+  | Io_failure { path; reason } -> Printf.sprintf "io failure on %s: %s" path reason
+  | Invalid_input m -> m
+
+(* Exit-code contract shared with bin/rs_cli: 2 = bad input, 3 = corrupt
+   synopsis, 4 = resource budget/deadline. *)
+let exit_code = function
+  | Bad_dataset _ | Unknown_method _ | Io_failure _ | Invalid_input _ -> 2
+  | Corrupt_synopsis _ -> 3
+  | Budget_exhausted _ | Timeout _ -> 4
+
+let raise_error e = raise (Rs_error e)
+let fail e = Error e
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Rs_error e -> Error e
+  | exception Invalid_argument m -> Error (Invalid_input m)
+  | exception Failure m -> Error (Invalid_input m)
+  | exception Sys_error m -> Error (Io_failure { path = "?"; reason = m })
+  | exception Faults.Injected { site; reason } ->
+      Error (Invalid_input (Printf.sprintf "injected fault at %s: %s" site reason))
+
+let get = function Ok v -> v | Error e -> raise_error e

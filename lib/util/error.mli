@@ -1,0 +1,56 @@
+(** The library's error taxonomy.
+
+    Public API boundaries ({!Rs_core}'s [Dataset.load_result],
+    [Codec.decode_result], [Builder.build_result]) return
+    [(_, Error.t) result]; exceptions remain strictly internal to the
+    dynamic-programming hot loops (see {!Checks} — its lazily formatted
+    [Invalid_argument]s must never be converted to eager [Result]
+    plumbing there).  Each constructor corresponds to one failure class
+    a caller can act on, and maps to a stable CLI exit code. *)
+
+type t =
+  | Bad_dataset of { source : string; line : int option; reason : string }
+      (** Malformed or out-of-domain ingestion data ([source] is a path
+          or dataset name; [line] is 1-based when known). *)
+  | Unknown_method of { name : string; known : string list }
+      (** A construction-method name not in the builder registry. *)
+  | Corrupt_synopsis of { line : int; reason : string }
+      (** A persisted synopsis that fails structural validation or its
+          checksum. *)
+  | Budget_exhausted of { stage : string; states_used : int; limit : int }
+      (** A DP stage exceeded its state budget (and no lower rung of the
+          degradation ladder could deliver). *)
+  | Timeout of { stage : string; elapsed : float; deadline : float }
+      (** A stage overran its wall-clock deadline (see {!Governor}). *)
+  | Io_failure of { path : string; reason : string }
+      (** The OS refused a read/write ([Sys_error] made typed). *)
+  | Invalid_input of string
+      (** Catch-all for argument-validation failures surfacing at an API
+          boundary. *)
+
+exception Rs_error of t
+(** The typed errors as an exception, for transporting a [t] through
+    code that raises.  [guard] turns it back into [Error]. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering. *)
+
+val exit_code : t -> int
+(** Stable process exit code: 2 = bad input (dataset/method/IO),
+    3 = corrupt synopsis, 4 = budget or deadline exhausted. *)
+
+val raise_error : t -> 'a
+(** [raise (Rs_error e)]. *)
+
+val fail : t -> ('a, t) result
+(** [Error e], for symmetry. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run [f], converting [Rs_error] to its payload and the legacy
+    untyped exceptions ([Invalid_argument], [Failure], [Sys_error],
+    {!Faults.Injected}) to the closest constructor.  The boundary
+    adapter between exception-internal code and [Result]-external
+    callers. *)
+
+val get : ('a, t) result -> 'a
+(** [Ok v -> v]; [Error e -> raise (Rs_error e)]. *)

@@ -1,0 +1,39 @@
+exception Injected of { site : string; reason : string }
+
+(* site -> (remaining trips, reason).  [armed_count] mirrors the table
+   size so [trip] is a single int comparison on the (universal) healthy
+   path — trip sits at codec-IO and DP-stage seams. *)
+let table : (string, int ref * string) Hashtbl.t = Hashtbl.create 7
+let armed_count = ref 0
+
+let arm ?(count = max_int) ?(reason = "injected fault") site =
+  if not (Hashtbl.mem table site) then incr armed_count;
+  Hashtbl.replace table site (ref count, reason)
+
+let disarm site =
+  if Hashtbl.mem table site then begin
+    Hashtbl.remove table site;
+    decr armed_count
+  end
+
+let reset () =
+  Hashtbl.reset table;
+  armed_count := 0
+
+let armed site = !armed_count > 0 && Hashtbl.mem table site
+
+let trip site =
+  if !armed_count > 0 then
+    match Hashtbl.find_opt table site with
+    | None -> ()
+    | Some (remaining, reason) ->
+        if !remaining > 0 then begin
+          decr remaining;
+          if !remaining = 0 then disarm site;
+          raise (Injected { site; reason })
+        end
+        else disarm site
+
+let with_faults sites f =
+  List.iter (fun site -> arm site) sites;
+  Fun.protect ~finally:reset f

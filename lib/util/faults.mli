@@ -1,0 +1,34 @@
+(** Fault injection for robustness tests.
+
+    Production code calls {!trip} at its failure seams (codec IO,
+    DP-stage entry, dataset ingestion); tests {!arm} a site to make the
+    next pass through that seam raise {!Injected}.  With nothing armed,
+    [trip] is a single integer comparison, so the hooks are free on the
+    healthy path and safe to leave in the hot modules (though never
+    inside DP inner loops — seams are per-stage, not per-state).
+
+    Known sites: ["opt_a.exact"], ["opt_a.rounded"], ["ladder.a0"],
+    ["codec.decode"], ["codec.load"], ["codec.save"],
+    ["dataset.load"]. *)
+
+exception Injected of { site : string; reason : string }
+
+val arm : ?count:int -> ?reason:string -> string -> unit
+(** Make the next [count] (default: all) calls to [trip site] raise
+    [Injected].  Re-arming a site replaces its previous setting. *)
+
+val disarm : string -> unit
+(** Stop injecting at [site] (no-op if not armed). *)
+
+val reset : unit -> unit
+(** Disarm every site — call in test teardown. *)
+
+val armed : string -> bool
+
+val trip : string -> unit
+(** Raise [Injected] if [site] is armed, else return.  O(1); free when
+    nothing is armed anywhere. *)
+
+val with_faults : string list -> (unit -> 'a) -> 'a
+(** [with_faults sites f] arms every site, runs [f], and resets all
+    injection state afterwards (also on exception). *)

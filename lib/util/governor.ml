@@ -1,0 +1,25 @@
+exception
+  Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
+
+type t = { started : float; deadline : float option }
+
+let create ?deadline () =
+  (match deadline with
+  | Some d when d <= 0. ->
+      invalid_arg "Governor.create: deadline must be positive"
+  | _ -> ());
+  { started = Unix.gettimeofday (); deadline }
+
+let unlimited = { started = 0.; deadline = None }
+let deadline t = t.deadline
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let expired t =
+  match t.deadline with None -> false | Some d -> elapsed t > d
+
+let check t ~stage =
+  match t.deadline with
+  | None -> ()
+  | Some d ->
+      let e = elapsed t in
+      if e > d then raise (Deadline_exceeded { stage; elapsed = e; deadline = d })

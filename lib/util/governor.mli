@@ -1,0 +1,32 @@
+(** Cooperative wall-clock governor for long-running constructions.
+
+    A governor is created once per build with an optional deadline
+    (seconds of wall clock from creation) and polled with {!check} at
+    coarse work boundaries — the OPT-A dynamic program polls once per
+    DP row, never per state, so governance adds no per-state overhead.
+    Expiry raises {!Deadline_exceeded}, which the degradation ladder
+    catches to fall through to a cheaper rung. *)
+
+exception
+  Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
+
+type t
+
+val create : ?deadline:float -> unit -> t
+(** Start the clock now.  [deadline] is in seconds from now; omitting it
+    yields a governor that never expires.  Raises [Invalid_argument] on
+    a non-positive deadline. *)
+
+val unlimited : t
+(** A governor with no deadline ([check] never raises). *)
+
+val deadline : t -> float option
+val elapsed : t -> float
+(** Wall-clock seconds since [create]. *)
+
+val expired : t -> bool
+(** Whether the deadline has passed (never for [unlimited]). *)
+
+val check : t -> stage:string -> unit
+(** Raise [Deadline_exceeded] if the deadline has passed, tagging the
+    failure with [stage] for the degradation report. *)

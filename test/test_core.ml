@@ -77,11 +77,19 @@ let test_builder_all_methods_run () =
     Builder.methods
 
 let test_builder_unknown_method () =
-  try
-    ignore
-      (Builder.build (Lazy.force small_ds) ~method_name:"bogus" ~budget_words:8);
-    Alcotest.fail "expected Invalid_argument"
-  with Invalid_argument _ -> ()
+  (try
+     ignore
+       (Builder.build (Lazy.force small_ds) ~method_name:"bogus" ~budget_words:8);
+     Alcotest.fail "expected Rs_error (Unknown_method _)"
+   with Rs_util.Error.Rs_error (Rs_util.Error.Unknown_method { name; _ }) ->
+     Alcotest.(check string) "offender named" "bogus" name);
+  match
+    Builder.build_result (Lazy.force small_ds) ~method_name:"bogus"
+      ~budget_words:8
+  with
+  | Error (Rs_util.Error.Unknown_method _) -> ()
+  | Ok _ -> Alcotest.fail "expected Error (Unknown_method _)"
+  | Error e -> Alcotest.failf "wrong error: %s" (Rs_util.Error.to_string e)
 
 let test_builder_opt_a_requires_ints () =
   let ds = Dataset.of_floats [| 1.5; 2.; 3. |] in
