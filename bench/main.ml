@@ -84,6 +84,48 @@ let quality_tables () =
   let ns = if quick then [ 127; 255 ] else E.Scalability.default_ns in
   print_string (E.Scalability.table (E.Scalability.run ~ns ()))
 
+(* R1: crash-safety.  Kill a small OPT-A build mid-DP (deterministic
+   poll budget, Snapshot-mode governor), resume from its snapshot, and
+   require the result to match the uninterrupted run bit-for-bit — the
+   durability layer must never change what the DP computes. *)
+let durability_check () =
+  section "R1: durability - OPT-A checkpoint/resume round-trip";
+  let module O = Rs_histogram.Opt_a in
+  let module G = Rs_util.Governor in
+  let data =
+    Array.init 24 (fun i -> float_of_int (((13 * i * i) + (7 * i) + 3) mod 41))
+  in
+  let p = Rs_util.Prefix.create data in
+  let buckets = 5 and key_cap = 200_000 in
+  let base = O.build_exact ~key_cap p ~buckets in
+  let path = Filename.temp_file "rs_bench" ".ckpt" in
+  let interrupted =
+    let governor = G.create ~deadline_mode:G.Snapshot ~poll_budget:50 () in
+    match O.build_exact ~key_cap ~governor ~checkpoint_path:path p ~buckets with
+    | _ -> false
+    | exception G.Interrupted _ -> true
+  in
+  let resumed = O.build_exact ~key_cap ~resume_from:path p ~buckets in
+  (try Sys.remove path with Sys_error _ -> ());
+  let holds =
+    interrupted
+    && Float.equal resumed.O.sse base.O.sse
+    && resumed.O.states = base.O.states
+  in
+  let verdict =
+    {
+      E.Claims.claim_id = "R1";
+      description =
+        "a kill-and-resume OPT-A build reproduces the uninterrupted result \
+         bit-for-bit";
+      measured =
+        Printf.sprintf "interrupted=%b, sse %.6g vs %.6g, states %d vs %d"
+          interrupted resumed.O.sse base.O.sse resumed.O.states base.O.states;
+      holds;
+    }
+  in
+  print_string (E.Claims.table (record [ verdict ]))
+
 (* --- Bechamel timing benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -152,6 +194,7 @@ let run_bechamel () =
 
 let () =
   quality_tables ();
+  durability_check ();
   if not no_bechamel then run_bechamel ();
   match List.rev !failed_claims with
   | [] -> Printf.printf "\ndone.\n"

@@ -11,10 +11,13 @@
      reopt      the Section-5 re-optimization study (C4)
      rounding   the OPT-A-ROUNDED trade-off study (T4)
      scale      scalability sweep of the polynomial methods (S1)
+     store      durable synopsis store (list / put / fsck)
 
    Exit codes follow Rs_util.Error.exit_code: 0 success, 2 bad input
-   (dataset, method, IO), 3 corrupt synopsis, 4 state budget or
-   deadline exhausted (cmdliner reserves 124/125 for CLI errors). *)
+   (dataset, method, IO), 3 corrupt synopsis or checkpoint, 4 state
+   budget or deadline exhausted, 5 interrupted but resumable (a
+   snapshot was written; re-run with --resume) — cmdliner reserves
+   124/125 for CLI errors. *)
 
 open Cmdliner
 module Dataset = Rs_core.Dataset
@@ -98,8 +101,12 @@ let exits =
   Cmd.Exit.defaults
   @ [
       Cmd.Exit.info 2 ~doc:"on bad input (dataset, unknown method, IO).";
-      Cmd.Exit.info 3 ~doc:"on a corrupt synopsis file.";
+      Cmd.Exit.info 3 ~doc:"on a corrupt synopsis or checkpoint file.";
       Cmd.Exit.info 4 ~doc:"on an exhausted state budget or deadline.";
+      Cmd.Exit.info 5
+        ~doc:
+          "interrupted but resumable: the deadline expired and a checkpoint \
+           was written; re-run with --resume to continue.";
     ]
 
 let command name ~doc term = Cmd.v (Cmd.info name ~doc ~exits) term
@@ -152,14 +159,54 @@ let build_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Persist the synopsis to a file (see the Codec format).")
   in
-  let run data m budget quick states deadline save =
+  let checkpoint_dir_arg =
+    Arg.(value & opt (some string) None
+           & info [ "checkpoint-dir" ] ~docv:"DIR"
+               ~doc:"Write resumable OPT-A snapshots to $(docv)/opt-a.ckpt. \
+                     With --deadline, expiry then exits with code 5 (snapshot \
+                     written) instead of degrading down the ladder.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+           & info [ "resume" ]
+               ~doc:"Resume from the snapshot in --checkpoint-dir, replaying \
+                     from the last completed DP row (bit-identical result).")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt (some float) None
+           & info [ "checkpoint-every" ] ~docv:"SECONDS"
+               ~doc:"Also snapshot periodically while the DP runs (crash \
+                     safety, not just deadline safety).")
+  in
+  let run data m budget quick states deadline save ckpt_dir resume every =
     wrap (fun () ->
+        let checkpoint_path =
+          Option.map
+            (fun dir ->
+              (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+               with Unix.Unix_error (e, _, _) ->
+                 Error.raise_error
+                   (Error.Io_failure
+                      { path = dir; reason = Unix.error_message e }));
+              Filename.concat dir "opt-a.ckpt")
+            ckpt_dir
+        in
+        let resume_from =
+          if not resume then None
+          else
+            match checkpoint_path with
+            | Some _ as p -> p
+            | None ->
+                Error.raise_error
+                  (Error.Invalid_input "--resume requires --checkpoint-dir")
+        in
         let ds = load_dataset data in
         let options = options_of quick states in
         let built, dt =
           E.Timing.time (fun () ->
               Error.get
-                (Builder.build_result ~options ?deadline ds ~method_name:m
+                (Builder.build_result ~options ?deadline ?checkpoint_path
+                   ?resume_from ?checkpoint_every:every ds ~method_name:m
                    ~budget_words:budget))
         in
         let s = built.Builder.synopsis in
@@ -176,7 +223,8 @@ let build_cmd =
   command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
       const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
-      $ opt_a_states_arg $ deadline_arg $ save_arg)
+      $ opt_a_states_arg $ deadline_arg $ save_arg $ checkpoint_dir_arg
+      $ resume_arg $ checkpoint_every_arg)
 
 (* --- query --- *)
 
@@ -367,6 +415,80 @@ let dim2_cmd =
   command "dim2" ~doc:"Two-dimensional range aggregates (D2, footnote 2)."
     Term.(const run $ n_arg)
 
+(* --- store --- *)
+
+let store_dir_arg =
+  Arg.(value & opt string "synopses" & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Store directory (created on first use).")
+
+let store_list_cmd =
+  let run dir =
+    wrap (fun () ->
+        let store = Rs_core.Store.open_dir dir in
+        let names = Rs_core.Store.list store in
+        Printf.printf "%d synopsis(es) in %s\n" (List.length names) dir;
+        List.iter
+          (fun name ->
+            match Rs_core.Store.get store ~name with
+            | Ok s -> Printf.printf "  %-20s %s\n" name (Synopsis.describe s)
+            | Error e -> Printf.printf "  %-20s UNREADABLE: %s\n" name
+                           (Error.to_string e))
+          names)
+  in
+  command "list" ~doc:"List the synopses in a store."
+    Term.(const run $ store_dir_arg)
+
+let store_put_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Entry name ([A-Za-z0-9._-]+).")
+  in
+  let run dir name data m budget quick =
+    wrap (fun () ->
+        let ds = load_dataset data in
+        let options = options_of_quick quick in
+        let built =
+          Error.get
+            (Builder.build_result ~options ds ~method_name:m
+               ~budget_words:budget)
+        in
+        let store = Rs_core.Store.open_dir dir in
+        Rs_core.Store.put store ~name built.Builder.synopsis;
+        print_report built;
+        Printf.printf "stored %s in %s: %s\n" name dir
+          (Synopsis.describe built.Builder.synopsis))
+  in
+  command "put" ~doc:"Build a synopsis and store it under a name."
+    Term.(
+      const run $ store_dir_arg $ name_arg $ dataset_arg $ method_arg
+      $ budget_arg $ quick_arg)
+
+let store_fsck_cmd =
+  let run dir =
+    wrap (fun () ->
+        let store = Rs_core.Store.open_dir dir in
+        let r = Rs_core.Store.fsck store in
+        Printf.printf "%s: %d entries ok\n" dir (List.length r.Rs_core.Store.ok);
+        List.iter
+          (fun (name, reason) ->
+            Printf.printf "  quarantined %s: %s\n" name reason)
+          r.Rs_core.Store.quarantined;
+        List.iter
+          (fun file -> Printf.printf "  removed stray temp file %s\n" file)
+          r.Rs_core.Store.removed_tmp;
+        if r.Rs_core.Store.manifest_rebuilt then
+          print_endline "  manifest rebuilt")
+  in
+  command "fsck" ~doc:"Check and repair a store: quarantine corrupt entries, \
+                       remove stray temp files, rebuild the manifest."
+    Term.(const run $ store_dir_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Durable synopsis store (crash-safe, self-healing)."
+       ~exits)
+    [ store_list_cmd; store_put_cmd; store_fsck_cmd ]
+
 let main_cmd =
   let doc = "summary statistics for range aggregates (PODS 2001 reproduction)" in
   Cmd.group
@@ -374,6 +496,7 @@ let main_cmd =
     [
       generate_cmd; info_cmd; build_cmd; query_cmd; evaluate_cmd; figure1_cmd;
       claims_cmd; reopt_cmd; rounding_cmd; scale_cmd; workload_cmd; dim2_cmd;
+      store_cmd;
     ]
 
 (* RS_LOG=debug|info enables library instrumentation (e.g. OPT-A state

@@ -196,19 +196,36 @@ let ladder_error attempts =
                      (H.Opt_a.describe_outcome a.H.Opt_a.outcome))
                  attempts)))
 
-let build_result ?(options = default_options) ?deadline ds ~method_name
-    ~budget_words =
+let build_result ?(options = default_options) ?deadline ?checkpoint_path
+    ?resume_from ?checkpoint_every ds ~method_name ~budget_words =
   match List.find_opt (fun (n, _, _) -> n = method_name) registry with
   | None ->
       Error.fail (Error.Unknown_method { name = method_name; known = methods })
+  | Some _
+    when method_name <> "opt-a"
+         && (checkpoint_path <> None || resume_from <> None) ->
+      Error.fail
+        (Error.Invalid_input
+           (Printf.sprintf
+              "checkpoint/resume is only supported for method \"opt-a\" (its \
+               DP is the only long-running one); %S is not checkpointable"
+              method_name))
   | Some (_, _, kind) ->
       let governor =
-        match deadline with
-        | Some d -> Governor.create ~deadline:d ()
-        | None -> options.governor
+        match (deadline, checkpoint_path, checkpoint_every) with
+        | None, None, None -> options.governor
+        | _ ->
+            (* A checkpoint path turns deadline expiry into
+               snapshot-and-exit instead of ladder degradation. *)
+            let deadline_mode =
+              if checkpoint_path <> None then Governor.Snapshot
+              else Governor.Degrade
+            in
+            Governor.create ?deadline ~deadline_mode
+              ?checkpoint_interval:checkpoint_every ()
       in
       let options = { options with governor } in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Rs_util.Mclock.now () in
       let run f =
         match f () with
         | v -> Ok v
@@ -221,6 +238,8 @@ let build_result ?(options = default_options) ?deadline ds ~method_name
                  { stage = method_name; states_used = states; limit })
         | exception Governor.Deadline_exceeded { stage; elapsed; deadline } ->
             Error (Error.Timeout { stage; elapsed; deadline })
+        | exception Governor.Interrupted { stage; checkpoint } ->
+            Error (Error.Interrupted { stage; checkpoint })
         | exception Rs_util.Faults.Injected { site; reason } ->
             Error
               (Error.Invalid_input
@@ -235,7 +254,8 @@ let build_result ?(options = default_options) ?deadline ds ~method_name
             let units = units_for_budget ~method_name ~budget_words in
             match
               H.Opt_a.build_governed ~max_states:options.opt_a_max_states
-                ~xs:options.opt_a_xs ~governor p ~buckets:units
+                ~xs:options.opt_a_xs ~governor ?checkpoint_path ?resume_from p
+                ~buckets:units
             with
             | staged ->
                 {
@@ -248,7 +268,7 @@ let build_result ?(options = default_options) ?deadline ds ~method_name
                         requested = method_name;
                         delivered = staged.H.Opt_a.delivered;
                         attempts = staged.H.Opt_a.attempts;
-                        elapsed = Unix.gettimeofday () -. t0;
+                        elapsed = Rs_util.Mclock.now () -. t0;
                       };
                 }
             | exception H.Opt_a.All_rungs_failed attempts ->

@@ -81,6 +81,9 @@ val report_lines : degradation_report -> string list
 val build_result :
   ?options:options ->
   ?deadline:float ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
+  ?checkpoint_every:float ->
   Dataset.t ->
   method_name:string ->
   budget_words:int ->
@@ -93,4 +96,15 @@ val build_result :
     [Error (Timeout _)].  Errors: [Unknown_method], [Invalid_input]
     (e.g. non-integral data for ["opt-a"]), [Budget_exhausted] /
     [Timeout] when a non-laddered method (or every rung) runs out of
-    resources. *)
+    resources.
+
+    Checkpointing (["opt-a"] only — any other method returns
+    [Invalid_input]): [checkpoint_path] arms the exact DP's
+    once-per-row snapshot hook and switches the governor to
+    {!Rs_util.Governor.Snapshot} mode, so a deadline expiry writes a
+    resumable snapshot and returns [Error (Interrupted _)] (CLI exit
+    code 5) instead of degrading; [checkpoint_every] (seconds) also
+    snapshots periodically mid-run.  [resume_from] restarts a build
+    from such a snapshot, bit-identically; a snapshot that fails its
+    checksum or was taken for different data/parameters yields
+    [Error (Corrupt_checkpoint _)]. *)

@@ -290,14 +290,20 @@ let of_string s =
       invalid_arg (Printf.sprintf "Codec: line %d: %s" line reason)
   | Error e -> invalid_arg ("Codec: " ^ Error.to_string e)
 
+(* Crash-safe: encode fully in memory, then temp file + fsync + atomic
+   rename via {!Rs_util.Checkpoint} — a crash mid-save leaves the old
+   file intact, never a torn one, and the fd is closed on every error
+   path. *)
 let save s path =
   Faults.trip "codec.save";
-  let oc = open_out path in
-  (try output_string oc (to_string s)
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+  Rs_util.Checkpoint.write_atomic ~path (to_string s)
+
+let save_result s path =
+  match save s path with
+  | () -> Ok ()
+  | exception Error.Rs_error e -> Error e
+  | exception Faults.Injected { reason; site = _ } ->
+      Error.fail (Error.Io_failure { path; reason })
 
 let load_result path =
   match

@@ -40,7 +40,15 @@ val of_string : string -> Synopsis.t
     message (legacy interface). *)
 
 val save : Synopsis.t -> string -> unit
-(** Write (always v2).  Raises [Sys_error] on IO failure. *)
+(** Write (always v2), atomically: temp file + [fsync] + [rename]
+    ({!Rs_util.Checkpoint.write_atomic}), so a crash mid-save leaves
+    the previous contents intact and the channel is closed on every
+    error path.  Raises [Rs_error (Io_failure _)] — with the
+    destination path — on OS failure. *)
+
+val save_result : Synopsis.t -> string -> (unit, Rs_util.Error.t) result
+(** {!save} with every failure (including an injected ["codec.save"]
+    fault) returned as [Error (Io_failure _)]. *)
 
 val load_result : string -> (Synopsis.t, Rs_util.Error.t) result
 (** Read and decode a file: [Io_failure] when the OS refuses the read,

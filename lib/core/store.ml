@@ -1,0 +1,253 @@
+module Error = Rs_util.Error
+module Crc32 = Rs_util.Crc32
+module Faults = Rs_util.Faults
+module Checkpoint = Rs_util.Checkpoint
+
+let manifest_kind = "rs-store-manifest-v1"
+let manifest_file = "MANIFEST"
+let quarantine_dir = "quarantine"
+let entry_ext = ".rs"
+
+type t = { dir : string; mutable entries : (string * string) list }
+(* entries: (name, CRC-32 hex of the entry file's bytes), sorted by name. *)
+
+type fsck_report = {
+  ok : string list;
+  quarantined : (string * string) list;
+  removed_tmp : string list;
+  manifest_rebuilt : bool;
+}
+
+let dir t = t.dir
+
+let valid_name name =
+  name <> ""
+  && name <> manifest_file
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       name
+  && name.[0] <> '.'
+
+let check_name name =
+  if not (valid_name name) then
+    Error.raise_error
+      (Error.Invalid_input
+         (Printf.sprintf
+            "store: invalid synopsis name %S (want [A-Za-z0-9._-]+, not \
+             starting with '.')"
+            name))
+
+let entry_path t name = Filename.concat t.dir (name ^ entry_ext)
+
+let name_of_file file =
+  if Filename.check_suffix file entry_ext then
+    let name = Filename.chop_suffix file entry_ext in
+    if valid_name name then Some name else None
+  else None
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (e, _, _) ->
+      Error.raise_error
+        (Error.Io_failure { path; reason = Unix.error_message e })
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let manifest_path t = Filename.concat t.dir manifest_file
+
+let manifest_body entries =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, crc) -> Printf.bprintf buf "entry %s %s\n" name crc)
+    entries;
+  Buffer.contents buf
+
+let save_manifest t =
+  Faults.trip "store.manifest";
+  t.entries <-
+    List.sort (fun (a, _) (b, _) -> String.compare a b) t.entries;
+  Checkpoint.save ~path:(manifest_path t) ~kind:manifest_kind
+    (manifest_body t.entries)
+
+let parse_manifest ~path body =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body)
+  in
+  List.map
+    (fun line ->
+      match
+        List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+      with
+      | [ "entry"; name; crc ] when valid_name name && Crc32.of_hex crc <> None
+        ->
+          (name, crc)
+      | _ ->
+          Error.raise_error
+            (Error.Corrupt_checkpoint
+               { path; reason = Printf.sprintf "bad manifest line %S" line }))
+    lines
+
+(* Scan the directory for decodable entries and rebuild the manifest
+   from what is actually there — the self-healing path used when the
+   manifest is missing or corrupt.  Undecodable files are left in place
+   for [fsck] to quarantine. *)
+let rebuild_entries t =
+  let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  let entries = ref [] in
+  Array.iter
+    (fun file ->
+      match name_of_file file with
+      | None -> ()
+      | Some name -> (
+          match read_file (Filename.concat t.dir file) with
+          | exception Sys_error _ -> ()
+          | content -> (
+              match Codec.decode_result content with
+              | Ok _ -> entries := (name, Crc32.digest content) :: !entries
+              | Error _ -> ())))
+    files;
+  t.entries <- List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
+
+let open_dir dir =
+  mkdir_p dir;
+  let t = { dir; entries = [] } in
+  let path = manifest_path t in
+  (if Sys.file_exists path then
+     match Checkpoint.load ~path ~kind:manifest_kind with
+     | Ok body -> (
+         match parse_manifest ~path body with
+         | entries -> t.entries <- entries
+         | exception Error.Rs_error _ ->
+             rebuild_entries t;
+             save_manifest t)
+     | Error _ ->
+         (* Corrupt manifest: the entries themselves are each CRC-framed,
+            so rebuild from disk rather than failing the whole store. *)
+         rebuild_entries t;
+         save_manifest t
+   else begin
+     rebuild_entries t;
+     if t.entries <> [] then save_manifest t
+   end);
+  t
+
+let list t = List.map fst t.entries
+
+let mem t name = List.mem_assoc name t.entries
+
+let put t ~name synopsis =
+  check_name name;
+  Faults.trip "store.put";
+  let content = Codec.to_string synopsis in
+  Checkpoint.write_atomic ~path:(entry_path t name) content;
+  t.entries <-
+    (name, Crc32.digest content) :: List.remove_assoc name t.entries;
+  save_manifest t
+
+let get t ~name =
+  check_name name;
+  let path = entry_path t name in
+  match read_file path with
+  | exception Sys_error reason -> Error.fail (Error.Io_failure { path; reason })
+  | content -> (
+      match List.assoc_opt name t.entries with
+      | Some crc when crc <> Crc32.digest content ->
+          Error.fail
+            (Error.Corrupt_synopsis
+               {
+                 line = 0;
+                 reason =
+                   Printf.sprintf
+                     "store entry %s does not match its manifest checksum" name;
+               })
+      | Some _ | None -> Codec.decode_result content)
+
+let remove t ~name =
+  check_name name;
+  let path = entry_path t name in
+  (try Sys.remove path with Sys_error _ -> ());
+  if mem t name then begin
+    t.entries <- List.remove_assoc name t.entries;
+    save_manifest t
+  end
+
+(* Move a damaged entry aside (never delete data that might be partially
+   recoverable by hand); name collisions in quarantine get a numeric
+   suffix. *)
+let quarantine t file =
+  let qdir = Filename.concat t.dir quarantine_dir in
+  mkdir_p qdir;
+  let rec fresh candidate n =
+    let dst = Filename.concat qdir candidate in
+    if Sys.file_exists dst then fresh (Printf.sprintf "%s.%d" file n) (n + 1)
+    else dst
+  in
+  let dst = fresh file 1 in
+  (try Unix.rename (Filename.concat t.dir file) dst
+   with Unix.Unix_error (e, _, _) ->
+     Error.raise_error
+       (Error.Io_failure
+          { path = Filename.concat t.dir file; reason = Unix.error_message e }))
+
+let fsck t =
+  let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  let quarantined = ref []
+  and removed_tmp = ref []
+  and dirty = ref false in
+  let disk = ref [] in
+  Array.iter
+    (fun file ->
+      let path = Filename.concat t.dir file in
+      if Filename.check_suffix file ".tmp" then begin
+        (* A crash between temp-file write and rename leaves these; they
+           were never the live copy, so deleting is safe. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        removed_tmp := file :: !removed_tmp
+      end
+      else
+        match name_of_file file with
+        | None -> ()
+        | Some name -> (
+            match read_file path with
+            | exception Sys_error reason ->
+                quarantined := (name, "unreadable: " ^ reason) :: !quarantined;
+                dirty := true
+            | content -> (
+                match Codec.decode_result content with
+                | Ok _ -> disk := (name, Crc32.digest content) :: !disk
+                | Error e ->
+                    quarantine t file;
+                    quarantined := (name, Error.to_string e) :: !quarantined;
+                    dirty := true)))
+    files;
+  let disk = List.sort (fun (a, _) (b, _) -> String.compare a b) !disk in
+  (* Manifest entries whose file vanished (or was just quarantined). *)
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name disk) && not (List.mem_assoc name !quarantined)
+      then begin
+        quarantined :=
+          (name, "listed in manifest but missing on disk") :: !quarantined;
+        dirty := true
+      end)
+    t.entries;
+  (* Valid files the manifest doesn't know (interrupted put, manual
+     copy): adopt them. *)
+  if disk <> t.entries then dirty := true;
+  if !dirty then begin
+    t.entries <- disk;
+    save_manifest t
+  end;
+  {
+    ok = List.map fst disk;
+    quarantined = List.rev !quarantined;
+    removed_tmp = List.rev !removed_tmp;
+    manifest_rebuilt = !dirty;
+  }

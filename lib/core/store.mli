@@ -1,0 +1,70 @@
+(** A durable, self-healing directory store for synopses — the catalog a
+    database would keep its precomputed summaries in.
+
+    Layout: one {!Codec} v2 file per synopsis ([<name>.rs]), a
+    [MANIFEST] listing every entry with the CRC-32 of its file bytes
+    (framed by {!Rs_util.Checkpoint}, so the manifest itself is
+    checksummed and written atomically), and a [quarantine/]
+    subdirectory where {!fsck} moves damaged entries.
+
+    Every write — entries and manifest alike — goes through
+    {!Rs_util.Checkpoint.write_atomic} (temp file + [fsync] + atomic
+    rename), so a crash at any point leaves the store readable: at
+    worst a stray [*.tmp] file (removed by {!fsck}) or a manifest one
+    entry behind disk (adopted by {!fsck}/{!open_dir}).
+
+    Fault seams ({!Rs_util.Faults}): ["store.put"] (fail a put before
+    any bytes move), ["store.manifest"] (fail the manifest rewrite after
+    the entry file is durable), plus the ["atomic.*"] seams underneath
+    every write.
+
+    Corruption is never fatal to the store: a damaged manifest is
+    rebuilt by scanning the directory (each entry file carries its own
+    CRC), and a damaged entry is quarantined by {!fsck} — moved aside,
+    never deleted — while every healthy entry stays served. *)
+
+type t
+
+type fsck_report = {
+  ok : string list;  (** entries that decode and match the manifest *)
+  quarantined : (string * string) list;
+      (** [(name, reason)] — corrupt/unreadable entries moved to
+          [quarantine/], or manifest entries missing on disk *)
+  removed_tmp : string list;
+      (** stray [*.tmp] files from interrupted atomic writes, deleted *)
+  manifest_rebuilt : bool;  (** the manifest was out of sync and rewritten *)
+}
+
+val open_dir : string -> t
+(** Open (creating the directory if needed).  A missing or corrupt
+    manifest is self-healed by scanning the directory for decodable
+    entries — never an error.  Raises [Rs_error (Io_failure _)] only
+    when the OS refuses directory creation or the manifest rewrite. *)
+
+val dir : t -> string
+
+val list : t -> string list
+(** Manifest entry names, sorted. *)
+
+val mem : t -> string -> bool
+
+val put : t -> name:string -> Synopsis.t -> unit
+(** Atomically write the synopsis and update the manifest.  Raises
+    [Rs_error (Invalid_input _)] on a bad name ([A-Za-z0-9._-]+, no
+    leading dot), [Rs_error (Io_failure _)] on OS failure.  If the
+    manifest write dies after the entry write, the next
+    {!fsck}/{!open_dir} adopts the orphaned entry. *)
+
+val get : t -> name:string -> (Synopsis.t, Rs_util.Error.t) result
+(** Read, verify (manifest CRC, then the codec's own framing), decode.
+    [Io_failure] when unreadable, [Corrupt_synopsis] on any mismatch. *)
+
+val remove : t -> name:string -> unit
+(** Delete the entry and update the manifest; removing an absent entry
+    is a no-op. *)
+
+val fsck : t -> fsck_report
+(** Repair pass: delete stray [*.tmp] files, quarantine entries that
+    fail to decode, drop manifest entries whose files vanished, adopt
+    valid files the manifest missed, and rewrite the manifest when
+    anything changed. *)

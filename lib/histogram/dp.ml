@@ -1,10 +1,75 @@
 module Checks = Rs_util.Checks
 module Governor = Rs_util.Governor
+module Checkpoint = Rs_util.Checkpoint
 
 type result = { cost : float; bucketing : Bucket.t }
 
-let run ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets ~cost ()
-    =
+let snapshot_kind = "dp-row-v1"
+
+(* Snapshot body: identity header, the resume position, then the full
+   [e]/[parent] matrices.  Floats are printed with %h (hex, lossless
+   round-trip including infinities), so a resumed run restarts from
+   bit-identical state. *)
+let snapshot_body ~stage ~fingerprint ~n ~b ~e ~parent ~next_k ~next_i =
+  let buf = Buffer.create ((b + 1) * (n + 1) * 12) in
+  Printf.bprintf buf "engine dp\nstage %s\nfingerprint %s\nn %d\nbuckets %d\nnext %d %d\n"
+    stage fingerprint n b next_k next_i;
+  for k = 0 to b do
+    Printf.bprintf buf "e %d" k;
+    for i = 0 to n do
+      Buffer.add_char buf ' ';
+      Printf.bprintf buf "%h" e.(k).(i)
+    done;
+    Buffer.add_char buf '\n';
+    Printf.bprintf buf "p %d" k;
+    for i = 0 to n do Printf.bprintf buf " %d" parent.(k).(i) done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* Restore [e]/[parent] in place and return the [(k, i)] cell the DP
+   should resume at.  Any malformed or mismatched field raises
+   [Rs_error (Corrupt_checkpoint _)] via {!Snapshot_io}. *)
+let restore ~path ~stage ~fingerprint ~n ~b e parent =
+  match Checkpoint.load ~path ~kind:snapshot_kind with
+  | Error err -> Rs_util.Error.raise_error err
+  | Ok body ->
+      let cur = Snapshot_io.of_body ~path body in
+      Snapshot_io.check_string cur "engine" "dp"
+        (Snapshot_io.expect_string cur "engine");
+      Snapshot_io.check_string cur "stage" stage
+        (Snapshot_io.expect_string cur "stage");
+      Snapshot_io.check_string cur "fingerprint" fingerprint
+        (Snapshot_io.expect_string cur "fingerprint");
+      Snapshot_io.check_int cur "n" n (Snapshot_io.expect_int cur "n");
+      Snapshot_io.check_int cur "buckets" b (Snapshot_io.expect_int cur "buckets");
+      let next_k, next_i =
+        match Snapshot_io.expect cur "next" with
+        | [ k; i ] -> (Snapshot_io.int_of cur k, Snapshot_io.int_of cur i)
+        | _ -> Snapshot_io.corrupt cur "expected \"next <k> <i>\""
+      in
+      if next_k < 1 || next_k > b || next_i < next_k || next_i > n then
+        Snapshot_io.corrupt cur "resume position (%d, %d) out of range" next_k
+          next_i;
+      let fill_row key row parse =
+        match Snapshot_io.expect cur key with
+        | idx :: values ->
+            let k = Snapshot_io.int_of cur idx in
+            if k < 0 || k > b then
+              Snapshot_io.corrupt cur "row index %d out of range" k;
+            if List.length values <> n + 1 then
+              Snapshot_io.corrupt cur "row %d: expected %d values" k (n + 1);
+            List.iteri (fun i v -> row.(k).(i) <- parse cur v) values
+        | [] -> Snapshot_io.corrupt cur "empty %s row" key
+      in
+      for _k = 0 to b do
+        fill_row "e" e Snapshot_io.float_of;
+        fill_row "p" parent Snapshot_io.int_of
+      done;
+      (next_k, next_i)
+
+let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
+    ?checkpoint_path ?resume_from ~n ~buckets ~cost () =
   let n = Checks.positive ~name:"Dp.solve n" n in
   let b = max 1 (min buckets n) in
   let inf = Float.infinity in
@@ -12,12 +77,38 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets ~cost ()
   let e = Array.make_matrix (b + 1) (n + 1) inf in
   let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
   e.(0).(0) <- 0.;
-  for k = 1 to b do
-    (* Need at least k positions for k non-empty buckets, and at most
-       n − (future buckets) — pruning the trivially infeasible cells. *)
-    for i = k to n do
-      (* Deadline poll once per O(n) row, never per cell. *)
-      Governor.check governor ~stage;
+  let start_k, start_i =
+    match resume_from with
+    | None -> (1, 1)
+    | Some path -> restore ~path ~stage ~fingerprint ~n ~b e parent
+  in
+  let save path ~next_k ~next_i =
+    Checkpoint.save ~path ~kind:snapshot_kind
+      (snapshot_body ~stage ~fingerprint ~n ~b ~e ~parent ~next_k ~next_i)
+  in
+  (* Deadline/checkpoint poll once per O(n) row, never per cell.  The
+     snapshot is taken before cell (k, i) is processed, so resuming
+     replays from the first incomplete cell. *)
+  let poll ~k ~i =
+    match Governor.poll governor with
+    | Governor.Continue -> ()
+    | Governor.Checkpoint_due -> (
+        match checkpoint_path with
+        | Some path -> save path ~next_k:k ~next_i:i
+        | None -> ())
+    | Governor.Expired { elapsed; deadline; resumable } -> (
+        match checkpoint_path with
+        | Some path when resumable ->
+            save path ~next_k:k ~next_i:i;
+            raise (Governor.Interrupted { stage; checkpoint = path })
+        | _ -> raise (Governor.Deadline_exceeded { stage; elapsed; deadline }))
+  in
+  for k = start_k to b do
+    (* Need at least k positions for k non-empty buckets — pruning the
+       trivially infeasible cells. *)
+    let i_from = if k = start_k then max k start_i else k in
+    for i = i_from to n do
+      poll ~k ~i;
       let best = ref inf and best_j = ref (-1) in
       for j = k - 1 to i - 1 do
         if e.(k - 1).(j) < inf then begin
@@ -44,14 +135,22 @@ let reconstruct parent ~n ~k =
   done;
   Bucket.of_rights ~n rights
 
-let solve ?governor ?stage ~n ~buckets ~cost () =
-  let e, parent, b = run ?governor ?stage ~n ~buckets ~cost () in
+let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n
+    ~buckets ~cost () =
+  let e, parent, b =
+    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n ~buckets
+      ~cost ()
+  in
   let best_k = ref 1 in
   for k = 2 to b do
     if e.(k).(n) < e.(!best_k).(n) then best_k := k
   done;
   { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
 
-let solve_exact_buckets ?governor ?stage ~n ~buckets ~cost () =
-  let e, parent, b = run ?governor ?stage ~n ~buckets ~cost () in
+let solve_exact_buckets ?governor ?stage ?fingerprint ?checkpoint_path
+    ?resume_from ~n ~buckets ~cost () =
+  let e, parent, b =
+    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n ~buckets
+      ~cost ()
+  in
   { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }

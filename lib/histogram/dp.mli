@@ -7,7 +7,21 @@
 
     [cost] must be non-negative; additivity across buckets is the
     caller's responsibility (it holds exactly for SAP0/SAP1 thanks to the
-    Decomposition Lemma, and by construction for point-query costs). *)
+    Decomposition Lemma, and by construction for point-query costs).
+
+    {2 Checkpoint/resume}
+
+    When [checkpoint_path] is given, the once-per-row governor poll also
+    drives row-granularity snapshots ({!Rs_util.Checkpoint} container,
+    CRC-protected, written atomically): [Checkpoint_due] saves and
+    continues; an expired {e Snapshot}-mode governor saves and raises
+    {!Rs_util.Governor.Interrupted} instead of degrading.  [resume_from]
+    restores the saved matrices and replays from the first incomplete
+    cell, producing bit-identical results to an uninterrupted run (floats
+    round-trip via [%h]).  The snapshot records [stage], [fingerprint]
+    (caller-supplied hash of the input data), [n] and the clamped bucket
+    count; any mismatch — or any corruption — raises
+    [Rs_error (Corrupt_checkpoint _)]. *)
 
 type result = {
   cost : float;  (** optimal objective value *)
@@ -17,6 +31,9 @@ type result = {
 val solve :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?fingerprint:string ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   n:int ->
   buckets:int ->
   cost:(l:int -> r:int -> float) ->
@@ -26,11 +43,16 @@ val solve :
     [\[1, n\]].  The returned bucketing may use fewer than [buckets]
     buckets when that is no worse.  [governor] is polled once per DP
     row (never per cell); on expiry it raises
-    {!Rs_util.Governor.Deadline_exceeded} tagged with [stage]. *)
+    {!Rs_util.Governor.Deadline_exceeded} tagged with [stage] — or, with
+    a Snapshot-mode governor and a [checkpoint_path], writes a resumable
+    snapshot and raises {!Rs_util.Governor.Interrupted}. *)
 
 val solve_exact_buckets :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?fingerprint:string ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   n:int ->
   buckets:int ->
   cost:(l:int -> r:int -> float) ->

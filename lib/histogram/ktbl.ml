@@ -97,6 +97,59 @@ let iter visit t =
     if Bytes.get t.used i = '\001' then visit ~key:t.keys.(i) ~f:t.fs.(i)
   done
 
+(* --- exact-layout snapshots ---
+
+   Checkpoint/resume must reproduce the DP bit-for-bit, and the DP's
+   tie-breaking depends on iteration order, which depends on the slot
+   layout.  Exporting entries and re-inserting them could legally land
+   them in different slots (the layout encodes insertion history), so
+   snapshots carry the physical layout: capacity plus every used slot. *)
+
+type wire = {
+  capacity : int;
+  slots : (int * int * float * int * int) array;
+      (* (slot, key, f, prev_j, prev_key), ascending slot order *)
+}
+
+let export t =
+  let slots = ref [] in
+  for i = t.mask downto 0 do
+    if Bytes.get t.used i = '\001' then
+      slots := (i, t.keys.(i), t.fs.(i), t.pjs.(i), t.pks.(i)) :: !slots
+  done;
+  { capacity = t.mask + 1; slots = Array.of_list !slots }
+
+let import w =
+  let cap = w.capacity in
+  if cap < initial_capacity || cap land (cap - 1) <> 0 then
+    invalid_arg "Ktbl.import: capacity must be a power of two >= 8";
+  if Array.length w.slots > cap then
+    invalid_arg "Ktbl.import: more slots than capacity";
+  let t =
+    {
+      keys = Array.make cap 0;
+      fs = Array.make cap 0.;
+      pjs = Array.make cap 0;
+      pks = Array.make cap 0;
+      used = Bytes.make cap '\000';
+      size = 0;
+      mask = cap - 1;
+    }
+  in
+  Array.iter
+    (fun (slot, key, f, pj, pk) ->
+      if slot < 0 || slot >= cap then invalid_arg "Ktbl.import: slot out of range";
+      if Bytes.get t.used slot = '\001' then
+        invalid_arg "Ktbl.import: duplicate slot";
+      Bytes.set t.used slot '\001';
+      t.keys.(slot) <- key;
+      t.fs.(slot) <- f;
+      t.pjs.(slot) <- pj;
+      t.pks.(slot) <- pk;
+      t.size <- t.size + 1)
+    w.slots;
+  t
+
 let fold_min_f t =
   let best = ref None in
   iter

@@ -30,3 +30,23 @@ val iter : (key:int -> f:float -> unit) -> t -> unit
 
 val fold_min_f : t -> (int * float) option
 (** Entry with the smallest [f], if any. *)
+
+(** {2 Exact-layout snapshots (checkpoint/resume)} *)
+
+type wire = {
+  capacity : int;  (** physical table capacity (power of two ≥ 8) *)
+  slots : (int * int * float * int * int) array;
+      (** [(slot, key, f, prev_j, prev_key)], ascending slot order *)
+}
+
+val export : t -> wire
+(** The table's {e physical} layout.  Resume must reproduce the DP
+    bit-for-bit, and tie-breaking depends on iteration order — i.e. on
+    slot positions, not just contents — so snapshots round-trip the
+    layout, not the entry set. *)
+
+val import : wire -> t
+(** Rebuild a table with exactly the exported layout.  Raises
+    [Invalid_argument] on structurally impossible wires (bad capacity,
+    slot out of range, duplicate slot); semantic validity is the
+    caller's responsibility (snapshots are CRC-protected upstream). *)

@@ -2,6 +2,9 @@ module Prefix = Rs_util.Prefix
 module Checks = Rs_util.Checks
 module Governor = Rs_util.Governor
 module Faults = Rs_util.Faults
+module Checkpoint = Rs_util.Checkpoint
+module Crc32 = Rs_util.Crc32
+module Mclock = Rs_util.Mclock
 
 let log_src = Logs.Src.create "rs.opt_a" ~doc:"OPT-A dynamic program"
 
@@ -58,11 +61,138 @@ let truncate_to_beam cell beam =
     (fresh, Ktbl.length cell - Ktbl.length fresh)
   end
 
+(* --- row-granularity snapshots --- *)
+
+let snapshot_kind = "opt-a-row-v1"
+
+(* Binds a snapshot to its input data: CRC-32 over the %h forms, so two
+   datasets that differ in any bit get different fingerprints and resume
+   against the wrong data is refused. *)
+let fingerprint_of p =
+  let data = Prefix.data p in
+  let buf = Buffer.create (Array.length data * 16) in
+  Array.iter (fun v -> Printf.bprintf buf "%h;" v) data;
+  Crc32.digest (Buffer.contents buf)
+
+(* The snapshot carries every non-empty Ktbl cell with its physical slot
+   layout (see {!Ktbl.export}): tie-breaking in the DP depends on
+   iteration order, so resume must restore layout, not just contents. *)
+let snapshot_body ~stage ~fingerprint ~n ~b ~key_cap ~beam ~total ~levels
+    ~next_k ~next_i =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "engine opt-a\nstage %s\nfingerprint %s\nn %d\nbuckets %d\nkey_cap %d\nbeam %d\nstates %d\nnext %d %d\n"
+    stage fingerprint n b key_cap beam total next_k next_i;
+  for k = 0 to b do
+    for i = 0 to n do
+      let cell = levels.(k).(i) in
+      if Ktbl.length cell > 0 then begin
+        let w = Ktbl.export cell in
+        Printf.bprintf buf "cell %d %d %d %d\n" k i w.Ktbl.capacity
+          (Array.length w.Ktbl.slots);
+        Array.iter
+          (fun (slot, key, f, pj, pk) ->
+            Printf.bprintf buf "s %d %d %h %d %d\n" slot key f pj pk)
+          w.Ktbl.slots
+      end
+    done
+  done;
+  Buffer.contents buf
+
+type resume_state = {
+  r_key_cap : int;
+  r_total : int;
+  r_next_k : int;
+  r_next_i : int;
+  r_cells : (int * int * Ktbl.t) list;
+}
+
+let load_snapshot ~path ~stage ~fingerprint ~n ~b ~key_cap ~beam =
+  match Checkpoint.load ~path ~kind:snapshot_kind with
+  | Error err -> Rs_util.Error.raise_error err
+  | Ok body ->
+      let cur = Snapshot_io.of_body ~path body in
+      Snapshot_io.check_string cur "engine" "opt-a"
+        (Snapshot_io.expect_string cur "engine");
+      Snapshot_io.check_string cur "stage" stage
+        (Snapshot_io.expect_string cur "stage");
+      Snapshot_io.check_string cur "fingerprint" fingerprint
+        (Snapshot_io.expect_string cur "fingerprint");
+      Snapshot_io.check_int cur "n" n (Snapshot_io.expect_int cur "n");
+      Snapshot_io.check_int cur "buckets" b (Snapshot_io.expect_int cur "buckets");
+      let snap_cap = Snapshot_io.expect_int cur "key_cap" in
+      (match key_cap with
+      | Some c -> Snapshot_io.check_int cur "key_cap" c snap_cap
+      | None -> ());
+      if snap_cap <= 0 then Snapshot_io.corrupt cur "key_cap must be positive";
+      Snapshot_io.check_int cur "beam"
+        (match beam with Some x -> x | None -> 0)
+        (Snapshot_io.expect_int cur "beam");
+      let total = Snapshot_io.expect_int cur "states" in
+      if total < 1 then Snapshot_io.corrupt cur "state count must be >= 1";
+      let next_k, next_i =
+        match Snapshot_io.expect cur "next" with
+        | [ k; i ] -> (Snapshot_io.int_of cur k, Snapshot_io.int_of cur i)
+        | _ -> Snapshot_io.corrupt cur "expected \"next <k> <i>\""
+      in
+      if next_k < 1 || next_k > b || next_i < next_k || next_i > n then
+        Snapshot_io.corrupt cur "resume position (%d, %d) out of range" next_k
+          next_i;
+      let cells = ref [] in
+      while not (Snapshot_io.at_end cur) do
+        match Snapshot_io.expect cur "cell" with
+        | [ k; i; cap; cnt ] ->
+            let k = Snapshot_io.int_of cur k
+            and i = Snapshot_io.int_of cur i
+            and cap = Snapshot_io.int_of cur cap
+            and cnt = Snapshot_io.int_of cur cnt in
+            if k < 0 || k > b || i < 0 || i > n then
+              Snapshot_io.corrupt cur "cell (%d, %d) out of range" k i;
+            if cnt < 0 || cnt > cap then
+              Snapshot_io.corrupt cur "cell (%d, %d): bad slot count %d" k i cnt;
+            let slots =
+              Array.init cnt (fun _ ->
+                  match Snapshot_io.expect cur "s" with
+                  | [ slot; key; f; pj; pk ] ->
+                      ( Snapshot_io.int_of cur slot,
+                        Snapshot_io.int_of cur key,
+                        Snapshot_io.float_of cur f,
+                        Snapshot_io.int_of cur pj,
+                        Snapshot_io.int_of cur pk )
+                  | _ -> Snapshot_io.corrupt cur "expected \"s <slot> <key> <f> <pj> <pk>\"")
+            in
+            let tbl =
+              match Ktbl.import { Ktbl.capacity = cap; slots } with
+              | tbl -> tbl
+              | exception Invalid_argument reason ->
+                  Snapshot_io.corrupt cur "cell (%d, %d): %s" k i reason
+            in
+            cells := (k, i, tbl) :: !cells
+        | _ -> Snapshot_io.corrupt cur "expected \"cell <k> <i> <cap> <count>\""
+      done;
+      {
+        r_key_cap = snap_cap;
+        r_total = total;
+        r_next_k = next_k;
+        r_next_i = next_i;
+        r_cells = !cells;
+      }
+
 let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
-    ?(governor = Governor.unlimited) ?(stage = "opt-a") p ~buckets =
-  Governor.check governor ~stage;
+    ?(governor = Governor.unlimited) ?(stage = "opt-a") ?checkpoint_path
+    ?resume_from p ~buckets =
+  (* Legacy early bail; skipped when checkpointing so an expired
+     Snapshot-mode governor snapshots at (1, 1) instead of raising with
+     nothing saved. *)
+  if checkpoint_path = None then Governor.check governor ~stage;
   let n = Prefix.n p in
   let b = max 1 (min buckets n) in
+  let fingerprint = fingerprint_of p in
+  let resume =
+    match resume_from with
+    | None -> None
+    | Some path -> Some (load_snapshot ~path ~stage ~fingerprint ~n ~b ~key_cap ~beam)
+  in
   let ip = integer_prefix p in
   let cip = Array.make (n + 1) 0 in
   cip.(0) <- ip.(0);
@@ -84,26 +214,57 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
   let ctx = Cost.make p in
   let cost l r = Cost.a0_bucket ctx ~l ~r in
   let key_cap =
-    match key_cap with
-    | Some c -> Checks.positive ~name:"Opt_a key_cap" c
-    | None -> derive_key_cap ?ub ~governor ~stage ctx p ~buckets:b
+    match resume with
+    | Some r -> r.r_key_cap
+    | None -> (
+        match key_cap with
+        | Some c -> Checks.positive ~name:"Opt_a key_cap" c
+        | None -> derive_key_cap ?ub ~governor ~stage ctx p ~buckets:b)
   in
   (* levels.(k).(i): key (= 2Λ) → best partial cost and parent. *)
   let levels =
     Array.init (b + 1) (fun _ -> Array.init (n + 1) (fun _ -> Ktbl.create ()))
   in
   ignore (Ktbl.update_min levels.(0).(0) ~key:0 ~f:0. ~prev_j:(-1) ~prev_key:0);
-  let total_states = ref 1 in
+  (match resume with
+  | None -> ()
+  | Some r -> List.iter (fun (k, i, tbl) -> levels.(k).(i) <- tbl) r.r_cells);
+  let total_states = ref (match resume with Some r -> r.r_total | None -> 1) in
   let bump delta =
     total_states := !total_states + delta;
     if !total_states > max_states then
       raise (Too_many_states { states = !total_states; limit = max_states })
   in
-  for k = 1 to b do
-    for i = k to n do
-      (* Cooperative deadline poll: once per DP row (a row holds up to
-         |Λ|·i states), never per state. *)
-      Governor.check governor ~stage;
+  let beam_tag = match beam with Some x -> x | None -> 0 in
+  let save path ~next_k ~next_i =
+    Checkpoint.save ~path ~kind:snapshot_kind
+      (snapshot_body ~stage ~fingerprint ~n ~b ~key_cap ~beam:beam_tag
+         ~total:!total_states ~levels ~next_k ~next_i)
+  in
+  (* Cooperative deadline/checkpoint poll: once per DP row (a row holds
+     up to |Λ|·i states), never per state.  The snapshot is taken before
+     cell (k, i) is filled, so it captures only completed cells. *)
+  let poll ~k ~i =
+    match Governor.poll governor with
+    | Governor.Continue -> ()
+    | Governor.Checkpoint_due -> (
+        match checkpoint_path with
+        | Some path -> save path ~next_k:k ~next_i:i
+        | None -> ())
+    | Governor.Expired { elapsed; deadline; resumable } -> (
+        match checkpoint_path with
+        | Some path when resumable ->
+            save path ~next_k:k ~next_i:i;
+            raise (Governor.Interrupted { stage; checkpoint = path })
+        | _ -> raise (Governor.Deadline_exceeded { stage; elapsed; deadline }))
+  in
+  let start_k, start_i =
+    match resume with Some r -> (r.r_next_k, r.r_next_i) | None -> (1, 1)
+  in
+  for k = start_k to b do
+    let i_from = if k = start_k then max k start_i else k in
+    for i = i_from to n do
+      poll ~k ~i;
       let cell = ref levels.(k).(i) in
       for j = k - 1 to i - 1 do
         let prev = levels.(k - 1).(j) in
@@ -164,10 +325,12 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
       done;
       (Bucket.of_rights ~n rights, f, !total_states)
 
-let build_exact ?key_cap ?ub ?max_states ?beam ?governor p ~buckets =
+let build_exact ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
+    ?resume_from p ~buckets =
   Faults.trip "opt_a.exact";
   let bucketing, sse, states =
-    solve ?key_cap ?ub ?max_states ?beam ?governor p ~buckets
+    solve ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
+      ?resume_from p ~buckets
   in
   {
     histogram = Summaries.avg_histogram ~name:"opt-a" p bucketing;
@@ -179,7 +342,8 @@ let build p ~buckets = (build_exact p ~buckets).histogram
 
 let rounded_name x = Printf.sprintf "opt-a-rounded(x=%d)" x
 
-let build_rounded ?max_states ?beam ?governor p ~buckets ~x =
+let build_rounded ?max_states ?beam ?governor ?checkpoint_path ?resume_from p
+    ~buckets ~x =
   let x = Checks.positive ~name:"Opt_a.build_rounded x" x in
   Faults.trip "opt_a.rounded";
   let fx = float_of_int x in
@@ -188,7 +352,8 @@ let build_rounded ?max_states ?beam ?governor p ~buckets ~x =
   in
   let p_scaled = Prefix.create scaled in
   let bucketing, _, states =
-    solve ?max_states ?beam ?governor ~stage:(rounded_name x) p_scaled ~buckets
+    solve ?max_states ?beam ?governor ~stage:(rounded_name x) ?checkpoint_path
+      ?resume_from p_scaled ~buckets
   in
   let histogram = Summaries.avg_histogram ~name:(rounded_name x) p bucketing in
   let ctx = Cost.make p in
@@ -231,9 +396,16 @@ let describe_outcome = function
    state space ∝ √UB); rounded results computed during seeding are
    cached so a fall-through rung reuses them instead of re-running the
    DP.  Every rung except the final A0 floor is governed; A0 is the
-   polynomial-time guarantee that the ladder always delivers. *)
+   polynomial-time guarantee that the ladder always delivers — it is
+   never checkpointed either, for the same reason.
+
+   With [checkpoint_path] and a Snapshot-mode governor, an expiry inside
+   the exact rung raises {!Governor.Interrupted} out of the ladder
+   instead of degrading: the caller asked for a resumable snapshot, not
+   a lower rung.  On [resume_from], UB seeding is skipped — the snapshot
+   already fixes the Λ cap. *)
 let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
-    ?(governor = Governor.unlimited) p ~buckets =
+    ?(governor = Governor.unlimited) ?checkpoint_path ?resume_from p ~buckets =
   let attempts = ref [] in
   let record rung outcome elapsed =
     attempts := { rung; outcome; elapsed } :: !attempts
@@ -243,7 +415,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
     Hashtbl.create 4
   in
   let run_rounded x =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let outcome, res =
       match build_rounded ~max_states ~governor p ~buckets ~x with
       | r -> (Completed { states = r.states }, Some r)
@@ -254,28 +426,35 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
       | exception Faults.Injected { site; reason } ->
           (Faulted (Printf.sprintf "%s: %s" site reason), None)
     in
-    let entry = (outcome, res, Unix.gettimeofday () -. t0) in
+    let entry = (outcome, res, Mclock.now () -. t0) in
     Hashtbl.replace cache x entry;
     entry
   in
   let exact_rung () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let outcome, res =
       match
         (* Seeding is charged to the exact rung: it exists only to make
            the exact DP feasible. *)
         let seed =
-          List.fold_left
-            (fun acc x ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                  let _, res, _ = run_rounded x in
-                  res)
-            None xs
+          (* No seeding on resume: the snapshot already fixes the Λ cap.
+             Expiry during seeding (or cap derivation) degrades as
+             before — snapshots only exist once the exact DP is
+             underway, where all the resumable work lives. *)
+          if resume_from <> None then None
+          else
+            List.fold_left
+              (fun acc x ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let _, res, _ = run_rounded x in
+                    res)
+              None xs
         in
         let ub = Option.map (fun r -> r.sse) seed in
-        build_exact ?ub ~max_states ~governor p ~buckets
+        build_exact ?ub ~max_states ~governor ?checkpoint_path ?resume_from p
+          ~buckets
       with
       | r -> (Completed { states = r.states }, Some r)
       | exception Too_many_states { states; limit } ->
@@ -285,7 +464,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
       | exception Faults.Injected { site; reason } ->
           (Faulted (Printf.sprintf "%s: %s" site reason), None)
     in
-    record "opt-a" outcome (Unix.gettimeofday () -. t0);
+    record "opt-a" outcome (Mclock.now () -. t0);
     res
   in
   let rounded_rung x =
@@ -298,7 +477,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
     res
   in
   let a0_rung () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let outcome, res =
       match
         Faults.trip "ladder.a0";
@@ -311,7 +490,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
       | exception Faults.Injected { site; reason } ->
           (Faulted (Printf.sprintf "%s: %s" site reason), None)
     in
-    record "a0" outcome (Unix.gettimeofday () -. t0);
+    record "a0" outcome (Mclock.now () -. t0);
     res
   in
   let delivered_by rung = Option.map (fun r -> (rung, r)) in
@@ -349,8 +528,11 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
    bound on OPT, which shrinks the Λ cap (∝ √UB) for the exact run,
    falling down the ladder when the exact DP exceeds its budget — so it
    always returns something. *)
-let build_staged ?max_states ?xs ?governor p ~buckets =
-  (build_governed ?max_states ?xs ?governor p ~buckets).result
+let build_staged ?max_states ?xs ?governor ?checkpoint_path ?resume_from p
+    ~buckets =
+  (build_governed ?max_states ?xs ?governor ?checkpoint_path ?resume_from p
+     ~buckets)
+    .result
 
 let x_of_eps p ~eps =
   Checks.check (eps > 0.) "Opt_a.x_of_eps: eps must be > 0";

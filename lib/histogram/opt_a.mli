@@ -44,6 +44,8 @@ val build_exact :
   ?max_states:int ->
   ?beam:int ->
   ?governor:Rs_util.Governor.t ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result
@@ -64,7 +66,20 @@ val build_exact :
       trades optimality for bounded memory.  Unset by default.
     - [governor]: wall-clock governor, polled cooperatively once per DP
       row (never per state); raises
-      {!Rs_util.Governor.Deadline_exceeded} on expiry. *)
+      {!Rs_util.Governor.Deadline_exceeded} on expiry.
+    - [checkpoint_path]: arm the once-per-row poll to also write
+      row-granularity snapshots ({!Rs_util.Checkpoint} container) —
+      periodically on [Checkpoint_due], and on expiry of a
+      Snapshot-mode governor, which then raises
+      {!Rs_util.Governor.Interrupted} instead of degrading.  Snapshots
+      carry every non-empty DP cell with its physical layout plus a
+      CRC-32 fingerprint of the input data.
+    - [resume_from]: restore such a snapshot and replay from the first
+      incomplete cell, bit-identically to an uninterrupted run.  The
+      saved [key_cap] is reused (UB derivation is skipped); any
+      identity mismatch — data fingerprint, stage, [n], bucket count,
+      [beam] — or corruption raises
+      [Rs_error (Corrupt_checkpoint _)]. *)
 
 val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
 (** [build_exact] with defaults, returning just the histogram. *)
@@ -73,6 +88,8 @@ val build_rounded :
   ?max_states:int ->
   ?beam:int ->
   ?governor:Rs_util.Governor.t ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   Rs_util.Prefix.t ->
   buckets:int ->
   x:int ->
@@ -124,6 +141,8 @@ val build_governed :
   ?max_states:int ->
   ?xs:int list ->
   ?governor:Rs_util.Governor.t ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   Rs_util.Prefix.t ->
   buckets:int ->
   staged
@@ -134,12 +153,19 @@ val build_governed :
     it rather than re-running the DP.  The final A0 rung ignores the
     governor: it is the polynomial-time floor that makes the ladder
     total (it can only be stopped by fault injection, which raises
-    {!All_rungs_failed}). *)
+    {!All_rungs_failed}) — and it is never checkpointed, for the same
+    reason.  [checkpoint_path]/[resume_from] apply to the exact rung
+    (see {!build_exact}); with a Snapshot-mode governor an expiry there
+    raises {!Rs_util.Governor.Interrupted} out of the ladder instead of
+    degrading, and on resume the UB-seeding pass is skipped (the
+    snapshot already fixes the Λ cap). *)
 
 val build_staged :
   ?max_states:int ->
   ?xs:int list ->
   ?governor:Rs_util.Governor.t ->
+  ?checkpoint_path:string ->
+  ?resume_from:string ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result

@@ -1,0 +1,74 @@
+module Error = Rs_util.Error
+
+type cursor = { path : string; mutable lines : string list; mutable line_no : int }
+
+let corrupt_at path line_no fmt =
+  Printf.ksprintf
+    (fun reason ->
+      Error.raise_error
+        (Error.Corrupt_checkpoint
+           { path; reason = Printf.sprintf "body line %d: %s" line_no reason }))
+    fmt
+
+let corrupt cur fmt = corrupt_at cur.path cur.line_no fmt
+
+let of_body ~path body =
+  {
+    path;
+    lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body);
+    line_no = 0;
+  }
+
+let at_end cur = cur.lines = []
+
+let words s = List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+let next_words cur =
+  match cur.lines with
+  | [] -> corrupt cur "unexpected end of snapshot"
+  | l :: rest ->
+      cur.lines <- rest;
+      cur.line_no <- cur.line_no + 1;
+      words l
+
+(* [expect cur key] reads the next line, checks its first word, and
+   returns the remaining words. *)
+let expect cur key =
+  match next_words cur with
+  | k :: rest when k = key -> rest
+  | k :: _ -> corrupt cur "expected %S, got %S" key k
+  | [] -> corrupt cur "expected %S, got an empty line" key
+
+let int_of cur s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> corrupt cur "not an int: %S" s
+
+let float_of cur s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> corrupt cur "not a float: %S" s
+
+let expect_int cur key =
+  match expect cur key with
+  | [ v ] -> int_of cur v
+  | _ -> corrupt cur "expected a single %s value" key
+
+let expect_string cur key =
+  match expect cur key with
+  | [ v ] -> v
+  | vs -> String.concat " " vs
+
+(* [check_field cur key expected actual] enforces an identity field of a
+   snapshot: resuming against the wrong dataset, stage, or shape must be
+   refused as corruption, never silently computed. *)
+let check_int cur key expected actual =
+  if expected <> actual then
+    corrupt cur "%s mismatch: snapshot has %d, caller has %d" key actual
+      expected
+
+let check_string cur key expected actual =
+  if not (String.equal expected actual) then
+    corrupt cur "%s mismatch: snapshot has %S, caller has %S" key actual
+      expected

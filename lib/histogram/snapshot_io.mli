@@ -1,0 +1,40 @@
+(** Line-cursor parsing for DP snapshot bodies ({!Dp}, {!Opt_a}).
+
+    Bodies arrive CRC-verified from {!Rs_util.Checkpoint.load}, so a
+    parse failure here means a logic or version mismatch rather than
+    disk corruption — but both are reported the same way: every failure
+    raises [Rs_error (Corrupt_checkpoint _)] with the snapshot path and
+    a body-relative line number, so resume can never crash or silently
+    mis-restore.  Blank lines are skipped. *)
+
+type cursor
+
+val of_body : path:string -> string -> cursor
+
+val at_end : cursor -> bool
+
+val next_words : cursor -> string list
+(** Words of the next line; raises on end of input. *)
+
+val expect : cursor -> string -> string list
+(** [expect cur key] reads the next line, requires its first word to be
+    [key], and returns the remaining words. *)
+
+val expect_int : cursor -> string -> int
+(** [expect] with exactly one integer operand. *)
+
+val expect_string : cursor -> string -> string
+(** [expect] with the remainder of the line as one string. *)
+
+val int_of : cursor -> string -> int
+val float_of : cursor -> string -> float
+
+val check_int : cursor -> string -> int -> int -> unit
+(** [check_int cur field expected actual] — identity check; mismatch is
+    [Corrupt_checkpoint] (resuming against the wrong dataset/shape must
+    be refused, never silently computed). *)
+
+val check_string : cursor -> string -> string -> string -> unit
+
+val corrupt : cursor -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise [Corrupt_checkpoint] at the cursor's current line. *)

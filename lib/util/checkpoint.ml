@@ -1,0 +1,113 @@
+let magic = "rs-checkpoint"
+let version = 1
+
+(* --- crash-safe file replacement --- *)
+
+let io_fail path reason = Error.raise_error (Error.Io_failure { path; reason })
+
+let fsync_dir dir =
+  (* Persist the rename itself.  Best effort: some filesystems refuse
+     O_RDONLY fsync on directories, and losing the *rename* (not the
+     data) on power failure is the acceptable residual risk. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write_atomic ~path content =
+  Faults.trip "atomic.write";
+  let tmp = path ^ ".tmp" in
+  match
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* Torn-write seam: persist a prefix, then die before the
+           rename — the destination must remain untouched. *)
+        if Faults.armed "atomic.torn" then begin
+          let half = String.length content / 2 in
+          ignore (Unix.write_substring fd content 0 half);
+          Faults.trip "atomic.torn"
+        end;
+        let len = String.length content in
+        let written = ref 0 in
+        while !written < len do
+          written :=
+            !written + Unix.write_substring fd content !written (len - !written)
+        done;
+        Unix.fsync fd);
+    Faults.trip "atomic.rename";
+    Unix.rename tmp path;
+    fsync_dir (Filename.dirname path)
+  with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) -> io_fail path (Unix.error_message e)
+  | exception Sys_error reason -> io_fail path reason
+
+(* --- versioned, checksummed framing --- *)
+
+let frame ~kind body =
+  let covered = Printf.sprintf "kind %s\n%s" kind body in
+  Printf.sprintf "%s %d\ncrc %s\n%s" magic version (Crc32.digest covered)
+    covered
+
+let save ~path ~kind body =
+  Faults.trip "checkpoint.save";
+  write_atomic ~path (frame ~kind body)
+
+let corrupt path reason = Error.fail (Error.Corrupt_checkpoint { path; reason })
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let read_file path =
+  match
+    Faults.trip "checkpoint.load";
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> Ok content
+  | exception Sys_error reason -> Error.fail (Error.Io_failure { path; reason })
+  | exception Faults.Injected { reason; _ } ->
+      Error.fail (Error.Io_failure { path; reason })
+
+let load ~path ~kind =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok content -> (
+      let header, rest = split_first_line content in
+      match String.split_on_char ' ' (String.trim header) with
+      | [ m; v ] when m = magic && v = string_of_int version -> (
+          let crc_line, covered = split_first_line rest in
+          match String.split_on_char ' ' (String.trim crc_line) with
+          | [ "crc"; hex ] -> (
+              match Crc32.of_hex hex with
+              | None -> corrupt path (Printf.sprintf "malformed crc %S" hex)
+              | Some expected ->
+                  let actual = Crc32.string covered in
+                  if actual <> expected then
+                    corrupt path
+                      (Printf.sprintf "CRC mismatch: stored %s, computed %s"
+                         hex (Crc32.to_hex actual))
+                  else
+                    let kind_line, body = split_first_line covered in
+                    let found =
+                      match
+                        String.split_on_char ' ' (String.trim kind_line)
+                      with
+                      | "kind" :: k -> String.concat " " k
+                      | _ -> ""
+                    in
+                    if found <> kind then
+                      corrupt path
+                        (Printf.sprintf "kind mismatch: expected %S, got %S"
+                           kind found)
+                    else Ok body)
+          | _ -> corrupt path "expected a crc line")
+      | [ m; v ] when m = magic -> corrupt path ("unsupported version " ^ v)
+      | _ -> corrupt path "not an rs-checkpoint file")

@@ -1,0 +1,40 @@
+(** Crash-safe snapshot files: the durability primitive under the DP
+    checkpoint/resume layer and the {!Rs_core.Store} manifest.
+
+    Two layers:
+
+    - {!write_atomic} — replace a file's contents via temp file +
+      [fsync] + atomic [rename] (+ best-effort directory [fsync]).  A
+      crash at any point leaves either the old contents or the new,
+      never a torn mix; at worst a stray [*.tmp] file survives (which
+      store fsck removes).
+    - {!save}/{!load} — a versioned container around a payload: header
+      line, CRC-32 line covering everything below it, and a [kind] tag
+      so a DP snapshot can never be mistaken for a store manifest.
+      Corruption (bit flips, truncation, wrong kind, bad version) is
+      always detected before the payload reaches a parser.
+
+    Fault seams ({!Faults}): ["atomic.write"] (fail before writing),
+    ["atomic.torn"] (persist half the temp file, then die before the
+    rename), ["atomic.rename"] (die after the temp file is durable but
+    before it replaces the destination), ["checkpoint.save"],
+    ["checkpoint.load"]. *)
+
+val write_atomic : path:string -> string -> unit
+(** Atomically replace [path] with [content].  The temp file is
+    [path ^ ".tmp"] in the same directory (same filesystem, so the
+    rename is atomic).  Raises [Error.Rs_error (Io_failure _)] — with
+    the destination path — on any OS failure. *)
+
+val frame : kind:string -> string -> string
+(** The serialized container ([save] = [write_atomic] of [frame]) —
+    exposed for tests that corrupt it. *)
+
+val save : path:string -> kind:string -> string -> unit
+(** Frame [body] under [kind] and {!write_atomic} it.  Raises like
+    {!write_atomic}. *)
+
+val load : path:string -> kind:string -> (string, Error.t) result
+(** Read and verify a container: [Io_failure] when the OS refuses the
+    read, [Corrupt_checkpoint] on any framing/CRC/kind violation;
+    [Ok body] only when every check passes. *)

@@ -2,8 +2,10 @@ type t =
   | Bad_dataset of { source : string; line : int option; reason : string }
   | Unknown_method of { name : string; known : string list }
   | Corrupt_synopsis of { line : int; reason : string }
+  | Corrupt_checkpoint of { path : string; reason : string }
   | Budget_exhausted of { stage : string; states_used : int; limit : int }
   | Timeout of { stage : string; elapsed : float; deadline : float }
+  | Interrupted of { stage : string; checkpoint : string }
   | Io_failure of { path : string; reason : string }
   | Invalid_input of string
 
@@ -19,21 +21,30 @@ let to_string = function
         (String.concat ", " known)
   | Corrupt_synopsis { line; reason } ->
       Printf.sprintf "corrupt synopsis: line %d: %s" line reason
+  | Corrupt_checkpoint { path; reason } ->
+      Printf.sprintf "corrupt checkpoint %s: %s" path reason
   | Budget_exhausted { stage; states_used; limit } ->
       Printf.sprintf "state budget exhausted in %s: %d states (limit %d)" stage
         states_used limit
   | Timeout { stage; elapsed; deadline } ->
       Printf.sprintf "deadline exceeded in %s: %.3fs elapsed (deadline %.3fs)"
         stage elapsed deadline
+  | Interrupted { stage; checkpoint } ->
+      Printf.sprintf
+        "interrupted in %s: resumable snapshot written to %s (re-run with \
+         --resume)"
+        stage checkpoint
   | Io_failure { path; reason } -> Printf.sprintf "io failure on %s: %s" path reason
   | Invalid_input m -> m
 
 (* Exit-code contract shared with bin/rs_cli: 2 = bad input, 3 = corrupt
-   synopsis, 4 = resource budget/deadline. *)
+   synopsis/checkpoint, 4 = resource budget/deadline, 5 = interrupted
+   but resumable (a snapshot was written; nothing was lost). *)
 let exit_code = function
   | Bad_dataset _ | Unknown_method _ | Io_failure _ | Invalid_input _ -> 2
-  | Corrupt_synopsis _ -> 3
+  | Corrupt_synopsis _ | Corrupt_checkpoint _ -> 3
   | Budget_exhausted _ | Timeout _ -> 4
+  | Interrupted _ -> 5
 
 let raise_error e = raise (Rs_error e)
 let fail e = Error e
@@ -45,6 +56,8 @@ let guard f =
   | exception Invalid_argument m -> Error (Invalid_input m)
   | exception Failure m -> Error (Invalid_input m)
   | exception Sys_error m -> Error (Io_failure { path = "?"; reason = m })
+  | exception Governor.Interrupted { stage; checkpoint } ->
+      Error (Interrupted { stage; checkpoint })
   | exception Faults.Injected { site; reason } ->
       Error (Invalid_input (Printf.sprintf "injected fault at %s: %s" site reason))
 

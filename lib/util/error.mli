@@ -17,11 +17,18 @@ type t =
   | Corrupt_synopsis of { line : int; reason : string }
       (** A persisted synopsis that fails structural validation or its
           checksum. *)
+  | Corrupt_checkpoint of { path : string; reason : string }
+      (** A DP snapshot that fails its framing, checksum, or identity
+          checks (see {!Checkpoint}) — resuming from it is refused. *)
   | Budget_exhausted of { stage : string; states_used : int; limit : int }
       (** A DP stage exceeded its state budget (and no lower rung of the
           degradation ladder could deliver). *)
   | Timeout of { stage : string; elapsed : float; deadline : float }
       (** A stage overran its wall-clock deadline (see {!Governor}). *)
+  | Interrupted of { stage : string; checkpoint : string }
+      (** A governed build expired in {!Governor.Snapshot} mode {e
+          after} writing a resumable snapshot: nothing was lost, re-run
+          with the snapshot to continue. *)
   | Io_failure of { path : string; reason : string }
       (** The OS refused a read/write ([Sys_error] made typed). *)
   | Invalid_input of string
@@ -37,7 +44,8 @@ val to_string : t -> string
 
 val exit_code : t -> int
 (** Stable process exit code: 2 = bad input (dataset/method/IO),
-    3 = corrupt synopsis, 4 = budget or deadline exhausted. *)
+    3 = corrupt synopsis or checkpoint, 4 = budget or deadline
+    exhausted, 5 = interrupted but resumable (a snapshot was written). *)
 
 val raise_error : t -> 'a
 (** [raise (Rs_error e)]. *)
@@ -48,9 +56,9 @@ val fail : t -> ('a, t) result
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run [f], converting [Rs_error] to its payload and the legacy
     untyped exceptions ([Invalid_argument], [Failure], [Sys_error],
-    {!Faults.Injected}) to the closest constructor.  The boundary
-    adapter between exception-internal code and [Result]-external
-    callers. *)
+    {!Governor.Interrupted}, {!Faults.Injected}) to the closest
+    constructor.  The boundary adapter between exception-internal code
+    and [Result]-external callers. *)
 
 val get : ('a, t) result -> 'a
 (** [Ok v -> v]; [Error e -> raise (Rs_error e)]. *)

@@ -9,7 +9,10 @@
 
     Known sites: ["opt_a.exact"], ["opt_a.rounded"], ["ladder.a0"],
     ["codec.decode"], ["codec.load"], ["codec.save"],
-    ["dataset.load"]. *)
+    ["dataset.load"]; durability seams (see {!Checkpoint}):
+    ["atomic.write"], ["atomic.torn"], ["atomic.rename"],
+    ["checkpoint.save"], ["checkpoint.load"]; store seams (see
+    {!Rs_core.Store}): ["store.put"], ["store.manifest"]. *)
 
 exception Injected of { site : string; reason : string }
 

@@ -1,25 +1,98 @@
 exception
   Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
 
-type t = { started : float; deadline : float option }
+exception Interrupted of { stage : string; checkpoint : string }
 
-let create ?deadline () =
+type deadline_mode = Degrade | Snapshot
+
+type outcome =
+  | Continue
+  | Checkpoint_due
+  | Expired of { elapsed : float; deadline : float; resumable : bool }
+
+type t = {
+  started : float;
+  deadline : float option;
+  mode : deadline_mode;
+  checkpoint_interval : float option;
+  poll_budget : int option;
+  mutable polls : int;
+  mutable last_checkpoint : float;
+}
+
+let create ?deadline ?(deadline_mode = Degrade) ?checkpoint_interval
+    ?poll_budget () =
   (match deadline with
   | Some d when d <= 0. ->
       invalid_arg "Governor.create: deadline must be positive"
   | _ -> ());
-  { started = Unix.gettimeofday (); deadline }
+  (match checkpoint_interval with
+  | Some i when i < 0. ->
+      invalid_arg "Governor.create: checkpoint_interval must be non-negative"
+  | _ -> ());
+  (match poll_budget with
+  | Some b when b <= 0 ->
+      invalid_arg "Governor.create: poll_budget must be positive"
+  | _ -> ());
+  let now = Mclock.now () in
+  {
+    started = now;
+    deadline;
+    mode = deadline_mode;
+    checkpoint_interval;
+    poll_budget;
+    polls = 0;
+    last_checkpoint = now;
+  }
 
-let unlimited = { started = 0.; deadline = None }
+let unlimited =
+  {
+    started = 0.;
+    deadline = None;
+    mode = Degrade;
+    checkpoint_interval = None;
+    poll_budget = None;
+    polls = 0;
+    last_checkpoint = 0.;
+  }
+
 let deadline t = t.deadline
-let elapsed t = Unix.gettimeofday () -. t.started
+let elapsed t = Mclock.now () -. t.started
 
 let expired t =
-  match t.deadline with None -> false | Some d -> elapsed t > d
+  (match t.deadline with None -> false | Some d -> elapsed t > d)
+  || match t.poll_budget with None -> false | Some b -> t.polls >= b
+
+(* One reading per poll; the poll sits at DP row boundaries (never per
+   state), so the clock read is amortized over a full row of work. *)
+let poll t =
+  t.polls <- t.polls + 1;
+  let now = Mclock.now () in
+  let over_deadline =
+    match t.deadline with
+    | Some d when now -. t.started > d ->
+        Some (now -. t.started, d)
+    | _ -> None
+  in
+  let over_budget =
+    match t.poll_budget with
+    | Some b when t.polls >= b -> Some (float_of_int t.polls, float_of_int b)
+    | _ -> None
+  in
+  match (over_deadline, over_budget) with
+  | Some (e, d), _ | None, Some (e, d) ->
+      Expired { elapsed = e; deadline = d; resumable = t.mode = Snapshot }
+  | None, None -> (
+      match t.checkpoint_interval with
+      | Some i when now -. t.last_checkpoint >= i ->
+          t.last_checkpoint <- now;
+          Checkpoint_due
+      | _ -> Continue)
 
 let check t ~stage =
-  match t.deadline with
-  | None -> ()
-  | Some d ->
-      let e = elapsed t in
-      if e > d then raise (Deadline_exceeded { stage; elapsed = e; deadline = d })
+  match poll t with
+  | Continue | Checkpoint_due -> ()
+  | Expired { elapsed; deadline; resumable = _ } ->
+      (* check is the non-resumable entry point: engines without a
+         snapshot hook degrade regardless of the governor's mode. *)
+      raise (Deadline_exceeded { stage; elapsed; deadline })

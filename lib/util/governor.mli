@@ -1,32 +1,83 @@
-(** Cooperative wall-clock governor for long-running constructions.
+(** Cooperative resource governor for long-running constructions.
 
-    A governor is created once per build with an optional deadline
-    (seconds of wall clock from creation) and polled with {!check} at
-    coarse work boundaries — the OPT-A dynamic program polls once per
-    DP row, never per state, so governance adds no per-state overhead.
-    Expiry raises {!Deadline_exceeded}, which the degradation ladder
-    catches to fall through to a cheaper rung. *)
+    A governor is created once per build and polled at coarse work
+    boundaries — the OPT-A dynamic program polls once per DP row, never
+    per state, so governance adds no per-state overhead.  All timing
+    uses {!Mclock} (monotonic), so NTP steps can neither fire nor
+    starve a deadline.
+
+    Two entry points:
+
+    - {!check} is the legacy, non-resumable poll: on expiry it raises
+      {!Deadline_exceeded}, which the degradation ladder catches to
+      fall through to a cheaper rung.
+    - {!poll} is the checkpoint-aware poll used by engines with a
+      snapshot hook ({!Rs_histogram.Dp}, {!Rs_histogram.Opt_a}): it
+      additionally signals [Checkpoint_due] on a configured cadence and
+      reports expiry as a value, tagged with whether the governor's
+      {!deadline_mode} asks for a resumable snapshot instead of
+      degradation. *)
 
 exception
   Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
 
+exception Interrupted of { stage : string; checkpoint : string }
+(** Raised by a checkpoint-capable engine {e after} it has written a
+    resumable snapshot to [checkpoint], when its governor expired in
+    {!Snapshot} mode.  The build did not finish, but no work is lost:
+    re-run with the snapshot to continue from the last completed row. *)
+
+type deadline_mode =
+  | Degrade  (** expiry raises {!Deadline_exceeded} (ladder falls through) *)
+  | Snapshot
+      (** expiry asks the engine to write a snapshot and raise
+          {!Interrupted} — "checkpoint and exit" for a timed-out build
+          that should be resumed later rather than degraded *)
+
+type outcome =
+  | Continue
+  | Checkpoint_due
+      (** the checkpoint cadence elapsed; write a snapshot and carry on
+          (the interval timer restarts at this signal) *)
+  | Expired of { elapsed : float; deadline : float; resumable : bool }
+      (** deadline or poll budget exhausted; [resumable] reflects
+          {!deadline_mode} = {!Snapshot}.  Engines without a snapshot
+          path must treat it as {!Deadline_exceeded}. *)
+
 type t
 
-val create : ?deadline:float -> unit -> t
-(** Start the clock now.  [deadline] is in seconds from now; omitting it
-    yields a governor that never expires.  Raises [Invalid_argument] on
-    a non-positive deadline. *)
+val create :
+  ?deadline:float ->
+  ?deadline_mode:deadline_mode ->
+  ?checkpoint_interval:float ->
+  ?poll_budget:int ->
+  unit ->
+  t
+(** Start the clock now.  [deadline] is in seconds from now; omitting
+    it yields a governor that never expires on time.  [poll_budget]
+    expires the governor at the Nth {!poll}/{!check} — a deterministic,
+    work-based deadline (used by kill-and-resume tests and batch
+    schedulers that think in rows, not seconds); its [Expired] payload
+    reports polls as [elapsed]/[deadline].  [checkpoint_interval]
+    (seconds, [0.] = every poll) enables [Checkpoint_due] signalling.
+    Raises [Invalid_argument] on a non-positive deadline or budget. *)
 
 val unlimited : t
-(** A governor with no deadline ([check] never raises). *)
+(** Never expires, never requests checkpoints ([check] never raises). *)
 
 val deadline : t -> float option
 val elapsed : t -> float
-(** Wall-clock seconds since [create]. *)
+(** Monotonic seconds since [create]. *)
 
 val expired : t -> bool
-(** Whether the deadline has passed (never for [unlimited]). *)
+(** Whether the deadline has passed or the poll budget is exhausted
+    (never for [unlimited]). *)
+
+val poll : t -> outcome
+(** Checkpoint-aware poll: never raises.  Counts against
+    [poll_budget]. *)
 
 val check : t -> stage:string -> unit
-(** Raise [Deadline_exceeded] if the deadline has passed, tagging the
-    failure with [stage] for the degradation report. *)
+(** Raise [Deadline_exceeded] if the governor expired, tagging the
+    failure with [stage] for the degradation report; [Checkpoint_due]
+    signals are consumed silently.  Counts against [poll_budget]. *)

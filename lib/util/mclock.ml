@@ -1,0 +1,31 @@
+(* Monotonic time for deadlines and checkpoint pacing.
+
+   The primary source is the CLOCK_MONOTONIC stub shipped with bechamel
+   (already a build dependency of the bench harness, so nothing new is
+   vendored).  A wall-clock fallback guards against the stub returning a
+   dead value on exotic platforms: the fallback clamps to
+   never-run-backwards, which is the property the governor actually
+   needs (an NTP step must not fire or starve a deadline). *)
+
+let ns_to_s = 1e-9
+
+(* One probe at module init: a usable monotonic source returns distinct,
+   positive readings. *)
+let stub_alive =
+  let a = Monotonic_clock.now () in
+  Int64.compare a 0L > 0
+
+let last_wall = ref neg_infinity
+
+let wall_monotone () =
+  (* Clamp so the reading never decreases even if the wall clock is
+     stepped backwards underneath us. *)
+  let t = Unix.gettimeofday () in
+  if t > !last_wall then last_wall := t;
+  !last_wall
+
+let now () =
+  if stub_alive then Int64.to_float (Monotonic_clock.now ()) *. ns_to_s
+  else wall_monotone ()
+
+let monotonic = stub_alive

@@ -1,0 +1,15 @@
+(** Monotonic clock readings for {!Governor} deadlines.
+
+    [Unix.gettimeofday] is wall time: an NTP step can fire a deadline
+    early or starve it forever.  This module reads CLOCK_MONOTONIC via
+    the bechamel stub when it works, and otherwise falls back to a
+    wall-clock reading clamped to be non-decreasing — weaker (a forward
+    step still advances it) but it can never run backwards. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary epoch.  Non-decreasing within a process;
+    only differences are meaningful. *)
+
+val monotonic : bool
+(** Whether the true CLOCK_MONOTONIC source is in use ([false] means
+    the clamped wall-clock fallback). *)

@@ -1,0 +1,714 @@
+(* Crash-safety: the monotonic clock, the checkpoint-aware governor, the
+   CRC-framed snapshot container and its atomic-write protocol, DP and
+   OPT-A kill-and-resume (bit-identical results), the snapshot fuzzer,
+   and the durable synopsis store under fault injection. *)
+
+module Error = Rs_util.Error
+module Faults = Rs_util.Faults
+module Governor = Rs_util.Governor
+module Mclock = Rs_util.Mclock
+module Checkpoint = Rs_util.Checkpoint
+module Prefix = Rs_util.Prefix
+module Dataset = Rs_core.Dataset
+module Builder = Rs_core.Builder
+module Codec = Rs_core.Codec
+module Store = Rs_core.Store
+module Synopsis = Rs_core.Synopsis
+module Dp = Rs_histogram.Dp
+module Opt_a = Rs_histogram.Opt_a
+module Bucket = Rs_histogram.Bucket
+module Cost = Rs_histogram.Cost
+module Histogram = Rs_histogram.Histogram
+module Rng = Rs_dist.Rng
+
+let tmp_path suffix =
+  let path = Filename.temp_file "rs_ckpt" suffix in
+  Sys.remove path;
+  path
+
+let with_tmp suffix f =
+  let path = tmp_path suffix in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let tmp = path ^ ".tmp" in
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = tmp_path ".store" in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- monotonic clock --- *)
+
+let test_mclock_non_decreasing () =
+  let prev = ref (Mclock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Mclock.now () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f < %f" t !prev;
+    prev := t
+  done
+
+(* --- governor: poll budget, checkpoint interval, snapshot mode --- *)
+
+let test_poll_budget_expires_exactly () =
+  let g = Governor.create ~poll_budget:3 () in
+  (match Governor.poll g with
+  | Governor.Continue -> ()
+  | _ -> Alcotest.fail "poll 1 of budget 3 should continue");
+  (match Governor.poll g with
+  | Governor.Continue -> ()
+  | _ -> Alcotest.fail "poll 2 of budget 3 should continue");
+  (match Governor.poll g with
+  | Governor.Expired { resumable; _ } ->
+      Alcotest.(check bool) "Degrade mode is not resumable" false resumable
+  | _ -> Alcotest.fail "poll 3 of budget 3 should expire");
+  Alcotest.(check bool) "expired" true (Governor.expired g)
+
+let test_snapshot_mode_is_resumable () =
+  let g =
+    Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:1 ()
+  in
+  match Governor.poll g with
+  | Governor.Expired { resumable; _ } ->
+      Alcotest.(check bool) "Snapshot mode is resumable" true resumable
+  | _ -> Alcotest.fail "budget 1 should expire on the first poll"
+
+let test_checkpoint_interval_fires () =
+  let g = Governor.create ~checkpoint_interval:0. () in
+  (match Governor.poll g with
+  | Governor.Checkpoint_due -> ()
+  | _ -> Alcotest.fail "zero interval should be due at every poll");
+  match Governor.poll g with
+  | Governor.Checkpoint_due -> ()
+  | _ -> Alcotest.fail "still due at the next poll"
+
+let test_unlimited_never_expires () =
+  for _ = 1 to 100 do
+    match Governor.poll Governor.unlimited with
+    | Governor.Continue -> ()
+    | _ -> Alcotest.fail "unlimited must always continue"
+  done
+
+let test_check_still_raises () =
+  let g = Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:1 () in
+  match Governor.check g ~stage:"t" with
+  | () -> Alcotest.fail "check on an expired governor must raise"
+  | exception Governor.Deadline_exceeded { stage; _ } ->
+      Alcotest.(check string) "stage" "t" stage
+
+(* --- checkpoint container --- *)
+
+let test_container_roundtrip () =
+  with_tmp ".ckpt" (fun path ->
+      let body = "alpha 1\nbeta -0x1.8p+1\n\ngamma with spaces\n" in
+      Checkpoint.save ~path ~kind:"test-kind" body;
+      match Checkpoint.load ~path ~kind:"test-kind" with
+      | Ok got -> Alcotest.(check string) "body survives" body got
+      | Error e -> Alcotest.failf "load failed: %s" (Error.to_string e))
+
+let test_container_wrong_kind () =
+  with_tmp ".ckpt" (fun path ->
+      Checkpoint.save ~path ~kind:"kind-a" "body\n";
+      match Checkpoint.load ~path ~kind:"kind-b" with
+      | Error (Error.Corrupt_checkpoint _) -> ()
+      | Ok _ -> Alcotest.fail "wrong kind must be corrupt"
+      | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e))
+
+let test_container_missing_file () =
+  match Checkpoint.load ~path:"/nonexistent/rs.ckpt" ~kind:"k" with
+  | Error (Error.Io_failure _) -> ()
+  | Ok _ -> Alcotest.fail "missing file must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+
+let test_atomic_write_preserves_old_on_torn () =
+  with_tmp ".ckpt" (fun path ->
+      Checkpoint.save ~path ~kind:"k" "old body\n";
+      Faults.arm "atomic.torn";
+      (match Checkpoint.save ~path ~kind:"k" "new body that dies halfway\n" with
+      | () -> Alcotest.fail "armed torn write must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      (* The destination was never touched: the tear happened in the
+         temp file, before the rename. *)
+      match Checkpoint.load ~path ~kind:"k" with
+      | Ok body -> Alcotest.(check string) "old body intact" "old body\n" body
+      | Error e -> Alcotest.failf "old file corrupt: %s" (Error.to_string e))
+
+let test_atomic_write_preserves_old_on_rename_failure () =
+  with_tmp ".ckpt" (fun path ->
+      Checkpoint.save ~path ~kind:"k" "old body\n";
+      Faults.arm "atomic.rename";
+      (match Checkpoint.save ~path ~kind:"k" "new body\n" with
+      | () -> Alcotest.fail "armed rename must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      match Checkpoint.load ~path ~kind:"k" with
+      | Ok body -> Alcotest.(check string) "old body intact" "old body\n" body
+      | Error e -> Alcotest.failf "old file corrupt: %s" (Error.to_string e))
+
+let test_atomic_write_seam_fires_before_bytes () =
+  with_tmp ".ckpt" (fun path ->
+      Faults.arm "atomic.write";
+      (match Checkpoint.write_atomic ~path "content" with
+      | () -> Alcotest.fail "armed write must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      Alcotest.(check bool) "nothing written" false (Sys.file_exists path))
+
+(* --- Dp checkpoint/resume --- *)
+
+let dp_data = [| 1.; 3.; 5.; 11.; 12.; 13.; 2.; 8. |]
+
+let dp_cost p =
+  let ctx = Cost.make p in
+  fun ~l ~r -> Cost.a0_bucket ctx ~l ~r
+
+(* Exhaustive minimum of [Σ cost] over partitions of [1..n] into at most
+   [buckets] parts — the brute-force twin for the DP. *)
+let brute_best ~n ~buckets ~cost =
+  let best = ref Float.infinity in
+  (* choose rights: increasing positions ending at n *)
+  let rec go last parts acc =
+    if parts > buckets then ()
+    else if last = n then (if acc < !best then best := acc)
+    else
+      for r = last + 1 to n do
+        go r (parts + 1) (acc +. cost ~l:(last + 1) ~r)
+      done
+  in
+  go 0 0 0.;
+  !best
+
+let dp_rows ~n ~b =
+  let rows = ref 0 in
+  for k = 1 to b do
+    rows := !rows + (n - k + 1)
+  done;
+  !rows
+
+let test_dp_kill_and_resume_everywhere () =
+  let p = Prefix.create dp_data in
+  let n = Prefix.n p in
+  let buckets = 3 in
+  let cost = dp_cost p in
+  let base = Dp.solve ~n ~buckets ~cost () in
+  Helpers.check_close ~tol:1e-9 "dp = brute force" base.Dp.cost
+    (brute_best ~n ~buckets ~cost);
+  let rows = dp_rows ~n ~b:buckets in
+  for budget = 1 to rows do
+    with_tmp ".ckpt" (fun path ->
+        let governor =
+          Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:budget
+            ()
+        in
+        match
+          Dp.solve ~governor ~checkpoint_path:path ~fingerprint:"dp-test" ~n
+            ~buckets ~cost ()
+        with
+        | _ -> Alcotest.failf "budget %d should interrupt" budget
+        | exception Governor.Interrupted { checkpoint; _ } ->
+            let resumed =
+              Dp.solve ~resume_from:checkpoint ~fingerprint:"dp-test" ~n
+                ~buckets ~cost ()
+            in
+            if not (Float.equal resumed.Dp.cost base.Dp.cost) then
+              Alcotest.failf "budget %d: resumed cost %.17g <> %.17g" budget
+                resumed.Dp.cost base.Dp.cost;
+            Alcotest.(check (array int))
+              (Printf.sprintf "budget %d: rights" budget)
+              (Bucket.rights base.Dp.bucketing)
+              (Bucket.rights resumed.Dp.bucketing))
+  done;
+  (* One more poll than there are rows: the run completes untouched. *)
+  with_tmp ".ckpt" (fun path ->
+      let governor =
+        Governor.create ~deadline_mode:Governor.Snapshot
+          ~poll_budget:(rows + 1) ()
+      in
+      let r =
+        Dp.solve ~governor ~checkpoint_path:path ~fingerprint:"dp-test" ~n
+          ~buckets ~cost ()
+      in
+      Alcotest.(check bool)
+        "completes past the last row" true
+        (Float.equal r.Dp.cost base.Dp.cost))
+
+let test_dp_resume_rejects_wrong_fingerprint () =
+  let p = Prefix.create dp_data in
+  let n = Prefix.n p in
+  let cost = dp_cost p in
+  with_tmp ".ckpt" (fun path ->
+      let governor =
+        Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:4 ()
+      in
+      (match
+         Dp.solve ~governor ~checkpoint_path:path ~fingerprint:"right" ~n
+           ~buckets:3 ~cost ()
+       with
+      | _ -> Alcotest.fail "should interrupt"
+      | exception Governor.Interrupted _ -> ());
+      (match Dp.solve ~resume_from:path ~fingerprint:"wrong" ~n ~buckets:3 ~cost () with
+      | _ -> Alcotest.fail "wrong fingerprint must be refused"
+      | exception Error.Rs_error (Error.Corrupt_checkpoint _) -> ());
+      match Dp.solve ~resume_from:path ~fingerprint:"right" ~n ~buckets:2 ~cost () with
+      | _ -> Alcotest.fail "wrong bucket count must be refused"
+      | exception Error.Rs_error (Error.Corrupt_checkpoint _) -> ())
+
+(* --- OPT-A kill-and-resume --- *)
+
+let opt_a_data = [| 1.; 3.; 5.; 11.; 12.; 13.; 2.; 8.; 4.; 6. |]
+let opt_a_key_cap = 100_000
+let opt_a_buckets = 4
+
+let opt_a_base () =
+  let p = Prefix.create opt_a_data in
+  Opt_a.build_exact ~key_cap:opt_a_key_cap p ~buckets:opt_a_buckets
+
+let check_same_result budget base (r : Opt_a.result) =
+  let label what = Printf.sprintf "budget %d: %s" budget what in
+  if not (Float.equal r.Opt_a.sse base.Opt_a.sse) then
+    Alcotest.failf "%s: %.17g <> %.17g" (label "sse") r.Opt_a.sse base.Opt_a.sse;
+  Alcotest.(check (array int)) (label "rights")
+    (Bucket.rights (Histogram.bucketing base.Opt_a.histogram))
+    (Bucket.rights (Histogram.bucketing r.Opt_a.histogram));
+  Alcotest.(check int) (label "states") base.Opt_a.states r.Opt_a.states
+
+let test_opt_a_kill_and_resume_everywhere () =
+  let p = Prefix.create opt_a_data in
+  let base = opt_a_base () in
+  (* Brute-force twin on the range-SSE objective: the DP's answer equals
+     the histogram's true range SSE, interrupted or not. *)
+  Helpers.check_close ~tol:1e-6 "opt-a sse = brute sse" base.Opt_a.sse
+    (Helpers.hist_sse p base.Opt_a.histogram);
+  let rows = dp_rows ~n:(Prefix.n p) ~b:opt_a_buckets in
+  let completed = ref 0 in
+  for budget = 1 to rows + 1 do
+    with_tmp ".ckpt" (fun path ->
+        let governor =
+          Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:budget
+            ()
+        in
+        match
+          Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor
+            ~checkpoint_path:path p ~buckets:opt_a_buckets
+        with
+        | r ->
+            incr completed;
+            check_same_result budget base r
+        | exception Governor.Interrupted { checkpoint; _ } ->
+            let resumed =
+              Opt_a.build_exact ~key_cap:opt_a_key_cap ~resume_from:checkpoint
+                p ~buckets:opt_a_buckets
+            in
+            check_same_result budget base resumed)
+  done;
+  Alcotest.(check bool) "the largest budget completes" true (!completed >= 1)
+
+let test_opt_a_double_interrupt_chain () =
+  (* Interrupt, resume with another tiny budget (interrupting again from
+     the snapshot), resume once more to completion: snapshots chain. *)
+  let p = Prefix.create opt_a_data in
+  let base = opt_a_base () in
+  with_tmp ".ckpt" (fun path ->
+      let g1 =
+        Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:5 ()
+      in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor:g1
+           ~checkpoint_path:path p ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "first run should interrupt"
+      | exception Governor.Interrupted _ -> ());
+      let g2 =
+        Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:7 ()
+      in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor:g2
+           ~checkpoint_path:path ~resume_from:path p ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "second run should interrupt again"
+      | exception Governor.Interrupted _ -> ());
+      let final =
+        Opt_a.build_exact ~key_cap:opt_a_key_cap ~resume_from:path p
+          ~buckets:opt_a_buckets
+      in
+      check_same_result 0 base final)
+
+let test_opt_a_periodic_checkpoint_resume () =
+  (* checkpoint_interval 0 → a snapshot every row; kill the process
+     abruptly (simulated by Interrupted at an arbitrary later row) and
+     resume from the periodic snapshot. *)
+  let p = Prefix.create opt_a_data in
+  let base = opt_a_base () in
+  with_tmp ".ckpt" (fun path ->
+      let governor =
+        Governor.create ~deadline_mode:Governor.Snapshot ~checkpoint_interval:0.
+          ~poll_budget:11 ()
+      in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor
+           ~checkpoint_path:path p ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "should interrupt"
+      | exception Governor.Interrupted _ -> ());
+      let resumed =
+        Opt_a.build_exact ~key_cap:opt_a_key_cap ~resume_from:path p
+          ~buckets:opt_a_buckets
+      in
+      check_same_result 11 base resumed)
+
+let test_opt_a_resume_rejects_wrong_data () =
+  let p = Prefix.create opt_a_data in
+  with_tmp ".ckpt" (fun path ->
+      let governor =
+        Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:6 ()
+      in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor
+           ~checkpoint_path:path p ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "should interrupt"
+      | exception Governor.Interrupted _ -> ());
+      let other = Prefix.create [| 2.; 3.; 5.; 11.; 12.; 13.; 2.; 8.; 4.; 6. |] in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~resume_from:path other
+           ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "different data must be refused"
+      | exception Error.Rs_error (Error.Corrupt_checkpoint _) -> ());
+      match
+        Opt_a.build_exact ~key_cap:(opt_a_key_cap + 1) ~resume_from:path p
+          ~buckets:opt_a_buckets
+      with
+      | _ -> Alcotest.fail "different key_cap must be refused"
+      | exception Error.Rs_error (Error.Corrupt_checkpoint _) -> ())
+
+(* --- snapshot fuzzer: >= 300 mutants, never crash, never wrong --- *)
+
+let mutate rng s =
+  let len = String.length s in
+  match Rng.int rng 3 with
+  | 0 ->
+      (* flip one bit *)
+      let i = Rng.int rng len in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+      Bytes.to_string b
+  | 1 ->
+      (* truncate *)
+      String.sub s 0 (Rng.int rng len)
+  | _ ->
+      (* duplicate a chunk onto the tail *)
+      let at = Rng.int rng len in
+      s ^ String.sub s at (Rng.int rng (len - at))
+
+let test_snapshot_fuzzer () =
+  let p = Prefix.create opt_a_data in
+  let base = opt_a_base () in
+  with_tmp ".ckpt" (fun path ->
+      let governor =
+        Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:9 ()
+      in
+      (match
+         Opt_a.build_exact ~key_cap:opt_a_key_cap ~governor
+           ~checkpoint_path:path p ~buckets:opt_a_buckets
+       with
+      | _ -> Alcotest.fail "should interrupt"
+      | exception Governor.Interrupted _ -> ());
+      let pristine = read_file path in
+      let rng = Rng.create 0xC0FFEE in
+      let detected = ref 0 in
+      for i = 1 to 350 do
+        write_file path (mutate rng pristine);
+        match
+          Opt_a.build_exact ~key_cap:opt_a_key_cap ~resume_from:path p
+            ~buckets:opt_a_buckets
+        with
+        | r ->
+            (* A mutation the checks cannot distinguish from the real
+               snapshot must still produce the right answer. *)
+            check_same_result i base r
+        | exception Error.Rs_error (Error.Corrupt_checkpoint _) -> incr detected
+        | exception e ->
+            Alcotest.failf "mutant %d: unexpected exception %s" i
+              (Printexc.to_string e)
+      done;
+      if !detected < 300 then
+        Alcotest.failf "only %d/350 mutants detected as corrupt" !detected)
+
+(* --- codec atomic save --- *)
+
+let a_synopsis () =
+  Builder.build (Dataset.of_floats dp_data) ~method_name:"sap0" ~budget_words:12
+
+let test_codec_save_is_atomic () =
+  with_tmp ".rs" (fun path ->
+      let s = a_synopsis () in
+      Codec.save s path;
+      let original = read_file path in
+      Faults.arm "atomic.torn";
+      (match Codec.save (a_synopsis ()) path with
+      | () -> Alcotest.fail "torn save must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      Alcotest.(check string) "file untouched by torn save" original
+        (read_file path);
+      match Codec.load_result path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "still loadable: %s" (Error.to_string e))
+
+let test_codec_save_result_reports_io () =
+  let s = a_synopsis () in
+  (match Codec.save_result s "/nonexistent-dir/x.rs" with
+  | Error (Error.Io_failure { path; _ }) ->
+      Alcotest.(check bool) "path mentioned" true
+        (Helpers.contains path "nonexistent")
+  | Ok () -> Alcotest.fail "unwritable path must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
+  Faults.arm "codec.save";
+  (match Codec.save_result s "/tmp/never-written.rs" with
+  | Error (Error.Io_failure _) -> ()
+  | Ok () -> Alcotest.fail "armed codec.save must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
+  Faults.reset ()
+
+(* --- store --- *)
+
+let test_store_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      let s = a_synopsis () in
+      Store.put store ~name:"first" s;
+      Alcotest.(check (list string)) "listed" [ "first" ] (Store.list store);
+      (match Store.get store ~name:"first" with
+      | Ok got ->
+          Alcotest.(check string) "identical bytes" (Codec.to_string s)
+            (Codec.to_string got)
+      | Error e -> Alcotest.failf "get failed: %s" (Error.to_string e));
+      (* Reopening reads the manifest, not leftover state. *)
+      let reopened = Store.open_dir dir in
+      Alcotest.(check (list string)) "survives reopen" [ "first" ]
+        (Store.list reopened);
+      Store.remove store ~name:"first";
+      Alcotest.(check (list string)) "removed" [] (Store.list store))
+
+let test_store_rejects_bad_names () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      let s = a_synopsis () in
+      List.iter
+        (fun name ->
+          match Store.put store ~name s with
+          | () -> Alcotest.failf "name %S must be rejected" name
+          | exception Error.Rs_error (Error.Invalid_input _) -> ())
+        [ ""; "has/slash"; "../escape"; ".hidden"; "MANIFEST"; "sp ace" ])
+
+let test_store_heals_corrupt_manifest () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      Store.put store ~name:"keep" (a_synopsis ());
+      write_file (Filename.concat dir "MANIFEST") "total garbage";
+      let healed = Store.open_dir dir in
+      Alcotest.(check (list string)) "rebuilt from entries" [ "keep" ]
+        (Store.list healed);
+      match Store.get healed ~name:"keep" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "entry lost: %s" (Error.to_string e))
+
+let test_store_fsck_quarantines_and_adopts () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      Store.put store ~name:"good" (a_synopsis ());
+      Store.put store ~name:"bad" (a_synopsis ());
+      (* Corrupt one entry behind the manifest's back, drop a stray tmp
+         file, and sneak in a valid unmanifested entry. *)
+      write_file (Filename.concat dir "bad.rs") "rotten bytes";
+      write_file (Filename.concat dir "junk.rs.tmp") "half a write";
+      write_file
+        (Filename.concat dir "orphan.rs")
+        (Codec.to_string (a_synopsis ()));
+      let r = Store.fsck store in
+      Alcotest.(check (list string)) "ok" [ "good"; "orphan" ] r.Store.ok;
+      Alcotest.(check (list string)) "quarantined" [ "bad" ]
+        (List.map fst r.Store.quarantined);
+      Alcotest.(check (list string)) "tmp removed" [ "junk.rs.tmp" ]
+        r.Store.removed_tmp;
+      Alcotest.(check bool) "manifest rebuilt" true r.Store.manifest_rebuilt;
+      Alcotest.(check bool) "quarantine holds the corpse" true
+        (Sys.file_exists (Filename.concat dir "quarantine/bad.rs"));
+      (* The healthy entries still serve. *)
+      (match Store.get store ~name:"good" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "good entry lost: %s" (Error.to_string e));
+      (* A clean store fscks clean. *)
+      let r2 = Store.fsck store in
+      Alcotest.(check (list string)) "second pass ok" [ "good"; "orphan" ]
+        r2.Store.ok;
+      Alcotest.(check bool) "second pass is clean" false
+        r2.Store.manifest_rebuilt)
+
+let test_store_put_fault_seams () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      Store.put store ~name:"settled" (a_synopsis ());
+      Faults.arm "store.put";
+      (match Store.put store ~name:"doomed" (a_synopsis ()) with
+      | () -> Alcotest.fail "armed store.put must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      Alcotest.(check (list string)) "nothing half-added" [ "settled" ]
+        (Store.list store);
+      (* Manifest write dies after the entry file is durable: the entry
+         is orphaned, and fsck adopts it. *)
+      Faults.arm "store.manifest";
+      (match Store.put store ~name:"orphan" (a_synopsis ()) with
+      | () -> Alcotest.fail "armed store.manifest must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      let reopened = Store.open_dir dir in
+      let r = Store.fsck reopened in
+      Alcotest.(check (list string)) "orphan adopted" [ "orphan"; "settled" ]
+        r.Store.ok)
+
+let test_store_get_detects_swapped_entry () =
+  with_tmp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      Store.put store ~name:"a" (a_synopsis ());
+      let other =
+        Builder.build (Dataset.of_floats dp_data) ~method_name:"equi-width"
+          ~budget_words:12
+      in
+      (* A valid codec file, but not the one the manifest promised. *)
+      write_file (Filename.concat dir "a.rs") (Codec.to_string other);
+      match Store.get store ~name:"a" with
+      | Error (Error.Corrupt_synopsis _) -> ()
+      | Ok _ -> Alcotest.fail "swap must be detected by the manifest CRC"
+      | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e))
+
+(* --- builder / error taxonomy integration --- *)
+
+let test_interrupted_error_shape () =
+  let e = Error.Interrupted { stage = "opt-a"; checkpoint = "/tmp/c.ckpt" } in
+  Alcotest.(check int) "exit code 5" 5 (Error.exit_code e);
+  Alcotest.(check bool) "mentions resume" true
+    (Helpers.contains (Error.to_string e) "resume");
+  let e' = Error.Corrupt_checkpoint { path = "/tmp/c.ckpt"; reason = "r" } in
+  Alcotest.(check int) "corrupt checkpoint exits 3" 3 (Error.exit_code e')
+
+let test_builder_checkpoint_only_for_opt_a () =
+  let ds = Dataset.of_floats dp_data in
+  match
+    Builder.build_result ~checkpoint_path:"/tmp/x.ckpt" ds ~method_name:"sap0"
+      ~budget_words:12
+  with
+  | Error (Error.Invalid_input _) -> ()
+  | Ok _ -> Alcotest.fail "sap0 must refuse checkpointing"
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+
+let test_builder_checkpointed_build_matches_plain () =
+  with_tmp ".ckpt" (fun path ->
+      let ds = Dataset.of_floats opt_a_data in
+      let plain =
+        Error.get (Builder.build_result ds ~method_name:"opt-a" ~budget_words:8)
+      in
+      let ckpt =
+        Error.get
+          (Builder.build_result ~checkpoint_path:path ~checkpoint_every:0. ds
+             ~method_name:"opt-a" ~budget_words:8)
+      in
+      Helpers.check_close ~tol:1e-9 "same SSE either way"
+        (Synopsis.sse ds plain.Builder.synopsis)
+        (Synopsis.sse ds ckpt.Builder.synopsis);
+      (* checkpoint_every:0 forces at least one periodic snapshot. *)
+      Alcotest.(check bool) "snapshot written mid-run" true
+        (Sys.file_exists path))
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ("mclock", [ Alcotest.test_case "non-decreasing" `Quick test_mclock_non_decreasing ]);
+      ( "governor",
+        [
+          Alcotest.test_case "poll budget" `Quick test_poll_budget_expires_exactly;
+          Alcotest.test_case "snapshot mode" `Quick test_snapshot_mode_is_resumable;
+          Alcotest.test_case "interval" `Quick test_checkpoint_interval_fires;
+          Alcotest.test_case "unlimited" `Quick test_unlimited_never_expires;
+          Alcotest.test_case "check raises" `Quick test_check_still_raises;
+        ] );
+      ( "container",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_container_roundtrip;
+          Alcotest.test_case "wrong kind" `Quick test_container_wrong_kind;
+          Alcotest.test_case "missing file" `Quick test_container_missing_file;
+          Alcotest.test_case "torn write" `Quick
+            test_atomic_write_preserves_old_on_torn;
+          Alcotest.test_case "rename failure" `Quick
+            test_atomic_write_preserves_old_on_rename_failure;
+          Alcotest.test_case "write seam" `Quick
+            test_atomic_write_seam_fires_before_bytes;
+        ] );
+      ( "dp-resume",
+        [
+          Alcotest.test_case "kill at every row" `Quick
+            test_dp_kill_and_resume_everywhere;
+          Alcotest.test_case "identity checks" `Quick
+            test_dp_resume_rejects_wrong_fingerprint;
+        ] );
+      ( "opt-a-resume",
+        [
+          Alcotest.test_case "kill at every row" `Quick
+            test_opt_a_kill_and_resume_everywhere;
+          Alcotest.test_case "interrupt twice" `Quick
+            test_opt_a_double_interrupt_chain;
+          Alcotest.test_case "periodic snapshots" `Quick
+            test_opt_a_periodic_checkpoint_resume;
+          Alcotest.test_case "identity checks" `Quick
+            test_opt_a_resume_rejects_wrong_data;
+        ] );
+      ("fuzz", [ Alcotest.test_case "350 snapshot mutants" `Quick test_snapshot_fuzzer ]);
+      ( "codec",
+        [
+          Alcotest.test_case "atomic save" `Quick test_codec_save_is_atomic;
+          Alcotest.test_case "save_result" `Quick
+            test_codec_save_result_reports_io;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "bad names" `Quick test_store_rejects_bad_names;
+          Alcotest.test_case "heals manifest" `Quick
+            test_store_heals_corrupt_manifest;
+          Alcotest.test_case "fsck" `Quick test_store_fsck_quarantines_and_adopts;
+          Alcotest.test_case "put fault seams" `Quick test_store_put_fault_seams;
+          Alcotest.test_case "swapped entry" `Quick
+            test_store_get_detects_swapped_entry;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "error shape" `Quick test_interrupted_error_shape;
+          Alcotest.test_case "opt-a only" `Quick
+            test_builder_checkpoint_only_for_opt_a;
+          Alcotest.test_case "checkpointed = plain" `Quick
+            test_builder_checkpointed_build_matches_plain;
+        ] );
+    ]
