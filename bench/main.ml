@@ -126,6 +126,113 @@ let durability_check () =
   in
   print_string (E.Claims.table (record [ verdict ]))
 
+(* P3: the level-parallel DP engine.  Time exact OPT-A at jobs = 1, 2, 4
+   (shared UB seed, so only the level sweep is compared), plus the
+   polynomial DP methods through Builder, and write the raw numbers to
+   BENCH_PR3.json.  Determinism (identical sse/states across job counts)
+   is asserted unconditionally; the speedup half of the verdict is
+   waived when the runtime reports fewer than two cores, where a
+   parallel win is physically unobservable. *)
+let jobs_sweep () =
+  section "P3: level-parallel DP jobs sweep";
+  let cores = Domain.recommended_domain_count () in
+  let max_states = if quick then 2_000_000 else 60_000_000 in
+  let buckets = if quick then 6 else 8 in
+  (* The exact DP may not fit the state budget on the raw data; escalate
+     the Definition-3 rounding grid until the sweep fits (the timed
+     engine — and the determinism check — are the same either way). *)
+  let rec sweep_at x =
+    try (x, E.Scalability.run_jobs ~buckets ~max_states ~x ())
+    with Rs_histogram.Opt_a.Too_many_states _ when x < 1024 ->
+      sweep_at (x * 4)
+  in
+  let x, rows = sweep_at (if quick then 8 else 1) in
+  if x > 1 then
+    Printf.printf "(exact DP on x=%d-rounded data to fit max_states=%d)\n\n" x
+      max_states;
+  print_string (E.Scalability.jobs_table rows);
+  let ds = Dataset.paper () in
+  let method_rows =
+    List.concat_map
+      (fun method_name ->
+        let seq = ref 0. in
+        List.map
+          (fun jobs ->
+            let options = { options with Builder.jobs } in
+            let _, seconds =
+              E.Timing.time (fun () ->
+                  Builder.build ~options ds ~method_name ~budget_words:32)
+            in
+            if jobs = 1 then seq := seconds;
+            let speedup = if seconds > 0. then !seq /. seconds else 1. in
+            (method_name, jobs, seconds, speedup))
+          E.Scalability.default_jobs)
+      [ "sap0"; "sap1"; "point-opt" ]
+  in
+  let oc = open_out "BENCH_PR3.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"recommended_domain_count\": %d,\n" cores;
+  Printf.fprintf oc "  \"opt_a_exact\": [\n";
+  let last_i = List.length rows - 1 in
+  List.iteri
+    (fun i (r : E.Scalability.jobs_row) ->
+      Printf.fprintf oc
+        "    {\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": %.4f, \
+         \"sse\": %.17g, \"states\": %d}%s\n"
+        r.jobs r.seconds
+        (E.Scalability.speedup_vs_sequential rows r)
+        r.sse r.states
+        (if i = last_i then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"methods\": [\n";
+  let last_i = List.length method_rows - 1 in
+  List.iteri
+    (fun i (m, jobs, seconds, speedup) ->
+      Printf.fprintf oc
+        "    {\"method\": %S, \"jobs\": %d, \"seconds\": %.6f, \
+         \"speedup_vs_jobs1\": %.4f}%s\n"
+        m jobs seconds speedup
+        (if i = last_i then "" else ","))
+    method_rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n(wrote BENCH_PR3.json)\n";
+  let deterministic =
+    match rows with
+    | [] -> false
+    | r0 :: rest ->
+        List.for_all
+          (fun (r : E.Scalability.jobs_row) ->
+            Float.equal r.sse r0.E.Scalability.sse
+            && r.states = r0.E.Scalability.states)
+          rest
+  in
+  let speedup4 =
+    match List.find_opt (fun (r : E.Scalability.jobs_row) -> r.jobs = 4) rows with
+    | Some r -> E.Scalability.speedup_vs_sequential rows r
+    | None -> 1.
+  in
+  let waived = cores < 2 in
+  let holds = deterministic && (waived || speedup4 >= 0.9) in
+  let verdict =
+    {
+      E.Claims.claim_id = "P3";
+      description =
+        "the level-parallel OPT-A engine returns identical sse/states at \
+         every job count, and jobs=4 is no slower than jobs=1 beyond noise";
+      measured =
+        Printf.sprintf "identical across jobs=%b; jobs=4 speedup %.2fx%s"
+          deterministic speedup4
+          (if waived then
+             Printf.sprintf " (speedup waived: runtime reports %d core(s))"
+               cores
+           else "");
+      holds;
+    }
+  in
+  print_string (E.Claims.table (record [ verdict ]))
+
 (* --- Bechamel timing benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -195,6 +302,7 @@ let run_bechamel () =
 let () =
   quality_tables ();
   durability_check ();
+  jobs_sweep ();
   if not no_bechamel then run_bechamel ();
   match List.rev !failed_claims with
   | [] -> Printf.printf "\ndone.\n"

@@ -61,6 +61,21 @@ let quick_arg =
   let doc = "Reduce sweep sizes and OPT-A state budgets (fast sanity run)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+(* --jobs N beats RS_JOBS beats 1; every count builds the same bytes,
+   so parallelism is safe to default from the environment. *)
+let env_jobs =
+  match Sys.getenv_opt "RS_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with Failure _ -> 1)
+  | None -> 1
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the level-parallel DP engines (opt-a, sap0, sap1, \
+     point-opt).  Results are bit-identical for any value.  Defaults to \
+     $(b,RS_JOBS), falling back to 1."
+  in
+  Arg.(value & opt int env_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let opt_a_states_arg =
   let doc =
     "State budget for the exact OPT-A dynamic program (default 6e7; the \
@@ -76,12 +91,13 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
-let options_of quick states =
+let options_of ?(jobs = env_jobs) quick states =
   let base =
     if quick then
       { Builder.default_options with Builder.opt_a_max_states = 2_000_000 }
     else Builder.default_options
   in
+  let base = { base with Builder.jobs = max 1 jobs } in
   match states with
   | Some s -> { base with Builder.opt_a_max_states = s }
   | None -> base
@@ -178,7 +194,7 @@ let build_cmd =
                ~doc:"Also snapshot periodically while the DP runs (crash \
                      safety, not just deadline safety).")
   in
-  let run data m budget quick states deadline save ckpt_dir resume every =
+  let run data m budget quick states jobs deadline save ckpt_dir resume every =
     wrap (fun () ->
         let checkpoint_path =
           Option.map
@@ -201,7 +217,7 @@ let build_cmd =
                   (Error.Invalid_input "--resume requires --checkpoint-dir")
         in
         let ds = load_dataset data in
-        let options = options_of quick states in
+        let options = options_of ~jobs quick states in
         let built, dt =
           E.Timing.time (fun () ->
               Error.get
@@ -223,8 +239,8 @@ let build_cmd =
   command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
       const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
-      $ opt_a_states_arg $ deadline_arg $ save_arg $ checkpoint_dir_arg
-      $ resume_arg $ checkpoint_every_arg)
+      $ opt_a_states_arg $ jobs_arg $ deadline_arg $ save_arg
+      $ checkpoint_dir_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- query --- *)
 
@@ -268,10 +284,10 @@ let query_cmd =
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run data methods budget quick deadline =
+  let run data methods budget quick jobs deadline =
     wrap (fun () ->
         let ds = load_dataset data in
-        let options = options_of_quick quick in
+        let options = options_of ~jobs quick None in
         let reports = ref [] in
         let rows =
           List.map
@@ -310,7 +326,7 @@ let evaluate_cmd =
   command "evaluate" ~doc:"Compare methods on one dataset and budget."
     Term.(
       const run $ dataset_arg $ methods_arg $ budget_arg $ quick_arg
-      $ deadline_arg)
+      $ jobs_arg $ deadline_arg)
 
 (* --- experiment commands --- *)
 
@@ -382,12 +398,31 @@ let rounding_cmd =
     Term.(const run $ dataset_arg $ quick_arg $ buckets_arg)
 
 let scale_cmd =
-  let run quick =
+  let jobs_sweep_arg =
+    Arg.(value & flag
+           & info [ "jobs-sweep" ]
+               ~doc:"Also time the exact OPT-A DP at jobs = 1, 2, 4 on the \
+                     Figure-1 dataset (the PR-3 speedup table).")
+  in
+  let run quick jobs jobs_sweep =
     wrap (fun () ->
         let ns = if quick then [ 127; 255 ] else E.Scalability.default_ns in
-        print_string (E.Scalability.table (E.Scalability.run ~ns ())))
+        let options = options_of ~jobs quick None in
+        print_string (E.Scalability.table (E.Scalability.run ~ns ~options ()));
+        if jobs_sweep then begin
+          let max_states = if quick then 2_000_000 else 60_000_000 in
+          let rec sweep_at x =
+            try E.Scalability.run_jobs ~max_states ~x ()
+            with Rs_histogram.Opt_a.Too_many_states _ when x < 1024 ->
+              sweep_at (x * 4)
+          in
+          print_newline ();
+          print_string
+            (E.Scalability.jobs_table (sweep_at (if quick then 8 else 1)))
+        end)
   in
-  command "scale" ~doc:"Scalability sweep (S1)." Term.(const run $ quick_arg)
+  command "scale" ~doc:"Scalability sweep (S1)."
+    Term.(const run $ quick_arg $ jobs_arg $ jobs_sweep_arg)
 
 let workload_cmd =
   let run data =

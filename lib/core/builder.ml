@@ -9,6 +9,7 @@ type options = {
   opt_a_xs : int list;
   rounded_x : int;
   governor : Governor.t;
+  jobs : int;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     opt_a_xs = [ 8; 32; 128 ];
     rounded_x = 8;
     governor = Governor.unlimited;
+    jobs = 1;
   }
 
 type kind =
@@ -36,7 +38,7 @@ let require_integral name p =
 let opt_a opts p ~buckets =
   require_integral "opt-a" p;
   (H.Opt_a.build_staged ~max_states:opts.opt_a_max_states ~xs:opts.opt_a_xs
-     ~governor:opts.governor p ~buckets)
+     ~governor:opts.governor ~jobs:opts.jobs p ~buckets)
     .H.Opt_a.histogram
 
 let reopt base _opts p ~buckets =
@@ -53,13 +55,14 @@ let registry : (string * int * kind) list =
       2,
       Hist
         (fun o p ~buckets ->
-          H.Vopt.build ~governor:o.governor ~stage:"point-opt" p ~buckets) );
+          H.Vopt.build ~governor:o.governor ~stage:"point-opt" ~jobs:o.jobs p
+            ~buckets) );
     ( "v-optimal",
       2,
       Hist
         (fun o p ~buckets ->
           H.Vopt.build ~weighted:false ~governor:o.governor ~stage:"v-optimal"
-            p ~buckets) );
+            ~jobs:o.jobs p ~buckets) );
     ( "a0",
       2,
       Hist
@@ -75,12 +78,14 @@ let registry : (string * int * kind) list =
       3,
       Hist
         (fun o p ~buckets ->
-          H.Sap0.build ~governor:o.governor ~stage:"sap0" p ~buckets) );
+          H.Sap0.build ~governor:o.governor ~stage:"sap0" ~jobs:o.jobs p
+            ~buckets) );
     ( "sap1",
       5,
       Hist
         (fun o p ~buckets ->
-          H.Sap1.build ~governor:o.governor ~stage:"sap1" p ~buckets) );
+          H.Sap1.build ~governor:o.governor ~stage:"sap1" ~jobs:o.jobs p
+            ~buckets) );
     ("opt-a", 2, Hist opt_a);
     ( "opt-a-rounded",
       2,
@@ -89,7 +94,8 @@ let registry : (string * int * kind) list =
           (* Definition 3 rounds the data itself, so float frequencies
              are fine here. *)
           (H.Opt_a.build_rounded ~max_states:opts.opt_a_max_states
-             ~governor:opts.governor p ~buckets ~x:opts.rounded_x)
+             ~governor:opts.governor ~jobs:opts.jobs p ~buckets
+             ~x:opts.rounded_x)
             .H.Opt_a.histogram) );
     ( "a0-reopt",
       2,
@@ -254,8 +260,8 @@ let build_result ?(options = default_options) ?deadline ?checkpoint_path
             let units = units_for_budget ~method_name ~budget_words in
             match
               H.Opt_a.build_governed ~max_states:options.opt_a_max_states
-                ~xs:options.opt_a_xs ~governor ?checkpoint_path ?resume_from p
-                ~buckets:units
+                ~xs:options.opt_a_xs ~governor ~jobs:options.jobs
+                ?checkpoint_path ?resume_from p ~buckets:units
             with
             | staged ->
                 {

@@ -37,6 +37,12 @@ type options = {
       (** wall-clock governor threaded through the ["opt-a"]-family
           constructions (default {!Rs_util.Governor.unlimited});
           {!build_result}'s [deadline] overrides it *)
+  jobs : int;
+      (** worker-domain count for the level-parallel DP engines
+          (default 1 = sequential).  Reaches ["opt-a"]/["opt-a-rounded"]
+          and the [Dp]-backed methods ["sap0"], ["sap1"], ["point-opt"],
+          ["v-optimal"].  Results are bit-identical for every job count
+          ({!Rs_util.Pool}); the ladder's A0 floor stays sequential. *)
 }
 
 val default_options : options

@@ -1,4 +1,4 @@
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rs_util.Mclock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Rs_util.Mclock.now () -. t0)

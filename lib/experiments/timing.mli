@@ -1,5 +1,8 @@
-(** Wall-clock timing helper for the experiment harness. *)
+(** Wall-clock timing helper for the experiment harness.  Reads
+    {!Rs_util.Mclock} — the same monotonic clock the governor uses — so
+    reported construction times can neither jump nor run backwards
+    under NTP steps. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall
-    time in seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed
+    monotonic wall time in seconds. *)

@@ -1,8 +1,14 @@
 module Checks = Rs_util.Checks
 module Governor = Rs_util.Governor
 module Checkpoint = Rs_util.Checkpoint
+module Pool = Rs_util.Pool
 
 type result = { cost : float; bucketing : Bucket.t }
+
+(* Cells dispatched to the pool between two coordinator polls.  A
+   constant (not a function of [jobs]) so chunk barriers — and hence
+   snapshot positions — line up across every parallel job count. *)
+let parallel_chunk = 64
 
 let snapshot_kind = "dp-row-v1"
 
@@ -69,7 +75,7 @@ let restore ~path ~stage ~fingerprint ~n ~b e parent =
       (next_k, next_i)
 
 let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
-    ?checkpoint_path ?resume_from ~n ~buckets ~cost () =
+    ?checkpoint_path ?resume_from ?(jobs = 1) ~n ~buckets ~cost () =
   let n = Checks.positive ~name:"Dp.solve n" n in
   let b = max 1 (min buckets n) in
   let inf = Float.infinity in
@@ -103,26 +109,47 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
             raise (Governor.Interrupted { stage; checkpoint = path })
         | _ -> raise (Governor.Deadline_exceeded { stage; elapsed; deadline }))
   in
-  for k = start_k to b do
-    (* Need at least k positions for k non-empty buckets — pruning the
-       trivially infeasible cells. *)
-    let i_from = if k = start_k then max k start_i else k in
-    for i = i_from to n do
-      poll ~k ~i;
-      let best = ref inf and best_j = ref (-1) in
-      for j = k - 1 to i - 1 do
-        if e.(k - 1).(j) < inf then begin
-          let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
-          if c < !best then begin
-            best := c;
-            best_j := j
-          end
+  (* One cell's work, shared verbatim by the sequential and parallel
+     paths: cell (k, i) reads only the completed level k−1 and writes
+     only its own e/parent slots, so results are bit-identical for any
+     job count. *)
+  let fill_cell k i =
+    let best = ref inf and best_j = ref (-1) in
+    for j = k - 1 to i - 1 do
+      if e.(k - 1).(j) < inf then begin
+        let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
+        if c < !best then begin
+          best := c;
+          best_j := j
         end
-      done;
-      e.(k).(i) <- !best;
-      parent.(k).(i) <- !best_j
+      end
+    done;
+    e.(k).(i) <- !best;
+    parent.(k).(i) <- !best_j
+  in
+  (* Need at least k positions for k non-empty buckets — pruning the
+     trivially infeasible cells. *)
+  let row_start k = if k = start_k then max k start_i else k in
+  if jobs <= 1 then
+    for k = start_k to b do
+      for i = row_start k to n do
+        poll ~k ~i;
+        fill_cell k i
+      done
     done
-  done;
+  else
+    (* Level-parallel: the poll/snapshot hook moves to chunk barriers on
+       the coordinator; workers only ever run [fill_cell]. *)
+    Pool.with_pool ~jobs (fun pool ->
+        for k = start_k to b do
+          let lo = ref (row_start k) in
+          while !lo <= n do
+            let hi = min n (!lo + parallel_chunk - 1) in
+            poll ~k ~i:!lo;
+            Pool.run pool ~lo:!lo ~hi (fill_cell k);
+            lo := hi + 1
+          done
+        done);
   (e, parent, b)
 
 let reconstruct parent ~n ~k =
@@ -135,11 +162,11 @@ let reconstruct parent ~n ~k =
   done;
   Bucket.of_rights ~n rights
 
-let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n
+let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
     ~buckets ~cost () =
   let e, parent, b =
-    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n ~buckets
-      ~cost ()
+    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
+      ~buckets ~cost ()
   in
   let best_k = ref 1 in
   for k = 2 to b do
@@ -148,9 +175,9 @@ let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n
   { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
 
 let solve_exact_buckets ?governor ?stage ?fingerprint ?checkpoint_path
-    ?resume_from ~n ~buckets ~cost () =
+    ?resume_from ?jobs ~n ~buckets ~cost () =
   let e, parent, b =
-    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ~n ~buckets
-      ~cost ()
+    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
+      ~buckets ~cost ()
   in
   { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }

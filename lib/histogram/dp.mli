@@ -21,7 +21,18 @@
     round-trip via [%h]).  The snapshot records [stage], [fingerprint]
     (caller-supplied hash of the input data), [n] and the clamped bucket
     count; any mismatch — or any corruption — raises
-    [Rs_error (Corrupt_checkpoint _)]. *)
+    [Rs_error (Corrupt_checkpoint _)].
+
+    {2 Parallelism}
+
+    [jobs > 1] runs each level's cells across a {!Rs_util.Pool} of that
+    many workers.  Cell [(k, i)] reads only the completed level [k−1]
+    and writes only its own slots, so the result (and any snapshot) is
+    bit-identical to the sequential run for every job count.  The
+    governor poll — and with it the snapshot hook — moves from per-cell
+    to per-chunk on the coordinator (chunks are a fixed 64 cells, so
+    chunk barriers line up across job counts); workers never poll,
+    trip faults, or save checkpoints. *)
 
 type result = {
   cost : float;  (** optimal objective value *)
@@ -34,6 +45,7 @@ val solve :
   ?fingerprint:string ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   n:int ->
   buckets:int ->
   cost:(l:int -> r:int -> float) ->
@@ -42,10 +54,14 @@ val solve :
 (** [solve ~n ~buckets ~cost ()] runs the DP.  [buckets] is clamped to
     [\[1, n\]].  The returned bucketing may use fewer than [buckets]
     buckets when that is no worse.  [governor] is polled once per DP
-    row (never per cell); on expiry it raises
+    row (never per state); on expiry it raises
     {!Rs_util.Governor.Deadline_exceeded} tagged with [stage] — or, with
     a Snapshot-mode governor and a [checkpoint_path], writes a resumable
-    snapshot and raises {!Rs_util.Governor.Interrupted}. *)
+    snapshot and raises {!Rs_util.Governor.Interrupted}.  [jobs]
+    (default 1) parallelizes each level across a worker pool with
+    bit-identical results; [cost] must then be safe to call from
+    several domains at once (the {!Cost} context closures are: they
+    only read prefix arrays). *)
 
 val solve_exact_buckets :
   ?governor:Rs_util.Governor.t ->
@@ -53,6 +69,7 @@ val solve_exact_buckets :
   ?fingerprint:string ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   n:int ->
   buckets:int ->
   cost:(l:int -> r:int -> float) ->

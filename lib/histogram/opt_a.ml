@@ -5,6 +5,7 @@ module Faults = Rs_util.Faults
 module Checkpoint = Rs_util.Checkpoint
 module Crc32 = Rs_util.Crc32
 module Mclock = Rs_util.Mclock
+module Pool = Rs_util.Pool
 
 let log_src = Logs.Src.create "rs.opt_a" ~doc:"OPT-A dynamic program"
 
@@ -41,23 +42,28 @@ let derive_key_cap ?ub ?governor ?stage ctx p ~buckets =
   cap
 
 (* Keep only the [beam] entries with the smallest partial cost;
-   returns the replacement table and the number of dropped states. *)
+   returns the replacement table and the number of dropped states.
+   Hot per-cell path whenever a beam is set, so it works over the
+   exported physical layout: one array sort on [Float.compare], parent
+   pointers carried along instead of re-probed per kept entry.  Ties
+   order by descending slot — exactly the order the previous
+   list-based implementation produced — so the surviving set and the
+   rebuilt table's layout are unchanged. *)
 let truncate_to_beam cell beam =
   if Ktbl.length cell <= beam then (cell, 0)
   else begin
-    let entries = ref [] in
-    Ktbl.iter (fun ~key ~f -> entries := (key, f) :: !entries) cell;
-    let entries = List.sort (fun (_, f1) (_, f2) -> compare f1 f2) !entries in
+    let slots = (Ktbl.export cell).Ktbl.slots in
+    Array.sort
+      (fun (s1, _, f1, _, _) (s2, _, f2, _, _) ->
+        let c = Float.compare f1 f2 in
+        if c <> 0 then c else Int.compare s2 s1)
+      slots;
     let fresh = Ktbl.create () in
-    List.iteri
-      (fun rank (key, f) ->
-        if rank < beam then begin
-          match Ktbl.find_parent cell key with
-          | Some (prev_j, prev_key) ->
-              ignore (Ktbl.update_min fresh ~key ~f ~prev_j ~prev_key)
-          | None -> assert false
-        end)
-      entries;
+    let kept = min beam (Array.length slots) in
+    for rank = 0 to kept - 1 do
+      let _, key, f, prev_j, prev_key = slots.(rank) in
+      ignore (Ktbl.update_min fresh ~key ~f ~prev_j ~prev_key)
+    done;
     (fresh, Ktbl.length cell - Ktbl.length fresh)
   end
 
@@ -178,9 +184,14 @@ let load_snapshot ~path ~stage ~fingerprint ~n ~b ~key_cap ~beam =
         r_cells = !cells;
       }
 
+(* Cells dispatched to the pool between two coordinator polls.  A
+   constant (not a function of [jobs]) so chunk barriers — and hence
+   snapshot positions — line up across every parallel job count. *)
+let parallel_chunk = 64
+
 let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
     ?(governor = Governor.unlimited) ?(stage = "opt-a") ?checkpoint_path
-    ?resume_from p ~buckets =
+    ?resume_from ?(jobs = 1) p ~buckets =
   (* Legacy early bail; skipped when checkpointing so an expired
      Snapshot-mode governor snapshots at (1, 1) instead of raising with
      nothing saved. *)
@@ -261,41 +272,79 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
   let start_k, start_i =
     match resume with Some r -> (r.r_next_k, r.r_next_i) | None -> (1, 1)
   in
-  for k = start_k to b do
-    let i_from = if k = start_k then max k start_i else k in
-    for i = i_from to n do
-      poll ~k ~i;
-      let cell = ref levels.(k).(i) in
-      for j = k - 1 to i - 1 do
-        let prev = levels.(k - 1).(j) in
-        if Ktbl.length prev > 0 then begin
-          let l = j + 1 in
-          let c = cost l i in
-          let s2 = two_s l i in
-          let p2 = float_of_int (two_p l i) in
-          Ktbl.iter
-            (fun ~key ~f ->
-              (* cross term 2·Λ·P = (2Λ)(2P)/2 *)
-              let f' = f +. c +. (0.5 *. float_of_int key *. p2) in
-              let key' = key + s2 in
-              (* Prune by the Λ bound, except at the very end where Λ no
-                 longer interacts with anything. *)
-              if i = n || abs key' <= key_cap then
-                if Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j ~prev_key:key
-                then bump 1)
-            prev
-        end
-      done;
-      (match beam with
-      | Some beam when i < n ->
-          let fresh, dropped = truncate_to_beam !cell beam in
-          cell := fresh;
-          bump (-dropped)
-      | Some _ | None -> ());
-      levels.(k).(i) <- !cell
+  (* One cell's work, shared verbatim by the sequential and parallel
+     paths: cell (k, i) reads only the completed level k−1 (and the
+     read-only prefix context) and writes only levels.(k).(i), so every
+     job count produces the same Ktbl — contents, physical slot layout,
+     tie-breaking and all.  [count] is the only side channel: the
+     sequential path passes [bump] directly; the parallel path
+     accumulates a per-cell delta and bumps at the chunk barrier. *)
+  let fill_cell ~count k i =
+    let cell = ref levels.(k).(i) in
+    for j = k - 1 to i - 1 do
+      let prev = levels.(k - 1).(j) in
+      if Ktbl.length prev > 0 then begin
+        let l = j + 1 in
+        let c = cost l i in
+        let s2 = two_s l i in
+        let p2 = float_of_int (two_p l i) in
+        Ktbl.iter
+          (fun ~key ~f ->
+            (* cross term 2·Λ·P = (2Λ)(2P)/2 *)
+            let f' = f +. c +. (0.5 *. float_of_int key *. p2) in
+            let key' = key + s2 in
+            (* Prune by the Λ bound, except at the very end where Λ no
+               longer interacts with anything. *)
+            if i = n || abs key' <= key_cap then
+              if Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j ~prev_key:key
+              then count 1)
+          prev
+      end
     done;
-    Log.debug (fun m -> m "level k=%d done, %d states total" k !total_states)
-  done;
+    (match beam with
+    | Some beam when i < n ->
+        let fresh, dropped = truncate_to_beam !cell beam in
+        cell := fresh;
+        count (-dropped)
+    | Some _ | None -> ());
+    levels.(k).(i) <- !cell
+  in
+  if jobs <= 1 then
+    for k = start_k to b do
+      let i_from = if k = start_k then max k start_i else k in
+      for i = i_from to n do
+        poll ~k ~i;
+        fill_cell ~count:bump k i
+      done;
+      Log.debug (fun m -> m "level k=%d done, %d states total" k !total_states)
+    done
+  else
+    (* Level-parallel: workers fill disjoint cells of level k against
+       the read-only level k−1; the poll/snapshot hook and all state
+       accounting stay on the coordinator, at chunk barriers. *)
+    Pool.with_pool ~jobs (fun pool ->
+        let deltas = Array.make (n + 1) 0 in
+        for k = start_k to b do
+          let i_from = if k = start_k then max k start_i else k in
+          let lo = ref i_from in
+          while !lo <= n do
+            let chunk_hi = min n (!lo + parallel_chunk - 1) in
+            poll ~k ~i:!lo;
+            Pool.run pool ~lo:!lo ~hi:chunk_hi (fun i ->
+                deltas.(i) <- 0;
+                fill_cell ~count:(fun d -> deltas.(i) <- deltas.(i) + d) k i);
+            (* Merge on the coordinator in ascending i, so
+               Too_many_states fires at a deterministic cell boundary
+               and the running total matches the sequential count at
+               every chunk barrier (= every snapshot position). *)
+            for i = !lo to chunk_hi do
+              bump deltas.(i)
+            done;
+            lo := chunk_hi + 1
+          done;
+          Log.debug (fun m ->
+              m "level k=%d done, %d states total" k !total_states)
+        done);
   (* Best over at most b buckets. *)
   let best = ref None in
   for k = 1 to b do
@@ -326,11 +375,11 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
       (Bucket.of_rights ~n rights, f, !total_states)
 
 let build_exact ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
-    ?resume_from p ~buckets =
+    ?resume_from ?jobs p ~buckets =
   Faults.trip "opt_a.exact";
   let bucketing, sse, states =
     solve ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
-      ?resume_from p ~buckets
+      ?resume_from ?jobs p ~buckets
   in
   {
     histogram = Summaries.avg_histogram ~name:"opt-a" p bucketing;
@@ -342,8 +391,8 @@ let build p ~buckets = (build_exact p ~buckets).histogram
 
 let rounded_name x = Printf.sprintf "opt-a-rounded(x=%d)" x
 
-let build_rounded ?max_states ?beam ?governor ?checkpoint_path ?resume_from p
-    ~buckets ~x =
+let build_rounded ?max_states ?beam ?governor ?checkpoint_path ?resume_from
+    ?jobs p ~buckets ~x =
   let x = Checks.positive ~name:"Opt_a.build_rounded x" x in
   Faults.trip "opt_a.rounded";
   let fx = float_of_int x in
@@ -353,7 +402,7 @@ let build_rounded ?max_states ?beam ?governor ?checkpoint_path ?resume_from p
   let p_scaled = Prefix.create scaled in
   let bucketing, _, states =
     solve ?max_states ?beam ?governor ~stage:(rounded_name x) ?checkpoint_path
-      ?resume_from p_scaled ~buckets
+      ?resume_from ?jobs p_scaled ~buckets
   in
   let histogram = Summaries.avg_histogram ~name:(rounded_name x) p bucketing in
   let ctx = Cost.make p in
@@ -405,7 +454,8 @@ let describe_outcome = function
    a lower rung.  On [resume_from], UB seeding is skipped — the snapshot
    already fixes the Λ cap. *)
 let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
-    ?(governor = Governor.unlimited) ?checkpoint_path ?resume_from p ~buckets =
+    ?(governor = Governor.unlimited) ?checkpoint_path ?resume_from ?jobs p
+    ~buckets =
   let attempts = ref [] in
   let record rung outcome elapsed =
     attempts := { rung; outcome; elapsed } :: !attempts
@@ -417,7 +467,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
   let run_rounded x =
     let t0 = Mclock.now () in
     let outcome, res =
-      match build_rounded ~max_states ~governor p ~buckets ~x with
+      match build_rounded ~max_states ~governor ?jobs p ~buckets ~x with
       | r -> (Completed { states = r.states }, Some r)
       | exception Too_many_states { states; limit } ->
           (Exhausted { states; limit }, None)
@@ -453,8 +503,8 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
               None xs
         in
         let ub = Option.map (fun r -> r.sse) seed in
-        build_exact ?ub ~max_states ~governor ?checkpoint_path ?resume_from p
-          ~buckets
+        build_exact ?ub ~max_states ~governor ?checkpoint_path ?resume_from
+          ?jobs p ~buckets
       with
       | r -> (Completed { states = r.states }, Some r)
       | exception Too_many_states { states; limit } ->
@@ -528,10 +578,10 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
    bound on OPT, which shrinks the Λ cap (∝ √UB) for the exact run,
    falling down the ladder when the exact DP exceeds its budget — so it
    always returns something. *)
-let build_staged ?max_states ?xs ?governor ?checkpoint_path ?resume_from p
-    ~buckets =
-  (build_governed ?max_states ?xs ?governor ?checkpoint_path ?resume_from p
-     ~buckets)
+let build_staged ?max_states ?xs ?governor ?checkpoint_path ?resume_from ?jobs
+    p ~buckets =
+  (build_governed ?max_states ?xs ?governor ?checkpoint_path ?resume_from ?jobs
+     p ~buckets)
     .result
 
 let x_of_eps p ~eps =

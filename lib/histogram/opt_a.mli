@@ -46,6 +46,7 @@ val build_exact :
   ?governor:Rs_util.Governor.t ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result
@@ -79,7 +80,17 @@ val build_exact :
       saved [key_cap] is reused (UB derivation is skipped); any
       identity mismatch — data fingerprint, stage, [n], bucket count,
       [beam] — or corruption raises
-      [Rs_error (Corrupt_checkpoint _)]. *)
+      [Rs_error (Corrupt_checkpoint _)].
+    - [jobs] (default 1): run each DP level's cells across a
+      {!Rs_util.Pool} of that many worker domains.  Cell [(k, i)] reads
+      only the completed level [k−1], so results — bucketing, SSE,
+      state count, tie-breaking, snapshot bytes — are bit-identical to
+      the sequential run for every job count, and a snapshot taken at
+      any job count resumes correctly at any other.  In parallel mode
+      the governor poll (and with it the snapshot hook and [max_states]
+      accounting) moves to fixed-size chunk barriers on the
+      coordinator; workers never poll, trip faults, or save
+      checkpoints. *)
 
 val build : Rs_util.Prefix.t -> buckets:int -> Histogram.t
 (** [build_exact] with defaults, returning just the histogram. *)
@@ -90,6 +101,7 @@ val build_rounded :
   ?governor:Rs_util.Governor.t ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   x:int ->
@@ -143,6 +155,7 @@ val build_governed :
   ?governor:Rs_util.Governor.t ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   staged
@@ -158,7 +171,9 @@ val build_governed :
     (see {!build_exact}); with a Snapshot-mode governor an expiry there
     raises {!Rs_util.Governor.Interrupted} out of the ladder instead of
     degrading, and on resume the UB-seeding pass is skipped (the
-    snapshot already fixes the Λ cap). *)
+    snapshot already fixes the Λ cap).  [jobs] reaches the exact and
+    rounded rungs (see {!build_exact}); the A0 floor stays sequential —
+    it is the polynomial, domain-free guarantee and spawns nothing. *)
 
 val build_staged :
   ?max_states:int ->
@@ -166,6 +181,7 @@ val build_staged :
   ?governor:Rs_util.Governor.t ->
   ?checkpoint_path:string ->
   ?resume_from:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result

@@ -1,10 +1,10 @@
-let build_with_cost ?governor ?stage p ~buckets =
+let build_with_cost ?governor ?stage ?jobs p ~buckets =
   let ctx = Cost.make p in
   let { Dp.cost; bucketing } =
-    Dp.solve ?governor ?stage ~n:(Rs_util.Prefix.n p) ~buckets
+    Dp.solve ?governor ?stage ?jobs ~n:(Rs_util.Prefix.n p) ~buckets
       ~cost:(Cost.sap0_bucket ctx) ()
   in
   (Summaries.sap0_histogram ctx bucketing, cost)
 
-let build ?governor ?stage p ~buckets =
-  fst (build_with_cost ?governor ?stage p ~buckets)
+let build ?governor ?stage ?jobs p ~buckets =
+  fst (build_with_cost ?governor ?stage ?jobs p ~buckets)

@@ -9,6 +9,7 @@
 val build :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t
@@ -16,9 +17,11 @@ val build :
 val build_with_cost :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t * float
 (** The returned cost is the DP objective, which for SAP0 equals the
-    true range-SSE of the histogram.  [governor]/[stage] govern the
-    underlying {!Dp} (polled per row). *)
+    true range-SSE of the histogram.  [governor]/[stage]/[jobs] reach
+    the underlying {!Dp} (polled per row; level-parallel and
+    bit-identical when [jobs > 1]). *)

@@ -10,6 +10,7 @@
 val build :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t
@@ -17,8 +18,10 @@ val build :
 val build_with_cost :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t * float
 (** The DP objective equals the true range-SSE of the histogram.
-    [governor]/[stage] govern the underlying {!Dp} (polled per row). *)
+    [governor]/[stage]/[jobs] reach the underlying {!Dp} (polled per
+    row; level-parallel and bit-identical when [jobs > 1]). *)

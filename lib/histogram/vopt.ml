@@ -1,6 +1,6 @@
 module Prefix = Rs_util.Prefix
 
-let build_with_cost ?(weighted = true) ?governor ?stage p ~buckets =
+let build_with_cost ?(weighted = true) ?governor ?stage ?jobs p ~buckets =
   let ctx = Cost.make p in
   let n = Prefix.n p in
   let cost ~l ~r =
@@ -8,7 +8,7 @@ let build_with_cost ?(weighted = true) ?governor ?stage p ~buckets =
     else Cost.point_unweighted ctx ~l ~r
   in
   let { Dp.cost = dp_cost; bucketing } =
-    Dp.solve ?governor ?stage ~n ~buckets ~cost ()
+    Dp.solve ?governor ?stage ?jobs ~n ~buckets ~cost ()
   in
   let values =
     if weighted then
@@ -20,5 +20,5 @@ let build_with_cost ?(weighted = true) ?governor ?stage p ~buckets =
   let name = if weighted then "point-opt" else "v-optimal" in
   (Histogram.make ~name bucketing (Histogram.Avg values), dp_cost)
 
-let build ?weighted ?governor ?stage p ~buckets =
-  fst (build_with_cost ?weighted ?governor ?stage p ~buckets)
+let build ?weighted ?governor ?stage ?jobs p ~buckets =
+  fst (build_with_cost ?weighted ?governor ?stage ?jobs p ~buckets)

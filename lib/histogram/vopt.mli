@@ -12,15 +12,18 @@ val build :
   ?weighted:bool ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t
-(** [weighted] defaults to [true] (the paper's adjustment). *)
+(** [weighted] defaults to [true] (the paper's adjustment).  [jobs]
+    reaches the underlying {!Dp} (level-parallel, bit-identical). *)
 
 val build_with_cost :
   ?weighted:bool ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
+  ?jobs:int ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t * float

@@ -1,0 +1,145 @@
+(* Fixed-size fork-join pool over stdlib [Domain.spawn].
+
+   The coordinator participates in every job, so [jobs = n] means n
+   workers total and n - 1 spawned domains.  Indices are claimed
+   dynamically with [Atomic.fetch_and_add] — which worker computes which
+   index is load-balancing only and never affects results, because the
+   DP engines hand the pool bodies whose cells are pairwise independent
+   (each writes only its own cell).  A body that raises poisons the job
+   (remaining indices are abandoned) and the exception is re-raised on
+   the coordinator; when several indices fail, the smallest index wins,
+   so the surfaced exception is deterministic whenever the failures
+   are. *)
+
+type job = { hi : int; body : int -> unit }
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  start : Condition.t;  (* coordinator -> workers: a new epoch is up *)
+  finished : Condition.t;  (* workers -> coordinator: epoch drained *)
+  mutable epoch : int;
+  mutable current : job option;
+  mutable active : int;  (* spawned workers still inside the epoch *)
+  next : int Atomic.t;  (* next unclaimed index of the epoch *)
+  poisoned : bool Atomic.t;
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
+  mutable quit : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+(* Claim-and-run loop shared by the coordinator and the workers. *)
+let drain t { hi; body } =
+  let continue = ref true in
+  while !continue do
+    if Atomic.get t.poisoned then continue := false
+    else begin
+      let i = Atomic.fetch_and_add t.next 1 in
+      if i > hi then continue := false
+      else
+        try body i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set t.poisoned true;
+          Mutex.lock t.mutex;
+          t.failures <- (i, e, bt) :: t.failures;
+          Mutex.unlock t.mutex
+    end
+  done
+
+let worker t =
+  let last_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.quit) && t.epoch = !last_epoch do
+      Condition.wait t.start t.mutex
+    done;
+    if t.quit then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      last_epoch := t.epoch;
+      let job = Option.get t.current in
+      Mutex.unlock t.mutex;
+      drain t job;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      current = None;
+      active = 0;
+      next = Atomic.make 0;
+      poisoned = Atomic.make false;
+      failures = [];
+      quit = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let run t ~lo ~hi body =
+  if hi < lo then ()
+  else if t.jobs = 1 then
+    for i = lo to hi do
+      body i
+    done
+  else begin
+    let job = { hi; body } in
+    Mutex.lock t.mutex;
+    Atomic.set t.next lo;
+    Atomic.set t.poisoned false;
+    t.failures <- [];
+    t.current <- Some job;
+    t.active <- t.jobs - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    drain t job;
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.current <- None;
+    let failures = t.failures in
+    t.failures <- [];
+    Mutex.unlock t.mutex;
+    match failures with
+    | [] -> ()
+    | first :: rest ->
+        let _, e, bt =
+          List.fold_left
+            (fun (bi, _, _ as best) (i, _, _ as cand) ->
+              if i < bi then cand else best)
+            first rest
+        in
+        Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.quit <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,39 @@
+(** Fixed-size fork-join pool over stdlib [Domain.spawn] for the
+    level-parallel DP engines ({!Rs_histogram.Dp}, {!Rs_histogram.Opt_a}).
+
+    A pool holds [jobs - 1] worker domains; the coordinator participates
+    in every {!run}, so [jobs] is the total worker count.  [jobs = 1]
+    spawns nothing and {!run} short-circuits to a plain sequential loop —
+    the default everywhere, so parallelism is strictly opt-in.
+
+    Indices are claimed dynamically (atomic fetch-and-add), which only
+    balances load: callers must pass bodies whose indices are pairwise
+    independent (each writes its own cell and reads only data completed
+    before the {!run} — the DP's previous level).  Under that contract
+    results are bit-identical for any job count.
+
+    Worker bodies must never touch coordinator-only machinery:
+    {!Governor.poll}/{!Governor.check}, {!Faults.trip} and
+    {!Checkpoint.save} all stay on the coordinator, at chunk barriers
+    between {!run} calls. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs - 1] worker domains, idle until {!run}. *)
+
+val jobs : t -> int
+(** Total worker count including the coordinator (≥ 1). *)
+
+val run : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [run t ~lo ~hi body] applies [body] to every index of [lo..hi]
+    (empty when [hi < lo]) across the pool and returns when all are
+    done.  If any [body] raises, remaining indices are abandoned and the
+    exception of the {e smallest} failing index is re-raised here, with
+    its backtrace — deterministic whenever the failures are. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must not be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run [f], and {!shutdown} (also on exception). *)
