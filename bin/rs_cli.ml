@@ -76,6 +76,42 @@ let jobs_arg =
   in
   Arg.(value & opt int env_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* --engine beats RS_ENGINE beats auto.  Auto only takes the monotone
+   divide-and-conquer engine when the result is provably identical to
+   the level engine's, so defaulting from the environment is safe; an
+   explicit monotone that cannot be honored is a typed error. *)
+let env_engine =
+  match Sys.getenv_opt "RS_ENGINE" with
+  | Some s -> (
+      match Rs_histogram.Dp.engine_of_string (String.trim s) with
+      | Some e -> e
+      | None -> Builder.default_options.Builder.engine)
+  | None -> Builder.default_options.Builder.engine
+
+let engine_conv =
+  let parse s =
+    match Rs_histogram.Dp.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error (`Msg (Printf.sprintf "engine must be auto, monotone or level (got %S)" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Rs_histogram.Dp.engine_name e))
+
+let engine_arg =
+  let doc =
+    "Interval-DP engine for the polynomial histogram methods (point-opt, \
+     v-optimal, sap0, sap1, a0, prefix-opt and their -reopt variants): \
+     $(b,auto) picks the O(n log n) monotone divide-and-conquer engine \
+     whenever the method's cost is QI-certified for the input (sorted data; \
+     never for sap0/sap1/a0) and the run is sequential and uncheckpointed, \
+     falling back to the exact quadratic-per-level engine otherwise; \
+     $(b,monotone) demands the fast engine (typed error if the certificate, \
+     --jobs or --checkpoint-dir forbid it, never a silent downgrade); \
+     $(b,level) forces the classic engine.  Defaults to $(b,RS_ENGINE), \
+     falling back to auto."
+  in
+  Arg.(value & opt engine_conv env_engine & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let opt_a_states_arg =
   let doc =
     "State budget for the exact OPT-A dynamic program (default 6e7; the \
@@ -91,13 +127,13 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
-let options_of ?(jobs = env_jobs) quick states =
+let options_of ?(jobs = env_jobs) ?(engine = env_engine) quick states =
   let base =
     if quick then
       { Builder.default_options with Builder.opt_a_max_states = 2_000_000 }
     else Builder.default_options
   in
-  let base = { base with Builder.jobs = max 1 jobs } in
+  let base = { base with Builder.jobs = max 1 jobs; Builder.engine = engine } in
   match states with
   | Some s -> { base with Builder.opt_a_max_states = s }
   | None -> base
@@ -194,7 +230,8 @@ let build_cmd =
                ~doc:"Also snapshot periodically while the DP runs (crash \
                      safety, not just deadline safety).")
   in
-  let run data m budget quick states jobs deadline save ckpt_dir resume every =
+  let run data m budget quick states jobs engine deadline save ckpt_dir resume
+      every =
     wrap (fun () ->
         let checkpoint_path =
           Option.map
@@ -217,7 +254,7 @@ let build_cmd =
                   (Error.Invalid_input "--resume requires --checkpoint-dir")
         in
         let ds = load_dataset data in
-        let options = options_of ~jobs quick states in
+        let options = options_of ~jobs ~engine quick states in
         let built, dt =
           E.Timing.time (fun () ->
               Error.get
@@ -239,7 +276,7 @@ let build_cmd =
   command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
       const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
-      $ opt_a_states_arg $ jobs_arg $ deadline_arg $ save_arg
+      $ opt_a_states_arg $ jobs_arg $ engine_arg $ deadline_arg $ save_arg
       $ checkpoint_dir_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- query --- *)
@@ -284,10 +321,10 @@ let query_cmd =
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run data methods budget quick jobs deadline =
+  let run data methods budget quick jobs engine deadline =
     wrap (fun () ->
         let ds = load_dataset data in
-        let options = options_of ~jobs quick None in
+        let options = options_of ~jobs ~engine quick None in
         let reports = ref [] in
         let rows =
           List.map
@@ -326,7 +363,7 @@ let evaluate_cmd =
   command "evaluate" ~doc:"Compare methods on one dataset and budget."
     Term.(
       const run $ dataset_arg $ methods_arg $ budget_arg $ quick_arg
-      $ jobs_arg $ deadline_arg)
+      $ jobs_arg $ engine_arg $ deadline_arg)
 
 (* --- experiment commands --- *)
 

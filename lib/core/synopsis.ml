@@ -36,12 +36,30 @@ let quantile t ~q =
   in
   if total <= 0. then n else go 1
 
+(* Full-SSE evaluation prefers the O(n) closed forms whenever the
+   synopsis lowers to one; the O(n²) sweep remains only for rounded
+   histograms (Opaque).  [sse_sweep] is the brute-force twin the test
+   suite checks the fast paths against. *)
 let sse ds t =
   let p = Dataset.prefix ds in
   match t with
-  | Histogram _ -> Error.sse_all_ranges p (estimator t)
+  | Histogram h -> (
+      match H.lowering h with
+      | H.Prefix_form d -> Error.sse_prefix_form p d
+      | H.Piecewise_form { right; left; windows } ->
+          Error.sse_piecewise_form p ~right ~left ~buckets:windows
+      | H.Opaque -> Error.sse_all_ranges p (estimator t))
   | Wavelet w when W.shared_prefix w -> Error.sse_prefix_form p (W.prefix_hat w)
-  | Wavelet _ -> Error.sse_all_ranges p (estimator t)
+  | Wavelet w -> (
+      match W.prefix_hat_left w with
+      | Some left -> Error.sse_two_sided_form p ~right:(W.prefix_hat w) ~left
+      | None -> Error.sse_all_ranges p (estimator t))
+
+let sse_sweep ds t = Error.sse_all_ranges (Dataset.prefix ds) (estimator t)
+
+let prefix_vector = function
+  | Histogram h -> H.prefix_vector h
+  | Wavelet w -> if W.shared_prefix w then Some (W.prefix_hat w) else None
 
 let metrics ds t = Error.metrics_all_ranges (Dataset.prefix ds) (estimator t)
 

@@ -38,8 +38,20 @@ val quantile : t -> q:float -> int
     estimators). *)
 
 val sse : Dataset.t -> t -> float
-(** Exact SSE over all ranges.  Uses the O(n) prefix closed form for
-    wavelet synopses and enumeration for histograms. *)
+(** Exact SSE over all ranges.  O(n) for every synopsis that lowers to
+    a prefix-form, two-sided or piecewise closed form (all wavelet
+    synopses and all non-rounded histograms — see
+    {!Rs_histogram.Histogram.lowering}); falls back to the O(n²)
+    enumeration only for rounded histograms. *)
+
+val sse_sweep : Dataset.t -> t -> float
+(** The O(n²) enumeration ({!Rs_query.Error.sse_all_ranges}),
+    unconditionally — the brute-force twin of {!sse}.  The test suite
+    checks [sse = sse_sweep] for every representation. *)
+
+val prefix_vector : t -> float array option
+(** [Some Ĉ] when every answer is [Ĉ[b] − Ĉ[a−1]]: [Avg]-representation
+    non-rounded histograms and shared-prefix wavelet synopses. *)
 
 val metrics : Dataset.t -> t -> Rs_query.Error.metrics
 (** Full error metrics over all ranges. *)

@@ -25,6 +25,17 @@ let uniform_ints ~seed ~n =
   let f = Generators.uniform rng ~n ~lo:0. ~hi:100. in
   Rounding.clamp_non_negative (Rounding.half rng f)
 
+(* Monotone (nonincreasing) instance: Zipf frequencies in rank order
+   with the random rounding replaced by a final sort, so the sortedness
+   certificate of the monotone DP engine (THEORY.md §11) is guaranteed
+   rather than probabilistic. *)
+let sorted_zipf ?(seed = default_seed) ~n ~alpha ~total () =
+  let rng = Rng.create seed in
+  let f = Zipf.frequencies ~alpha ~n ~total in
+  let v = Rounding.clamp_non_negative (Rounding.half rng f) in
+  Array.sort (fun a b -> compare b a) v;
+  v
+
 let parse_sized prefix name =
   let plen = String.length prefix in
   if
@@ -34,7 +45,10 @@ let parse_sized prefix name =
   else None
 
 let names =
-  [ "paper"; "paper-perm"; "zipf-<n>"; "zipf-perm-<n>"; "mixture-<n>"; "uniform-<n>" ]
+  [
+    "paper"; "paper-perm"; "zipf-<n>"; "zipf-perm-<n>"; "sorted-zipf-<n>";
+    "mixture-<n>"; "uniform-<n>";
+  ]
 
 let by_name name =
   match name with
@@ -45,6 +59,11 @@ let by_name name =
       match parse_sized "zipf-perm-" name with
       | Some n when n > 0 ->
           zipf_permuted ~n ~alpha:1.8 ~total:(float_of_int (n * 80)) ()
+      | Some _ -> invalid_arg ("Datasets.by_name: bad size in " ^ name)
+      | None -> (
+      match parse_sized "sorted-zipf-" name with
+      | Some n when n > 0 ->
+          sorted_zipf ~n ~alpha:1.8 ~total:(float_of_int (n * 80)) ()
       | Some _ -> invalid_arg ("Datasets.by_name: bad size in " ^ name)
       | None -> (
       match parse_sized "zipf-" name with
@@ -62,4 +81,4 @@ let by_name name =
                     (Printf.sprintf
                        "Datasets.by_name: unknown dataset %S (expected one of \
                         %s)"
-                       name (String.concat ", " names))))))
+                       name (String.concat ", " names)))))))

@@ -23,10 +23,17 @@ val zipf_permuted :
 val mixture : ?seed:int -> n:int -> peaks:int -> total:float -> unit -> int array
 (** Gaussian-mixture frequencies, randomly rounded. *)
 
+val sorted_zipf :
+  ?seed:int -> n:int -> alpha:float -> total:float -> unit -> int array
+(** Zipf frequencies sorted nonincreasing after rounding — a guaranteed
+    monotone instance, the natural input for the monotone DP engine
+    (its sortedness certificate, THEORY.md §11, holds by
+    construction). *)
+
 val by_name : string -> int array
 (** Lookup for the CLI: ["paper"], ["paper-perm"], ["zipf-<n>"],
-    ["zipf-perm-<n>"], ["mixture-<n>"], ["uniform-<n>"].  Raises
-    [Invalid_argument] on unknown names. *)
+    ["zipf-perm-<n>"], ["sorted-zipf-<n>"], ["mixture-<n>"],
+    ["uniform-<n>"].  Raises [Invalid_argument] on unknown names. *)
 
 val names : string list
 (** Documentation of the accepted [by_name] patterns. *)

@@ -9,6 +9,7 @@
     measure the real SSE separately. *)
 
 val build :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   Rs_util.Prefix.t ->
@@ -16,6 +17,7 @@ val build :
   Histogram.t
 
 val build_with_cost :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   Rs_util.Prefix.t ->
@@ -23,4 +25,8 @@ val build_with_cost :
   Histogram.t * float
 (** [governor]/[stage] govern the underlying {!Dp} (polled per DP row);
     OPT-A's key-cap derivation passes its governor through here so even
-    the seeding work respects a deadline. *)
+    the seeding work respects a deadline.  The A0 cost is never
+    monotone-certified (quadrangle inequality fails even on sorted
+    data), so [engine = Auto] always takes the level engine — OPT-A's
+    seeding, ladder floor and checkpoints are unaffected by the engine
+    option. *)

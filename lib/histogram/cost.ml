@@ -8,6 +8,7 @@ type t = {
   cw : Cum.t; (* cumulative of w_i = i(n−i+1), i = 1..n *)
   cwa : Cum.t; (* cumulative of w_i·A[i] *)
   cwa2 : Cum.t; (* cumulative of w_i·A[i]² *)
+  sorted : bool; (* data monotone (either direction) — QI certificate input *)
 }
 
 let make p =
@@ -18,12 +19,21 @@ let make p =
     pos *. float_of_int (n - i)
   in
   let a i = Prefix.value p (i + 1) in
+  let nondecr = ref true and nonincr = ref true in
+  for i = 2 to n do
+    let d = Prefix.value p i -. Prefix.value p (i - 1) in
+    if d < 0. then nondecr := false;
+    if d > 0. then nonincr := false
+  done;
   {
     p;
     cw = Cum.of_fun ~m:n w;
     cwa = Cum.of_fun ~m:n (fun i -> w i *. a i);
     cwa2 = Cum.of_fun ~m:n (fun i -> w i *. a i *. a i);
+    sorted = !nondecr || !nonincr;
   }
+
+let data_sorted t = t.sorted
 
 let prefix t = t.p
 let n t = Prefix.n t.p

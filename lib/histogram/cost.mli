@@ -18,6 +18,19 @@ val make : Rs_util.Prefix.t -> t
 val prefix : t -> Rs_util.Prefix.t
 val n : t -> int
 
+val data_sorted : t -> bool
+(** Whether the data sequence is monotone (nondecreasing or
+    nonincreasing; computed once in {!make}).  This is the input
+    condition under which the THEORY.md §11 quadrangle-inequality
+    certificates hold for {!point_range_weighted}, {!point_unweighted}
+    and {!a0_prefix} — i.e. the condition for {!Dp.solve_monotone} to
+    be exact on those costs.  {!sap0_bucket}, {!sap1_bucket},
+    {!a0_bucket} and {!intra} violate the QI even on sorted data — the
+    endpoint-dependent [(n−r)]/[(l−1)] weights (and intra's
+    quadratic-in-width query population) break it — with violations
+    growing with [n] (counterexamples in the test suite), so they are
+    never monotone-eligible. *)
+
 val intra : t -> l:int -> r:int -> float
 (** [Σ_{l≤a≤b≤r} (s[a,b] − (b−a+1)μ)²] — the error of answering every
     intra-bucket query with the bucket average.  Equals

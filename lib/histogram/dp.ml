@@ -5,6 +5,32 @@ module Pool = Rs_util.Pool
 
 type result = { cost : float; bucketing : Bucket.t }
 
+type engine = Auto | Monotone | Level
+
+let engine_name = function
+  | Auto -> "auto"
+  | Monotone -> "monotone"
+  | Level -> "level"
+
+let engine_of_string = function
+  | "auto" -> Some Auto
+  | "monotone" -> Some Monotone
+  | "level" -> Some Level
+  | _ -> None
+
+(* First/last finite column of a completed DP row: the transition scan
+   for the next row is clipped to these bounds instead of testing every
+   j for finiteness.  An all-infinite row yields an empty window
+   (lo > hi).  Stray infinities inside the bounds stay harmless — an
+   infinite candidate never beats [best] in the strict-< scan. *)
+let finite_bounds row ~n =
+  let inf = Float.infinity in
+  let lo = ref 0 in
+  while !lo <= n && row.(!lo) = inf do incr lo done;
+  let hi = ref n in
+  while !hi >= 0 && row.(!hi) = inf do decr hi done;
+  (!lo, !hi)
+
 (* Cells dispatched to the pool between two coordinator polls.  A
    constant (not a function of [jobs]) so chunk barriers — and hence
    snapshot positions — line up across every parallel job count. *)
@@ -112,16 +138,17 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
   (* One cell's work, shared verbatim by the sequential and parallel
      paths: cell (k, i) reads only the completed level k−1 and writes
      only its own e/parent slots, so results are bit-identical for any
-     job count. *)
-  let fill_cell k i =
+     job count.  [jlo]/[jhi] are the finite bounds of row k−1, computed
+     once per level on the coordinator ({!finite_bounds}) so the scan
+     skips the per-transition infinity test. *)
+  let fill_cell ~jlo ~jhi k i =
     let best = ref inf and best_j = ref (-1) in
-    for j = k - 1 to i - 1 do
-      if e.(k - 1).(j) < inf then begin
-        let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
-        if c < !best then begin
-          best := c;
-          best_j := j
-        end
+    let j1 = min jhi (i - 1) in
+    for j = max jlo (k - 1) to j1 do
+      let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
+      if c < !best then begin
+        best := c;
+        best_j := j
       end
     done;
     e.(k).(i) <- !best;
@@ -132,24 +159,82 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
   let row_start k = if k = start_k then max k start_i else k in
   if jobs <= 1 then
     for k = start_k to b do
+      let jlo, jhi = finite_bounds e.(k - 1) ~n in
       for i = row_start k to n do
         poll ~k ~i;
-        fill_cell k i
+        fill_cell ~jlo ~jhi k i
       done
     done
   else
     (* Level-parallel: the poll/snapshot hook moves to chunk barriers on
-       the coordinator; workers only ever run [fill_cell]. *)
+       the coordinator; workers only ever run [fill_cell].  The finite
+       bounds too are a coordinator-only, once-per-level computation. *)
     Pool.with_pool ~jobs (fun pool ->
         for k = start_k to b do
+          let jlo, jhi = finite_bounds e.(k - 1) ~n in
           let lo = ref (row_start k) in
           while !lo <= n do
             let hi = min n (!lo + parallel_chunk - 1) in
             poll ~k ~i:!lo;
-            Pool.run pool ~lo:!lo ~hi (fill_cell k);
+            Pool.run pool ~lo:!lo ~hi (fill_cell ~jlo ~jhi k);
             lo := hi + 1
           done
         done);
+  (e, parent, b)
+
+(* Divide-and-conquer monotone engine (Knuth/D&C-opt).  Requires the
+   cost to satisfy the quadrangle inequality
+   [w(a,c) + w(b,d) ≤ w(b,c) + w(a,d)] for [a ≤ b ≤ c ≤ d]; then the
+   leftmost argmin of level k is nondecreasing in i (THEORY.md §11), so
+   solving the middle cell of a span splits the candidate range and each
+   level costs O(n log n) transitions instead of O(n²).
+
+   The strict-< scan picks the leftmost argmin, exactly like
+   [fill_cell]; under the QI the two engines therefore agree on the
+   [parent] matrix (not just the optimum), because the leftmost argmin
+   of every outer cell brackets the leftmost argmin of every inner one.
+
+   Sequential-only by design: cells of a level are filled in D&C order,
+   so there is no row prefix to snapshot — no checkpoint/resume, no
+   worker pool.  The governor is checked once per cell (the same
+   granularity as the level engine's per-cell poll, never per
+   transition) via the non-resumable {!Governor.check}. *)
+let run_monotone ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets
+    ~cost () =
+  let n = Checks.positive ~name:"Dp.solve n" n in
+  let b = max 1 (min buckets n) in
+  let inf = Float.infinity in
+  let e = Array.make_matrix (b + 1) (n + 1) inf in
+  let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
+  e.(0).(0) <- 0.;
+  for k = 1 to b do
+    let prev = e.(k - 1) and row = e.(k) and par = parent.(k) in
+    let jlo0, jhi0 = finite_bounds prev ~n in
+    let rec fill lo hi jlo jhi =
+      if lo <= hi then begin
+        Governor.check governor ~stage;
+        let i = (lo + hi) / 2 in
+        let best = ref inf and best_j = ref (-1) in
+        let j1 = min jhi (i - 1) in
+        for j = max jlo (k - 1) to j1 do
+          let c = prev.(j) +. cost ~l:(j + 1) ~r:i in
+          if c < !best then begin
+            best := c;
+            best_j := j
+          end
+        done;
+        row.(i) <- !best;
+        par.(i) <- !best_j;
+        (* An empty window (all-infinite row k−1, impossible for finite
+           costs) keeps the original bounds rather than poisoning the
+           recursion with −1. *)
+        let split = if !best_j < 0 then jlo else !best_j in
+        fill lo (i - 1) jlo split;
+        fill (i + 1) hi split jhi
+      end
+    in
+    fill k n jlo0 (min jhi0 (n - 1))
+  done;
   (e, parent, b)
 
 let reconstruct parent ~n ~k =
@@ -162,22 +247,69 @@ let reconstruct parent ~n ~k =
   done;
   Bucket.of_rights ~n rights
 
-let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
-    ~buckets ~cost () =
-  let e, parent, b =
-    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
-      ~buckets ~cost ()
-  in
+let best_of (e, parent, b) ~n =
   let best_k = ref 1 in
   for k = 2 to b do
     if e.(k).(n) < e.(!best_k).(n) then best_k := k
   done;
   { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
 
+let exact_of (e, parent, b) ~n =
+  { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }
+
+let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
+    ~buckets ~cost () =
+  best_of
+    (run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
+       ~buckets ~cost ())
+    ~n
+
 let solve_exact_buckets ?governor ?stage ?fingerprint ?checkpoint_path
     ?resume_from ?jobs ~n ~buckets ~cost () =
-  let e, parent, b =
-    run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
-      ~buckets ~cost ()
-  in
-  { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }
+  exact_of
+    (run ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
+       ~buckets ~cost ())
+    ~n
+
+let solve_monotone ?governor ?stage ~n ~buckets ~cost () =
+  best_of (run_monotone ?governor ?stage ~n ~buckets ~cost ()) ~n
+
+let solve_monotone_exact_buckets ?governor ?stage ~n ~buckets ~cost () =
+  exact_of (run_monotone ?governor ?stage ~n ~buckets ~cost ()) ~n
+
+(* Engine selection for the decomposable methods.  [certified] is the
+   method's statement that its cost carries a quadrangle-inequality
+   certificate (THEORY.md §11).  [Auto] silently falls back to the
+   level engine whenever the monotone one does not apply; an explicit
+   [Monotone] request instead fails loudly with a typed error — the
+   caller asked for an engine that would either mis-optimize
+   (uncertified cost) or drop a capability (parallelism). *)
+let use_monotone ~engine ~certified ~jobs ~stage =
+  match engine with
+  | Level -> false
+  | Auto -> certified && jobs <= 1
+  | Monotone ->
+      if not certified then
+        Rs_util.Error.raise_error
+          (Rs_util.Error.Invalid_input
+             (Printf.sprintf
+                "engine \"monotone\" rejected for stage %S: its cost has no \
+                 quadrangle-inequality certificate, so the monotone engine \
+                 could silently return a suboptimal bucketing (use \"level\" \
+                 or \"auto\")"
+                stage));
+      if jobs > 1 then
+        Rs_util.Error.raise_error
+          (Rs_util.Error.Invalid_input
+             (Printf.sprintf
+                "engine \"monotone\" rejected for stage %S: the monotone \
+                 engine is sequential-only (jobs=%d requested); use \
+                 \"level\" or \"auto\", or drop --jobs"
+                stage jobs));
+      true
+
+let solve_with ?(engine = Auto) ~certified ?governor ?(stage = "dp")
+    ?(jobs = 1) ~n ~buckets ~cost () =
+  if use_monotone ~engine ~certified ~jobs ~stage then
+    solve_monotone ?governor ~stage ~n ~buckets ~cost ()
+  else solve ?governor ~stage ~jobs ~n ~buckets ~cost ()

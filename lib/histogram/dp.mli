@@ -39,6 +39,19 @@ type result = {
   bucketing : Bucket.t;
 }
 
+type engine =
+  | Auto
+      (** monotone when the cost is QI-certified, [jobs ≤ 1] and no
+          checkpoint/resume is requested; level otherwise *)
+  | Monotone  (** force {!solve_monotone}; fails loudly if inapplicable *)
+  | Level  (** force the classical level engine *)
+
+val engine_name : engine -> string
+
+val engine_of_string : string -> engine option
+(** Parses ["auto"], ["monotone"], ["level"] (the [--engine]/[RS_ENGINE]
+    spellings). *)
+
 val solve :
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
@@ -77,3 +90,72 @@ val solve_exact_buckets :
   result
 (** Same, but the partition uses exactly [min buckets n] buckets — used
     by comparisons that must hold the bucket count fixed. *)
+
+(** {2 Monotone divide-and-conquer engine}
+
+    For costs satisfying the quadrangle inequality
+    [w(a,c) + w(b,d) ≤ w(b,c) + w(a,d)] ([a ≤ b ≤ c ≤ d]), the leftmost
+    argmin of each level is nondecreasing, so a divide-and-conquer over
+    the level (solve the middle cell, split the candidate range at its
+    argmin) costs O(n log n) transitions per level instead of O(n²) —
+    see THEORY.md §11 for the derivation and the per-cost certificates.
+
+    The monotone engine is {e sequential-only and never checkpointed}:
+    it fills each level in divide-and-conquer order, so there is no
+    completed row prefix for a snapshot to record, and no worker pool is
+    ever involved.  Checkpoint/resume and [jobs > 1] stay on
+    {!solve}.  Both engines break ties identically (leftmost argmin), so
+    under a valid certificate they return the same bucketing, not just
+    the same cost. *)
+
+val solve_monotone :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  n:int ->
+  buckets:int ->
+  cost:(l:int -> r:int -> float) ->
+  unit ->
+  result
+(** Divide-and-conquer counterpart of {!solve}.  Only valid for
+    QI-certified costs — on a cost violating the quadrangle inequality
+    the result may be suboptimal (callers go through {!solve_with},
+    which enforces the certificate).  The governor is checked once per
+    cell via the non-resumable {!Rs_util.Governor.check}: expiry always
+    raises {!Rs_util.Governor.Deadline_exceeded} (never
+    [Interrupted] — there is no snapshot path). *)
+
+val solve_monotone_exact_buckets :
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  n:int ->
+  buckets:int ->
+  cost:(l:int -> r:int -> float) ->
+  unit ->
+  result
+(** Divide-and-conquer counterpart of {!solve_exact_buckets}. *)
+
+val use_monotone :
+  engine:engine -> certified:bool -> jobs:int -> stage:string -> bool
+(** The engine-selection predicate behind {!solve_with}: [Level] is
+    always [false]; [Auto] is [true] iff [certified && jobs ≤ 1];
+    [Monotone] is [true] but raises a typed
+    [Rs_error (Invalid_input _)] when the cost is uncertified or
+    [jobs > 1] — an explicit request never silently downgrades. *)
+
+val solve_with :
+  ?engine:engine ->
+  certified:bool ->
+  ?governor:Rs_util.Governor.t ->
+  ?stage:string ->
+  ?jobs:int ->
+  n:int ->
+  buckets:int ->
+  cost:(l:int -> r:int -> float) ->
+  unit ->
+  result
+(** [solve] or [solve_monotone] according to {!use_monotone}
+    ([engine] defaults to [Auto], [jobs] to 1).  The decomposable
+    method builders ({!Vopt}, {!Sap0}, {!Sap1}, {!A0}, {!Prefix_opt})
+    all dispatch through here; [certified] is the method's own
+    statement that its cost carries a THEORY.md §11 quadrangle
+    certificate. *)

@@ -115,6 +115,77 @@ let estimate t ~a ~b =
   in
   if t.rounded then Float.round raw else raw
 
+type lowering =
+  | Prefix_form of float array
+  | Piecewise_form of {
+      right : float array;
+      left : float array;
+      windows : (int * int * float) array;
+    }
+  | Opaque
+
+(* The lowering restates [estimate] without the branch on query
+   endpoints, so that full-SSE measurement can run in O(n)
+   (Rs_query.Error.sse_prefix_form / sse_piecewise_form) instead of the
+   O(n²) sweep.  For [Avg], inter- and intra-bucket answers coincide
+   with differences of one approximate prefix vector
+   [Ĉ[t] = cum(k_t) + (t−l+1)·avg(k_t)].  For the SAP representations
+   the inter-bucket answer is [right[b] − left[a−1]] with per-endpoint
+   vectors, and intra-bucket queries are re-answered with the bucket
+   average over each window.  Rounding applies [Float.round] per query —
+   not expressible in either form — so rounded histograms stay
+   [Opaque]. *)
+let lowering t =
+  if t.rounded then Opaque
+  else
+    let n = Bucket.n t.bucketing in
+    let b = buckets t in
+    match t.repr with
+    | Avg _ ->
+        let d = Array.make (n + 1) 0. in
+        for k = 0 to b - 1 do
+          let l, r = Bucket.bounds t.bucketing k in
+          for i = l to r do
+            d.(i) <- t.cum.(k) +. (float_of_int (i - l + 1) *. t.avg.(k))
+          done
+        done;
+        Prefix_form d
+    | Sap0 _ | Sap0_explicit _ | Sap1 _ ->
+        let right = Array.make (n + 1) 0. in
+        let left = Array.make (n + 1) 0. in
+        for k = 0 to b - 1 do
+          let l, r = Bucket.bounds t.bucketing k in
+          for v = l to r do
+            let pref =
+              match t.repr with
+              | Avg _ -> assert false
+              | Sap0 { pref; _ } | Sap0_explicit { pref; _ } -> pref.(k)
+              | Sap1 { pref; _ } -> Regression.predict pref.(k) (float_of_int v)
+            in
+            right.(v) <- t.cum.(k) +. pref
+          done;
+          (* left.(u) covers query starts a = u+1 ∈ [l, r]. *)
+          for u = l - 1 to r - 1 do
+            let suff =
+              match t.repr with
+              | Avg _ -> assert false
+              | Sap0 { suff; _ } | Sap0_explicit { suff; _ } -> suff.(k)
+              | Sap1 { suff; _ } ->
+                  Regression.predict suff.(k) (float_of_int (u + 1))
+            in
+            left.(u) <- t.cum.(k + 1) -. suff
+          done
+        done;
+        let windows =
+          Array.init b (fun k ->
+              let l, r = Bucket.bounds t.bucketing k in
+              (l, r, t.avg.(k)))
+        in
+        Piecewise_form { right; left; windows }
+
+let prefix_vector t =
+  match lowering t with Prefix_form d -> Some d | _ -> None
+
 let avg_values t = Array.copy t.avg
 
 let with_values t ?name values =

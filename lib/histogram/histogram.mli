@@ -58,6 +58,42 @@ val storage_words : t -> int
 val estimate : t -> a:int -> b:int -> float
 (** Approximate [s[a,b]], [1 ≤ a ≤ b ≤ n].  O(1). *)
 
+(** {2 Evaluation lowering}
+
+    An algebraic restatement of {!estimate} that lets full-SSE
+    measurement run in O(n) ({!Rs_query.Error.sse_prefix_form} /
+    [sse_piecewise_form]) instead of the O(n²) all-ranges sweep.  The
+    lowering is exact: for every query the lowered answer equals
+    {!estimate} (the test suite checks fast path = sweep for every
+    representation). *)
+
+type lowering =
+  | Prefix_form of float array
+      (** [ŝ[a,b] = Ĉ[b] − Ĉ[a−1]] for the returned vector
+          [Ĉ[0..n]] ([Ĉ[0] = 0]).  All [Avg] histograms lower to this
+          form. *)
+  | Piecewise_form of {
+      right : float array;
+          (** [right.(v)], [v ∈ [1,n]]: the answer contribution of a
+              query ending at [v] in a different bucket than it starts *)
+      left : float array;
+          (** [left.(u)], [u ∈ [0,n−1]]: likewise for a query starting
+              at [u+1]; inter-bucket answers are
+              [right.(b) −. left.(a−1)] *)
+      windows : (int * int * float) array;
+          (** per-bucket [(l, r, value)]: queries with both endpoints in
+              [[l,r]] are answered [(b−a+1)·value] instead *)
+    }  (** SAP0/SAP1 representations, whose intra- and inter-bucket
+          answering procedures differ. *)
+  | Opaque
+      (** no O(n) form — rounded histograms ([Float.round] per answer is
+          nonlinear); callers fall back to the sweep. *)
+
+val lowering : t -> lowering
+
+val prefix_vector : t -> float array option
+(** [Some Ĉ] iff {!lowering} is [Prefix_form Ĉ]. *)
+
 val avg_values : t -> float array
 (** The per-bucket values used for intra-bucket answering: the stored
     values for [Avg], the recovered averages for [Sap0]/[Sap1].  Fresh

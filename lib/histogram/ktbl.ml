@@ -1,3 +1,20 @@
+(* Buffer sets are recycled through an optional arena: the OPT-A beam
+   path discards one grown table per cell, and reallocating (and
+   re-zeroing) those arrays dominated the beam truncation cost.  A
+   recycled buffer set is indistinguishable from a fresh allocation —
+   [used] is re-zeroed on take, and capacities follow the same doubling
+   schedule — so slot layouts, tie-breaking and snapshot bytes are
+   unchanged; only memory identity differs. *)
+type buffers = {
+  b_keys : int array;
+  b_fs : float array;
+  b_pjs : int array;
+  b_pks : int array;
+  b_used : Bytes.t;
+}
+
+type arena = (int, buffers list ref) Hashtbl.t
+
 type t = {
   mutable keys : int array;
   mutable fs : float array;
@@ -6,22 +23,81 @@ type t = {
   mutable used : Bytes.t;
   mutable size : int;
   mutable mask : int;
+  arena : arena option;
 }
 
 let initial_capacity = 8
 
-let create () =
+let arena () : arena = Hashtbl.create 16
+
+let arena_take arena cap =
+  match Hashtbl.find_opt arena cap with
+  | Some ({ contents = b :: rest } as stack) ->
+      stack := rest;
+      Bytes.fill b.b_used 0 cap '\000';
+      Some b
+  | Some { contents = [] } | None -> None
+
+let arena_donate arena (b : buffers) =
+  let cap = Array.length b.b_keys in
+  match Hashtbl.find_opt arena cap with
+  | Some stack -> stack := b :: !stack
+  | None -> Hashtbl.add arena cap (ref [ b ])
+
+let fresh_buffers cap =
   {
-    keys = Array.make initial_capacity 0;
-    fs = Array.make initial_capacity 0.;
-    pjs = Array.make initial_capacity 0;
-    pks = Array.make initial_capacity 0;
-    used = Bytes.make initial_capacity '\000';
+    b_keys = Array.make cap 0;
+    b_fs = Array.make cap 0.;
+    b_pjs = Array.make cap 0;
+    b_pks = Array.make cap 0;
+    b_used = Bytes.make cap '\000';
+  }
+
+let buffers_for ?arena cap =
+  match arena with
+  | Some a -> (
+      match arena_take a cap with Some b -> b | None -> fresh_buffers cap)
+  | None -> fresh_buffers cap
+
+let buffers_of t =
+  { b_keys = t.keys; b_fs = t.fs; b_pjs = t.pjs; b_pks = t.pks; b_used = t.used }
+
+let install t (b : buffers) =
+  t.keys <- b.b_keys;
+  t.fs <- b.b_fs;
+  t.pjs <- b.b_pjs;
+  t.pks <- b.b_pks;
+  t.used <- b.b_used;
+  t.mask <- Array.length b.b_keys - 1
+
+let create ?arena () =
+  let b = buffers_for ?arena initial_capacity in
+  {
+    keys = b.b_keys;
+    fs = b.b_fs;
+    pjs = b.b_pjs;
+    pks = b.b_pks;
+    used = b.b_used;
     size = 0;
     mask = initial_capacity - 1;
+    arena;
   }
 
 let length t = t.size
+
+let reset t =
+  Bytes.fill t.used 0 (t.mask + 1) '\000';
+  t.size <- 0
+
+let recycle t =
+  match t.arena with
+  | None -> ()
+  | Some a ->
+      arena_donate a (buffers_of t);
+      (* Leave [t] pointing at a private empty table so a stale use
+         cannot alias a buffer set handed to someone else. *)
+      install t (buffers_for ~arena:a initial_capacity);
+      t.size <- 0
 
 (* Fibonacci hashing on the key, folded to the table size. *)
 let slot_of t key =
@@ -34,31 +110,24 @@ let rec probe t key slot =
   else probe t key ((slot + 1) land t.mask)
 
 let grow t =
-  let old_keys = t.keys
-  and old_fs = t.fs
-  and old_pjs = t.pjs
-  and old_pks = t.pks
-  and old_used = t.used in
-  let cap = (t.mask + 1) * 2 in
-  t.keys <- Array.make cap 0;
-  t.fs <- Array.make cap 0.;
-  t.pjs <- Array.make cap 0;
-  t.pks <- Array.make cap 0;
-  t.used <- Bytes.make cap '\000';
-  t.mask <- cap - 1;
+  let old = buffers_of t in
+  let old_len = t.mask + 1 in
+  let cap = old_len * 2 in
+  install t (buffers_for ?arena:t.arena cap);
   t.size <- 0;
-  for i = 0 to Array.length old_keys - 1 do
-    if Bytes.get old_used i = '\001' then begin
-      let slot, found = probe t old_keys.(i) (slot_of t old_keys.(i)) in
+  for i = 0 to old_len - 1 do
+    if Bytes.get old.b_used i = '\001' then begin
+      let slot, found = probe t old.b_keys.(i) (slot_of t old.b_keys.(i)) in
       assert (not found);
       Bytes.set t.used slot '\001';
-      t.keys.(slot) <- old_keys.(i);
-      t.fs.(slot) <- old_fs.(i);
-      t.pjs.(slot) <- old_pjs.(i);
-      t.pks.(slot) <- old_pks.(i);
+      t.keys.(slot) <- old.b_keys.(i);
+      t.fs.(slot) <- old.b_fs.(i);
+      t.pjs.(slot) <- old.b_pjs.(i);
+      t.pks.(slot) <- old.b_pks.(i);
       t.size <- t.size + 1
     end
-  done
+  done;
+  match t.arena with None -> () | Some a -> arena_donate a old
 
 let update_min t ~key ~f ~prev_j ~prev_key =
   if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t;
@@ -134,6 +203,7 @@ let import w =
       used = Bytes.make cap '\000';
       size = 0;
       mask = cap - 1;
+      arena = None;
     }
   in
   Array.iter

@@ -9,8 +9,33 @@
 
 type t
 
-val create : unit -> t
-(** Empty table (small initial capacity; grows by doubling). *)
+type arena
+(** A capacity-keyed pool of discarded buffer sets.  The OPT-A beam
+    path replaces one grown table per DP cell; routing those buffers
+    through an arena removes the per-cell allocate/zero churn.
+    Recycled buffers are re-zeroed on reuse and capacities follow the
+    same doubling schedule, so tables built through an arena have
+    bit-identical slot layouts (and snapshot bytes) to tables built
+    fresh — only memory identity differs.  An arena is single-domain
+    scratch state: it must never be shared across {!Rs_util.Pool}
+    workers ({!Opt_a} threads one only when [jobs ≤ 1]). *)
+
+val arena : unit -> arena
+(** Fresh empty arena. *)
+
+val create : ?arena:arena -> unit -> t
+(** Empty table (small initial capacity; grows by doubling).  With
+    [?arena], growth takes recycled buffers from (and donates outgrown
+    buffers to) the pool. *)
+
+val reset : t -> unit
+(** Empty the table in place — clears the occupancy bytes and the size,
+    keeps the current capacity and buffers.  O(capacity). *)
+
+val recycle : t -> unit
+(** Donate the table's buffers to its arena and leave it empty at the
+    initial capacity (so a stale reference cannot alias a buffer set
+    that has been handed out again).  No-op for arena-less tables. *)
 
 val length : t -> int
 

@@ -49,7 +49,7 @@ let derive_key_cap ?ub ?governor ?stage ctx p ~buckets =
    order by descending slot — exactly the order the previous
    list-based implementation produced — so the surviving set and the
    rebuilt table's layout are unchanged. *)
-let truncate_to_beam cell beam =
+let truncate_to_beam ?arena cell beam =
   if Ktbl.length cell <= beam then (cell, 0)
   else begin
     let slots = (Ktbl.export cell).Ktbl.slots in
@@ -58,13 +58,15 @@ let truncate_to_beam cell beam =
         let c = Float.compare f1 f2 in
         if c <> 0 then c else Int.compare s2 s1)
       slots;
-    let fresh = Ktbl.create () in
+    let fresh = Ktbl.create ?arena () in
     let kept = min beam (Array.length slots) in
     for rank = 0 to kept - 1 do
       let _, key, f, prev_j, prev_key = slots.(rank) in
       ignore (Ktbl.update_min fresh ~key ~f ~prev_j ~prev_key)
     done;
-    (fresh, Ktbl.length cell - Ktbl.length fresh)
+    let dropped = Ktbl.length cell - Ktbl.length fresh in
+    Ktbl.recycle cell;
+    (fresh, dropped)
   end
 
 (* --- row-granularity snapshots --- *)
@@ -232,9 +234,16 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
         | Some c -> Checks.positive ~name:"Opt_a key_cap" c
         | None -> derive_key_cap ?ub ~governor ~stage ctx p ~buckets:b)
   in
+  (* Scratch-buffer arena for the beam path.  Coordinator-only state:
+     with [jobs > 1] the workers grow their cells concurrently, so no
+     arena is threaded at all (every table allocates fresh, as before).
+     Recycling never changes capacities or slot layouts, so sequential
+     and parallel runs — and snapshot bytes — stay bit-identical. *)
+  let arena = if jobs <= 1 then Some (Ktbl.arena ()) else None in
   (* levels.(k).(i): key (= 2Λ) → best partial cost and parent. *)
   let levels =
-    Array.init (b + 1) (fun _ -> Array.init (n + 1) (fun _ -> Ktbl.create ()))
+    Array.init (b + 1) (fun _ ->
+        Array.init (n + 1) (fun _ -> Ktbl.create ?arena ()))
   in
   ignore (Ktbl.update_min levels.(0).(0) ~key:0 ~f:0. ~prev_j:(-1) ~prev_key:0);
   (match resume with
@@ -303,7 +312,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
     done;
     (match beam with
     | Some beam when i < n ->
-        let fresh, dropped = truncate_to_beam !cell beam in
+        let fresh, dropped = truncate_to_beam ?arena !cell beam in
         cell := fresh;
         count (-dropped)
     | Some _ | None -> ());

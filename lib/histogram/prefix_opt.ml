@@ -1,10 +1,13 @@
-let build_with_cost ?governor ?stage p ~buckets =
+let build_with_cost ?engine ?governor ?stage p ~buckets =
   let ctx = Cost.make p in
   let cost ~l ~r = Cost.a0_prefix ctx ~l ~r in
   let { Dp.cost; bucketing } =
-    Dp.solve ?governor ?stage ~n:(Rs_util.Prefix.n p) ~buckets ~cost ()
+    (* The prefix-query cost carries the sorted-data QI certificate
+       (THEORY.md §11). *)
+    Dp.solve_with ?engine ~certified:(Cost.data_sorted ctx) ?governor ?stage
+      ~n:(Rs_util.Prefix.n p) ~buckets ~cost ()
   in
   (Summaries.avg_histogram ~name:"prefix-opt" p bucketing, cost)
 
-let build ?governor ?stage p ~buckets =
-  fst (build_with_cost ?governor ?stage p ~buckets)
+let build ?engine ?governor ?stage p ~buckets =
+  fst (build_with_cost ?engine ?governor ?stage p ~buckets)

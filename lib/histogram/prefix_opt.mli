@@ -14,6 +14,7 @@
     prefixes) is {e not} enough for general ranges. *)
 
 val build :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   Rs_util.Prefix.t ->
@@ -21,10 +22,13 @@ val build :
   Histogram.t
 
 val build_with_cost :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   Rs_util.Prefix.t ->
   buckets:int ->
   Histogram.t * float
 (** The cost is the SSE over the [n] prefix queries (not all ranges).
-    [governor]/[stage] govern the underlying {!Dp} (polled per row). *)
+    [governor]/[stage] govern the underlying {!Dp} (polled per row).
+    [engine] (default [Auto]) may take {!Dp.solve_monotone} on sorted
+    inputs (the prefix cost's QI certificate, THEORY.md §11). *)

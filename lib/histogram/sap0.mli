@@ -7,6 +7,7 @@
     Theorem 6).  Storage: 3B words (Theorem 7). *)
 
 val build :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->
@@ -15,6 +16,7 @@ val build :
   Histogram.t
 
 val build_with_cost :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->
@@ -24,4 +26,7 @@ val build_with_cost :
 (** The returned cost is the DP objective, which for SAP0 equals the
     true range-SSE of the histogram.  [governor]/[stage]/[jobs] reach
     the underlying {!Dp} (polled per row; level-parallel and
-    bit-identical when [jobs > 1]). *)
+    bit-identical when [jobs > 1]).  The SAP0 cost is never
+    monotone-certified (it violates the quadrangle inequality even on
+    sorted data), so [engine = Auto] always uses the level engine and
+    an explicit [Monotone] raises a typed error. *)

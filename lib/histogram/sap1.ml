@@ -1,10 +1,16 @@
-let build_with_cost ?governor ?stage ?jobs p ~buckets =
+let build_with_cost ?engine ?governor ?stage ?jobs p ~buckets =
   let ctx = Cost.make p in
   let { Dp.cost; bucketing } =
-    Dp.solve ?governor ?stage ?jobs ~n:(Rs_util.Prefix.n p) ~buckets
-      ~cost:(Cost.sap1_bucket ctx) ()
+    (* SAP1's cost [intra + (n−r)·suffix + (l−1)·prefix] violates the
+       quadrangle inequality even on sorted data — the endpoint-dependent
+       weights break it (THEORY.md §11; the violation grows with n and
+       makes the D&C engine return genuinely worse partitions) — so it
+       is never monotone-certified: Auto always takes the level engine
+       here. *)
+    Dp.solve_with ?engine ~certified:false ?governor ?stage
+      ?jobs ~n:(Rs_util.Prefix.n p) ~buckets ~cost:(Cost.sap1_bucket ctx) ()
   in
   (Summaries.sap1_histogram ctx bucketing, cost)
 
-let build ?governor ?stage ?jobs p ~buckets =
-  fst (build_with_cost ?governor ?stage ?jobs p ~buckets)
+let build ?engine ?governor ?stage ?jobs p ~buckets =
+  fst (build_with_cost ?engine ?governor ?stage ?jobs p ~buckets)

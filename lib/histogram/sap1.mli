@@ -8,6 +8,7 @@
     average-based answering). *)
 
 val build :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->
@@ -16,6 +17,7 @@ val build :
   Histogram.t
 
 val build_with_cost :
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->
@@ -24,4 +26,8 @@ val build_with_cost :
   Histogram.t * float
 (** The DP objective equals the true range-SSE of the histogram.
     [governor]/[stage]/[jobs] reach the underlying {!Dp} (polled per
-    row; level-parallel and bit-identical when [jobs > 1]). *)
+    row; level-parallel and bit-identical when [jobs > 1]).  The SAP1
+    cost violates the quadrangle inequality even on sorted data
+    (THEORY.md §11), so it is never monotone-certified: [Auto] always
+    takes the level engine and an explicit [Monotone] is a typed
+    error. *)

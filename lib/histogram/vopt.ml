@@ -1,6 +1,7 @@
 module Prefix = Rs_util.Prefix
 
-let build_with_cost ?(weighted = true) ?governor ?stage ?jobs p ~buckets =
+let build_with_cost ?(weighted = true) ?engine ?governor ?stage ?jobs p
+    ~buckets =
   let ctx = Cost.make p in
   let n = Prefix.n p in
   let cost ~l ~r =
@@ -8,7 +9,10 @@ let build_with_cost ?(weighted = true) ?governor ?stage ?jobs p ~buckets =
     else Cost.point_unweighted ctx ~l ~r
   in
   let { Dp.cost = dp_cost; bucketing } =
-    Dp.solve ?governor ?stage ?jobs ~n ~buckets ~cost ()
+    (* Both point costs carry the sorted-data QI certificate
+       (THEORY.md §11). *)
+    Dp.solve_with ?engine ~certified:(Cost.data_sorted ctx) ?governor ?stage
+      ?jobs ~n ~buckets ~cost ()
   in
   let values =
     if weighted then
@@ -20,5 +24,5 @@ let build_with_cost ?(weighted = true) ?governor ?stage ?jobs p ~buckets =
   let name = if weighted then "point-opt" else "v-optimal" in
   (Histogram.make ~name bucketing (Histogram.Avg values), dp_cost)
 
-let build ?weighted ?governor ?stage ?jobs p ~buckets =
-  fst (build_with_cost ?weighted ?governor ?stage ?jobs p ~buckets)
+let build ?weighted ?engine ?governor ?stage ?jobs p ~buckets =
+  fst (build_with_cost ?weighted ?engine ?governor ?stage ?jobs p ~buckets)

@@ -10,6 +10,7 @@
 
 val build :
   ?weighted:bool ->
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->
@@ -17,10 +18,14 @@ val build :
   buckets:int ->
   Histogram.t
 (** [weighted] defaults to [true] (the paper's adjustment).  [jobs]
-    reaches the underlying {!Dp} (level-parallel, bit-identical). *)
+    reaches the underlying {!Dp} (level-parallel, bit-identical).
+    [engine] (default [Auto]) selects the DP engine: both point costs
+    carry the sorted-data QI certificate, so on monotone inputs [Auto]
+    takes {!Dp.solve_monotone} when [jobs ≤ 1]. *)
 
 val build_with_cost :
   ?weighted:bool ->
+  ?engine:Dp.engine ->
   ?governor:Rs_util.Governor.t ->
   ?stage:string ->
   ?jobs:int ->

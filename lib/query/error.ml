@@ -29,6 +29,69 @@ let sse_prefix_form p d_hat =
   done;
   (float_of_int (n + 1) *. !sum2) -. (!sum *. !sum)
 
+(* Σ_{u<v} (d_v − e_u)² with d_v = P[v] − right[v] (v = 1..n) and
+   e_u = P[u] − left[u] (u = 0..n−1), by one backward sweep keeping the
+   suffix sums Σ d_v and Σ d_v² over v > u.  With right = left this
+   telescopes to the same value as [sse_prefix_form]. *)
+let sse_two_sided_form p ~right ~left =
+  let n = Prefix.n p in
+  Checks.check
+    (Array.length right = n + 1 && Array.length left = n + 1)
+    "Error.sse_two_sided_form: endpoint vectors must have length n+1";
+  let acc = ref 0. and s1 = ref 0. and s2 = ref 0. in
+  for u = n - 1 downto 0 do
+    let v = u + 1 in
+    let d = Prefix.prefix p v -. right.(v) in
+    s1 := !s1 +. d;
+    s2 := !s2 +. (d *. d);
+    let e = Prefix.prefix p u -. left.(u) in
+    acc :=
+      !acc +. (!s2 -. (2. *. e *. !s1) +. (float_of_int (n - u) *. e *. e))
+  done;
+  !acc
+
+(* Piecewise lowering: inter-bucket queries follow the two-sided form
+   [ŝ = right[b] − left[a−1]]; queries inside a bucket window [(l,r)]
+   are answered as [(b−a+1)·value] instead.  So
+   SSE = cross_all − Σ_buckets cross_same + Σ_buckets intra,
+   where cross_same re-evaluates the two-sided error on the
+   same-bucket pairs and intra uses the pair identity over
+   [g_t = P[t] − t·value]:  Σ_{u<v∈[l−1,r]} (g_v − g_u)²
+   = (m+1)·Σg² − (Σg)².  All three pieces are linear sweeps. *)
+let sse_piecewise_form p ~right ~left ~buckets =
+  let n = Prefix.n p in
+  Checks.check
+    (Array.length right = n + 1 && Array.length left = n + 1)
+    "Error.sse_piecewise_form: endpoint vectors must have length n+1";
+  let cross_all = sse_two_sided_form p ~right ~left in
+  let adjust = ref 0. in
+  Array.iter
+    (fun (l, r, value) ->
+      Checks.check
+        (1 <= l && l <= r && r <= n)
+        "Error.sse_piecewise_form: bucket window out of range";
+      let same = ref 0. and s1 = ref 0. and s2 = ref 0. in
+      for u = r - 1 downto l - 1 do
+        let v = u + 1 in
+        let d = Prefix.prefix p v -. right.(v) in
+        s1 := !s1 +. d;
+        s2 := !s2 +. (d *. d);
+        let e = Prefix.prefix p u -. left.(u) in
+        same :=
+          !same +. (!s2 -. (2. *. e *. !s1) +. (float_of_int (r - u) *. e *. e))
+      done;
+      let m = float_of_int (r - l + 1) in
+      let sg = ref 0. and sg2 = ref 0. in
+      for t = l - 1 to r do
+        let gv = Prefix.prefix p t -. (value *. float_of_int t) in
+        sg := !sg +. gv;
+        sg2 := !sg2 +. (gv *. gv)
+      done;
+      let intra = ((m +. 1.) *. !sg2) -. (!sg *. !sg) in
+      adjust := !adjust +. intra -. !same)
+    buckets;
+  cross_all +. !adjust
+
 let sse_of_workload p (w : Workload.t) estimate =
   Checks.check
     (Workload.size w = 0 || w.Workload.n = Prefix.n p)

@@ -22,6 +22,28 @@ val sse_prefix_form : Rs_util.Prefix.t -> float array -> float
 (** [sse_prefix_form p d_hat] where [d_hat] is the approximate prefix
     vector [D̂[0..n]] (length [n+1]).  Closed form, O(n). *)
 
+val sse_two_sided_form : Rs_util.Prefix.t -> right:float array -> left:float array -> float
+(** SSE for estimators of the two-endpoint form
+    [ŝ[a,b] = right[b] − left[a−1]] (both vectors length [n+1];
+    [right.(0)] and [left.(n)] are unused).  O(n) via one backward sweep
+    over suffix sums.  With [right = left] this equals
+    {!sse_prefix_form}. *)
+
+val sse_piecewise_form :
+  Rs_util.Prefix.t ->
+  right:float array ->
+  left:float array ->
+  buckets:(int * int * float) array ->
+  float
+(** SSE for histogram-style estimators that answer
+    [right[b] − left[a−1]] when [a] and [b] fall in different buckets
+    and [(b−a+1)·value] when both fall inside a window [(l, r, value)].
+    The windows must be disjoint subranges of [[1, n]] (the standard
+    bucketing); queries outside every window are charged the two-sided
+    form.  O(n): the two-sided total, minus each window's two-sided
+    same-bucket contribution, plus each window's intra error via the
+    pair identity over [g_t = P[t] − t·value]. *)
+
 val sse_of_workload : Rs_util.Prefix.t -> Workload.t -> estimator -> float
 (** Weighted SSE over an explicit workload (domain sizes must match). *)
 

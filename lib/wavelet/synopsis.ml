@@ -284,6 +284,7 @@ let point_estimate t ~i =
   estimate t ~a:i ~b:i
 
 let prefix_hat t = Array.copy t.d_hat
+let prefix_hat_left t = Option.map Array.copy t.d_hat_left
 
 let update t ~i ~delta =
   let i = Checks.in_range ~name:"Synopsis.update i" ~lo:1 ~hi:t.n i in

@@ -138,3 +138,10 @@ val prefix_hat : t -> float array
     (length [n+1]); feed to {!Rs_query.Error.sse_prefix_form} for O(n)
     exact SSE evaluation.  For [Prefix_sums] synopses the vector is
     shifted so [D̂[0] = 0] (the shift is immaterial to range queries). *)
+
+val prefix_hat_left : t -> float array option
+(** For two-sided ([aa_2d]) synopses, the left-endpoint approximate
+    prefix vector [Ê[0..n]]: every answer is
+    [ŝ[a,b] = D̂[b] − Ê[a−1]], so the exact SSE is
+    {!Rs_query.Error.sse_two_sided_form} on [(prefix_hat,
+    prefix_hat_left)] in O(n).  [None] when {!shared_prefix}. *)

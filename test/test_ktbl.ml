@@ -61,6 +61,74 @@ let test_fold_min () =
   ignore (Ktbl.update_min t ~key:3 ~f:9. ~prev_j:0 ~prev_key:0);
   Alcotest.(check bool) "min" true (Ktbl.fold_min_f t = Some (2, 3.))
 
+let test_reset () =
+  let t = Ktbl.create () in
+  for k = 1 to 1000 do
+    ignore (Ktbl.update_min t ~key:k ~f:(float_of_int k) ~prev_j:0 ~prev_key:0)
+  done;
+  let cap_before = (Ktbl.export t).Ktbl.capacity in
+  Ktbl.reset t;
+  Alcotest.(check int) "empty after reset" 0 (Ktbl.length t);
+  Alcotest.(check bool) "find after reset" true (Ktbl.find_f t 7 = None);
+  Alcotest.(check int) "capacity kept" cap_before (Ktbl.export t).Ktbl.capacity;
+  (* Still fully usable after reset. *)
+  for k = 1 to 100 do
+    ignore (Ktbl.update_min t ~key:(-k) ~f:(float_of_int k) ~prev_j:k ~prev_key:k)
+  done;
+  Alcotest.(check int) "refilled" 100 (Ktbl.length t)
+
+(* The load-bearing arena property: a table built through a recycled
+   arena must have the exact same physical slot layout (hence snapshot
+   bytes and DP tie-breaking) as one built fresh. *)
+let prop_arena_layout_identical =
+  Helpers.qtest ~count:100 "arena layout = fresh layout"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let ops =
+        Array.init 3_000 (fun _ ->
+            ( Rng.int rng 400 - 200,
+              float_of_int (Rng.int rng 1000),
+              Rng.int rng 50,
+              Rng.int rng 50 ))
+      in
+      let run t =
+        Array.iter
+          (fun (key, f, prev_j, prev_key) ->
+            ignore (Ktbl.update_min t ~key ~f ~prev_j ~prev_key))
+          ops;
+        Ktbl.export t
+      in
+      let fresh = run (Ktbl.create ()) in
+      let a = Ktbl.arena () in
+      (* Pre-seasoning: grow a table through every capacity, then donate
+         everything, so the second run reuses recycled buffers at every
+         growth step. *)
+      let warm = Ktbl.create ~arena:a () in
+      ignore (run warm);
+      Ktbl.recycle warm;
+      let recycled = run (Ktbl.create ~arena:a ()) in
+      fresh = recycled)
+
+let test_recycle_isolates () =
+  let a = Ktbl.arena () in
+  let t = Ktbl.create ~arena:a () in
+  for k = 1 to 500 do
+    ignore (Ktbl.update_min t ~key:k ~f:1. ~prev_j:0 ~prev_key:0)
+  done;
+  Ktbl.recycle t;
+  Alcotest.(check int) "empty after recycle" 0 (Ktbl.length t);
+  (* A new table takes the donated buffers; writes to it must not leak
+     into the recycled handle, and vice versa. *)
+  let u = Ktbl.create ~arena:a () in
+  for k = 1 to 500 do
+    ignore (Ktbl.update_min u ~key:(2 * k) ~f:2. ~prev_j:0 ~prev_key:0)
+  done;
+  ignore (Ktbl.update_min t ~key:999 ~f:9. ~prev_j:0 ~prev_key:0);
+  Alcotest.(check bool) "no leak into t" true (Ktbl.find_f t 1000 = None);
+  Alcotest.(check bool) "no leak into u" true (Ktbl.find_f u 999 = None);
+  Alcotest.(check int) "u intact" 500 (Ktbl.length u)
+
 (* Randomized differential test against Hashtbl semantics. *)
 let prop_matches_hashtbl =
   Helpers.qtest ~count:100 "ktbl = hashtbl model"
@@ -97,6 +165,9 @@ let () =
           Alcotest.test_case "growth" `Quick test_growth_many_keys;
           Alcotest.test_case "iter" `Quick test_iter_visits_all;
           Alcotest.test_case "fold_min" `Quick test_fold_min;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "recycle isolates" `Quick test_recycle_isolates;
+          prop_arena_layout_identical;
           prop_matches_hashtbl;
         ] );
     ]
