@@ -230,9 +230,22 @@ let build_cmd =
                ~doc:"Also snapshot periodically while the DP runs (crash \
                      safety, not just deadline safety).")
   in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+           & info [ "metrics-out" ] ~docv:"FILE"
+               ~doc:"Enable the metrics registry for this build and write the \
+                     JSON report (DP states explored/pruned, beam \
+                     truncations, ladder rungs, snapshot and pool counters) \
+                     to $(docv).  RS_METRICS=1 instead dumps the report to \
+                     stderr.")
+  in
   let run data m budget quick states jobs engine deadline save ckpt_dir resume
-      every =
+      every metrics_out =
     wrap (fun () ->
+        if metrics_out <> None then begin
+          Rs_util.Metrics.enable ();
+          Rs_util.Trace.enable ()
+        end;
         let checkpoint_path =
           Option.map
             (fun dir ->
@@ -267,17 +280,23 @@ let build_cmd =
         print_report built;
         Printf.printf "built in %.3fs\n" dt;
         Printf.printf "SSE over all ranges: %.6g\n" (Synopsis.sse ds s);
-        match save with
+        (match save with
         | Some path ->
             Rs_core.Codec.save s path;
             Printf.printf "saved to %s\n" path
+        | None -> ());
+        match metrics_out with
+        | Some path ->
+            Rs_util.Metrics.write_json path;
+            Printf.printf "metrics written to %s\n" path
         | None -> ())
   in
   command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
       const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
       $ opt_a_states_arg $ jobs_arg $ engine_arg $ deadline_arg $ save_arg
-      $ checkpoint_dir_arg $ resume_arg $ checkpoint_every_arg)
+      $ checkpoint_dir_arg $ resume_arg $ checkpoint_every_arg
+      $ metrics_out_arg)
 
 (* --- query --- *)
 
@@ -571,24 +590,15 @@ let main_cmd =
       store_cmd;
     ]
 
-(* RS_LOG=debug|info enables library instrumentation (e.g. OPT-A state
-   counts) without touching the cmdliner interface. *)
-let setup_logs () =
-  match Sys.getenv_opt "RS_LOG" with
-  | Some level ->
-      let level =
-        match level with
-        | "debug" -> Some Logs.Debug
-        | "info" -> Some Logs.Info
-        | "warning" -> Some Logs.Warning
-        | _ -> None
-      in
-      if level <> None then begin
-        Logs.set_level level;
-        Logs.set_reporter (Logs.format_reporter ())
-      end
-  | None -> ()
-
+(* RS_LOG / RS_METRICS handling lives in Rs_util.Logging so the CLI,
+   bench and examples share one environment contract (and unknown
+   RS_LOG values warn instead of being silently ignored). *)
 let () =
-  setup_logs ();
-  exit (Cmd.eval' main_cmd)
+  Rs_util.Logging.setup_from_env ();
+  let code = Cmd.eval' main_cmd in
+  (* RS_METRICS=1 without --metrics-out: dump the report to stderr so
+     any subcommand (store ops, evaluate, figure1...) can be observed
+     without new flags. *)
+  if Rs_util.Logging.metrics_env_requested () then
+    prerr_string (Rs_util.Metrics.to_json ());
+  exit code

@@ -22,6 +22,7 @@ module Rng = Rs_dist.Rng
    second synopsis over that derived vector; AVG = SUM/COUNT. *)
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   let n = 1439 in
   let rng = Rng.create 4242 in
   (* Diurnal traffic: two peaks (morning, evening) over a base load. *)

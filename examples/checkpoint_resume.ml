@@ -16,6 +16,7 @@ module Synopsis = Rs_core.Synopsis
 module Error = Rs_util.Error
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   let ds = Dataset.generate "zipf-96" in
   let path = Filename.temp_file "rs_example" ".ckpt" in
   let budget_words = 24 in

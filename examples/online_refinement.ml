@@ -14,6 +14,7 @@ module Synopsis = Rs_core.Synopsis
 module Prefix = Rs_util.Prefix
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   let ds = Dataset.generate "zipf-255" in
   let p = Dataset.prefix ds in
   let a, b = (37, 181) in

@@ -8,6 +8,7 @@ module Builder = Rs_core.Builder
 module Synopsis = Rs_core.Synopsis
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   (* The attribute-value distribution: A.(i) = number of records whose
      attribute equals i+1.  Here: the paper's 127-key Zipf dataset. *)
   let ds = Dataset.paper () in

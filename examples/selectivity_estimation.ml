@@ -22,6 +22,7 @@ module Rng = Rs_dist.Rng
 let index_scan_threshold = 0.05 (* index wins below 5% selectivity *)
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   (* A multi-modal amount distribution: a cheap-items bump, a mid-range
      bump and a luxury tail — the shape that defeats equal-width
      buckets. *)

@@ -24,6 +24,7 @@ module Error = Rs_query.Error
 module Rng = Rs_dist.Rng
 
 let () =
+  Rs_util.Logging.setup_from_env ();
   (* Part 1: recency-weighted histograms. *)
   let ds = Dataset.generate "zipf-perm-255" in
   let p = Dataset.prefix ds in

@@ -3,6 +3,12 @@ module W = Rs_wavelet.Synopsis
 module Checks = Rs_util.Checks
 module Error = Rs_util.Error
 module Governor = Rs_util.Governor
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
+
+let log_src = Logs.Src.create "rs.builder" ~doc:"Name-keyed synopsis builder"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type options = {
   opt_a_max_states : int;
@@ -194,8 +200,9 @@ let ladder_error attempts =
     List.find_map
       (fun a ->
         match a.H.Opt_a.outcome with
-        | H.Opt_a.Timed_out { elapsed; deadline } ->
-            Some (Error.Timeout { stage = a.H.Opt_a.rung; elapsed; deadline })
+        | H.Opt_a.Timed_out { elapsed; deadline; reason } ->
+            Some
+              (Error.Timeout { stage = a.H.Opt_a.rung; elapsed; deadline; reason })
         | _ -> None)
       attempts
   in
@@ -279,23 +286,38 @@ let build_result ?(options = default_options) ?deadline ?checkpoint_path
       let options = { options with governor } in
       let t0 = Rs_util.Mclock.now () in
       let run f =
-        match f () with
-        | v -> Ok v
-        | exception Error.Rs_error e -> Error e
-        | exception Invalid_argument m -> Error (Error.Invalid_input m)
-        | exception Failure m -> Error (Error.Invalid_input m)
-        | exception H.Opt_a.Too_many_states { states; limit } ->
-            Error
-              (Error.Budget_exhausted
-                 { stage = method_name; states_used = states; limit })
-        | exception Governor.Deadline_exceeded { stage; elapsed; deadline } ->
-            Error (Error.Timeout { stage; elapsed; deadline })
-        | exception Governor.Interrupted { stage; checkpoint } ->
-            Error (Error.Interrupted { stage; checkpoint })
-        | exception Rs_util.Faults.Injected { site; reason } ->
-            Error
-              (Error.Invalid_input
-                 (Printf.sprintf "injected fault at %s: %s" site reason))
+        Trace.with_span "builder.build" @@ fun () ->
+        Metrics.count "builder.builds" 1;
+        let res =
+          match f () with
+          | v -> Ok v
+          | exception Error.Rs_error e -> Error e
+          | exception Invalid_argument m -> Error (Error.Invalid_input m)
+          | exception Failure m -> Error (Error.Invalid_input m)
+          | exception H.Opt_a.Too_many_states { states; limit } ->
+              Error
+                (Error.Budget_exhausted
+                   { stage = method_name; states_used = states; limit })
+          | exception Governor.Deadline_exceeded
+              { stage; elapsed; deadline; reason } ->
+              Error (Error.Timeout { stage; elapsed; deadline; reason })
+          | exception Governor.Interrupted { stage; checkpoint } ->
+              Error (Error.Interrupted { stage; checkpoint })
+          | exception Rs_util.Faults.Injected { site; reason } ->
+              Error
+                (Error.Invalid_input
+                   (Printf.sprintf "injected fault at %s: %s" site reason))
+        in
+        (match res with
+        | Ok _ ->
+            Log.debug (fun m ->
+                m "build %s ok (%.3fs)" method_name
+                  (Rs_util.Mclock.now () -. t0))
+        | Error e ->
+            Metrics.count "builder.errors" 1;
+            Log.warn (fun m ->
+                m "build %s failed: %s" method_name (Error.to_string e)));
+        res
       in
       if method_name = "opt-a" then
         (* The governed ladder: deliver from a lower rung rather than

@@ -2,6 +2,12 @@ module Error = Rs_util.Error
 module Crc32 = Rs_util.Crc32
 module Faults = Rs_util.Faults
 module Checkpoint = Rs_util.Checkpoint
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
+
+let log_src = Logs.Src.create "rs.store" ~doc:"Durable synopsis store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let manifest_kind = "rs-store-manifest-v1"
 let manifest_file = "MANIFEST"
@@ -145,14 +151,18 @@ let mem t name = List.mem_assoc name t.entries
 let put t ~name synopsis =
   check_name name;
   Faults.trip "store.put";
+  Trace.with_span "store.put" @@ fun () ->
+  Metrics.count "store.puts" 1;
   let content = Codec.to_string synopsis in
   Checkpoint.write_atomic ~path:(entry_path t name) content;
   t.entries <-
     (name, Crc32.digest content) :: List.remove_assoc name t.entries;
-  save_manifest t
+  save_manifest t;
+  Log.debug (fun m -> m "put %s (%d bytes)" name (String.length content))
 
 let get t ~name =
   check_name name;
+  Metrics.count "store.gets" 1;
   let path = entry_path t name in
   match read_file path with
   | exception Sys_error reason -> Error.fail (Error.Io_failure { path; reason })
@@ -171,6 +181,7 @@ let get t ~name =
 
 let remove t ~name =
   check_name name;
+  Metrics.count "store.removes" 1;
   let path = entry_path t name in
   (try Sys.remove path with Sys_error _ -> ());
   if mem t name then begin
@@ -190,6 +201,8 @@ let quarantine t file =
     else dst
   in
   let dst = fresh file 1 in
+  Metrics.count "store.quarantined" 1;
+  Log.warn (fun m -> m "quarantining damaged entry %s -> %s" file dst);
   (try Unix.rename (Filename.concat t.dir file) dst
    with Unix.Unix_error (e, _, _) ->
      Error.raise_error
@@ -197,6 +210,8 @@ let quarantine t file =
           { path = Filename.concat t.dir file; reason = Unix.error_message e }))
 
 let fsck t =
+  Trace.with_span "store.fsck" @@ fun () ->
+  Metrics.count "store.fscks" 1;
   let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
   let quarantined = ref []
   and removed_tmp = ref []

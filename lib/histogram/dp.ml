@@ -2,6 +2,17 @@ module Checks = Rs_util.Checks
 module Governor = Rs_util.Governor
 module Checkpoint = Rs_util.Checkpoint
 module Pool = Rs_util.Pool
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
+
+let log_src = Logs.Src.create "rs.dp" ~doc:"Interval DP engines (level + monotone)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Recorded once per completed level — the same coarse boundary as the
+   governor poll's row granularity, never per cell (DESIGN.md §12). *)
+let m_levels = Metrics.counter "dp.levels"
+let m_cells = Metrics.counter "dp.cells"
 
 type result = { cost : float; bucketing : Bucket.t }
 
@@ -128,12 +139,13 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
         match checkpoint_path with
         | Some path -> save path ~next_k:k ~next_i:i
         | None -> ())
-    | Governor.Expired { elapsed; deadline; resumable } -> (
+    | Governor.Expired { elapsed; deadline; resumable; reason } -> (
         match checkpoint_path with
         | Some path when resumable ->
             save path ~next_k:k ~next_i:i;
             raise (Governor.Interrupted { stage; checkpoint = path })
-        | _ -> raise (Governor.Deadline_exceeded { stage; elapsed; deadline }))
+        | _ ->
+            raise (Governor.Deadline_exceeded { stage; elapsed; deadline; reason }))
   in
   (* One cell's work, shared verbatim by the sequential and parallel
      paths: cell (k, i) reads only the completed level k−1 and writes
@@ -157,13 +169,25 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
   (* Need at least k positions for k non-empty buckets — pruning the
      trivially infeasible cells. *)
   let row_start k = if k = start_k then max k start_i else k in
+  Log.debug (fun m ->
+      m "level engine: stage=%s n=%d buckets=%d jobs=%d resume=%b" stage n b
+        jobs (resume_from <> None));
+  (* Spans and counters land once per completed level (the row boundary
+     the governor already polls at), always on the coordinator. *)
+  let level_done k i0 =
+    Metrics.incr m_levels;
+    Metrics.add m_cells (max 0 (n - i0 + 1));
+    ignore k
+  in
   if jobs <= 1 then
     for k = start_k to b do
-      let jlo, jhi = finite_bounds e.(k - 1) ~n in
-      for i = row_start k to n do
-        poll ~k ~i;
-        fill_cell ~jlo ~jhi k i
-      done
+      Trace.with_span "dp.level" (fun () ->
+          let jlo, jhi = finite_bounds e.(k - 1) ~n in
+          for i = row_start k to n do
+            poll ~k ~i;
+            fill_cell ~jlo ~jhi k i
+          done;
+          level_done k (row_start k))
     done
   else
     (* Level-parallel: the poll/snapshot hook moves to chunk barriers on
@@ -171,14 +195,16 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
        bounds too are a coordinator-only, once-per-level computation. *)
     Pool.with_pool ~jobs (fun pool ->
         for k = start_k to b do
-          let jlo, jhi = finite_bounds e.(k - 1) ~n in
-          let lo = ref (row_start k) in
-          while !lo <= n do
-            let hi = min n (!lo + parallel_chunk - 1) in
-            poll ~k ~i:!lo;
-            Pool.run pool ~lo:!lo ~hi (fill_cell ~jlo ~jhi k);
-            lo := hi + 1
-          done
+          Trace.with_span "dp.level" (fun () ->
+              let jlo, jhi = finite_bounds e.(k - 1) ~n in
+              let lo = ref (row_start k) in
+              while !lo <= n do
+                let hi = min n (!lo + parallel_chunk - 1) in
+                poll ~k ~i:!lo;
+                Pool.run pool ~lo:!lo ~hi (fill_cell ~jlo ~jhi k);
+                lo := hi + 1
+              done;
+              level_done k (row_start k))
         done);
   (e, parent, b)
 
@@ -207,6 +233,8 @@ let run_monotone ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets
   let e = Array.make_matrix (b + 1) (n + 1) inf in
   let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
   e.(0).(0) <- 0.;
+  Log.debug (fun m ->
+      m "monotone engine: stage=%s n=%d buckets=%d" stage n b);
   for k = 1 to b do
     let prev = e.(k - 1) and row = e.(k) and par = parent.(k) in
     let jlo0, jhi0 = finite_bounds prev ~n in
@@ -233,7 +261,10 @@ let run_monotone ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets
         fill (i + 1) hi split jhi
       end
     in
-    fill k n jlo0 (min jhi0 (n - 1))
+    Trace.with_span "dp.level" (fun () ->
+        fill k n jlo0 (min jhi0 (n - 1));
+        Metrics.incr m_levels;
+        Metrics.add m_cells (max 0 (n - k + 1)))
   done;
   (e, parent, b)
 

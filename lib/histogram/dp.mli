@@ -39,6 +39,11 @@ type result = {
   bucketing : Bucket.t;
 }
 
+val log_src : Logs.src
+(** The [rs.dp] log source, shared by every DP engine in this library
+    (the level engine, the monotone engine, and the OPT-A state-space
+    DP). *)
+
 type engine =
   | Auto
       (** monotone when the cost is QI-certified, [jobs ≤ 1] and no

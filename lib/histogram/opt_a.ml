@@ -7,9 +7,51 @@ module Crc32 = Rs_util.Crc32
 module Mclock = Rs_util.Mclock
 module Pool = Rs_util.Pool
 
-let log_src = Logs.Src.create "rs.opt_a" ~doc:"OPT-A dynamic program"
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+(* OPT-A logs through the shared rs.dp source: it is one of the DP
+   engines, and operators select engine instrumentation as a unit. *)
+module Log = (val Logs.src_log Dp.log_src : Logs.LOG)
+
+(* Per-run DP accounting, recorded into the registry once per solve
+   (and accumulated per cell/chunk only in locals/delta slots — never a
+   registry touch inside the state loops, and never from a worker). *)
+let m_states = Metrics.counter "opt_a.states"
+let m_pruned = Metrics.counter "opt_a.pruned"
+let m_beam_truncations = Metrics.counter "opt_a.beam.truncations"
+let m_beam_dropped = Metrics.counter "opt_a.beam.dropped"
+let m_solves = Metrics.counter "opt_a.solves"
+let g_key_cap = Metrics.gauge "opt_a.key_cap"
+
+type cell_stats = {
+  mutable cs_explored : int;
+  mutable cs_pruned : int;
+  mutable cs_beam_truncations : int;
+  mutable cs_beam_dropped : int;
+}
+
+let fresh_stats () =
+  { cs_explored = 0; cs_pruned = 0; cs_beam_truncations = 0; cs_beam_dropped = 0 }
+
+let zero_stats s =
+  s.cs_explored <- 0;
+  s.cs_pruned <- 0;
+  s.cs_beam_truncations <- 0;
+  s.cs_beam_dropped <- 0
+
+let merge_stats ~into s =
+  into.cs_explored <- into.cs_explored + s.cs_explored;
+  into.cs_pruned <- into.cs_pruned + s.cs_pruned;
+  into.cs_beam_truncations <- into.cs_beam_truncations + s.cs_beam_truncations;
+  into.cs_beam_dropped <- into.cs_beam_dropped + s.cs_beam_dropped
+
+let record_stats s =
+  Metrics.incr m_solves;
+  Metrics.add m_states s.cs_explored;
+  Metrics.add m_pruned s.cs_pruned;
+  Metrics.add m_beam_truncations s.cs_beam_truncations;
+  Metrics.add m_beam_dropped s.cs_beam_dropped
 
 exception Too_many_states of { states : int; limit : int }
 
@@ -234,6 +276,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
         | Some c -> Checks.positive ~name:"Opt_a key_cap" c
         | None -> derive_key_cap ?ub ~governor ~stage ctx p ~buckets:b)
   in
+  Metrics.set g_key_cap (float_of_int key_cap);
   (* Scratch-buffer arena for the beam path.  Coordinator-only state:
      with [jobs > 1] the workers grow their cells concurrently, so no
      arena is threaded at all (every table allocates fresh, as before).
@@ -271,12 +314,13 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
         match checkpoint_path with
         | Some path -> save path ~next_k:k ~next_i:i
         | None -> ())
-    | Governor.Expired { elapsed; deadline; resumable } -> (
+    | Governor.Expired { elapsed; deadline; resumable; reason } -> (
         match checkpoint_path with
         | Some path when resumable ->
             save path ~next_k:k ~next_i:i;
             raise (Governor.Interrupted { stage; checkpoint = path })
-        | _ -> raise (Governor.Deadline_exceeded { stage; elapsed; deadline }))
+        | _ ->
+            raise (Governor.Deadline_exceeded { stage; elapsed; deadline; reason }))
   in
   let start_k, start_i =
     match resume with Some r -> (r.r_next_k, r.r_next_i) | None -> (1, 1)
@@ -288,7 +332,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
      tie-breaking and all.  [count] is the only side channel: the
      sequential path passes [bump] directly; the parallel path
      accumulates a per-cell delta and bumps at the chunk barrier. *)
-  let fill_cell ~count k i =
+  let fill_cell ~count ~stats k i =
     let cell = ref levels.(k).(i) in
     for j = k - 1 to i - 1 do
       let prev = levels.(k - 1).(j) in
@@ -304,9 +348,14 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
             let key' = key + s2 in
             (* Prune by the Λ bound, except at the very end where Λ no
                longer interacts with anything. *)
-            if i = n || abs key' <= key_cap then
+            if i = n || abs key' <= key_cap then begin
               if Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j ~prev_key:key
-              then count 1)
+              then begin
+                count 1;
+                stats.cs_explored <- stats.cs_explored + 1
+              end
+            end
+            else stats.cs_pruned <- stats.cs_pruned + 1)
           prev
       end
     done;
@@ -314,46 +363,62 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
     | Some beam when i < n ->
         let fresh, dropped = truncate_to_beam ?arena !cell beam in
         cell := fresh;
-        count (-dropped)
+        count (-dropped);
+        if dropped > 0 then begin
+          stats.cs_beam_truncations <- stats.cs_beam_truncations + 1;
+          stats.cs_beam_dropped <- stats.cs_beam_dropped + dropped
+        end
     | Some _ | None -> ());
     levels.(k).(i) <- !cell
   in
-  if jobs <= 1 then
-    for k = start_k to b do
-      let i_from = if k = start_k then max k start_i else k in
-      for i = i_from to n do
-        poll ~k ~i;
-        fill_cell ~count:bump k i
-      done;
-      Log.debug (fun m -> m "level k=%d done, %d states total" k !total_states)
-    done
-  else
-    (* Level-parallel: workers fill disjoint cells of level k against
-       the read-only level k−1; the poll/snapshot hook and all state
-       accounting stay on the coordinator, at chunk barriers. *)
-    Pool.with_pool ~jobs (fun pool ->
-        let deltas = Array.make (n + 1) 0 in
-        for k = start_k to b do
-          let i_from = if k = start_k then max k start_i else k in
-          let lo = ref i_from in
-          while !lo <= n do
-            let chunk_hi = min n (!lo + parallel_chunk - 1) in
-            poll ~k ~i:!lo;
-            Pool.run pool ~lo:!lo ~hi:chunk_hi (fun i ->
-                deltas.(i) <- 0;
-                fill_cell ~count:(fun d -> deltas.(i) <- deltas.(i) + d) k i);
-            (* Merge on the coordinator in ascending i, so
-               Too_many_states fires at a deterministic cell boundary
-               and the running total matches the sequential count at
-               every chunk barrier (= every snapshot position). *)
-            for i = !lo to chunk_hi do
-              bump deltas.(i)
-            done;
-            lo := chunk_hi + 1
-          done;
-          Log.debug (fun m ->
-              m "level k=%d done, %d states total" k !total_states)
-        done);
+  let run_stats = fresh_stats () in
+  (if jobs <= 1 then
+     for k = start_k to b do
+       Trace.with_span "opt_a.level" (fun () ->
+           let i_from = if k = start_k then max k start_i else k in
+           for i = i_from to n do
+             poll ~k ~i;
+             fill_cell ~count:bump ~stats:run_stats k i
+           done;
+           Log.debug (fun m ->
+               m "level k=%d done, %d states total" k !total_states))
+     done
+   else
+     (* Level-parallel: workers fill disjoint cells of level k against
+        the read-only level k−1; the poll/snapshot hook and all state
+        accounting — including metrics deltas — stay on the coordinator,
+        at chunk barriers. *)
+     Pool.with_pool ~jobs (fun pool ->
+         let deltas = Array.make (n + 1) 0 in
+         let cell_stats = Array.init (n + 1) (fun _ -> fresh_stats ()) in
+         for k = start_k to b do
+           Trace.with_span "opt_a.level" (fun () ->
+               let i_from = if k = start_k then max k start_i else k in
+               let lo = ref i_from in
+               while !lo <= n do
+                 let chunk_hi = min n (!lo + parallel_chunk - 1) in
+                 poll ~k ~i:!lo;
+                 Pool.run pool ~lo:!lo ~hi:chunk_hi (fun i ->
+                     deltas.(i) <- 0;
+                     let st = cell_stats.(i) in
+                     zero_stats st;
+                     fill_cell
+                       ~count:(fun d -> deltas.(i) <- deltas.(i) + d)
+                       ~stats:st k i);
+                 (* Merge on the coordinator in ascending i, so
+                    Too_many_states fires at a deterministic cell boundary
+                    and the running total matches the sequential count at
+                    every chunk barrier (= every snapshot position). *)
+                 for i = !lo to chunk_hi do
+                   bump deltas.(i);
+                   merge_stats ~into:run_stats cell_stats.(i)
+                 done;
+                 lo := chunk_hi + 1
+               done;
+               Log.debug (fun m ->
+                   m "level k=%d done, %d states total" k !total_states))
+         done));
+  record_stats run_stats;
   (* Best over at most b buckets. *)
   let best = ref None in
   for k = 1 to b do
@@ -426,7 +491,11 @@ let build_rounded ?max_states ?beam ?governor ?checkpoint_path ?resume_from
 type outcome =
   | Completed of { states : int }
   | Exhausted of { states : int; limit : int }
-  | Timed_out of { elapsed : float; deadline : float }
+  | Timed_out of {
+      elapsed : float;
+      deadline : float;
+      reason : Governor.expiry_reason;
+    }
   | Faulted of string
 
 type attempt = { rung : string; outcome : outcome; elapsed : float }
@@ -444,10 +513,16 @@ let describe_outcome = function
   | Completed { states } -> Printf.sprintf "completed (%d states)" states
   | Exhausted { states; limit } ->
       Printf.sprintf "state budget exhausted (%d states, limit %d)" states limit
-  | Timed_out { elapsed; deadline } ->
-      Printf.sprintf "deadline exceeded (%.3fs elapsed, deadline %.3fs)" elapsed
-        deadline
+  | Timed_out { elapsed; deadline; reason } ->
+      Printf.sprintf "deadline exceeded (%s)"
+        (Governor.describe_expiry ~reason ~elapsed ~deadline)
   | Faulted reason -> Printf.sprintf "fault injected (%s)" reason
+
+let outcome_tag = function
+  | Completed _ -> "completed"
+  | Exhausted _ -> "exhausted"
+  | Timed_out _ -> "timed_out"
+  | Faulted _ -> "faulted"
 
 (* The ladder OPT-A → OPT-A-ROUNDED(x ∈ xs) → A0.  The exact rung seeds
    its Λ cap with the first workable rounded grid (which shrinks the
@@ -467,6 +542,10 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
     ~buckets =
   let attempts = ref [] in
   let record rung outcome elapsed =
+    (* One registry touch per ladder rung — the degradation report's
+       granularity, far above the DP loops. *)
+    Metrics.count "opt_a.ladder.rungs" 1;
+    Metrics.count ("opt_a.ladder.outcome." ^ outcome_tag outcome) 1;
     attempts := { rung; outcome; elapsed } :: !attempts
   in
   (* x → what happened when the seeding pass ran this grid. *)
@@ -476,12 +555,13 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
   let run_rounded x =
     let t0 = Mclock.now () in
     let outcome, res =
+      Trace.with_span "opt_a.rung" @@ fun () ->
       match build_rounded ~max_states ~governor ?jobs p ~buckets ~x with
       | r -> (Completed { states = r.states }, Some r)
       | exception Too_many_states { states; limit } ->
           (Exhausted { states; limit }, None)
-      | exception Governor.Deadline_exceeded { elapsed; deadline; _ } ->
-          (Timed_out { elapsed; deadline }, None)
+      | exception Governor.Deadline_exceeded { elapsed; deadline; reason; _ } ->
+          (Timed_out { elapsed; deadline; reason }, None)
       | exception Faults.Injected { site; reason } ->
           (Faulted (Printf.sprintf "%s: %s" site reason), None)
     in
@@ -492,6 +572,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
   let exact_rung () =
     let t0 = Mclock.now () in
     let outcome, res =
+      Trace.with_span "opt_a.rung" @@ fun () ->
       match
         (* Seeding is charged to the exact rung: it exists only to make
            the exact DP feasible. *)
@@ -518,8 +599,8 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
       | r -> (Completed { states = r.states }, Some r)
       | exception Too_many_states { states; limit } ->
           (Exhausted { states; limit }, None)
-      | exception Governor.Deadline_exceeded { elapsed; deadline; _ } ->
-          (Timed_out { elapsed; deadline }, None)
+      | exception Governor.Deadline_exceeded { elapsed; deadline; reason; _ } ->
+          (Timed_out { elapsed; deadline; reason }, None)
       | exception Faults.Injected { site; reason } ->
           (Faulted (Printf.sprintf "%s: %s" site reason), None)
     in
@@ -538,6 +619,7 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
   let a0_rung () =
     let t0 = Mclock.now () in
     let outcome, res =
+      Trace.with_span "opt_a.rung" @@ fun () ->
       match
         Faults.trip "ladder.a0";
         let histogram = A0.build p ~buckets:(max 1 (min buckets (Prefix.n p))) in
@@ -573,14 +655,16 @@ let build_governed ?(max_states = 10_000_000) ?(xs = [ 8; 32; 128 ])
   match res with
   | None -> raise (All_rungs_failed attempts)
   | Some (delivered, result) ->
-      if delivered <> "opt-a" then
+      if delivered <> "opt-a" then begin
+        Metrics.count "opt_a.ladder.degraded" 1;
         Log.info (fun m ->
             m "degraded to %s after: %s" delivered
               (String.concat "; "
                  (List.map
                     (fun a ->
                       Printf.sprintf "%s: %s" a.rung (describe_outcome a.outcome))
-                    attempts)));
+                    attempts)))
+      end;
       { result; delivered; attempts; degraded = delivered <> "opt-a" }
 
 (* Staged construction: a cheap rounded pass supplies a tight upper

@@ -126,8 +126,13 @@ type outcome =
   | Completed of { states : int }  (** the rung delivered its histogram *)
   | Exhausted of { states : int; limit : int }
       (** the DP blew its state budget *)
-  | Timed_out of { elapsed : float; deadline : float }
-      (** the governor's deadline expired mid-rung *)
+  | Timed_out of {
+      elapsed : float;
+      deadline : float;
+      reason : Rs_util.Governor.expiry_reason;
+    }
+      (** the governor expired mid-rung; [reason] fixes the unit of
+          [elapsed]/[deadline] (seconds vs. poll counts) *)
   | Faulted of string  (** a {!Rs_util.Faults} injection fired *)
 
 type attempt = {

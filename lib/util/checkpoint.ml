@@ -1,6 +1,16 @@
 let magic = "rs-checkpoint"
 let version = 1
 
+let log_src = Logs.Src.create "rs.checkpoint" ~doc:"Crash-safe DP snapshots"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* One registry touch per snapshot written/read — snapshots are already
+   rare (per checkpoint cadence), so this is far off the DP hot path. *)
+let m_saves = Metrics.counter "checkpoint.saves"
+let m_save_bytes = Metrics.counter "checkpoint.bytes"
+let m_loads = Metrics.counter "checkpoint.loads"
+
 (* --- crash-safe file replacement --- *)
 
 let io_fail path reason = Error.raise_error (Error.Io_failure { path; reason })
@@ -54,7 +64,13 @@ let frame ~kind body =
 
 let save ~path ~kind body =
   Faults.trip "checkpoint.save";
-  write_atomic ~path (frame ~kind body)
+  Trace.with_span "checkpoint.save" @@ fun () ->
+  let framed = frame ~kind body in
+  write_atomic ~path framed;
+  Metrics.incr m_saves;
+  Metrics.add m_save_bytes (String.length framed);
+  Log.debug (fun m ->
+      m "snapshot %s: %d bytes (kind %s)" path (String.length framed) kind)
 
 let corrupt path reason = Error.fail (Error.Corrupt_checkpoint { path; reason })
 
@@ -77,6 +93,8 @@ let read_file path =
       Error.fail (Error.Io_failure { path; reason })
 
 let load ~path ~kind =
+  Metrics.incr m_loads;
+  Log.debug (fun m -> m "loading snapshot %s (kind %s)" path kind);
   match read_file path with
   | Error _ as e -> e
   | Ok content -> (

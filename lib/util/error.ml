@@ -4,7 +4,12 @@ type t =
   | Corrupt_synopsis of { line : int; reason : string }
   | Corrupt_checkpoint of { path : string; reason : string }
   | Budget_exhausted of { stage : string; states_used : int; limit : int }
-  | Timeout of { stage : string; elapsed : float; deadline : float }
+  | Timeout of {
+      stage : string;
+      elapsed : float;
+      deadline : float;
+      reason : Governor.expiry_reason;
+    }
   | Interrupted of { stage : string; checkpoint : string }
   | Io_failure of { path : string; reason : string }
   | Invalid_input of string
@@ -26,9 +31,9 @@ let to_string = function
   | Budget_exhausted { stage; states_used; limit } ->
       Printf.sprintf "state budget exhausted in %s: %d states (limit %d)" stage
         states_used limit
-  | Timeout { stage; elapsed; deadline } ->
-      Printf.sprintf "deadline exceeded in %s: %.3fs elapsed (deadline %.3fs)"
-        stage elapsed deadline
+  | Timeout { stage; elapsed; deadline; reason } ->
+      Printf.sprintf "deadline exceeded in %s: %s" stage
+        (Governor.describe_expiry ~reason ~elapsed ~deadline)
   | Interrupted { stage; checkpoint } ->
       Printf.sprintf
         "interrupted in %s: resumable snapshot written to %s (re-run with \

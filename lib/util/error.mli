@@ -23,8 +23,16 @@ type t =
   | Budget_exhausted of { stage : string; states_used : int; limit : int }
       (** A DP stage exceeded its state budget (and no lower rung of the
           degradation ladder could deliver). *)
-  | Timeout of { stage : string; elapsed : float; deadline : float }
-      (** A stage overran its wall-clock deadline (see {!Governor}). *)
+  | Timeout of {
+      stage : string;
+      elapsed : float;
+      deadline : float;
+      reason : Governor.expiry_reason;
+    }
+      (** A stage overran its wall-clock deadline or poll budget
+          (see {!Governor}); [reason] fixes the unit of
+          [elapsed]/[deadline] — seconds under [Wall_clock], poll counts
+          under [Poll_budget]. *)
   | Interrupted of { stage : string; checkpoint : string }
       (** A governed build expired in {!Governor.Snapshot} mode {e
           after} writing a resumable snapshot: nothing was lost, re-run

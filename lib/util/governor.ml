@@ -1,5 +1,12 @@
+type expiry_reason = Wall_clock | Poll_budget
+
 exception
-  Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
+  Deadline_exceeded of {
+    stage : string;
+    elapsed : float;
+    deadline : float;
+    reason : expiry_reason;
+  }
 
 exception Interrupted of { stage : string; checkpoint : string }
 
@@ -8,9 +15,14 @@ type deadline_mode = Degrade | Snapshot
 type outcome =
   | Continue
   | Checkpoint_due
-  | Expired of { elapsed : float; deadline : float; resumable : bool }
+  | Expired of {
+      elapsed : float;
+      deadline : float;
+      resumable : bool;
+      reason : expiry_reason;
+    }
 
-type t = {
+type governed = {
   started : float;
   deadline : float option;
   mode : deadline_mode;
@@ -19,6 +31,19 @@ type t = {
   mutable polls : int;
   mutable last_checkpoint : float;
 }
+
+(* The ungoverned default is a dedicated immutable constructor, not a
+   shared record: a single process-wide mutable record accumulated
+   polls/last_checkpoint across every unrelated build (and raced across
+   Domains in concurrent tests). *)
+type t = Unlimited | Governed of governed
+
+let log_src = Logs.Src.create "rs.governor" ~doc:"Resource governor"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_polls = Metrics.counter "governor.polls"
+let m_expiries = Metrics.counter "governor.expiries"
 
 let create ?deadline ?(deadline_mode = Degrade) ?checkpoint_interval
     ?poll_budget () =
@@ -35,64 +60,82 @@ let create ?deadline ?(deadline_mode = Degrade) ?checkpoint_interval
       invalid_arg "Governor.create: poll_budget must be positive"
   | _ -> ());
   let now = Mclock.now () in
-  {
-    started = now;
-    deadline;
-    mode = deadline_mode;
-    checkpoint_interval;
-    poll_budget;
-    polls = 0;
-    last_checkpoint = now;
-  }
+  Governed
+    {
+      started = now;
+      deadline;
+      mode = deadline_mode;
+      checkpoint_interval;
+      poll_budget;
+      polls = 0;
+      last_checkpoint = now;
+    }
 
-let unlimited =
-  {
-    started = 0.;
-    deadline = None;
-    mode = Degrade;
-    checkpoint_interval = None;
-    poll_budget = None;
-    polls = 0;
-    last_checkpoint = 0.;
-  }
+let unlimited = Unlimited
 
-let deadline t = t.deadline
-let elapsed t = Mclock.now () -. t.started
+let deadline = function Unlimited -> None | Governed g -> g.deadline
 
-let expired t =
-  (match t.deadline with None -> false | Some d -> elapsed t > d)
-  || match t.poll_budget with None -> false | Some b -> t.polls >= b
+let elapsed = function
+  | Unlimited -> 0.
+  | Governed g -> Mclock.now () -. g.started
+
+let expired = function
+  | Unlimited -> false
+  | Governed g ->
+      (match g.deadline with
+      | None -> false
+      | Some d -> Mclock.now () -. g.started > d)
+      || (match g.poll_budget with None -> false | Some b -> g.polls >= b)
+
+let describe_expiry ~reason ~elapsed ~deadline =
+  match reason with
+  | Wall_clock ->
+      Printf.sprintf "%.3fs elapsed (deadline %.3fs)" elapsed deadline
+  | Poll_budget ->
+      Printf.sprintf "%.0f of %.0f polls (poll budget exhausted)" elapsed
+        deadline
 
 (* One reading per poll; the poll sits at DP row boundaries (never per
    state), so the clock read is amortized over a full row of work. *)
 let poll t =
-  t.polls <- t.polls + 1;
-  let now = Mclock.now () in
-  let over_deadline =
-    match t.deadline with
-    | Some d when now -. t.started > d ->
-        Some (now -. t.started, d)
-    | _ -> None
-  in
-  let over_budget =
-    match t.poll_budget with
-    | Some b when t.polls >= b -> Some (float_of_int t.polls, float_of_int b)
-    | _ -> None
-  in
-  match (over_deadline, over_budget) with
-  | Some (e, d), _ | None, Some (e, d) ->
-      Expired { elapsed = e; deadline = d; resumable = t.mode = Snapshot }
-  | None, None -> (
-      match t.checkpoint_interval with
-      | Some i when now -. t.last_checkpoint >= i ->
-          t.last_checkpoint <- now;
-          Checkpoint_due
-      | _ -> Continue)
+  match t with
+  | Unlimited -> Continue
+  | Governed g -> (
+      Metrics.incr m_polls;
+      g.polls <- g.polls + 1;
+      let now = Mclock.now () in
+      let over_deadline =
+        match g.deadline with
+        | Some d when now -. g.started > d -> Some (now -. g.started, d)
+        | _ -> None
+      in
+      let over_budget =
+        match g.poll_budget with
+        | Some b when g.polls >= b ->
+            Some (float_of_int g.polls, float_of_int b)
+        | _ -> None
+      in
+      let expire ~reason (e, d) =
+        Metrics.incr m_expiries;
+        Log.debug (fun m ->
+            m "expired: %s" (describe_expiry ~reason ~elapsed:e ~deadline:d));
+        Expired
+          { elapsed = e; deadline = d; resumable = g.mode = Snapshot; reason }
+      in
+      match (over_deadline, over_budget) with
+      | Some e, _ -> expire ~reason:Wall_clock e
+      | None, Some e -> expire ~reason:Poll_budget e
+      | None, None -> (
+          match g.checkpoint_interval with
+          | Some i when now -. g.last_checkpoint >= i ->
+              g.last_checkpoint <- now;
+              Checkpoint_due
+          | _ -> Continue))
 
 let check t ~stage =
   match poll t with
   | Continue | Checkpoint_due -> ()
-  | Expired { elapsed; deadline; resumable = _ } ->
+  | Expired { elapsed; deadline; resumable = _; reason } ->
       (* check is the non-resumable entry point: engines without a
          snapshot hook degrade regardless of the governor's mode. *)
-      raise (Deadline_exceeded { stage; elapsed; deadline })
+      raise (Deadline_exceeded { stage; elapsed; deadline; reason })

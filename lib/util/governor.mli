@@ -18,8 +18,21 @@
       {!deadline_mode} asks for a resumable snapshot instead of
       degradation. *)
 
+type expiry_reason =
+  | Wall_clock  (** the [deadline] (seconds) passed *)
+  | Poll_budget  (** the [poll_budget] (poll count) is exhausted *)
+(** Why a governor expired.  The [elapsed]/[deadline] payload fields
+    are seconds under [Wall_clock] but {e poll counts} under
+    [Poll_budget] — always branch on the reason (or use
+    {!describe_expiry}) before rendering them. *)
+
 exception
-  Deadline_exceeded of { stage : string; elapsed : float; deadline : float }
+  Deadline_exceeded of {
+    stage : string;
+    elapsed : float;
+    deadline : float;
+    reason : expiry_reason;
+  }
 
 exception Interrupted of { stage : string; checkpoint : string }
 (** Raised by a checkpoint-capable engine {e after} it has written a
@@ -39,10 +52,17 @@ type outcome =
   | Checkpoint_due
       (** the checkpoint cadence elapsed; write a snapshot and carry on
           (the interval timer restarts at this signal) *)
-  | Expired of { elapsed : float; deadline : float; resumable : bool }
+  | Expired of {
+      elapsed : float;
+      deadline : float;
+      resumable : bool;
+      reason : expiry_reason;
+    }
       (** deadline or poll budget exhausted; [resumable] reflects
-          {!deadline_mode} = {!Snapshot}.  Engines without a snapshot
-          path must treat it as {!Deadline_exceeded}. *)
+          {!deadline_mode} = {!Snapshot}; [reason] says which limit
+          fired and hence what unit [elapsed]/[deadline] carry.
+          Engines without a snapshot path must treat it as
+          {!Deadline_exceeded}. *)
 
 type t
 
@@ -58,16 +78,22 @@ val create :
     expires the governor at the Nth {!poll}/{!check} — a deterministic,
     work-based deadline (used by kill-and-resume tests and batch
     schedulers that think in rows, not seconds); its [Expired] payload
-    reports polls as [elapsed]/[deadline].  [checkpoint_interval]
-    (seconds, [0.] = every poll) enables [Checkpoint_due] signalling.
-    Raises [Invalid_argument] on a non-positive deadline or budget. *)
+    reports polls as [elapsed]/[deadline], tagged [Poll_budget].
+    [checkpoint_interval] (seconds, [0.] = every poll) enables
+    [Checkpoint_due] signalling.  Raises [Invalid_argument] on a
+    non-positive deadline or budget. *)
 
 val unlimited : t
-(** Never expires, never requests checkpoints ([check] never raises). *)
+(** Never expires, never requests checkpoints ([check] never raises).
+    Immutable and freely shareable: polling it mutates nothing, so the
+    process-wide default cannot leak state between unrelated builds or
+    race across domains. *)
 
 val deadline : t -> float option
+
 val elapsed : t -> float
-(** Monotonic seconds since [create]. *)
+(** Monotonic seconds since [create]; [0.] for [unlimited] (it has no
+    start time). *)
 
 val expired : t -> bool
 (** Whether the deadline has passed or the poll budget is exhausted
@@ -81,3 +107,14 @@ val check : t -> stage:string -> unit
 (** Raise [Deadline_exceeded] if the governor expired, tagging the
     failure with [stage] for the degradation report; [Checkpoint_due]
     signals are consumed silently.  Counts against [poll_budget]. *)
+
+val describe_expiry :
+  reason:expiry_reason -> elapsed:float -> deadline:float -> string
+(** Render an expiry payload in the units its [reason] implies:
+    ["1.204s elapsed (deadline 1.000s)"] for [Wall_clock],
+    ["12 of 16 polls (poll budget exhausted)"] for [Poll_budget].
+    Every formatter that prints an expiry must go through this (or
+    branch on the reason itself) — poll counts are not seconds. *)
+
+val log_src : Logs.src
+(** The [rs.governor] log source. *)

@@ -1,0 +1,70 @@
+(* One parser and one reporter for the RS_LOG / RS_METRICS contract.
+   This replaces the CLI-only setup_logs that silently ignored unknown
+   RS_LOG values and left bench/examples without any reporter. *)
+
+let accepted = "debug, info, warning, error, off"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok (Some Logs.Debug)
+  | "info" -> Ok (Some Logs.Info)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "error" -> Ok (Some Logs.Error)
+  | "off" | "quiet" -> Ok None
+  | other ->
+      Error
+        (Printf.sprintf "unknown RS_LOG level %S (accepted: %s)" other accepted)
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let metrics_env_requested () =
+  match Sys.getenv_opt "RS_METRICS" with Some v -> truthy v | None -> false
+
+let reporter_installed = ref false
+
+(* Like Logs.format_reporter, but leading with the source name — the
+   per-subsystem sources (rs.dp, rs.pool, ...) are the whole point, and
+   the stock reporter only prints the executable name. *)
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags:_ fmt ->
+    let label =
+      match header with
+      | Some h -> h
+      | None -> (
+          match level with
+          | Logs.App -> ""
+          | l -> String.uppercase_ascii (Logs.level_to_string (Some l)))
+    in
+    Format.kfprintf k Format.err_formatter
+      ("%s: [%s] @[" ^^ fmt ^^ "@]@.")
+      (Logs.Src.name src) label
+  in
+  { Logs.report }
+
+let install_reporter () =
+  if not !reporter_installed then begin
+    reporter_installed := true;
+    Logs.set_reporter (reporter ())
+  end
+
+let setup_from_env () =
+  (match Sys.getenv_opt "RS_LOG" with
+  | None -> ()
+  | Some v -> (
+      match level_of_string v with
+      | Ok level ->
+          Logs.set_level level;
+          if level <> None then install_reporter ()
+      | Error msg -> Printf.eprintf "range_synopsis: %s\n%!" msg));
+  if metrics_env_requested () then begin
+    Metrics.enable ();
+    Trace.enable ()
+  end

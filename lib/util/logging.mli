@@ -1,0 +1,24 @@
+(** Shared [Logs] setup for every executable (CLI, bench, examples).
+
+    One environment contract, parsed in one place:
+
+    - [RS_LOG=debug|info|warning|warn|error|off] sets the global log
+      level and installs the format reporter.  An unknown value prints
+      a warning to stderr naming the accepted levels (it is never
+      silently ignored).
+    - [RS_METRICS=1] (or [true]/[yes]/[on]) enables the {!Metrics}
+      registry and {!Trace} spans for the whole run. *)
+
+val level_of_string : string -> (Logs.level option, string) result
+(** Parse an [RS_LOG] value.  [Ok None] means logging off (["off"] /
+    ["quiet"]); [Error msg] names the unknown value and the accepted
+    ones. *)
+
+val metrics_env_requested : unit -> bool
+(** Whether [RS_METRICS] is set to a truthy value ([1]/[true]/[yes]/[on],
+    case-insensitive). *)
+
+val setup_from_env : unit -> unit
+(** Apply the environment contract above.  Idempotent: the reporter is
+    installed at most once per process, and repeated calls only
+    re-read the environment. *)

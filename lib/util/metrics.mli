@@ -1,0 +1,84 @@
+(** Process-local metrics registry: named counters, gauges, and
+    bucketed timing histograms.
+
+    Recording follows the {!Faults.trip} discipline: when the registry
+    is disabled (the default), every recording call is a single branch
+    on one [bool ref] — no lookup, no allocation, no formatting — so
+    instrumentation can live permanently at the engines' coarse
+    boundaries without taxing a production build.  Even when enabled,
+    recording sites must sit at the same coarse boundaries as
+    {!Governor.poll}: once per DP row, per pool chunk, per ladder rung,
+    per checkpoint write, per store op — never per DP state, and only
+    on the coordinator under {!Pool} (workers hand their deltas to the
+    coordinator, which records them at the chunk barrier).
+
+    Handles ([counter]/[gauge]/[histogram]) are interned once — usually
+    at module initialisation — and then recorded through directly.
+    Registration is mutex-protected (safe from any domain); recording
+    is unsynchronised and therefore coordinator-/single-domain-only,
+    exactly like the rest of the coordinator-only machinery. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Intern (or find) the counter named [name].  Names are dot-separated
+    lowercase identifiers (["opt_a.states"]); the live registry is the
+    name registry documented in DESIGN.md §12. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+(** Timing histogram over fixed logarithmic bucket bounds from 1µs to
+    100s (plus an overflow bucket); observations are seconds. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val count : string -> int -> unit
+(** Dynamic-name convenience: [add (counter name) n], with the registry
+    lookup performed only when enabled.  For call sites too cold to
+    bother interning (ladder outcomes, store ops). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run [f] with recording enabled, restoring the previous state. *)
+
+val reset : unit -> unit
+(** Zero every registered value (registrations persist). *)
+
+(** {2 Reporting} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+      (** cumulative-style [(upper_bound_seconds, count_in_bucket)];
+          the final entry's bound is [infinity] (the overflow bucket). *)
+}
+
+type report = {
+  r_counters : (string * int) list;
+  r_gauges : (string * float) list;
+  r_histograms : (string * hist_snapshot) list;
+}
+(** All association lists sorted by name, so reports are deterministic. *)
+
+val report : unit -> report
+
+val to_json : unit -> string
+(** The report as a JSON object:
+    [{"schema": "rs-metrics-v1", "counters": {..}, "gauges": {..},
+      "histograms": {name: {"count", "sum", "max", "buckets":
+      [{"le", "count"}, ...]}}}].  The overflow bucket's bound is the
+    string ["+inf"]; every other value is a finite JSON number. *)
+
+val write_json : string -> unit
+(** Write {!to_json} to a file (plain write; a metrics report is
+    advisory, not durable state). *)

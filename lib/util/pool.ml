@@ -11,6 +11,17 @@
    so the surfaced exception is deterministic whenever the failures
    are. *)
 
+let log_src = Logs.Src.create "rs.pool" ~doc:"Level-parallel worker pool"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Chunk accounting happens on the coordinator only, once per [run]
+   call (= one chunk barrier) — workers never touch the registry, and
+   the [jobs = 1] path stays completely uninstrumented so a default
+   build pays nothing (DESIGN.md §10, §12). *)
+let m_chunks = Metrics.counter "pool.chunks"
+let m_chunk_seconds = Metrics.histogram "pool.chunk.seconds"
+
 type job = { hi : int; body : int -> unit }
 
 type t = {
@@ -92,6 +103,7 @@ let create ~jobs =
     }
   in
   t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  Log.debug (fun m -> m "pool up: %d workers (%d spawned domains)" jobs (jobs - 1));
   t
 
 let run t ~lo ~hi body =
@@ -101,6 +113,8 @@ let run t ~lo ~hi body =
       body i
     done
   else begin
+    let timed = Metrics.enabled () in
+    let t0 = if timed then Mclock.now () else 0. in
     let job = { hi; body } in
     Mutex.lock t.mutex;
     Atomic.set t.next lo;
@@ -120,6 +134,10 @@ let run t ~lo ~hi body =
     let failures = t.failures in
     t.failures <- [];
     Mutex.unlock t.mutex;
+    if timed then begin
+      Metrics.incr m_chunks;
+      Metrics.observe m_chunk_seconds (Mclock.now () -. t0)
+    end;
     match failures with
     | [] -> ()
     | first :: rest ->

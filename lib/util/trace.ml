@@ -1,0 +1,56 @@
+(* Bounded span ring.  Same discipline as Metrics: one branch when
+   disabled, coordinator-only when enabled. *)
+
+type span = { sp_name : string; sp_start : float; sp_duration : float }
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let capacity = 512
+
+let ring : span option array = Array.make capacity None
+let next = ref 0 (* total spans ever recorded; write slot is next mod cap *)
+
+let record sp =
+  ring.(!next mod capacity) <- Some sp;
+  next := !next + 1
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let t0 = Mclock.now () in
+    let finish () =
+      let dt = Mclock.now () -. t0 in
+      record { sp_name = name; sp_start = t0; sp_duration = dt };
+      if Metrics.enabled () then
+        Metrics.observe (Metrics.histogram ("span." ^ name)) dt
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let spans () =
+  let total = !next in
+  let n = min total capacity in
+  let first = total - n in
+  List.init n (fun i ->
+      match ring.((first + i) mod capacity) with
+      | Some sp -> sp
+      | None -> assert false)
+
+let clear () =
+  Array.fill ring 0 capacity None;
+  next := 0
+
+let dump ppf =
+  List.iter
+    (fun sp ->
+      Format.fprintf ppf "%s %.6f %.6f@." sp.sp_name sp.sp_start sp.sp_duration)
+    (spans ())

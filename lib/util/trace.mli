@@ -1,0 +1,36 @@
+(** Trace spans over the coarse engine boundaries.
+
+    A span is a named, timed region — a DP level, a pool chunk, a
+    ladder rung, a checkpoint write, a store op.  Spans obey the same
+    two rules as {!Metrics} recording (DESIGN.md §12): O(1) when
+    disabled ({!with_span} is then just [f ()] behind one branch), and
+    coordinator-only under {!Pool} — never opened per DP state, never
+    from a worker body.
+
+    Completed spans land in a bounded in-memory ring (oldest dropped
+    first) and, when {!Metrics} is also enabled, feed the timing
+    histogram ["span.<name>"]. *)
+
+type span = { sp_name : string; sp_start : float; sp_duration : float }
+(** [sp_start] is a {!Mclock.now} timestamp (seconds since boot);
+    [sp_duration] is in seconds. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span around it when
+    tracing is enabled.  The span is recorded even if [f] raises. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val capacity : int
+(** Ring size; once more than [capacity] spans complete, the oldest are
+    dropped. *)
+
+val spans : unit -> span list
+(** Completed spans, oldest first. *)
+
+val clear : unit -> unit
+
+val dump : Format.formatter -> unit
+(** Render the ring, one ["<name> <start> <duration>"] line per span. *)

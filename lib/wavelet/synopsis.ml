@@ -1,4 +1,10 @@
 module Checks = Rs_util.Checks
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
+
+let log_src = Logs.Src.create "rs.wavelet" ~doc:"Wavelet synopsis selection"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type domain = Data | Prefix_sums
 
@@ -159,6 +165,8 @@ let residual_sse ~n w kept =
 let range_optimal data ~b =
   check_data data;
   let b = Checks.positive ~name:"Synopsis.range_optimal b" b in
+  Trace.with_span "wavelet.select" @@ fun () ->
+  Metrics.count "wavelet.selections" 1;
   let n = Array.length data in
   let w = prefix_transform data in
   (* The scaling coefficient is free for range queries: exclude it from
@@ -198,6 +206,10 @@ let range_optimal_for_sse data ~max_sse =
     incr keep
   done;
   let coeffs = Array.init !keep (fun k -> (order.(k), w.(order.(k)))) in
+  Metrics.count "wavelet.selections" 1;
+  Log.debug (fun m ->
+      m "range_optimal_for_sse: kept %d coefficients for max_sse %.4g" !keep
+        max_sse);
   let syn =
     make ~domain:Prefix_sums ~n ~padded ~name:"wave-range-opt" coeffs
   in

@@ -40,7 +40,9 @@ let e_corrupt = Error.Corrupt_synopsis { line = 7; reason = "r" }
 let e_budget =
   Error.Budget_exhausted { stage = "opt-a"; states_used = 10; limit = 5 }
 
-let e_timeout = Error.Timeout { stage = "dp"; elapsed = 2.; deadline = 1. }
+let e_timeout =
+  Error.Timeout
+    { stage = "dp"; elapsed = 2.; deadline = 1.; reason = Governor.Wall_clock }
 let e_io = Error.Io_failure { path = "/nope"; reason = "r" }
 let e_invalid = Error.Invalid_input "bad"
 
@@ -157,7 +159,7 @@ let test_governor_basics () =
     (Governor.deadline g);
   spin_until_expired g;
   match Governor.check g ~stage:"spin" with
-  | exception Governor.Deadline_exceeded { stage = "spin"; elapsed; deadline }
+  | exception Governor.Deadline_exceeded { stage = "spin"; elapsed; deadline; _ }
     ->
       Alcotest.(check bool) "elapsed past deadline" true (elapsed >= deadline)
   | () -> Alcotest.fail "expected Deadline_exceeded"
