@@ -498,6 +498,174 @@ let obs_overhead () =
   in
   print_string (E.Claims.table (record [ verdict ]))
 
+(* G6: fault-tolerant segmented builds.  Three measurements on one
+   dataset: (a) segmented vs monolithic build time at jobs = 1 and 4
+   (coarse one-domain-per-segment parallelism vs the level-parallel
+   DP); (b) the greedy cross-segment planner vs a uniform split, which
+   must win on the skewed dataset while never exceeding the global
+   budget; (c) a kill-at-a-segment-boundary resume round-trip, which
+   must reproduce the uninterrupted build bit-for-bit.  Raw numbers go
+   to BENCH_PR6.json; (b) and (c) are claim verdicts, (a) is recorded
+   but never asserted (a speedup is unobservable on one core). *)
+let segmented_bench () =
+  section "G6: fault-tolerant segmented builds (supervisor + planner)";
+  let module Sup = Rs_core.Supervisor in
+  let module Seg = Rs_core.Segmented in
+  let module G = Rs_util.Governor in
+  let ds = Dataset.generate (if quick then "zipf-1024" else "zipf-2048") in
+  let method_name = "point-opt" in
+  let budget_words = 96 in
+  let segments = 8 in
+  let build ~planner ~jobs =
+    let options = { options with Builder.jobs } in
+    E.Timing.time (fun () ->
+        match
+          Sup.build ~options ~planner ds ~method_name ~budget_words ~segments
+        with
+        | Ok (t, report) -> (t, report)
+        | Error e -> failwith (Rs_util.Error.to_string e))
+  in
+  let (seg_greedy, _), seg_s1 = build ~planner:`Greedy ~jobs:1 in
+  let (seg_greedy4, _), seg_s4 = build ~planner:`Greedy ~jobs:4 in
+  let (seg_uniform, _), _ = build ~planner:`Uniform ~jobs:1 in
+  let mono_time jobs =
+    let options = { options with Builder.jobs } in
+    snd
+      (E.Timing.time (fun () ->
+           ignore (Builder.build ~options ds ~method_name ~budget_words)))
+  in
+  let mono_s1 = mono_time 1 in
+  let mono_s4 = mono_time 4 in
+  let sse_greedy = Seg.sse ds seg_greedy in
+  let sse_uniform = Seg.sse ds seg_uniform in
+  let greedy_words = Seg.storage_words seg_greedy in
+  let uniform_words = Seg.storage_words seg_uniform in
+  Printf.printf "build time (n=%d, %s, %dw, %d segments):\n" (Dataset.n ds)
+    method_name budget_words segments;
+  Printf.printf "  monolithic  jobs=1 %.3fs   jobs=4 %.3fs\n" mono_s1 mono_s4;
+  Printf.printf "  segmented   jobs=1 %.3fs   jobs=4 %.3fs\n" seg_s1 seg_s4;
+  Printf.printf "planner SSE: greedy %.6g (%dw)  uniform %.6g (%dw)\n"
+    sse_greedy greedy_words sse_uniform uniform_words;
+  (* (c) kill at a segment boundary, then resume.  The supervisor's
+     boundary governor expires deterministically (poll budget, Snapshot
+     mode), the manifest pins the completed segments, and the resumed
+     build must deliver the same bytes as an uninterrupted one. *)
+  let rds = Dataset.generate "zipf-256" in
+  let rsegs = 8 and rbudget = 64 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rs_bench_seg.%d" (Unix.getpid ()))
+  in
+  let clean () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then (
+            Array.iter (fun g -> Sys.remove (Filename.concat p g))
+              (Sys.readdir p);
+            Unix.rmdir p)
+          else Sys.remove p)
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  clean ();
+  let baseline =
+    match
+      Sup.build ~planner:`Uniform rds ~method_name:"opt-a"
+        ~budget_words:rbudget ~segments:rsegs
+    with
+    | Ok (t, _) -> Seg.to_string t
+    | Error e -> failwith (Rs_util.Error.to_string e)
+  in
+  (* expire at the 4th boundary poll: segments 0-2 committed, the rest
+     pending *)
+  let kill_governor = G.create ~deadline_mode:G.Snapshot ~poll_budget:4 () in
+  let options_kill = { options with Builder.governor = kill_governor } in
+  let interrupted =
+    match
+      Sup.build ~options:options_kill ~planner:`Uniform ~manifest_dir:dir rds
+        ~method_name:"opt-a" ~budget_words:rbudget ~segments:rsegs
+    with
+    | Error (Rs_util.Error.Interrupted _) -> true
+    | Ok _ | Error _ -> false
+  in
+  let resumed =
+    match
+      Sup.build ~planner:`Uniform ~manifest_dir:dir ~resume:true rds
+        ~method_name:"opt-a" ~budget_words:rbudget ~segments:rsegs
+    with
+    | Ok (t, report) ->
+        Some (Seg.to_string t, report)
+    | Error _ -> None
+  in
+  clean ();
+  let resumed_count =
+    match resumed with
+    | Some (_, report) ->
+        Array.fold_left
+          (fun acc (s : Sup.seg_report) -> if s.Sup.resumed then acc + 1 else acc)
+          0 report.Sup.segs
+    | None -> 0
+  in
+  let roundtrip =
+    interrupted
+    && (match resumed with Some (bytes, _) -> bytes = baseline | None -> false)
+    && resumed_count = 3
+  in
+  let planner_holds =
+    sse_greedy <= sse_uniform
+    && greedy_words <= budget_words
+    && uniform_words <= budget_words
+  in
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"dataset\": %S,\n" (Dataset.name ds);
+  Printf.fprintf oc "  \"method\": %S,\n" method_name;
+  Printf.fprintf oc "  \"budget_words\": %d,\n" budget_words;
+  Printf.fprintf oc "  \"segments\": %d,\n" segments;
+  Printf.fprintf oc "  \"monolithic_seconds\": {\"jobs1\": %.6f, \"jobs4\": %.6f},\n"
+    mono_s1 mono_s4;
+  Printf.fprintf oc "  \"segmented_seconds\": {\"jobs1\": %.6f, \"jobs4\": %.6f},\n"
+    seg_s1 seg_s4;
+  Printf.fprintf oc "  \"planner\": {\"greedy_sse\": %.17g, \"uniform_sse\": %.17g, \
+                     \"greedy_words\": %d, \"uniform_words\": %d},\n"
+    sse_greedy sse_uniform greedy_words uniform_words;
+  Printf.fprintf oc "  \"resume\": {\"interrupted\": %b, \"resumed_segments\": %d, \
+                     \"bit_identical\": %b},\n"
+    interrupted resumed_count roundtrip;
+  Printf.fprintf oc "  \"jobs4_bit_identical\": %b\n}\n"
+    (Seg.to_string seg_greedy = Seg.to_string seg_greedy4);
+  close_out oc;
+  Printf.printf "\n(wrote BENCH_PR6.json)\n";
+  let verdicts =
+    [
+      {
+        E.Claims.claim_id = "G6a";
+        description =
+          "the greedy cross-segment planner never beats the budget and never \
+           loses to a uniform split on the skewed dataset";
+        measured =
+          Printf.sprintf "greedy SSE %.6g (%dw) vs uniform %.6g (%dw), budget %dw"
+            sse_greedy greedy_words sse_uniform uniform_words budget_words;
+        holds = planner_holds;
+      };
+      {
+        E.Claims.claim_id = "G6b";
+        description =
+          "a segmented build killed at a segment boundary resumes from its \
+           manifest (skipping the committed segments) and reproduces the \
+           uninterrupted synopsis bit-for-bit";
+        measured =
+          Printf.sprintf "interrupted=%b, resumed_segments=%d, bit_identical=%b"
+            interrupted resumed_count roundtrip;
+        holds = roundtrip;
+      };
+    ]
+  in
+  print_string (E.Claims.table (record verdicts))
+
 (* --- Bechamel timing benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -571,6 +739,7 @@ let () =
   jobs_sweep ();
   engine_bench ();
   obs_overhead ();
+  segmented_bench ();
   if not no_bechamel then run_bechamel ();
   match List.rev !failed_claims with
   | [] -> Printf.printf "\ndone.\n"

@@ -16,8 +16,10 @@
    Exit codes follow Rs_util.Error.exit_code: 0 success, 2 bad input
    (dataset, method, IO), 3 corrupt synopsis or checkpoint, 4 state
    budget or deadline exhausted, 5 interrupted but resumable (a
-   snapshot was written; re-run with --resume) — cmdliner reserves
-   124/125 for CLI errors. *)
+   snapshot was written; re-run with --resume), 6 completed but
+   degraded (a --segments build delivered a cheaper method than
+   requested on some segment) — cmdliner reserves 124/125 for CLI
+   errors. *)
 
 open Cmdliner
 module Dataset = Rs_core.Dataset
@@ -141,13 +143,20 @@ let options_of ?(jobs = env_jobs) ?(engine = env_engine) quick states =
 let options_of_quick quick = options_of quick None
 
 (* Typed errors become distinct exit codes (see Rs_util.Error.exit_code);
-   everything the library reports lands here as an Error.t. *)
-let wrap f =
+   everything the library reports lands here as an Error.t.  [wrap_code]
+   lets a command pick its own success code (the segmented build's
+   completed-with-degradation 6). *)
+let wrap_code f =
   match Error.guard f with
-  | Ok () -> 0
+  | Ok code -> code
   | Error e ->
       Printf.eprintf "rs_cli: %s\n%!" (Error.to_string e);
       Error.exit_code e
+
+let wrap f =
+  wrap_code (fun () ->
+      f ();
+      0)
 
 let exits =
   Cmd.Exit.defaults
@@ -159,6 +168,11 @@ let exits =
         ~doc:
           "interrupted but resumable: the deadline expired and a checkpoint \
            was written; re-run with --resume to continue.";
+      Cmd.Exit.info 6
+        ~doc:
+          "completed with degradation: a --segments build delivered a \
+           cheaper method than requested on one or more segments (see the \
+           per-segment report).";
     ]
 
 let command name ~doc term = Cmd.v (Cmd.info name ~doc ~exits) term
@@ -239,13 +253,68 @@ let build_cmd =
                      to $(docv).  RS_METRICS=1 instead dumps the report to \
                      stderr.")
   in
+  let segments_arg =
+    Arg.(value & opt (some int) None
+           & info [ "segments" ] ~docv:"S"
+               ~doc:"Segmented build: split the domain into $(docv) contiguous \
+                     segments and build one synopsis per segment under the \
+                     fault-tolerant supervisor (per-segment retry with \
+                     backoff, degradation down the method ladder, crash-safe \
+                     resume via --checkpoint-dir).  Ranges are answered by \
+                     composition (exact interior totals + boundary \
+                     estimates).  Exits 6 when the build completed but some \
+                     segment degraded.")
+  in
+  let planner_arg =
+    Arg.(value
+           & opt (enum [ ("greedy", `Greedy); ("uniform", `Uniform) ]) `Greedy
+           & info [ "planner" ] ~docv:"PLANNER"
+               ~doc:"Cross-segment budget planner for --segments: $(b,greedy) \
+                     grants words where the marginal range-SSE drop is \
+                     largest; $(b,uniform) splits evenly.")
+  in
+  let run_segmented ~data ~m ~budget ~options ~deadline ~ckpt_dir ~resume
+      ~every ~metrics_out ~save ~planner ~segments =
+    if save <> None then
+      Error.raise_error
+        (Error.Invalid_input
+           "--save is not supported with --segments (use --checkpoint-dir: \
+            the store keeps one entry per segment)");
+    let ds = load_dataset data in
+    let res, dt =
+      E.Timing.time (fun () ->
+          Rs_core.Supervisor.build ~options ?manifest_dir:ckpt_dir ~resume
+            ?deadline ?checkpoint_every:every ~planner ds ~method_name:m
+            ~budget_words:budget ~segments)
+    in
+    let t, report = Error.get res in
+    print_endline (Rs_core.Segmented.describe t);
+    List.iter print_endline (Rs_core.Supervisor.report_lines report);
+    Printf.printf "built in %.3fs\n" dt;
+    Printf.printf "SSE over all ranges: %.6g\n" (Rs_core.Segmented.sse ds t);
+    (match metrics_out with
+    | Some path ->
+        Rs_util.Metrics.write_json path;
+        Printf.printf "metrics written to %s\n" path
+    | None -> ());
+    if Rs_core.Supervisor.degraded report then 6 else 0
+  in
   let run data m budget quick states jobs engine deadline save ckpt_dir resume
-      every metrics_out =
-    wrap (fun () ->
+      every metrics_out segments planner =
+    wrap_code (fun () ->
         if metrics_out <> None then begin
           Rs_util.Metrics.enable ();
           Rs_util.Trace.enable ()
         end;
+        match segments with
+        | Some segments ->
+            if resume && ckpt_dir = None then
+              Error.raise_error
+                (Error.Invalid_input "--resume requires --checkpoint-dir");
+            let options = options_of ~jobs ~engine quick states in
+            run_segmented ~data ~m ~budget ~options ~deadline ~ckpt_dir ~resume
+              ~every ~metrics_out ~save ~planner ~segments
+        | None ->
         let checkpoint_path =
           Option.map
             (fun dir ->
@@ -285,18 +354,19 @@ let build_cmd =
             Rs_core.Codec.save s path;
             Printf.printf "saved to %s\n" path
         | None -> ());
-        match metrics_out with
+        (match metrics_out with
         | Some path ->
             Rs_util.Metrics.write_json path;
             Printf.printf "metrics written to %s\n" path
-        | None -> ())
+        | None -> ());
+        0)
   in
   command "build" ~doc:"Build a synopsis and report its quality."
     Term.(
       const run $ dataset_arg $ method_arg $ budget_arg $ quick_arg
       $ opt_a_states_arg $ jobs_arg $ engine_arg $ deadline_arg $ save_arg
       $ checkpoint_dir_arg $ resume_arg $ checkpoint_every_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ segments_arg $ planner_arg)
 
 (* --- query --- *)
 

@@ -152,6 +152,24 @@ let registry : (string * int * kind) list =
 
 let methods = List.map (fun (name, _, _) -> name) registry
 
+(* The supervisor's cross-method degradation ladder: which cheaper
+   methods to fall back to when a per-segment build keeps failing.
+   Mirrors OPT-A's internal ladder (exact -> rounded -> A0) and gives
+   every other bucketed histogram the A0 polynomial floor; wavelet
+   methods floor at the greedy data-domain TOPBB.  The floors
+   themselves have no fallback — below them there is nothing cheaper
+   that still answers range queries. *)
+let fallback_ladder name =
+  match name with
+  | "opt-a" -> [ "opt-a-rounded"; "a0" ]
+  | "opt-a-rounded" | "opt-a-reopt" -> [ "a0" ]
+  | "a0" | "naive" | "topbb" -> []
+  | _ -> (
+      match List.find_opt (fun (n, _, _) -> n = name) registry with
+      | Some (_, _, Hist _) -> [ "a0" ]
+      | Some (_, _, Wave _) -> [ "topbb" ]
+      | None -> [])
+
 let lookup name =
   match List.find_opt (fun (n, _, _) -> n = name) registry with
   | Some entry -> entry
@@ -273,6 +291,12 @@ let build_result ?(options = default_options) ?deadline ?checkpoint_path
       let governor =
         match (deadline, checkpoint_path, checkpoint_every) with
         | None, None, None -> options.governor
+        | None, _, None when options.governor != Governor.unlimited ->
+            (* A caller-supplied governor (e.g. the supervisor's
+               deterministic poll-budget one) keeps governing even when
+               a checkpoint path is armed — the path only says where
+               snapshots go, not when to expire. *)
+            options.governor
         | _ ->
             (* A checkpoint path turns deadline expiry into
                snapshot-and-exit instead of ladder degradation. *)
@@ -304,9 +328,7 @@ let build_result ?(options = default_options) ?deadline ?checkpoint_path
           | exception Governor.Interrupted { stage; checkpoint } ->
               Error (Error.Interrupted { stage; checkpoint })
           | exception Rs_util.Faults.Injected { site; reason } ->
-              Error
-                (Error.Invalid_input
-                   (Printf.sprintf "injected fault at %s: %s" site reason))
+              Error (Error.injected ~site ~reason)
         in
         (match res with
         | Ok _ ->

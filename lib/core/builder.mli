@@ -60,6 +60,14 @@ val default_options : options
 val methods : string list
 (** All accepted method names, in presentation order. *)
 
+val fallback_ladder : string -> string list
+(** The cross-method degradation ladder {!Rs_core.Supervisor} walks
+    when a per-segment build keeps failing: cheaper methods to try in
+    order.  ["opt-a"] → [["opt-a-rounded"; "a0"]]; every other
+    histogram method floors at [["a0"]]; wavelet methods floor at
+    [["topbb"]]; the floors (["a0"], ["naive"], ["topbb"]) and unknown
+    names return [[]]. *)
+
 val words_per_unit : string -> int
 (** Storage words per bucket/coefficient for the named method.
     Raises [Invalid_argument] on unknown names. *)

@@ -11,6 +11,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let manifest_kind = "rs-store-manifest-v1"
 let manifest_file = "MANIFEST"
+let build_manifest_kind = "rs-build-manifest-v1"
+let build_manifest_file = "BUILD"
 let quarantine_dir = "quarantine"
 let entry_ext = ".rs"
 
@@ -29,6 +31,7 @@ let dir t = t.dir
 let valid_name name =
   name <> ""
   && name <> manifest_file
+  && name <> build_manifest_file
   && String.for_all
        (function
          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
@@ -208,6 +211,35 @@ let quarantine t file =
      Error.raise_error
        (Error.Io_failure
           { path = Filename.concat t.dir file; reason = Unix.error_message e }))
+
+(* --- segmented build manifest (Rs_core.Supervisor) ---
+
+   A second, independent manifest kind living beside MANIFEST in the
+   same directory: the supervisor's record of per-segment build status.
+   Same CRC framing and atomic-write discipline; a distinct [kind] tag
+   so a store manifest can never be mistaken for a build manifest.  The
+   BUILD file is invisible to entry scans ([name_of_file] wants the
+   [.rs] suffix) and reserved by [valid_name], so fsck and the entry
+   namespace cannot collide with it. *)
+
+let build_manifest_path t = Filename.concat t.dir build_manifest_file
+
+let save_build_manifest t body =
+  Faults.trip "store.manifest";
+  Metrics.count "store.build_manifests" 1;
+  Checkpoint.save ~path:(build_manifest_path t) ~kind:build_manifest_kind body
+
+let load_build_manifest t =
+  let path = build_manifest_path t in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match Checkpoint.load ~path ~kind:build_manifest_kind with
+    | Ok body -> Ok (Some body)
+    | Error e -> Error e
+
+let quarantine_build_manifest t =
+  let path = build_manifest_path t in
+  if Sys.file_exists path then quarantine t build_manifest_file
 
 let fsck t =
   Trace.with_span "store.fsck" @@ fun () ->

@@ -63,6 +63,32 @@ val remove : t -> name:string -> unit
 (** Delete the entry and update the manifest; removing an absent entry
     is a no-op. *)
 
+(** {2 Segmented build manifest}
+
+    {!Rs_core.Supervisor} records per-segment build status in a
+    [BUILD] file beside the store's [MANIFEST]: same
+    {!Rs_util.Checkpoint} CRC framing and atomic-write discipline, but
+    a distinct kind tag ([rs-build-manifest-v1]) so neither manifest
+    can be mistaken for the other.  The [BUILD] name is reserved (not a
+    valid entry name) and ignored by entry scans and {!fsck}. *)
+
+val build_manifest_path : t -> string
+
+val save_build_manifest : t -> string -> unit
+(** Atomically (re)write the build manifest with [body].  Trips the
+    ["store.manifest"] fault seam like the entry manifest; raises
+    [Rs_error (Io_failure _)] on OS failure. *)
+
+val load_build_manifest : t -> (string option, Rs_util.Error.t) result
+(** [Ok None] when no build manifest exists, [Ok (Some body)] when it
+    loads and verifies, [Error (Corrupt_checkpoint _)] when the file is
+    torn or mis-kinded (callers quarantine it and start fresh — never
+    brick the build), [Error (Io_failure _)] when unreadable. *)
+
+val quarantine_build_manifest : t -> unit
+(** Move a damaged build manifest into [quarantine/] (no-op when
+    absent). *)
+
 val fsck : t -> fsck_report
 (** Repair pass: delete stray [*.tmp] files, quarantine entries that
     fail to decode, drop manifest entries whose files vanished, adopt

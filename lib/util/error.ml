@@ -54,6 +54,19 @@ let exit_code = function
 let raise_error e = raise (Rs_error e)
 let fail e = Error e
 
+(* Injected faults surface as Invalid_input with one canonical prefix,
+   so retry logic (Rs_core.Supervisor) can recognise them as transient
+   without a dedicated variant leaking test machinery into the
+   taxonomy. *)
+let injected_prefix = "injected fault at "
+
+let injected ~site ~reason =
+  Invalid_input (Printf.sprintf "%s%s: %s" injected_prefix site reason)
+
+let is_injected = function
+  | Invalid_input m -> String.starts_with ~prefix:injected_prefix m
+  | _ -> false
+
 let guard f =
   match f () with
   | v -> Ok v
@@ -63,7 +76,6 @@ let guard f =
   | exception Sys_error m -> Error (Io_failure { path = "?"; reason = m })
   | exception Governor.Interrupted { stage; checkpoint } ->
       Error (Interrupted { stage; checkpoint })
-  | exception Faults.Injected { site; reason } ->
-      Error (Invalid_input (Printf.sprintf "injected fault at %s: %s" site reason))
+  | exception Faults.Injected { site; reason } -> Error (injected ~site ~reason)
 
 let get = function Ok v -> v | Error e -> raise_error e

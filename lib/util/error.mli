@@ -61,6 +61,14 @@ val raise_error : t -> 'a
 val fail : t -> ('a, t) result
 (** [Error e], for symmetry. *)
 
+val injected : site:string -> reason:string -> t
+(** The canonical rendering of {!Faults.Injected} as an
+    [Invalid_input] — the one place its message shape is defined. *)
+
+val is_injected : t -> bool
+(** Whether [t] came from an injected fault ({!guard}'s conversion of
+    {!Faults.Injected}).  Retry supervisors treat these as transient. *)
+
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run [f], converting [Rs_error] to its payload and the legacy
     untyped exceptions ([Invalid_argument], [Failure], [Sys_error],

@@ -21,6 +21,7 @@ let reset () =
   armed_count := 0
 
 let armed site = !armed_count > 0 && Hashtbl.mem table site
+let any_armed () = !armed_count > 0
 
 let trip site =
   if !armed_count > 0 then

@@ -12,7 +12,12 @@
     ["dataset.load"]; durability seams (see {!Checkpoint}):
     ["atomic.write"], ["atomic.torn"], ["atomic.rename"],
     ["checkpoint.save"], ["checkpoint.load"]; store seams (see
-    {!Rs_core.Store}): ["store.put"], ["store.manifest"]. *)
+    {!Rs_core.Store}): ["store.put"], ["store.manifest"]; segmented
+    supervisor seams (see {!Rs_core.Supervisor}, all coordinator-only):
+    ["segment.build"] (fail a per-segment build attempt before it
+    starts), ["segment.commit"] (fail the durable commit of a finished
+    segment), ["supervisor.abort"] (hard-abort the whole build at a
+    segment boundary — the kill-and-resume simulation; never retried). *)
 
 exception Injected of { site : string; reason : string }
 
@@ -27,6 +32,12 @@ val reset : unit -> unit
 (** Disarm every site — call in test teardown. *)
 
 val armed : string -> bool
+
+val any_armed : unit -> bool
+(** Whether {e any} site is armed — one int compare.  Coordinators that
+    fan out to {!Pool} workers use this to fall back to their
+    sequential path whenever injection is live, keeping every [trip]
+    on the coordinator (worker bodies must never trip seams). *)
 
 val trip : string -> unit
 (** Raise [Injected] if [site] is armed, else return.  O(1); free when

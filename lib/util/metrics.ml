@@ -15,6 +15,11 @@ let with_enabled f =
   on := true;
   Fun.protect ~finally:(fun () -> on := prev) f
 
+let with_disabled f =
+  let prev = !on in
+  on := false;
+  Fun.protect ~finally:(fun () -> on := prev) f
+
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 

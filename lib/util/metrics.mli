@@ -49,6 +49,14 @@ val disable : unit -> unit
 val with_enabled : (unit -> 'a) -> 'a
 (** Run [f] with recording enabled, restoring the previous state. *)
 
+val with_disabled : (unit -> 'a) -> 'a
+(** Run [f] with recording disabled, restoring the previous state.
+    Used by coordinators that fan work out to {!Pool} workers whose
+    bodies would otherwise reach recording sites — the registry is
+    unsynchronised, so recording must be suspended for the parallel
+    region and replayed by the coordinator at the barrier
+    ({!Rs_core.Supervisor} does exactly this around segment builds). *)
+
 val reset : unit -> unit
 (** Zero every registered value (registrations persist). *)
 

@@ -8,6 +8,11 @@ let enabled () = !on
 let enable () = on := true
 let disable () = on := false
 
+let with_disabled f =
+  let prev = !on in
+  on := false;
+  Fun.protect ~finally:(fun () -> on := prev) f
+
 let capacity = 512
 
 let ring : span option array = Array.make capacity None

@@ -23,6 +23,11 @@ val enabled : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
 
+val with_disabled : (unit -> 'a) -> 'a
+(** Run [f] with tracing suspended, restoring the previous state —
+    the span-side twin of {!Metrics.with_disabled}, for coordinators
+    whose parallel region would otherwise record from worker bodies. *)
+
 val capacity : int
 (** Ring size; once more than [capacity] spans complete, the oldest are
     dropped. *)

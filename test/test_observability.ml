@@ -344,6 +344,57 @@ let test_disabled_run_records_nothing () =
     "opt_a.states untouched when disabled" 0
     (counter_value (Metrics.report ()) "opt_a.states")
 
+(* The segmented supervisor suspends observability around every inner
+   build (sequential and parallel alike) and records segment-level
+   counters itself, on the coordinator, at boundary cadence — so
+   counter totals cannot depend on the job count.  The one deliberate
+   exception is "segmented.waves": it counts pool wave barriers, which
+   only exist on the parallel path, so it is excluded from the twin
+   (exactly like "pool.chunks" above). *)
+let segmented_workload ~jobs () =
+  let options =
+    { Rs_core.Builder.default_options with Rs_core.Builder.jobs }
+  in
+  match
+    Rs_core.Supervisor.build ~options ~planner:`Uniform
+      (Rs_core.Dataset.generate "zipf-256")
+      ~method_name:"point-opt" ~budget_words:48 ~segments:6
+  with
+  | Ok (t, _) -> Rs_core.Segmented.to_string t
+  | Error e ->
+      Alcotest.failf "segmented workload failed: %s" (Error.to_string e)
+
+let test_segmented_jobs_invariant_counters () =
+  let seq, par, b1, b4 =
+    with_fresh @@ fun () ->
+    let b1 = segmented_workload ~jobs:1 () in
+    let seq = Metrics.report () in
+    Metrics.reset ();
+    let b4 = segmented_workload ~jobs:4 () in
+    (seq, Metrics.report (), b1, b4)
+  in
+  Alcotest.(check string) "segmented bytes identical across jobs" b1 b4;
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " identical across job counts")
+        (counter_value seq name) (counter_value par name))
+    [
+      "segmented.builds";
+      "segmented.segments";
+      "segmented.segments_completed";
+    ];
+  Alcotest.(check bool)
+    "segments were actually counted" true
+    (counter_value seq "segmented.segments" > 0);
+  let waves r =
+    Option.value ~default:0
+      (List.assoc_opt "segmented.waves" r.Metrics.r_counters)
+  in
+  Alcotest.(check int) "sequential supervisor runs no waves" 0 (waves seq);
+  Alcotest.(check bool)
+    "parallel supervisor records wave barriers" true (waves par > 0)
+
 (* --- JSON report ------------------------------------------------------ *)
 
 (* Minimal structural scanner: brackets balance outside strings, and the
@@ -508,6 +559,8 @@ let () =
         [
           Alcotest.test_case "counters invariant across jobs" `Quick
             test_jobs_invariant_counters;
+          Alcotest.test_case "segmented counters invariant across jobs" `Quick
+            test_segmented_jobs_invariant_counters;
           Alcotest.test_case "disabled run records nothing" `Quick
             test_disabled_run_records_nothing;
         ] );
