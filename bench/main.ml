@@ -666,6 +666,207 @@ let segmented_bench () =
   in
   print_string (E.Claims.table (record verdicts))
 
+(* G7: the fault-tolerant serving daemon.  Three measurements against a
+   store built in a scratch directory: (a) in-process throughput and
+   tail latency of exact single-range queries plus the bound rung under
+   poll-budget pressure; (b) recovery after a kill — a server is
+   abandoned with no orderly shutdown and a fresh one opens the same
+   store; time to first answer is reported, and every probe must come
+   back byte-identical (G7a, the restart-determinism claim); (c) a
+   seeded chaos soak — the same harness the [@serve]/[@fault] gate
+   runs — which must hold every invariant (G7b).  Raw numbers go to
+   BENCH_PR7.json. *)
+let serve_bench () =
+  section "G7: serving daemon (rs_serve)";
+  let module Server = Rs_serve.Server in
+  let module P = Rs_serve.Protocol in
+  let module Chaos = Rs_serve.Chaos in
+  let module Store = Rs_core.Store in
+  let module Rng = Rs_dist.Rng in
+  let module Mclock = Rs_util.Mclock in
+  let ds = Dataset.paper () in
+  let n = Dataset.n ds in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rs_bench_serve.%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let clean () = if Sys.file_exists dir then rm_rf dir in
+  clean ();
+  let store = Store.open_dir dir in
+  List.iter
+    (fun (name, method_name, budget_words) ->
+      Store.put store ~name (Builder.build ds ~method_name ~budget_words))
+    [
+      ("hist", "point-opt", 24);
+      ("sap1", "sap1", 24);
+      ("wave", "wave-range-opt", 24);
+    ];
+  let config ?(cache = 512) ?(queue = 64) () =
+    {
+      (Server.default_config ~store_dir:dir) with
+      Server.dataset = Some ds;
+      cache_capacity = cache;
+      queue_capacity = queue;
+    }
+  in
+  let query ?budget ~id ~synopsis ranges =
+    P.encode_request
+      (P.Query
+         {
+           id = Some id;
+           synopsis;
+           ranges = Array.of_list ranges;
+           deadline_ms = None;
+           poll_budget = budget;
+           attempt = 1;
+         })
+  in
+  let is_rung want line =
+    match P.decode_response line with
+    | Ok (P.Answers { rung; _ }) -> rung = want
+    | _ -> false
+  in
+  (* (a) throughput and p99 latency, one rung at a time.  The cache is
+     sized to zero so every request does real evaluation work. *)
+  let requests = if quick then 400 else 4000 in
+  let latency_sweep ~label ~batch ~budget ~want =
+    let server =
+      match Server.create (config ~cache:0 ()) with
+      | Ok s -> s
+      | Error e -> failwith (Rs_util.Error.to_string e)
+    in
+    let rng = Rng.create 0x9e7 in
+    let lat = Array.make requests 0. in
+    let wrong = ref 0 in
+    let t0 = Mclock.now () in
+    for i = 0 to requests - 1 do
+      let ranges =
+        List.init batch (fun _ ->
+            let a = 1 + Rng.int rng n in
+            let b = a + Rng.int rng (n - a + 1) in
+            (a, b))
+      in
+      let line = query ?budget ~id:(string_of_int i) ~synopsis:"hist" ranges in
+      let s = Mclock.now () in
+      let reply = Server.handle_line server line in
+      lat.(i) <- Mclock.now () -. s;
+      if not (is_rung want reply) then incr wrong
+    done;
+    let total = Mclock.now () -. t0 in
+    Server.close server;
+    Array.sort compare lat;
+    let pct p = lat.(min (requests - 1) (int_of_float (p *. float requests))) in
+    let qps = float requests /. total in
+    Printf.printf
+      "%-12s %7.0f req/s   p50 %7.1f us   p99 %7.1f us   wrong rung %d\n" label
+      qps
+      (pct 0.50 *. 1e6)
+      (pct 0.99 *. 1e6)
+      !wrong;
+    (qps, pct 0.50, pct 0.99, !wrong)
+  in
+  Printf.printf
+    "in-process, %d requests per rung (exact: 1 range, bound: 80 ranges; \
+     n=%d):\n"
+    requests n;
+  let exact_qps, exact_p50, exact_p99, exact_wrong =
+    latency_sweep ~label:"exact" ~batch:1 ~budget:None ~want:P.Exact
+  in
+  let bound_qps, bound_p50, bound_p99, bound_wrong =
+    (* 80 ranges = 2 chunks of exact work, but a 3-poll budget leaves
+       only one working poll after admission: the prefix rung is the
+       cheapest that fits — the degraded-but-bounded path. *)
+    latency_sweep ~label:"bound (b=3)" ~batch:80 ~budget:(Some 3) ~want:P.Bound
+  in
+  (* (b) recovery after a kill: the first server is abandoned without
+     any shutdown; a fresh one must reload the generation from the
+     store and serve the identical bytes. *)
+  let probe_lines =
+    [
+      query ~id:"r1" ~synopsis:"hist" [ (1, n); (3, 17); (n / 2, n) ];
+      query ~id:"r2" ~synopsis:"sap1" [ (1, 5) ];
+      query ~id:"r3" ~synopsis:"wave" [ (2, 64); (1, 1) ];
+      query ~id:"r4" ~synopsis:"hist" ~budget:3 [ (1, 9); (4, 44) ];
+    ]
+  in
+  let first = Chaos.probe (config ()) ~lines:probe_lines in
+  let t0 = Mclock.now () in
+  let second = Chaos.probe (config ()) ~lines:probe_lines in
+  let recovery_s = Mclock.now () -. t0 in
+  let restart_identical = first = second in
+  Printf.printf
+    "recovery after kill: %.3f ms to reopen the store and answer %d probes \
+     (byte-identical: %b)\n"
+    (recovery_s *. 1e3)
+    (List.length probe_lines) restart_identical;
+  (* (c) the seeded soak: same harness as the test gate, bench-sized.
+     Quick mode keeps it under ten seconds. *)
+  let soak_requests = if quick then 150 else 600 in
+  (* A small queue keeps the op mix balanced: overflow bursts scale with
+     the queue capacity and would otherwise eat the request budget. *)
+  let outcome =
+    Chaos.soak ~requests:soak_requests ~seed:0xB7 (config ~queue:4 ~cache:64 ())
+  in
+  Printf.printf "soak: %s\n" (Format.asprintf "%a" Chaos.pp_outcome outcome);
+  clean ();
+  let soak_holds = outcome.Chaos.violations = [] in
+  let oc = open_out "BENCH_PR7.json" in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"dataset\": %S,\n" quick
+    (Dataset.name ds);
+  Printf.fprintf oc "  \"requests_per_rung\": %d,\n" requests;
+  Printf.fprintf oc
+    "  \"exact\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f},\n"
+    exact_qps (exact_p50 *. 1e6) (exact_p99 *. 1e6);
+  Printf.fprintf oc
+    "  \"bound\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f},\n"
+    bound_qps (bound_p50 *. 1e6) (bound_p99 *. 1e6);
+  Printf.fprintf oc
+    "  \"recovery\": {\"ms_to_first_answers\": %.3f, \"byte_identical\": %b},\n"
+    (recovery_s *. 1e3) restart_identical;
+  Printf.fprintf oc
+    "  \"soak\": {\"requests\": %d, \"exact\": %d, \"bound\": %d, \"stale\": \
+     %d, \"refused\": %d, \"shed\": %d, \"injected\": %d, \"reloads\": %d, \
+     \"violations\": %d}\n}\n"
+    outcome.Chaos.requests outcome.Chaos.exact outcome.Chaos.bound
+    outcome.Chaos.stale outcome.Chaos.refused outcome.Chaos.shed
+    outcome.Chaos.injected outcome.Chaos.reloads
+    (List.length outcome.Chaos.violations);
+  close_out oc;
+  Printf.printf "\n(wrote BENCH_PR7.json)\n";
+  let verdicts =
+    [
+      {
+        E.Claims.claim_id = "G7a";
+        description =
+          "a server killed with no shutdown and restarted against the same \
+           store serves byte-identical answers on every rung";
+        measured =
+          Printf.sprintf "recovery %.3f ms, %d probes, byte_identical=%b, \
+                          wrong-rung exact=%d bound=%d"
+            (recovery_s *. 1e3)
+            (List.length probe_lines) restart_identical exact_wrong bound_wrong;
+        holds = restart_identical && exact_wrong = 0 && bound_wrong = 0;
+      };
+      {
+        E.Claims.claim_id = "G7b";
+        description =
+          "the seeded chaos soak (queries, overload bursts, reloads, fault \
+           injections, shutdown) holds every serving invariant: no wrong \
+           answers, no unlabeled degradation, no lost shutdowns";
+        measured = Format.asprintf "%a" Chaos.pp_outcome outcome;
+        holds = soak_holds;
+      };
+    ]
+  in
+  print_string (E.Claims.table (record verdicts))
+
 (* --- Bechamel timing benchmarks: one Test.make per table --- *)
 
 let bechamel_tests () =
@@ -740,6 +941,7 @@ let () =
   engine_bench ();
   obs_overhead ();
   segmented_bench ();
+  serve_bench ();
   if not no_bechamel then run_bechamel ();
   match List.rev !failed_claims with
   | [] -> Printf.printf "\ndone.\n"

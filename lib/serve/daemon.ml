@@ -1,0 +1,178 @@
+module Error = Rs_util.Error
+module Faults = Rs_util.Faults
+module P = Protocol
+
+module Log = (val Logs.src_log Server.log_src : Logs.LOG)
+
+let max_line = 1 lsl 16
+
+type client = {
+  id : Server.cookie;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable alive : bool;
+}
+
+let write_line fd line =
+  let line = line ^ "\n" in
+  let len = String.length line in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd line !off (len - !off)
+  done
+
+(* A dead peer (EPIPE/ECONNRESET on write) is the client's problem, not
+   the daemon's: drop the connection, keep serving everyone else. *)
+let try_write client line =
+  if client.alive then
+    try write_line client.fd line
+    with Unix.Unix_error _ | Sys_error _ -> client.alive <- false
+
+let close_client clients client =
+  if client.alive then client.alive <- false;
+  (try Unix.close client.fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove clients client.id
+
+(* Feed freshly read bytes into the client's line buffer and serve every
+   complete line.  Returns [false] when the connection should close
+   (EOF or an unterminated line past [max_line]). *)
+let feed server clients client bytes len =
+  let keep = ref true in
+  for i = 0 to len - 1 do
+    let c = Bytes.get bytes i in
+    if c = '\n' then begin
+      let line = Buffer.contents client.buf in
+      Buffer.clear client.buf;
+      (match Server.push server ~cookie:client.id line with
+      | `Reply r -> try_write client r
+      | `Queued -> ());
+      (* Drain everything evaluable now — queued work from any client. *)
+      let rec drain () =
+        match Server.step server with
+        | None -> ()
+        | Some (cookie, r) ->
+            (match Hashtbl.find_opt clients cookie with
+            | Some c -> try_write c r
+            | None -> () (* asker disconnected; answer drops *));
+            drain ()
+      in
+      drain ()
+    end
+    else if Buffer.length client.buf >= max_line then begin
+      try_write client
+        (P.encode_response
+           (P.Refused
+              {
+                id = None;
+                refusal = P.Bad_request;
+                message =
+                  Printf.sprintf "line exceeds %d bytes" max_line;
+                retry_after_ms = None;
+              }));
+      keep := false
+    end
+    else Buffer.add_char client.buf c
+  done;
+  !keep
+
+let run server ~socket =
+  (* A peer can vanish between select and write; EPIPE must be a
+     per-client event, never a process signal. *)
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let sock =
+    try
+      if Sys.file_exists socket then Sys.remove socket;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX socket);
+      Unix.listen sock 16;
+      sock
+    with Unix.Unix_error (err, _, _) ->
+      Error.raise_error
+        (Error.Io_failure
+           { path = socket; reason = Unix.error_message err })
+  in
+  Log.info (fun m -> m "listening on %s" socket);
+  let clients : (Server.cookie, client) Hashtbl.t = Hashtbl.create 16 in
+  let next_id = ref 1 in
+  let bytes = Bytes.create 4096 in
+  let finished () = Server.draining server && Server.pending server = 0 in
+  (try
+     while not (finished ()) do
+       let fds =
+         sock :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) clients []
+       in
+       let readable, _, _ = Unix.select fds [] [] 0.5 in
+       List.iter
+         (fun fd ->
+           if fd = sock then begin
+             match
+               Error.guard (fun () ->
+                   Faults.trip "serve.accept";
+                   fst (Unix.accept sock))
+             with
+             | Ok cfd ->
+                 let id = !next_id in
+                 incr next_id;
+                 Hashtbl.replace clients id
+                   { id; fd = cfd; buf = Buffer.create 256; alive = true }
+             | Error e ->
+                 (* Accept failed (injected or transient OS error): the
+                    would-be client is on its own; the daemon serves on. *)
+                 Log.warn (fun m -> m "accept refused: %s" (Error.to_string e))
+           end
+           else
+             let client =
+               Hashtbl.fold
+                 (fun _ c acc -> if c.fd = fd then Some c else acc)
+                 clients None
+             in
+             match client with
+             | None -> ()
+             | Some client -> (
+                 match Unix.read fd bytes 0 (Bytes.length bytes) with
+                 | 0 -> close_client clients client
+                 | n ->
+                     if not (feed server clients client bytes n) then
+                       close_client clients client
+                 | exception Unix.Unix_error _ ->
+                     close_client clients client))
+         readable
+     done
+   with e ->
+     (* Leave no socket file behind even on an unexpected exit. *)
+     Hashtbl.iter (fun _ c -> close_client clients c) (Hashtbl.copy clients);
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     (try Sys.remove socket with Sys_error _ -> ());
+     Option.iter (fun h -> ignore (Sys.signal Sys.sigpipe h)) previous_sigpipe;
+     raise e);
+  Hashtbl.iter (fun _ c -> close_client clients c) (Hashtbl.copy clients);
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Sys.remove socket with Sys_error _ -> ());
+  Option.iter (fun h -> ignore (Sys.signal Sys.sigpipe h)) previous_sigpipe;
+  Log.info (fun m -> m "shutdown complete")
+
+let run_stdio server =
+  let stop = ref false in
+  while not !stop do
+    match input_line stdin with
+    | exception End_of_file -> stop := true
+    | line ->
+        (match Server.push server ~cookie:0 line with
+        | `Reply r -> print_endline r
+        | `Queued -> ());
+        let rec drain () =
+          match Server.step server with
+          | None -> ()
+          | Some (_, r) ->
+              print_endline r;
+              drain ()
+        in
+        drain ();
+        flush stdout;
+        if Server.draining server && Server.pending server = 0 then
+          stop := true
+  done;
+  flush stdout

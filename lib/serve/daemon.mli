@@ -1,0 +1,25 @@
+(** Transports for {!Server}: a Unix-domain-socket select loop and a
+    stdio loop (one request line in, one response line out).
+
+    The daemon is crash-only: every client failure — disconnect
+    mid-line, oversized line, write to a vanished peer, an injected
+    ["serve.accept"] fault — is contained to that client's connection;
+    the loop and every other connection keep serving.  Both loops exit
+    only after a [shutdown] request has been acknowledged {e and} the
+    queued work has drained, so an acknowledged shutdown is never
+    lost. *)
+
+val max_line : int
+(** Per-connection line-length bound (bytes).  A client exceeding it
+    gets a [Bad_request] refusal and its connection closed — backpressure
+    against a peer that never sends a newline. *)
+
+val run : Server.t -> socket:string -> unit
+(** Bind [socket] (unlinking a stale file first), accept and serve until
+    shutdown, then close every connection and unlink the socket.
+    Raises [Rs_error (Io_failure _)] only when the OS refuses the bind
+    itself. *)
+
+val run_stdio : Server.t -> unit
+(** Serve stdin → stdout until EOF or shutdown.  The scripting/test
+    transport — same pipeline, no socket. *)

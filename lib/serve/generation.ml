@@ -1,0 +1,75 @@
+module Error = Rs_util.Error
+module Store = Rs_core.Store
+module Synopsis = Rs_core.Synopsis
+module Dataset = Rs_core.Dataset
+
+type entry = {
+  name : string;
+  syn : Synopsis.t;
+  n : int;
+  words : int;
+  prefix : float array option;
+  rmse_bound : float option;
+}
+
+type t = {
+  gen_id : int;
+  dir : string;
+  entries : (string * entry) list;
+  quarantined : (string * string) list;
+}
+
+let bound_of ?dataset syn =
+  match dataset with
+  | None -> None
+  | Some ds ->
+      let n = Synopsis.domain_size syn in
+      if Dataset.n ds <> n then None
+      else
+        (* One O(n) lowering pass per entry, per generation — never per
+           request. *)
+        let sse = Synopsis.sse ds syn in
+        let ranges = float_of_int n *. float_of_int (n + 1) /. 2. in
+        Some (sqrt (Float.max 0. sse /. ranges))
+
+let load ?dataset ~gen_id dir =
+  Error.guard @@ fun () ->
+  let store = Store.open_dir dir in
+  (* fsck before serving: stray tmp files from a torn writer go, corrupt
+     entries are quarantined (moved aside, never deleted) and the
+     manifest is brought back in sync — so the generation below decodes
+     only entries that just verified. *)
+  let report = Store.fsck store in
+  let quarantined = ref report.Store.quarantined in
+  let entries =
+    List.filter_map
+      (fun name ->
+        match Store.get store ~name with
+        | Error e ->
+            (* A writer raced us between fsck and get; drop the entry
+               from this generation rather than failing the load. *)
+            quarantined := (name, Error.to_string e) :: !quarantined;
+            None
+        | Ok syn ->
+            Some
+              ( name,
+                {
+                  name;
+                  syn;
+                  n = Synopsis.domain_size syn;
+                  words = Synopsis.storage_words syn;
+                  prefix = Synopsis.prefix_vector syn;
+                  rmse_bound = bound_of ?dataset syn;
+                } ))
+      (Store.list store)
+  in
+  {
+    gen_id;
+    dir;
+    entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries;
+    quarantined = List.rev !quarantined;
+  }
+
+let find t name = List.assoc_opt name t.entries
+let names t = List.map fst t.entries
+let size t = List.length t.entries

@@ -1,0 +1,50 @@
+(** A loaded store generation: the immutable in-memory snapshot of a
+    {!Rs_core.Store} directory that the serving daemon answers from.
+
+    Loading is self-healing, exactly like the store underneath: the
+    manifest is rebuilt if damaged, an {!Rs_core.Store.fsck} pass
+    quarantines corrupt entries (they are dropped from the generation,
+    never served, never fatal), and every surviving entry is decoded
+    {e once} — query evaluation then runs on pure in-memory values, so
+    a concurrent writer, a later fsck, or on-disk corruption cannot
+    affect answers already being served from this generation.
+
+    When the daemon knows the dataset its synopses summarize, each
+    entry also carries a precomputed per-range RMSE bound over all
+    ranges (the PR-4 O(n) SSE lowerings make this one cheap pass per
+    entry at load time, not per request) and, when the representation
+    lowers to a prefix form, the prefix (boundary) vector that backs
+    the [Bound] degradation rung. *)
+
+type entry = {
+  name : string;
+  syn : Rs_core.Synopsis.t;
+  n : int;  (** domain size *)
+  words : int;  (** storage words (paper accounting) *)
+  prefix : float array option;
+      (** [Ĉ[0..n]] when every answer is [Ĉ[b] − Ĉ[a−1]] — the O(1)
+          fast path behind the [Bound] rung *)
+  rmse_bound : float option;
+      (** [sqrt(SSE / #ranges)] over all ranges, from the load-time
+          dataset; [None] without one (or on domain-size mismatch) *)
+}
+
+type t = private {
+  gen_id : int;  (** monotone per daemon; echoed in every answer *)
+  dir : string;
+  entries : (string * entry) list;  (** sorted by name *)
+  quarantined : (string * string) list;
+      (** entries dropped at load: [(name, reason)] *)
+}
+
+val load :
+  ?dataset:Rs_core.Dataset.t -> gen_id:int -> string -> (t, Rs_util.Error.t) result
+(** Open the store (creating an empty one if the directory is new),
+    fsck it, and decode every healthy entry.  Corruption is degradation,
+    not failure: damaged entries land in [quarantined] and the rest
+    serve.  [Error] only when the OS refuses the directory itself —
+    the caller (hot reload) then keeps the previous generation. *)
+
+val find : t -> string -> entry option
+val names : t -> string list
+val size : t -> int

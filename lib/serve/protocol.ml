@@ -1,0 +1,541 @@
+(* Wire protocol: line-delimited JSON.  The codec is hand-rolled — the
+   repo carries no JSON dependency, and the protocol needs only the
+   standard scalar types plus arrays and objects.  Decoding is total:
+   any malformed line comes back as [Error msg], never an exception
+   (the decode fuzzer in test_serve.ml pins this). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* --- encoding --- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if not (Float.is_finite x) then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> add_num buf x
+  | Str s -> escape_string buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 128 in
+  add_json buf j;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+exception Parse of string
+
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit value =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              go ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              go ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              go ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              go ()
+          | 'b' ->
+              Buffer.add_char buf '\b';
+              go ()
+          | 'f' ->
+              Buffer.add_char buf '\012';
+              go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with Failure _ -> fail "bad \\u escape"
+              in
+              (* The protocol is ASCII; anything beyond maps to '?'. *)
+              Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+              go ()
+          | _ -> fail "unknown escape")
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    let span = String.sub s start (!pos - start) in
+    (* float_of_string is laxer than JSON: no leading '+' or '.' *)
+    (match span.[0] with
+    | '+' | '.' -> fail (Printf.sprintf "bad number %S" span)
+    | _ -> ());
+    match float_of_string_opt span with
+    | Some x when Float.is_finite x -> x
+    | _ -> fail (Printf.sprintf "bad number %S" span)
+  in
+  let rec parse_value depth =
+    if depth > 32 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value (depth + 1) in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+(* --- field helpers --- *)
+
+let field name = function Obj fields -> List.assoc_opt name fields | _ -> None
+
+let str_field name obj =
+  match field name obj with
+  | Some (Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Ok None
+
+let num_field name obj =
+  match field name obj with
+  | Some (Num x) -> Ok (Some x)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  | None -> Ok None
+
+let int_field name obj =
+  match num_field name obj with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some x) ->
+      if Float.is_integer x && Float.abs x <= 1e9 then Ok (Some (int_of_float x))
+      else Error (Printf.sprintf "field %S must be an integer" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* --- requests --- *)
+
+type request =
+  | Query of {
+      id : string option;
+      synopsis : string;
+      ranges : (int * int) array;
+      deadline_ms : float option;
+      poll_budget : int option;
+      attempt : int;
+    }
+  | Ping
+  | Metrics
+  | Reload
+  | Shutdown
+
+let encode_request = function
+  | Ping -> json_to_string (Obj [ ("op", Str "ping") ])
+  | Metrics -> json_to_string (Obj [ ("op", Str "metrics") ])
+  | Reload -> json_to_string (Obj [ ("op", Str "reload") ])
+  | Shutdown -> json_to_string (Obj [ ("op", Str "shutdown") ])
+  | Query { id; synopsis; ranges; deadline_ms; poll_budget; attempt } ->
+      let fields =
+        [ ("op", Str "query") ]
+        @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+        @ [
+            ("synopsis", Str synopsis);
+            ( "ranges",
+              Arr
+                (Array.to_list
+                   (Array.map
+                      (fun (a, b) ->
+                        Arr [ Num (float_of_int a); Num (float_of_int b) ])
+                      ranges)) );
+          ]
+        @ (match deadline_ms with
+          | Some d -> [ ("deadline_ms", Num d) ]
+          | None -> [])
+        @ (match poll_budget with
+          | Some b -> [ ("poll_budget", Num (float_of_int b)) ]
+          | None -> [])
+        @ if attempt <> 1 then [ ("attempt", Num (float_of_int attempt)) ] else []
+      in
+      json_to_string (Obj fields)
+
+let decode_ranges obj =
+  match field "ranges" obj with
+  | None -> Error "query needs a \"ranges\" array"
+  | Some (Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Arr [ Num a; Num b ] :: rest
+          when Float.is_integer a && Float.is_integer b
+               && Float.abs a <= 1e9 && Float.abs b <= 1e9 ->
+            go ((int_of_float a, int_of_float b) :: acc) rest
+        | _ -> Error "each range must be a pair [a,b] of integers"
+      in
+      go [] items
+  | Some _ -> Error "field \"ranges\" must be an array"
+
+let decode_request line =
+  let* v = json_of_string line in
+  let* op = str_field "op" v in
+  match op with
+  | None -> Error "missing \"op\" field"
+  | Some "ping" -> Ok Ping
+  | Some "metrics" -> Ok Metrics
+  | Some "reload" -> Ok Reload
+  | Some "shutdown" -> Ok Shutdown
+  | Some "query" ->
+      let* id = str_field "id" v in
+      let* synopsis = str_field "synopsis" v in
+      let* ranges = decode_ranges v in
+      let* deadline_ms = num_field "deadline_ms" v in
+      let* deadline_ms =
+        match deadline_ms with
+        | Some d when d <= 0. -> Error "\"deadline_ms\" must be positive"
+        | d -> Ok d
+      in
+      let* poll_budget = int_field "poll_budget" v in
+      let* poll_budget =
+        match poll_budget with
+        | Some b when b < 1 -> Error "\"poll_budget\" must be >= 1"
+        | b -> Ok b
+      in
+      let* attempt = int_field "attempt" v in
+      let* attempt =
+        match attempt with
+        | None -> Ok 1
+        | Some a when a >= 1 -> Ok a
+        | Some _ -> Error "\"attempt\" must be >= 1"
+      in
+      (match synopsis with
+      | None -> Error "query needs a \"synopsis\" name"
+      | Some synopsis ->
+          Ok (Query { id; synopsis; ranges; deadline_ms; poll_budget; attempt }))
+  | Some other -> Error (Printf.sprintf "unknown op %S" other)
+
+(* --- responses --- *)
+
+type rung = Exact | Bound | Stale
+
+let rung_to_string = function
+  | Exact -> "exact"
+  | Bound -> "bound"
+  | Stale -> "stale"
+
+let rung_of_string = function
+  | "exact" -> Some Exact
+  | "bound" -> Some Bound
+  | "stale" -> Some Stale
+  | _ -> None
+
+type refusal =
+  | Bad_request
+  | Unknown_synopsis
+  | Overloaded
+  | Deadline
+  | Corrupt_store
+  | Shutting_down
+  | Injected
+
+let refusal_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_synopsis -> "unknown_synopsis"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+  | Corrupt_store -> "corrupt_store"
+  | Shutting_down -> "shutting_down"
+  | Injected -> "injected"
+
+let refusal_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "unknown_synopsis" -> Some Unknown_synopsis
+  | "overloaded" -> Some Overloaded
+  | "deadline" -> Some Deadline
+  | "corrupt_store" -> Some Corrupt_store
+  | "shutting_down" -> Some Shutting_down
+  | "injected" -> Some Injected
+  | _ -> None
+
+type response =
+  | Answers of {
+      id : string option;
+      generation : int;
+      rung : rung;
+      estimates : float array;
+      rmse_bound : float option;
+    }
+  | Refused of {
+      id : string option;
+      refusal : refusal;
+      message : string;
+      retry_after_ms : float option;
+    }
+  | Pong
+  | Metrics_report of string
+  | Reloaded of { generation : int; entries : int; quarantined : int }
+  | Shutdown_ack
+
+let encode_response = function
+  | Pong -> json_to_string (Obj [ ("ok", Bool true); ("op", Str "ping") ])
+  | Shutdown_ack ->
+      json_to_string (Obj [ ("ok", Bool true); ("op", Str "shutdown") ])
+  | Reloaded { generation; entries; quarantined } ->
+      json_to_string
+        (Obj
+           [
+             ("ok", Bool true);
+             ("op", Str "reload");
+             ("generation", Num (float_of_int generation));
+             ("entries", Num (float_of_int entries));
+             ("quarantined", Num (float_of_int quarantined));
+           ])
+  | Metrics_report report ->
+      (* The report is already a JSON object (rs-metrics-v1); splice it
+         in verbatim rather than re-encoding. *)
+      Printf.sprintf "{\"ok\":true,\"op\":\"metrics\",\"report\":%s}" report
+  | Answers { id; generation; rung; estimates; rmse_bound } ->
+      let fields =
+        [ ("ok", Bool true); ("op", Str "query") ]
+        @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+        @ [
+            ("generation", Num (float_of_int generation));
+            ("rung", Str (rung_to_string rung));
+            ( "estimates",
+              Arr (Array.to_list (Array.map (fun x -> Num x) estimates)) );
+          ]
+        @
+        match rmse_bound with
+        | Some b -> [ ("rmse_bound", Num b) ]
+        | None -> []
+      in
+      json_to_string (Obj fields)
+  | Refused { id; refusal; message; retry_after_ms } ->
+      let fields =
+        [ ("ok", Bool false) ]
+        @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+        @ [
+            ("error", Str (refusal_to_string refusal)); ("message", Str message);
+          ]
+        @
+        match retry_after_ms with
+        | Some ms -> [ ("retry_after_ms", Num ms) ]
+        | None -> []
+      in
+      json_to_string (Obj fields)
+
+let decode_response line =
+  let* v = json_of_string line in
+  match field "ok" v with
+  | Some (Bool false) ->
+      let* id = str_field "id" v in
+      let* err = str_field "error" v in
+      let* message = str_field "message" v in
+      let* retry_after_ms = num_field "retry_after_ms" v in
+      (match Option.bind err refusal_of_string with
+      | None -> Error "refusal with unknown \"error\" code"
+      | Some refusal ->
+          Ok
+            (Refused
+               {
+                 id;
+                 refusal;
+                 message = Option.value message ~default:"";
+                 retry_after_ms;
+               }))
+  | Some (Bool true) -> (
+      let* op = str_field "op" v in
+      match op with
+      | Some "ping" -> Ok Pong
+      | Some "shutdown" -> Ok Shutdown_ack
+      | Some "reload" ->
+          let* generation = int_field "generation" v in
+          let* entries = int_field "entries" v in
+          let* quarantined = int_field "quarantined" v in
+          Ok
+            (Reloaded
+               {
+                 generation = Option.value generation ~default:0;
+                 entries = Option.value entries ~default:0;
+                 quarantined = Option.value quarantined ~default:0;
+               })
+      | Some "metrics" -> (
+          match field "report" v with
+          | Some report -> Ok (Metrics_report (json_to_string report))
+          | None -> Error "metrics response without a report")
+      | Some "query" -> (
+          let* id = str_field "id" v in
+          let* generation = int_field "generation" v in
+          let* rung_s = str_field "rung" v in
+          let* rmse_bound = num_field "rmse_bound" v in
+          let* estimates =
+            match field "estimates" v with
+            | Some (Arr items) ->
+                let rec go acc = function
+                  | [] -> Ok (Array.of_list (List.rev acc))
+                  | Num x :: rest -> go (x :: acc) rest
+                  | Null :: rest -> go (Float.nan :: acc) rest
+                  | _ -> Error "estimates must be numbers"
+                in
+                go [] items
+            | _ -> Error "query response needs an \"estimates\" array"
+          in
+          match Option.bind rung_s rung_of_string with
+          | None -> Error "query response with unknown rung"
+          | Some rung ->
+              Ok
+                (Answers
+                   {
+                     id;
+                     generation = Option.value generation ~default:0;
+                     rung;
+                     estimates;
+                     rmse_bound;
+                   }))
+      | _ -> Error "response with unknown op")
+  | _ -> Error "response without a boolean \"ok\" field"

@@ -1,0 +1,131 @@
+(** The rs_serve wire protocol: line-delimited JSON over a Unix socket
+    (or stdio).
+
+    One request per line, one response line per request, always in
+    order.  Requests are JSON objects dispatched on their ["op"] field:
+
+    - [{"op":"query","synopsis":NAME,"ranges":[[a,b],...]}] — answer
+      the given ranges from the named synopsis.  Optional fields:
+      ["id"] (echoed back for correlation), ["deadline_ms"] (wall-clock
+      deadline for this request, milliseconds), ["poll_budget"] (a
+      deterministic work-based deadline — the request may spend at most
+      that many {!Rs_util.Governor} polls, mirroring the builder's
+      poll-budget governors; used by batch schedulers and the chaos
+      tests), ["attempt"] (≥ 1, the client's retry count — drives the
+      retry-after hint on overload).
+    - [{"op":"ping"}] — liveness probe.
+    - [{"op":"metrics"}] — the live [rs-metrics-v1] report.
+    - [{"op":"reload"}] — hot-reload the store generation.
+    - [{"op":"shutdown"}] — acknowledge, then stop serving.
+
+    Every successful query response carries the degradation rung that
+    produced it ({!rung}); every refusal carries a typed reason
+    ({!refusal}), a human-readable message (expiries rendered by
+    {!Rs_util.Governor.describe_expiry}) and, for overload, a
+    [retry_after_ms] hint from the supervisor's {!Rs_core.Supervisor.Backoff}
+    machinery.  Malformed input is a [Bad_request] refusal — never a
+    crash, never a dropped connection. *)
+
+(** {2 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact rendering.  Non-finite numbers encode as [null] (JSON has
+    no representation for them); integral floats print without a
+    fractional part; everything else through [%.17g] (lossless). *)
+
+val json_of_string : string -> (json, string) result
+(** Strict parser for the subset above (no trailing garbage).  String
+    escapes: the JSON two-character forms plus [\uXXXX] (code points
+    ≥ 128 decode to ['?'] — the protocol is ASCII). *)
+
+(** {2 Requests} *)
+
+type request =
+  | Query of {
+      id : string option;
+      synopsis : string;
+      ranges : (int * int) array;
+      deadline_ms : float option;
+      poll_budget : int option;
+      attempt : int;  (** ≥ 1; defaults to 1 *)
+    }
+  | Ping
+  | Metrics
+  | Reload
+  | Shutdown
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+(** [Error msg] on malformed JSON, a missing/unknown ["op"], or
+    ill-typed fields — the server turns it into a [Bad_request]
+    refusal. *)
+
+(** {2 Responses} *)
+
+(** The degradation rung that produced an answer (DESIGN.md §14):
+    every response is labeled; a degraded answer is never silent. *)
+type rung =
+  | Exact  (** full per-range evaluation of the synopsis estimator *)
+  | Bound
+      (** answered from the precomputed prefix (boundary) vector —
+          O(1) per range, SSE bound attached when available *)
+  | Stale  (** replayed from the answer cache (possibly a previous
+               generation) *)
+
+val rung_to_string : rung -> string
+(** ["exact"] / ["bound"] / ["stale"]. *)
+
+type refusal =
+  | Bad_request  (** malformed line or ill-typed/out-of-domain fields *)
+  | Unknown_synopsis  (** the named synopsis is not in the live generation *)
+  | Overloaded  (** the request queue is full; retry after the hint *)
+  | Deadline
+      (** the deadline or poll budget cannot be (or was not) met, and
+          no cached answer could stand in *)
+  | Corrupt_store  (** a reload found the store unusable; the old
+                       generation keeps serving *)
+  | Shutting_down  (** the daemon acknowledged a shutdown *)
+  | Injected  (** an armed {!Rs_util.Faults} seam fired (tests only) *)
+
+val refusal_to_string : refusal -> string
+
+type response =
+  | Answers of {
+      id : string option;
+      generation : int;  (** the store generation that answered *)
+      rung : rung;
+      estimates : float array;
+      rmse_bound : float option;
+          (** per-range RMSE over all ranges of the answering synopsis,
+              precomputed at load time via the O(n) SSE lowerings;
+              absent when the daemon has no dataset to bound against,
+              and always absent on the [Stale] rung *)
+    }
+  | Refused of {
+      id : string option;
+      refusal : refusal;
+      message : string;
+      retry_after_ms : float option;  (** only on [Overloaded] *)
+    }
+  | Pong
+  | Metrics_report of string  (** the raw [rs-metrics-v1] JSON object *)
+  | Reloaded of { generation : int; entries : int; quarantined : int }
+  | Shutdown_ack
+
+val encode_response : response -> string
+(** One line, no trailing newline. *)
+
+val decode_response : string -> (response, string) result
+(** Inverse of {!encode_response} (used by clients, tests and the chaos
+    checker).  [Metrics_report] round-trips as the re-rendered report
+    object. *)

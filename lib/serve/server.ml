@@ -1,0 +1,415 @@
+module Error = Rs_util.Error
+module Faults = Rs_util.Faults
+module Governor = Rs_util.Governor
+module Metrics = Rs_util.Metrics
+module Trace = Rs_util.Trace
+module Pool = Rs_util.Pool
+module Backoff = Rs_core.Supervisor.Backoff
+module P = Protocol
+
+let log_src = Logs.Src.create "rs.serve" ~doc:"rs_serve request pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Chunked evaluation granularity: the exact rung polls its governor
+   once per [chunk] ranges — the serving twin of the DP engines'
+   [parallel_chunk].  A constant, never a function of [jobs], so
+   poll counts (and hence poll-budget degradations) are identical for
+   every job count. *)
+let chunk = 64
+
+type config = {
+  store_dir : string;
+  dataset : Rs_core.Dataset.t option;
+  jobs : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_deadline_ms : float option;
+  backoff : Backoff.policy;
+}
+
+let default_config ~store_dir =
+  {
+    store_dir;
+    dataset = None;
+    jobs = 1;
+    queue_capacity = 64;
+    cache_capacity = 256;
+    default_deadline_ms = None;
+    backoff = Backoff.default;
+  }
+
+type cookie = int
+
+type cached = { c_gen : int; c_estimates : float array }
+
+type t = {
+  config : config;
+  mutable gen : Generation.t;
+  mutable next_gen_id : int;
+  pool : Pool.t option;  (** [Some] iff [jobs > 1] *)
+  queue : (cookie * P.request) Queue.t;
+  cache : (string, cached) Hashtbl.t;
+  cache_fifo : string Queue.t;
+  mutable draining : bool;
+}
+
+(* Interned once; recorded once per request / reload on the
+   coordinator — the Governor.poll cadence, never per range. *)
+let m_requests = Metrics.counter "serve.requests"
+let m_shed = Metrics.counter "serve.queue.shed"
+let m_reloads = Metrics.counter "serve.reloads"
+let g_generation = Metrics.gauge "serve.generation"
+let g_pending = Metrics.gauge "serve.queue.pending"
+
+let create config =
+  match
+    Generation.load ?dataset:config.dataset ~gen_id:1 config.store_dir
+  with
+  | Error _ as e -> e
+  | Ok gen ->
+      Metrics.set g_generation 1.;
+      Log.info (fun m ->
+          m "serving %d entr%s from %s (generation 1, %d quarantined)"
+            (Generation.size gen)
+            (if Generation.size gen = 1 then "y" else "ies")
+            config.store_dir
+            (List.length gen.Generation.quarantined));
+      Ok
+        {
+          config;
+          gen;
+          next_gen_id = 2;
+          pool =
+            (if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs)
+             else None);
+          queue = Queue.create ();
+          cache = Hashtbl.create 64;
+          cache_fifo = Queue.create ();
+          draining = false;
+        }
+
+let close t = Option.iter Pool.shutdown t.pool
+let generation t = t.gen
+let draining t = t.draining
+let pending t = Queue.length t.queue
+
+(* {2 Answer cache — the stale floor} *)
+
+let cache_key ~synopsis ~ranges =
+  let b = Buffer.create (String.length synopsis + 8 * Array.length ranges) in
+  Buffer.add_string b synopsis;
+  Array.iter
+    (fun (a, bb) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int a);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int bb))
+    ranges;
+  Buffer.contents b
+
+let cache_put t key gen estimates =
+  if t.config.cache_capacity > 0 then begin
+    if
+      (not (Hashtbl.mem t.cache key))
+      && Queue.length t.cache_fifo >= t.config.cache_capacity
+    then Hashtbl.remove t.cache (Queue.pop t.cache_fifo);
+    if not (Hashtbl.mem t.cache key) then Queue.push key t.cache_fifo;
+    Hashtbl.replace t.cache key { c_gen = gen; c_estimates = estimates }
+  end
+
+(* {2 Refusals} *)
+
+let refuse ?id ?retry_after_ms refusal message =
+  Metrics.count ("serve.refusals." ^ P.refusal_to_string refusal) 1;
+  P.Refused { id; refusal; message; retry_after_ms }
+
+let refusal_of_error ?id e =
+  let refusal =
+    if Error.is_injected e then P.Injected
+    else
+      match e with
+      | Error.Timeout _ -> P.Deadline
+      | Error.Corrupt_synopsis _ | Error.Corrupt_checkpoint _
+      | Error.Io_failure _ ->
+          P.Corrupt_store
+      | _ -> P.Bad_request
+  in
+  (* Error.to_string renders Timeout via Governor.describe_expiry, so
+     poll-budget expiries never print as seconds. *)
+  refuse ?id refusal (Error.to_string e)
+
+(* {2 The ladder} *)
+
+let eval_exact t gov ~syn ~ranges ~out =
+  (* One governor poll per chunk of 64 ranges, on the coordinator.
+     Expiry returns [false]: the caller falls to the stale floor.
+     [Checkpoint_due] is a plain Continue — serving never snapshots;
+     a request is retried, not resumed. *)
+  let n = Array.length ranges in
+  let expired = ref false in
+  let lo = ref 0 in
+  while (not !expired) && !lo < n do
+    match Governor.poll gov with
+    | Governor.Expired _ -> expired := true
+    | Governor.Continue | Governor.Checkpoint_due ->
+        let hi = min n (!lo + chunk) - 1 in
+        let body i =
+          let a, b = ranges.(i) in
+          out.(i) <- Rs_core.Synopsis.estimate syn ~a ~b
+        in
+        (match t.pool with
+        | Some pool when not (Faults.any_armed ()) ->
+            Pool.run pool ~lo:!lo ~hi body
+        | _ ->
+            for i = !lo to hi do
+              body i
+            done);
+        lo := hi + 1
+  done;
+  not !expired
+
+let eval_bound gov ~prefix ~ranges ~out =
+  (* The boundary-estimate rung: one poll for the whole batch, then
+     O(1) per range off the precomputed prefix vector. *)
+  match Governor.poll gov with
+  | Governor.Expired _ -> false
+  | Governor.Continue | Governor.Checkpoint_due ->
+      Array.iteri
+        (fun i (a, b) -> out.(i) <- prefix.(b) -. prefix.(a - 1))
+        ranges;
+      true
+
+(* How many polls the exact rung needs for [n] ranges. *)
+let exact_polls n = (n + chunk - 1) / chunk
+
+let stale_floor t ?id ~key ~expiry () =
+  (* The ungoverned floor (the ladder's A0 twin): replay the answer
+     cache, or refuse with the expiry that got us here. *)
+  match Hashtbl.find_opt t.cache key with
+  | Some c ->
+      Metrics.count "serve.answers.stale" 1;
+      P.Answers
+        {
+          id;
+          generation = c.c_gen;
+          rung = P.Stale;
+          estimates = c.c_estimates;
+          rmse_bound = None;
+        }
+  | None ->
+      let elapsed, deadline, reason = expiry in
+      refuse ?id P.Deadline
+        ("deadline not met and no cached answer: "
+        ^ Governor.describe_expiry ~reason ~elapsed ~deadline)
+
+let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
+  match Generation.find t.gen synopsis with
+  | None ->
+      refuse ?id P.Unknown_synopsis
+        (Printf.sprintf "synopsis %S not in generation %d (%d entries)"
+           synopsis t.gen.Generation.gen_id (Generation.size t.gen))
+  | Some entry ->
+      let bad =
+        Array.exists (fun (a, b) -> a < 1 || b < a || b > entry.Generation.n)
+          ranges
+      in
+      if bad then
+        refuse ?id P.Bad_request
+          (Printf.sprintf "range outside 1 <= a <= b <= %d" entry.Generation.n)
+      else begin
+        Faults.trip "serve.admit";
+        let deadline_ms =
+          match deadline_ms with
+          | Some _ as d -> d
+          | None -> t.config.default_deadline_ms
+        in
+        let gov =
+          match (deadline_ms, poll_budget) with
+          | None, None -> Governor.unlimited
+          | deadline_ms, poll_budget ->
+              Governor.create
+                ?deadline:(Option.map (fun ms -> ms /. 1000.) deadline_ms)
+                ?poll_budget ()
+        in
+        let key = cache_key ~synopsis ~ranges in
+        let nr = Array.length ranges in
+        let answer rung estimates =
+          (* Only exact answers feed the stale floor: a bound answer is
+             trivially recomputable and must never displace a cached
+             exact answer, and a stale replay re-caching itself would be
+             a no-op. *)
+          if rung = P.Exact then
+            cache_put t key t.gen.Generation.gen_id estimates;
+          Metrics.count ("serve.answers." ^ P.rung_to_string rung) 1;
+          P.Answers
+            {
+              id;
+              generation = t.gen.Generation.gen_id;
+              rung;
+              estimates;
+              rmse_bound = entry.Generation.rmse_bound;
+            }
+        in
+        (* Admission: the governor's first poll.  A request that is
+           already over budget does no evaluation work at all. *)
+        match Governor.poll gov with
+        | Governor.Expired { elapsed; deadline; reason; _ } ->
+            stale_floor t ?id ~key ~expiry:(elapsed, deadline, reason) ()
+        | Governor.Continue | Governor.Checkpoint_due -> (
+            Faults.trip "serve.evaluate";
+            let out = Array.make nr 0. in
+            (* Deterministic routing: spend the remaining poll budget on
+               the cheapest rung that fits it.  When no cheaper governed
+               rung exists (no prefix vector), attempt exact regardless —
+               it expires mid-evaluation and the expiry is genuine. *)
+            (* A budget of [b] expires at the [b]-th poll, so only
+               [left - 1] working polls remain. *)
+            let fits_exact =
+              match Governor.budget_left gov with
+              | None -> true
+              | Some left -> left - 1 >= exact_polls nr
+            in
+            let attempt_exact =
+              fits_exact || entry.Generation.prefix = None
+            in
+            if
+              attempt_exact
+              && eval_exact t gov ~syn:entry.Generation.syn ~ranges ~out
+            then answer P.Exact out
+            else
+              let fits_bound =
+                match Governor.budget_left gov with
+                | None -> true
+                | Some left -> left - 1 >= 1
+              in
+              match entry.Generation.prefix with
+              | Some prefix
+                when fits_bound && eval_bound gov ~prefix ~ranges ~out ->
+                  answer P.Bound out
+              | _ ->
+                  let expiry =
+                    match Governor.poll gov with
+                    | Governor.Expired { elapsed; deadline; reason; _ } ->
+                        (elapsed, deadline, reason)
+                    | _ ->
+                        (* Unreachable in practice (we only get here
+                           once the governor expired or the budget ran
+                           dry), but keep the floor total. *)
+                        (Governor.elapsed gov, 0., Governor.Wall_clock)
+                  in
+                  stale_floor t ?id ~key ~expiry ())
+      end
+
+(* {2 Control operations and the queue} *)
+
+let reload t =
+  Metrics.incr m_reloads;
+  let response =
+    match
+      Error.guard (fun () ->
+          Faults.trip "serve.reload";
+          let gen_id = t.next_gen_id in
+          Error.get
+            (Generation.load ?dataset:t.config.dataset ~gen_id
+               t.config.store_dir))
+    with
+    | Ok gen ->
+        (* The swap is one coordinator assignment: crash-only by
+           construction — there is no intermediate state to tear. *)
+        t.gen <- gen;
+        t.next_gen_id <- t.next_gen_id + 1;
+        Metrics.set g_generation (float_of_int gen.Generation.gen_id);
+        Log.info (fun m ->
+            m "reloaded: generation %d, %d entries, %d quarantined"
+              gen.Generation.gen_id (Generation.size gen)
+              (List.length gen.Generation.quarantined));
+        P.Reloaded
+          {
+            generation = gen.Generation.gen_id;
+            entries = Generation.size gen;
+            quarantined = List.length gen.Generation.quarantined;
+          }
+    | Error e ->
+        Log.warn (fun m ->
+            m "reload failed (%s); keeping generation %d" (Error.to_string e)
+              t.gen.Generation.gen_id);
+        refusal_of_error e
+  in
+  P.encode_response response
+
+let control t req =
+  match req with
+  | P.Ping -> P.Pong
+  | P.Metrics ->
+      (* to_json ends with a newline (it is also a file format); a raw
+         newline inside a response would tear the line framing. *)
+      P.Metrics_report (String.trim (Metrics.to_json ()))
+  | P.Shutdown ->
+      t.draining <- true;
+      Log.info (fun m -> m "shutdown acknowledged; draining %d" (pending t));
+      P.Shutdown_ack
+  | P.Reload | P.Query _ -> assert false
+
+let push t ~cookie line =
+  Metrics.incr m_requests;
+  let reply r = `Reply (P.encode_response r) in
+  match
+    Error.guard (fun () ->
+        Faults.trip "serve.decode";
+        P.decode_request line)
+  with
+  | Error e -> reply (refusal_of_error e)
+  | Ok (Error msg) -> reply (refuse P.Bad_request msg)
+  | Ok (Ok (P.Query { id; attempt; _ })) when t.draining ->
+      ignore attempt;
+      reply (refuse ?id P.Shutting_down "daemon is draining")
+  | Ok (Ok P.Reload) when t.draining ->
+      reply (refuse P.Shutting_down "daemon is draining")
+  | Ok (Ok P.Reload) -> `Reply (reload t)
+  | Ok (Ok ((P.Ping | P.Metrics | P.Shutdown) as req)) -> reply (control t req)
+  | Ok (Ok (P.Query { id; attempt; _ } as req)) ->
+      if Queue.length t.queue >= t.config.queue_capacity then begin
+        Metrics.incr m_shed;
+        let retry_after_ms =
+          1000. *. Backoff.delay t.config.backoff ~seg:0 ~attempt:(max 1 attempt)
+        in
+        reply
+          (refuse ?id ~retry_after_ms P.Overloaded
+             (Printf.sprintf "queue full (%d pending); retry after hint"
+                (Queue.length t.queue)))
+      end
+      else begin
+        Queue.push (cookie, req) t.queue;
+        Metrics.set g_pending (float_of_int (Queue.length t.queue));
+        `Queued
+      end
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some (cookie, req) ->
+      Metrics.set g_pending (float_of_int (Queue.length t.queue));
+      let response =
+        match req with
+        | P.Query { id; synopsis; ranges; deadline_ms; poll_budget; attempt = _ }
+          ->
+            Trace.with_span "serve.request" (fun () ->
+                match
+                  Error.guard (fun () ->
+                      answer_query t ~id ~synopsis ~ranges ~deadline_ms
+                        ~poll_budget)
+                with
+                | Ok r -> r
+                | Error e -> refusal_of_error ?id e)
+        | _ -> assert false
+      in
+      Some (cookie, P.encode_response response)
+
+let handle_line t line =
+  match push t ~cookie:0 line with
+  | `Reply r -> r
+  | `Queued -> (
+      match step t with
+      | Some (_, r) -> r
+      | None -> assert false (* we just queued *))

@@ -76,6 +76,11 @@ let guard f =
   | exception Sys_error m -> Error (Io_failure { path = "?"; reason = m })
   | exception Governor.Interrupted { stage; checkpoint } ->
       Error (Interrupted { stage; checkpoint })
+  | exception Governor.Deadline_exceeded { stage; elapsed; deadline; reason } ->
+      (* Typed at the boundary so formatters reach describe_expiry via
+         [to_string]; a raw escape would render poll counts as bare
+         floats (the pre-PR-7 CLI bug). *)
+      Error (Timeout { stage; elapsed; deadline; reason })
   | exception Faults.Injected { site; reason } -> Error (injected ~site ~reason)
 
 let get = function Ok v -> v | Error e -> raise_error e

@@ -72,9 +72,12 @@ val is_injected : t -> bool
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run [f], converting [Rs_error] to its payload and the legacy
     untyped exceptions ([Invalid_argument], [Failure], [Sys_error],
-    {!Governor.Interrupted}, {!Faults.Injected}) to the closest
-    constructor.  The boundary adapter between exception-internal code
-    and [Result]-external callers. *)
+    {!Governor.Interrupted}, {!Governor.Deadline_exceeded},
+    {!Faults.Injected}) to the closest constructor.  The boundary
+    adapter between exception-internal code and [Result]-external
+    callers; an escaped expiry becomes [Timeout], so its rendering goes
+    through {!Governor.describe_expiry} rather than printing poll
+    counts as seconds. *)
 
 val get : ('a, t) result -> 'a
 (** [Ok v -> v]; [Error e -> raise (Rs_error e)]. *)

@@ -17,7 +17,12 @@
     ["segment.build"] (fail a per-segment build attempt before it
     starts), ["segment.commit"] (fail the durable commit of a finished
     segment), ["supervisor.abort"] (hard-abort the whole build at a
-    segment boundary — the kill-and-resume simulation; never retried). *)
+    segment boundary — the kill-and-resume simulation; never retried);
+    serving-daemon seams (see {!Rs_serve.Server}, all coordinator-only):
+    ["serve.accept"] (fail a socket accept), ["serve.decode"] (fail
+    request decoding), ["serve.admit"] (fail admission of a query),
+    ["serve.evaluate"] (fail a query's evaluation stage),
+    ["serve.reload"] (fail a hot reload of the store generation). *)
 
 exception Injected of { site : string; reason : string }
 

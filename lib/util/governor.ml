@@ -95,6 +95,31 @@ let describe_expiry ~reason ~elapsed ~deadline =
       Printf.sprintf "%.0f of %.0f polls (poll budget exhausted)" elapsed
         deadline
 
+let budget_left = function
+  | Unlimited -> None
+  | Governed g -> (
+      match g.poll_budget with
+      | None -> None
+      | Some b -> Some (max 0 (b - g.polls)))
+
+(* Escaped expiry exceptions must render through describe_expiry too:
+   an uncaught Deadline_exceeded otherwise prints its payload with the
+   runtime's default record formatting, showing poll counts as bare
+   floats indistinguishable from seconds — exactly the confusion the
+   expiry_reason tag exists to prevent. *)
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded { stage; elapsed; deadline; reason } ->
+        Some
+          (Printf.sprintf "Rs_util.Governor.Deadline_exceeded(%s: %s)" stage
+             (describe_expiry ~reason ~elapsed ~deadline))
+    | Interrupted { stage; checkpoint } ->
+        Some
+          (Printf.sprintf
+             "Rs_util.Governor.Interrupted(%s: resumable snapshot at %s)" stage
+             checkpoint)
+    | _ -> None)
+
 (* One reading per poll; the poll sits at DP row boundaries (never per
    state), so the clock read is amortized over a full row of work. *)
 let poll t =

@@ -108,6 +108,13 @@ val check : t -> stage:string -> unit
     failure with [stage] for the degradation report; [Checkpoint_due]
     signals are consumed silently.  Counts against [poll_budget]. *)
 
+val budget_left : t -> int option
+(** Polls remaining before a [poll_budget] governor expires ([Some 0]
+    once exhausted); [None] when no poll budget is set (including
+    {!unlimited}).  Admission controllers use this to route work that
+    cannot fit the remaining budget to a cheaper rung {e before}
+    starting it, instead of discovering the expiry halfway through. *)
+
 val describe_expiry :
   reason:expiry_reason -> elapsed:float -> deadline:float -> string
 (** Render an expiry payload in the units its [reason] implies:

@@ -605,6 +605,111 @@ let test_store_get_detects_swapped_entry () =
       | Ok _ -> Alcotest.fail "swap must be detected by the manifest CRC"
       | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e))
 
+(* --- store read-side concurrency (DESIGN.md §14) ---
+
+   The serving daemon holds a store generation open while writers and
+   repair passes run against the same directory.  The contract: decoded
+   data is immune (it holds no file handles), stale handles get typed
+   errors (never torn bytes, never a crash), and a fresh [open_dir]
+   always heals. *)
+
+module Generation = Rs_serve.Generation
+
+let test_store_fsck_under_held_generation () =
+  with_tmp_dir (fun dir ->
+      let writer = Store.open_dir dir in
+      Store.put writer ~name:"good" (a_synopsis ());
+      Store.put writer ~name:"doomed" (a_synopsis ());
+      (* The reader decodes the whole generation up front, then holds a
+         second (soon stale) handle on the same directory. *)
+      let gen = Error.get (Generation.load ~gen_id:1 dir) in
+      let stale = Store.open_dir dir in
+      Alcotest.(check int) "reader decoded both" 2 (Generation.size gen);
+      (* Rot one entry and repair behind the reader's back. *)
+      write_file (Filename.concat dir "doomed.rs") "rotten bytes";
+      let r = Store.fsck writer in
+      Alcotest.(check (list string))
+        "quarantined" [ "doomed" ]
+        (List.map fst r.Store.quarantined);
+      (* The decoded generation is immune: fsck moved the file, not the
+         reader's memory. *)
+      Alcotest.(check int) "generation still serves both" 2 (Generation.size gen);
+      (match Generation.find gen "doomed" with
+      | Some e -> ignore (Synopsis.estimate e.Generation.syn ~a:1 ~b:1)
+      | None -> Alcotest.fail "decoded entry vanished from the generation");
+      (* A fresh read through the stale handle is a typed error — the
+         file is gone — never an exception. *)
+      (match Store.get stale ~name:"doomed" with
+      | Error (Error.Io_failure _) -> ()
+      | Ok _ -> Alcotest.fail "stale read of a quarantined entry must fail"
+      | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
+      (* Healthy entries keep serving through the stale handle. *)
+      match Store.get stale ~name:"good" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "healthy entry lost: %s" (Error.to_string e))
+
+let test_store_stale_handle_after_put () =
+  with_tmp_dir (fun dir ->
+      let writer = Store.open_dir dir in
+      Store.put writer ~name:"a" (a_synopsis ());
+      let reader = Store.open_dir dir in
+      (* The writer atomically replaces the entry after the reader
+         opened.  The reader's manifest snapshot pins the old CRC, so it
+         cannot tell a newer version from corruption — the safe answer
+         is the typed mismatch, never the torn in-between (there is no
+         in-between: the rename is atomic). *)
+      let replacement =
+        Builder.build (Dataset.of_floats dp_data) ~method_name:"equi-width"
+          ~budget_words:12
+      in
+      Store.put writer ~name:"a" replacement;
+      (match Store.get reader ~name:"a" with
+      | Error (Error.Corrupt_synopsis _) -> ()
+      | Ok _ -> Alcotest.fail "stale CRC must detect the replaced entry"
+      | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
+      (* Re-opening — the daemon's reload — heals: the fresh generation
+         sees exactly the writer's bytes. *)
+      let fresh = Store.open_dir dir in
+      match Store.get fresh ~name:"a" with
+      | Ok got ->
+          Alcotest.(check string) "fresh handle reads the writer's bytes"
+            (Codec.to_string replacement) (Codec.to_string got)
+      | Error e -> Alcotest.failf "fresh open must heal: %s" (Error.to_string e))
+
+let test_store_open_races_atomic_rename () =
+  with_tmp_dir (fun dir ->
+      let writer = Store.open_dir dir in
+      Store.put writer ~name:"a" (a_synopsis ());
+      let replacement =
+        Builder.build (Dataset.of_floats dp_data) ~method_name:"equi-width"
+          ~budget_words:12
+      in
+      (* Freeze the put exactly between its two atomic steps: the entry
+         rename landed, the manifest rewrite did not — the window a
+         concurrent reader can open into. *)
+      Faults.arm "store.manifest";
+      (match Store.put writer ~name:"a" replacement with
+      | () -> Alcotest.fail "armed store.manifest must raise"
+      | exception Faults.Injected _ -> ());
+      Faults.reset ();
+      let reader = Store.open_dir dir in
+      (* The reader sees the old manifest against the new bytes: a typed
+         mismatch, not garbage. *)
+      (match Store.get reader ~name:"a" with
+      | Error (Error.Corrupt_synopsis _) -> ()
+      | Ok _ -> Alcotest.fail "mid-window read must be a typed mismatch"
+      | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e));
+      (* fsck adopts the new bytes (they decode; the manifest was simply
+         behind) and the entry serves again. *)
+      let r = Store.fsck reader in
+      Alcotest.(check bool) "manifest rebuilt" true r.Store.manifest_rebuilt;
+      Alcotest.(check bool) "entry healthy" true (List.mem "a" r.Store.ok);
+      match Store.get reader ~name:"a" with
+      | Ok got ->
+          Alcotest.(check string) "adopted the writer's bytes"
+            (Codec.to_string replacement) (Codec.to_string got)
+      | Error e -> Alcotest.failf "fsck must adopt: %s" (Error.to_string e))
+
 (* --- builder / error taxonomy integration --- *)
 
 let test_interrupted_error_shape () =
@@ -702,6 +807,12 @@ let () =
           Alcotest.test_case "put fault seams" `Quick test_store_put_fault_seams;
           Alcotest.test_case "swapped entry" `Quick
             test_store_get_detects_swapped_entry;
+          Alcotest.test_case "fsck under a held generation" `Quick
+            test_store_fsck_under_held_generation;
+          Alcotest.test_case "stale handle after put" `Quick
+            test_store_stale_handle_after_put;
+          Alcotest.test_case "open races the atomic rename" `Quick
+            test_store_open_races_atomic_rename;
         ] );
       ( "builder",
         [

@@ -162,6 +162,42 @@ let test_wall_clock_reason () =
     (Printf.sprintf "%S renders seconds" msg)
     true (contains msg "elapsed")
 
+(* Every path an expiry can take to the user must end in
+   [describe_expiry].  Two boundaries are easy to regress: the typed
+   conversion in [Error.guard] (the CLI and the serving daemon both rely
+   on it) and the [Printexc] printer for an exception that escapes all
+   the way to the runtime. *)
+let test_expiry_boundary_pins () =
+  (* guard: an escaped Deadline_exceeded becomes a typed Timeout with
+     the reason intact, never a generic failure. *)
+  let g = Governor.create ~poll_budget:1 () in
+  (match Error.guard (fun () -> Governor.check g ~stage:"boundary") with
+  | Error (Error.Timeout { stage; reason = Governor.Poll_budget; _ }) ->
+      Alcotest.(check string) "guard keeps the stage" "boundary" stage
+  | Error (Error.Timeout { reason = Governor.Wall_clock; _ }) ->
+      Alcotest.fail "guard mislabelled a poll-budget expiry as wall-clock"
+  | Error e -> Alcotest.failf "guard produced %s" (Error.to_string e)
+  | Ok () -> Alcotest.fail "exhausted governor must not pass guard");
+  (* Printexc: the registered printer routes through describe_expiry, so
+     an uncaught expiry never prints poll counts as bare floats. *)
+  let s =
+    Printexc.to_string
+      (Governor.Deadline_exceeded
+         {
+           stage = "dp";
+           elapsed = 7.;
+           deadline = 7.;
+           reason = Governor.Poll_budget;
+         })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Printexc %S mentions polls" s)
+    true (contains s "polls");
+  Alcotest.(check bool)
+    (Printf.sprintf "Printexc %S does not claim seconds" s)
+    false
+    (contains s "s elapsed")
+
 (* --- Metrics semantics ------------------------------------------------ *)
 
 let test_counter_gauge_semantics () =
@@ -540,6 +576,8 @@ let () =
             test_poll_budget_reason;
           Alcotest.test_case "wall-clock expiry reason" `Quick
             test_wall_clock_reason;
+          Alcotest.test_case "expiry boundary pins (guard, Printexc)" `Quick
+            test_expiry_boundary_pins;
         ] );
       ( "metrics",
         [

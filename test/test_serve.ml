@@ -1,0 +1,851 @@
+(* The rs_serve suite: protocol codec fuzz, generation loading and
+   quarantine, admission control and the exact→bound→stale ladder,
+   queue shedding with backoff hints, crash-only hot reload, fault
+   seams, daemon kill -9 / restart determinism over a real Unix
+   socket, and the seeded chaos soak (DESIGN.md §14). *)
+
+module Error = Rs_util.Error
+module Faults = Rs_util.Faults
+module Store = Rs_core.Store
+module Builder = Rs_core.Builder
+module Dataset = Rs_core.Dataset
+module Synopsis = Rs_core.Synopsis
+module Backoff = Rs_core.Supervisor.Backoff
+module P = Rs_serve.Protocol
+module Server = Rs_serve.Server
+module Generation = Rs_serve.Generation
+module Chaos = Rs_serve.Chaos
+open Helpers
+
+let tmp_path suffix =
+  let path = Filename.temp_file "rs_serve" suffix in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = tmp_path ".servestore" in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let paper = Dataset.generate "paper"
+let n = Dataset.n paper
+
+(* Store fixture: a prefix-capable histogram, a prefix-less SAP1 and a
+   wavelet synopsis — the three serving shapes. *)
+let fixture_methods =
+  [ ("opta", "opt-a", 24); ("sap1", "sap1", 24); ("wave", "wave-range-opt", 24) ]
+
+(* Building the three synopses is by far the slowest part of the suite
+   (OPT-A dominates), so build them exactly once into a shared base
+   directory and copy the store files into each test's private dir. *)
+let fixture_base =
+  lazy
+    (let dir = tmp_path ".servefixture" in
+     Unix.mkdir dir 0o755;
+     at_exit (fun () -> if Sys.file_exists dir then rm_rf dir);
+     let store = Store.open_dir dir in
+     List.iter
+       (fun (name, method_name, budget_words) ->
+         Store.put store ~name (Builder.build paper ~method_name ~budget_words))
+       fixture_methods;
+     dir)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let b = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc b;
+  close_out oc
+
+let rec copy_tree src dst =
+  if Sys.is_directory src then begin
+    if not (Sys.file_exists dst) then Unix.mkdir dst 0o755;
+    Array.iter
+      (fun f -> copy_tree (Filename.concat src f) (Filename.concat dst f))
+      (Sys.readdir src)
+  end
+  else copy_file src dst
+
+let make_store dir =
+  copy_tree (Lazy.force fixture_base) dir;
+  Store.open_dir dir
+
+let config ?(queue = 16) ?(cache = 64) ?(jobs = 1) ?dataset dir =
+  {
+    (Server.default_config ~store_dir:dir) with
+    Server.dataset;
+    jobs;
+    queue_capacity = queue;
+    cache_capacity = cache;
+  }
+
+let with_server ?queue ?cache ?jobs ?dataset dir f =
+  let server = Error.get (Server.create (config ?queue ?cache ?jobs ?dataset dir)) in
+  Fun.protect ~finally:(fun () -> Server.close server) (fun () -> f server)
+
+let query ?id ?deadline_ms ?poll_budget ?(attempt = 1) ~synopsis ranges =
+  P.encode_request
+    (P.Query
+       { id; synopsis; ranges = Array.of_list ranges; deadline_ms; poll_budget; attempt })
+
+let decode line =
+  match P.decode_response line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "undecodable response %S: %s" line e
+
+(* Inline-record payloads cannot escape their match; rebind them. *)
+type answer = {
+  generation : int;
+  rung : P.rung;
+  estimates : float array;
+  rmse_bound : float option;
+}
+
+type refusal = {
+  refusal : P.refusal;
+  message : string;
+  retry_after_ms : float option;
+}
+
+let expect_answers line =
+  match decode line with
+  | P.Answers { id = _; generation; rung; estimates; rmse_bound } ->
+      { generation; rung; estimates; rmse_bound }
+  | _ -> Alcotest.failf "expected an answer, got %S" line
+
+let expect_refusal line =
+  match decode line with
+  | P.Refused { id = _; refusal; message; retry_after_ms } ->
+      { refusal; message; retry_after_ms }
+  | _ -> Alcotest.failf "expected a refusal, got %S" line
+
+let check_floats msg expected actual =
+  Alcotest.(check (array (float 0.))) msg expected actual;
+  Array.iteri
+    (fun i e ->
+      if Int64.bits_of_float e <> Int64.bits_of_float actual.(i) then
+        Alcotest.failf "%s: index %d not bit-identical" msg i)
+    expected
+
+(* --- Protocol codec ---------------------------------------------------- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized_size (int_range 0 3) @@ fix (fun self depth ->
+      let scalar =
+        oneof
+          [
+            return P.Null;
+            map (fun b -> P.Bool b) bool;
+            map (fun f -> P.Num f) (float_range (-1e9) 1e9);
+            map (fun i -> P.Num (float_of_int i)) (int_range (-1000000) 1000000);
+            map
+              (fun s -> P.Str s)
+              (string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 12));
+          ]
+      in
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> P.Arr l) (list_size (int_range 0 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> P.Obj kvs)
+                (list_size (int_range 0 4)
+                   (pair
+                      (string_size ~gen:(map Char.chr (int_range 97 122))
+                         (int_range 1 6))
+                      (self (depth - 1)))) );
+          ])
+
+let rec json_eq a b =
+  match (a, b) with
+  | P.Null, P.Null -> true
+  | P.Bool x, P.Bool y -> x = y
+  | P.Num x, P.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | P.Str x, P.Str y -> x = y
+  | P.Arr x, P.Arr y -> List.length x = List.length y && List.for_all2 json_eq x y
+  | P.Obj x, P.Obj y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2) x y
+  | _ -> false
+
+let json_roundtrip =
+  qtest ~count:500 "json round-trip"
+    (QCheck.make ~print:P.json_to_string json_gen)
+    (fun j ->
+      match P.json_of_string (P.json_to_string j) with
+      | Ok j' -> json_eq j j'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+let test_json_parser_rejects () =
+  let bad s =
+    match P.json_of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,2";
+  bad "{\"a\":1} trailing";
+  bad "{\"a\"}";
+  bad "nul";
+  bad "+5";
+  bad "'single'";
+  bad "\"unterminated";
+  bad "\"raw\tcontrol\"";
+  bad "[1,]";
+  (* depth bomb: past the parser's nesting limit *)
+  bad (String.concat "" (List.init 64 (fun _ -> "[")) );
+  let deep = String.concat "" (List.init 40 (fun _ -> "[")) ^ "1"
+             ^ String.concat "" (List.init 40 (fun _ -> "]")) in
+  bad deep
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      P.Ping;
+      P.Metrics;
+      P.Reload;
+      P.Shutdown;
+      P.Query
+        {
+          id = Some "r1";
+          synopsis = "opta";
+          ranges = [| (1, 5); (3, 100) |];
+          deadline_ms = Some 12.5;
+          poll_budget = Some 3;
+          attempt = 2;
+        };
+      P.Query
+        {
+          id = None;
+          synopsis = "w.x-y_z";
+          ranges = [| (7, 7) |];
+          deadline_ms = None;
+          poll_budget = None;
+          attempt = 1;
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_request (P.encode_request r) with
+      | Ok r' when r = r' -> ()
+      | Ok _ -> Alcotest.failf "request round-trip changed %s" (P.encode_request r)
+      | Error e -> Alcotest.failf "request round-trip failed: %s" e)
+    reqs
+
+let test_request_decode_rejects () =
+  let bad s =
+    match P.decode_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decode_request accepted %S" s
+  in
+  bad "{}";
+  bad "{\"op\":\"nope\"}";
+  bad "{\"op\":\"query\"}";
+  bad "{\"op\":\"query\",\"synopsis\":3,\"ranges\":[[1,2]]}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\"}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1]]}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1,2,3]]}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1,2.5]]}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1,2]],\"attempt\":0}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1,2]],\"poll_budget\":0}";
+  bad "{\"op\":\"query\",\"synopsis\":\"x\",\"ranges\":[[1,2]],\"deadline_ms\":-1}"
+
+let test_response_roundtrip () =
+  let resps =
+    [
+      P.Pong;
+      P.Shutdown_ack;
+      P.Reloaded { generation = 3; entries = 7; quarantined = 1 };
+      P.Answers
+        {
+          id = Some "q";
+          generation = 2;
+          rung = P.Exact;
+          estimates = [| 1.5; -0.25; 1e17; 0.1 |];
+          rmse_bound = Some 0.125;
+        };
+      P.Answers
+        {
+          id = None;
+          generation = 1;
+          rung = P.Stale;
+          estimates = [||];
+          rmse_bound = None;
+        };
+      P.Refused
+        {
+          id = Some "q2";
+          refusal = P.Overloaded;
+          message = "queue full";
+          retry_after_ms = Some 20.5;
+        };
+      P.Refused
+        { id = None; refusal = P.Bad_request; message = "no"; retry_after_ms = None };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.decode_response (P.encode_response r) with
+      | Ok r' when r = r' -> ()
+      | Ok _ ->
+          Alcotest.failf "response round-trip changed %s" (P.encode_response r)
+      | Error e -> Alcotest.failf "response round-trip failed: %s" e)
+    resps;
+  (* every rung label survives the wire *)
+  List.iter
+    (fun rung ->
+      let line =
+        P.encode_response
+          (P.Answers
+             { id = None; generation = 1; rung; estimates = [| 1. |]; rmse_bound = None })
+      in
+      match P.decode_response line with
+      | Ok (P.Answers a) when a.rung = rung -> ()
+      | _ -> Alcotest.failf "rung %s lost on the wire" (P.rung_to_string rung))
+    [ P.Exact; P.Bound; P.Stale ]
+
+(* --- Generation loading ------------------------------------------------ *)
+
+let test_generation_load () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  let gen = Error.get (Generation.load ~dataset:paper ~gen_id:1 dir) in
+  Alcotest.(check int) "three entries" 3 (Generation.size gen);
+  Alcotest.(check (list string))
+    "sorted names" [ "opta"; "sap1"; "wave" ] (Generation.names gen);
+  Alcotest.(check bool) "nothing quarantined" true (gen.Generation.quarantined = []);
+  let opta = Option.get (Generation.find gen "opta") in
+  Alcotest.(check int) "domain size" n opta.Generation.n;
+  Alcotest.(check bool) "opt-a has a prefix vector" true (opta.Generation.prefix <> None);
+  Alcotest.(check bool) "rmse bound present" true (opta.Generation.rmse_bound <> None);
+  let sap1 = Option.get (Generation.find gen "sap1") in
+  Alcotest.(check bool) "sap1 has no prefix vector" true (sap1.Generation.prefix = None);
+  (* and the bound really is sqrt(SSE / #ranges) *)
+  let expected =
+    sqrt (Synopsis.sse paper opta.Generation.syn /. (float_of_int n *. float_of_int (n + 1) /. 2.))
+  in
+  check_close "rmse bound formula" expected (Option.get opta.Generation.rmse_bound)
+
+let corrupt_entry dir name =
+  let path = Filename.concat dir (name ^ ".rs") in
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string bytes in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_generation_quarantines_corruption () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  corrupt_entry dir "sap1";
+  let gen = Error.get (Generation.load ~gen_id:1 dir) in
+  Alcotest.(check int) "two healthy entries" 2 (Generation.size gen);
+  Alcotest.(check bool)
+    "sap1 quarantined" true
+    (List.mem_assoc "sap1" gen.Generation.quarantined);
+  Alcotest.(check bool) "sap1 absent" true (Generation.find gen "sap1" = None);
+  Alcotest.(check bool) "opta still served" true (Generation.find gen "opta" <> None);
+  (* without a dataset there is no bound *)
+  Alcotest.(check bool)
+    "no dataset, no bound" true
+    ((Option.get (Generation.find gen "opta")).Generation.rmse_bound = None)
+
+let test_generation_empty_dir () =
+  with_tmp_dir @@ fun dir ->
+  let gen = Error.get (Generation.load ~gen_id:1 (Filename.concat dir "fresh")) in
+  Alcotest.(check int) "empty store serves zero entries" 0 (Generation.size gen)
+
+(* --- The serving ladder ------------------------------------------------ *)
+
+let many_ranges count =
+  List.init count (fun i ->
+      let a = 1 + (i mod n) in
+      let b = min n (a + (i mod 17)) in
+      (a, b))
+
+let test_exact_twin () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server ~dataset:paper dir @@ fun server ->
+  List.iter
+    (fun (name, _, _) ->
+      let ranges = [ (1, 1); (1, n); (3, 17); (n / 2, n) ] in
+      let a = expect_answers (Server.handle_line server (query ~synopsis:name ranges)) in
+      Alcotest.(check int) "generation 1" 1 a.generation;
+      Alcotest.(check bool) "exact rung" true (a.rung = P.Exact);
+      let entry =
+        Option.get (Generation.find (Server.generation server) name)
+      in
+      let expected =
+        Array.of_list
+          (List.map (fun (a, b) -> Synopsis.estimate entry.Generation.syn ~a ~b) ranges)
+      in
+      check_floats (name ^ " twin") expected a.estimates;
+      Alcotest.(check bool)
+        "rmse bound attached" true
+        (a.rmse_bound = entry.Generation.rmse_bound))
+    fixture_methods
+
+let test_budget_routing () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server ~dataset:paper dir @@ fun server ->
+  let ranges = many_ranges 100 in
+  (* 100 ranges = 2 chunks: exact needs budget >= 4 *)
+  let a = expect_answers (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:4 ranges)) in
+  Alcotest.(check bool) "budget 4 -> exact" true (a.rung = P.Exact);
+  let b = expect_answers (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:3 ranges)) in
+  Alcotest.(check bool) "budget 3 -> bound" true (b.rung = P.Bound);
+  Alcotest.(check bool) "bound carries the rmse bound" true (b.rmse_bound <> None);
+  let entry = Option.get (Generation.find (Server.generation server) "opta") in
+  let prefix = Option.get entry.Generation.prefix in
+  let expected =
+    Array.of_list (List.map (fun (a, b) -> prefix.(b) -. prefix.(a - 1)) ranges)
+  in
+  check_floats "bound = prefix arithmetic" expected b.estimates;
+  (* budget 2: one working poll — stale floor; the exact answer above
+     primed the cache for this key *)
+  let c = expect_answers (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:2 ranges)) in
+  Alcotest.(check bool) "budget 2 -> stale" true (c.rung = P.Stale);
+  Alcotest.(check bool) "stale has no bound" true (c.rmse_bound = None);
+  check_floats "stale replays the exact answer" a.estimates c.estimates;
+  Alcotest.(check int) "stale cites the caching generation" a.generation c.generation
+
+let test_budget_refusal_renders_polls () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  (* cold cache + budget 1: admission itself expires *)
+  let r = expect_refusal (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:1 [ (1, 5) ])) in
+  Alcotest.(check bool) "deadline refusal" true (r.refusal = P.Deadline);
+  Alcotest.(check bool) "message counts polls" true (contains r.message "poll");
+  Alcotest.(check bool)
+    "message does not render polls as seconds" false
+    (contains r.message "s elapsed")
+
+let test_no_prefix_falls_to_floor () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  let ranges = many_ranges 100 in
+  (* sap1 has no prefix vector: budget 3 cannot finish exact (needs 4),
+     there is no bound rung, the cache is cold -> typed refusal *)
+  let r = expect_refusal (Server.handle_line server (query ~synopsis:"sap1" ~poll_budget:3 ranges)) in
+  Alcotest.(check bool) "deadline refusal" true (r.refusal = P.Deadline);
+  Alcotest.(check bool) "poll units" true (contains r.message "poll");
+  (* prime with an unbudgeted query, then the same budget goes stale *)
+  let a = expect_answers (Server.handle_line server (query ~synopsis:"sap1" ranges)) in
+  let s = expect_answers (Server.handle_line server (query ~synopsis:"sap1" ~poll_budget:3 ranges)) in
+  Alcotest.(check bool) "stale after priming" true (s.rung = P.Stale);
+  check_floats "stale replay" a.estimates s.estimates
+
+let test_wall_clock_deadline () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  (* a deadline that has certainly passed by the first poll *)
+  let r =
+    expect_refusal
+      (Server.handle_line server (query ~synopsis:"opta" ~deadline_ms:1e-6 [ (1, 5) ]))
+  in
+  Alcotest.(check bool) "deadline refusal" true (r.refusal = P.Deadline);
+  Alcotest.(check bool) "seconds units" true (contains r.message "elapsed")
+
+let test_unknown_and_bad_ranges () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  let r = expect_refusal (Server.handle_line server (query ~synopsis:"nope" [ (1, 2) ])) in
+  Alcotest.(check bool) "unknown synopsis" true (r.refusal = P.Unknown_synopsis);
+  List.iter
+    (fun range ->
+      let r = expect_refusal (Server.handle_line server (query ~synopsis:"opta" [ range ])) in
+      Alcotest.(check bool) "bad range refused" true (r.refusal = P.Bad_request))
+    [ (0, 5); (5, 3); (1, n + 1) ];
+  let r = expect_refusal (Server.handle_line server "garbage") in
+  Alcotest.(check bool) "malformed line refused" true (r.refusal = P.Bad_request)
+
+(* --- Queue shedding ---------------------------------------------------- *)
+
+let test_queue_shedding () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server ~queue:2 dir @@ fun server ->
+  let send i attempt =
+    Server.push server ~cookie:i
+      (query ~id:(Printf.sprintf "q%d" i) ~attempt ~synopsis:"opta" [ (1, i + 1) ])
+  in
+  (match send 1 1 with `Queued -> () | `Reply r -> Alcotest.failf "q1 not queued: %s" r);
+  (match send 2 1 with `Queued -> () | `Reply r -> Alcotest.failf "q2 not queued: %s" r);
+  Alcotest.(check int) "two pending" 2 (Server.pending server);
+  (* the queue is full: these are shed with deterministic retry hints *)
+  List.iter
+    (fun (i, attempt) ->
+      match send i attempt with
+      | `Queued -> Alcotest.failf "q%d should have been shed" i
+      | `Reply r ->
+          let refusal = expect_refusal r in
+          Alcotest.(check bool) "overloaded" true (refusal.refusal = P.Overloaded);
+          let expected = 1000. *. Backoff.delay Backoff.default ~seg:0 ~attempt in
+          Alcotest.(check (float 0.)) "retry hint is the backoff delay" expected
+            (Option.get refusal.retry_after_ms))
+    [ (3, 1); (4, 2); (5, 7) ];
+  (* the queued two still answer, in order, to the right cookies *)
+  (match Server.step server with
+  | Some (1, line) -> ignore (expect_answers line)
+  | _ -> Alcotest.fail "q1 should answer first");
+  (match Server.step server with
+  | Some (2, line) -> ignore (expect_answers line)
+  | _ -> Alcotest.fail "q2 should answer second");
+  Alcotest.(check bool) "queue drained" true (Server.step server = None)
+
+(* --- Shutdown ---------------------------------------------------------- *)
+
+let test_shutdown_drains () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  (match Server.push server ~cookie:1 (query ~id:"q1" ~synopsis:"opta" [ (1, 5) ]) with
+  | `Queued -> ()
+  | `Reply r -> Alcotest.failf "query not queued: %s" r);
+  (match Server.push server ~cookie:0 (P.encode_request P.Shutdown) with
+  | `Reply r -> (
+      match decode r with
+      | P.Shutdown_ack -> ()
+      | _ -> Alcotest.failf "no ack: %s" r)
+  | `Queued -> Alcotest.fail "shutdown was queued");
+  Alcotest.(check bool) "draining" true (Server.draining server);
+  (* new queries are refused, the queued one still answers *)
+  (match Server.push server ~cookie:2 (query ~synopsis:"opta" [ (1, 2) ]) with
+  | `Reply r ->
+      Alcotest.(check bool)
+        "refused shutting-down" true
+        ((expect_refusal r).refusal = P.Shutting_down)
+  | `Queued -> Alcotest.fail "post-shutdown query queued");
+  (match Server.step server with
+  | Some (1, line) -> ignore (expect_answers line)
+  | _ -> Alcotest.fail "queued query lost in shutdown");
+  Alcotest.(check int) "drained" 0 (Server.pending server)
+
+(* --- Hot reload -------------------------------------------------------- *)
+
+let test_reload_picks_up_new_entries () =
+  with_tmp_dir @@ fun dir ->
+  let store = make_store dir in
+  with_server ~dataset:paper dir @@ fun server ->
+  let r = expect_refusal (Server.handle_line server (query ~synopsis:"extra" [ (1, 2) ])) in
+  Alcotest.(check bool) "unknown before reload" true (r.refusal = P.Unknown_synopsis);
+  Store.put store ~name:"extra" (Builder.build paper ~method_name:"a0" ~budget_words:12);
+  (match decode (Server.handle_line server (P.encode_request P.Reload)) with
+  | P.Reloaded { generation; entries; quarantined } ->
+      Alcotest.(check int) "generation bumps" 2 generation;
+      Alcotest.(check int) "four entries" 4 entries;
+      Alcotest.(check int) "none quarantined" 0 quarantined
+  | _ -> Alcotest.fail "reload failed");
+  let a = expect_answers (Server.handle_line server (query ~synopsis:"extra" [ (1, 2) ])) in
+  Alcotest.(check int) "answers cite the new generation" 2 a.generation
+
+let test_reload_quarantines_and_keeps_serving () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  let before = expect_answers (Server.handle_line server (query ~synopsis:"opta" [ (1, n) ])) in
+  corrupt_entry dir "sap1";
+  (match decode (Server.handle_line server (P.encode_request P.Reload)) with
+  | P.Reloaded { generation; entries; quarantined } ->
+      Alcotest.(check int) "generation bumps" 2 generation;
+      Alcotest.(check int) "two healthy entries" 2 entries;
+      Alcotest.(check int) "one quarantined" 1 quarantined
+  | _ -> Alcotest.fail "reload should succeed past corruption");
+  let r = expect_refusal (Server.handle_line server (query ~synopsis:"sap1" [ (1, 2) ])) in
+  Alcotest.(check bool)
+    "corrupt entry refused, typed" true
+    (r.refusal = P.Unknown_synopsis);
+  let after = expect_answers (Server.handle_line server (query ~synopsis:"opta" [ (1, n) ])) in
+  check_floats "healthy entry identical across reload" before.estimates after.estimates
+
+let test_reload_failure_keeps_old_generation () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  Faults.arm ~count:1 "serve.reload";
+  let r = expect_refusal (Server.handle_line server (P.encode_request P.Reload)) in
+  Alcotest.(check bool) "typed injected refusal" true (r.refusal = P.Injected);
+  Alcotest.(check int)
+    "generation unchanged" 1 (Server.generation server).Generation.gen_id;
+  let a = expect_answers (Server.handle_line server (query ~synopsis:"opta" [ (1, 5) ])) in
+  Alcotest.(check int) "old generation keeps serving" 1 a.generation
+
+let test_metrics_response_single_line () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  (* warm the counters, then fetch the live report *)
+  ignore (expect_answers (Server.handle_line server (query ~synopsis:"opta" [ (1, 5) ])));
+  let line = Server.handle_line server (P.encode_request P.Metrics) in
+  (* the spliced rs-metrics-v1 report must not tear the line framing
+     (Metrics.to_json ends with a newline: it is also a file format) *)
+  Alcotest.(check bool) "response is a single line" false (String.contains line '\n');
+  match decode line with
+  | P.Metrics_report report ->
+      Alcotest.(check bool)
+        "report is a JSON object" true
+        (String.length report > 0 && report.[0] = '{' && report.[String.length report - 1] = '}')
+  | _ -> Alcotest.fail "expected a metrics report"
+
+(* --- Fault seams ------------------------------------------------------- *)
+
+let test_seams_refuse_typed () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  List.iter
+    (fun seam ->
+      Faults.arm ~count:1 seam;
+      let r = expect_refusal (Server.handle_line server (query ~synopsis:"opta" [ (1, 5) ])) in
+      Alcotest.(check bool) (seam ^ " injects typed refusal") true (r.refusal = P.Injected);
+      (* one-shot: the next request is healthy *)
+      let a = expect_answers (Server.handle_line server (query ~synopsis:"opta" [ (1, 5) ])) in
+      Alcotest.(check bool) (seam ^ " disarms") true (a.rung = P.Exact))
+    [ "serve.decode"; "serve.admit"; "serve.evaluate" ]
+
+(* --- Parallel evaluation ----------------------------------------------- *)
+
+let test_jobs_parity () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  let lines =
+    List.map
+      (fun (name, _, _) -> query ~synopsis:name (many_ranges 150))
+      fixture_methods
+  in
+  let seq = Chaos.probe (config ~jobs:1 ~dataset:paper dir) ~lines in
+  let par = Chaos.probe (config ~jobs:3 ~dataset:paper dir) ~lines in
+  List.iter2 (Alcotest.(check string) "jobs=1 vs jobs=3 bit-identical") seq par
+
+(* --- Restart determinism ----------------------------------------------- *)
+
+let probe_lines =
+  [
+    query ~id:"p1" ~synopsis:"opta" [ (1, 5); (3, 100); (100, 127) ];
+    query ~id:"p2" ~synopsis:"sap1" [ (1, 127) ];
+    query ~id:"p3" ~synopsis:"wave" [ (2, 64); (1, 1) ];
+    query ~id:"p4" ~synopsis:"opta" ~poll_budget:3 (many_ranges 100);
+  ]
+
+let test_restart_identical_answers () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  let first = Chaos.probe (config ~dataset:paper dir) ~lines:probe_lines in
+  (* the first server is simply abandoned — no orderly shutdown — and a
+     new one opens the same store *)
+  let second = Chaos.probe (config ~dataset:paper dir) ~lines:probe_lines in
+  List.iter2 (Alcotest.(check string) "restart serves identical bytes") first second
+
+(* --- The daemon over a real socket, kill -9 included ------------------- *)
+
+let served_exe =
+  match Sys.getenv_opt "RS_SERVED" with
+  | Some p -> p
+  | None -> Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/rs_served.exe"
+
+let rec connect_retry path tries =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  | () -> sock
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when tries > 0 ->
+      Unix.close sock;
+      Unix.sleepf 0.05;
+      connect_retry path (tries - 1)
+
+let send_and_read sock lines =
+  let out = Buffer.create 256 in
+  List.iter (fun l -> Buffer.add_string out (l ^ "\n")) lines;
+  let payload = Buffer.contents out in
+  let _ = Unix.write_substring sock payload 0 (String.length payload) in
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 256 in
+  let wanted = List.length lines in
+  let count_newlines s = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    count_newlines (Buffer.contents acc) < wanted
+    && Unix.gettimeofday () < deadline
+  do
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> Alcotest.fail "daemon closed the connection early"
+    | k -> Buffer.add_subbytes acc buf 0 k
+  done;
+  String.split_on_char '\n' (Buffer.contents acc)
+  |> List.filter (fun s -> s <> "")
+
+let spawn_daemon dir socket =
+  Unix.create_process served_exe
+    [| served_exe; "--store"; dir; "--data"; "paper"; "--socket"; socket |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let test_daemon_socket_kill_and_restart () =
+  if not (Sys.file_exists served_exe) then
+    Alcotest.skip ()
+  else
+    with_tmp_dir @@ fun dir ->
+    let (_ : Store.t) = make_store dir in
+    let socket = Filename.concat dir "serve.sock" in
+    let pid = spawn_daemon dir socket in
+    let answers1 =
+      Fun.protect
+        ~finally:(fun () -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        (fun () ->
+          let sock = connect_retry socket 100 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close sock)
+            (fun () -> send_and_read sock probe_lines))
+    in
+    (* kill -9: no shutdown handshake, no cleanup *)
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid);
+    (* restart against the same store: answers must be byte-identical *)
+    let pid2 = spawn_daemon dir socket in
+    let answers2 =
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let sock = connect_retry socket 100 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close sock)
+            (fun () ->
+              let a = send_and_read sock probe_lines in
+              let ack = send_and_read sock [ P.encode_request P.Shutdown ] in
+              Alcotest.(check (list string))
+                "clean shutdown ack" [ "{\"ok\":true,\"op\":\"shutdown\"}" ] ack;
+              a))
+    in
+    Alcotest.(check int) "one answer per probe" (List.length probe_lines) (List.length answers1);
+    List.iter2
+      (Alcotest.(check string) "killed daemon restarts with identical answers")
+      answers1 answers2
+
+(* --- The chaos soak ---------------------------------------------------- *)
+
+let run_soak ~jobs ~seed =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  Chaos.soak ~requests:250 ~seed (config ~queue:4 ~cache:64 ~jobs ~dataset:paper dir)
+
+let check_soak outcome =
+  if outcome.Chaos.violations <> [] then
+    Alcotest.failf "chaos soak violated invariants:\n%s"
+      (String.concat "\n" outcome.Chaos.violations);
+  Alcotest.(check bool) ">=250 requests" true (outcome.Chaos.requests >= 250);
+  let nonzero what v = Alcotest.(check bool) (what ^ " exercised") true (v > 0) in
+  nonzero "exact" outcome.Chaos.exact;
+  nonzero "stale" outcome.Chaos.stale;
+  nonzero "refusals" outcome.Chaos.refused;
+  nonzero "shedding" outcome.Chaos.shed;
+  nonzero "injection" outcome.Chaos.injected;
+  nonzero "reloads" outcome.Chaos.reloads
+
+let test_chaos_soak () = check_soak (run_soak ~jobs:1 ~seed:0xC4A05)
+
+let test_chaos_soak_parallel () = check_soak (run_soak ~jobs:2 ~seed:0x5EED5)
+
+let test_chaos_bound_rung_reached () =
+  (* at least one seed must exercise the bound rung too *)
+  let o = run_soak ~jobs:1 ~seed:0xB0B0 in
+  if o.Chaos.violations <> [] then
+    Alcotest.failf "soak violations: %s" (String.concat "\n" o.Chaos.violations);
+  Alcotest.(check bool) "bound rung exercised" true (o.Chaos.bound > 0)
+
+let () =
+  Alcotest.run "serve" ~and_exit:true
+    [
+      ( "protocol",
+        [
+          json_roundtrip;
+          Alcotest.test_case "parser rejects malformed" `Quick test_json_parser_rejects;
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request decode rejects" `Quick test_request_decode_rejects;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+        ] );
+      ( "generation",
+        [
+          Alcotest.test_case "load and bounds" `Quick test_generation_load;
+          Alcotest.test_case "quarantines corruption" `Quick
+            test_generation_quarantines_corruption;
+          Alcotest.test_case "empty store" `Quick test_generation_empty_dir;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "exact twin" `Quick test_exact_twin;
+          Alcotest.test_case "budget routing exact/bound/stale" `Quick
+            test_budget_routing;
+          Alcotest.test_case "budget refusal renders polls" `Quick
+            test_budget_refusal_renders_polls;
+          Alcotest.test_case "no prefix falls to floor" `Quick
+            test_no_prefix_falls_to_floor;
+          Alcotest.test_case "wall-clock deadline" `Quick test_wall_clock_deadline;
+          Alcotest.test_case "unknown synopsis, bad ranges" `Quick
+            test_unknown_and_bad_ranges;
+        ] );
+      ( "overload",
+        [ Alcotest.test_case "queue sheds with backoff hints" `Quick test_queue_shedding ] );
+      ( "shutdown",
+        [ Alcotest.test_case "ack, drain, refuse" `Quick test_shutdown_drains ] );
+      ( "reload",
+        [
+          Alcotest.test_case "picks up new entries" `Quick
+            test_reload_picks_up_new_entries;
+          Alcotest.test_case "quarantines and keeps serving" `Quick
+            test_reload_quarantines_and_keeps_serving;
+          Alcotest.test_case "failure keeps old generation" `Quick
+            test_reload_failure_keeps_old_generation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "live report keeps line framing" `Quick
+            test_metrics_response_single_line;
+        ] );
+      ( "seams",
+        [ Alcotest.test_case "typed injected refusals" `Quick test_seams_refuse_typed ] );
+      ( "parallel",
+        [ Alcotest.test_case "jobs=1 vs jobs=3 parity" `Quick test_jobs_parity ] );
+      ( "restart",
+        [
+          Alcotest.test_case "in-process restart determinism" `Quick
+            test_restart_identical_answers;
+          Alcotest.test_case "socket daemon kill -9 and restart" `Quick
+            test_daemon_socket_kill_and_restart;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "soak (250 requests, jobs=1)" `Quick test_chaos_soak;
+          Alcotest.test_case "soak (250 requests, jobs=2)" `Quick
+            test_chaos_soak_parallel;
+          Alcotest.test_case "bound rung reached" `Quick
+            test_chaos_bound_rung_reached;
+        ] );
+    ]
