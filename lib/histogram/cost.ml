@@ -1,6 +1,7 @@
 module Prefix = Rs_util.Prefix
 module Cum = Rs_util.Cum
 module Checks = Rs_util.Checks
+module Tab = Rs_util.Tab
 module Regression = Rs_linalg.Regression
 
 type t = {
@@ -9,6 +10,20 @@ type t = {
   cwa : Cum.t; (* cumulative of w_i·A[i] *)
   cwa2 : Cum.t; (* cumulative of w_i·A[i]² *)
   sorted : bool; (* data monotone (either direction) — QI certificate input *)
+  (* Raw {!Tab} handles on the tables above, cached once per context:
+     the closed forms below run inside the DP transition scans (O(n²·B)
+     calls), and every cross-module table read would box its float.
+     All reads go through [Tab.f1_unsafe_get] with indices pinned to
+     [check]-validated bucket bounds; the same index arithmetic runs
+     bounds-checked in the Tab debug-twin test. *)
+  tp : Tab.f1; (* P[t], t = 0..n *)
+  tcp : Tab.f1; (* cumulative of P *)
+  tcp2 : Tab.f1; (* cumulative of P² *)
+  tctp : Tab.f1; (* cumulative of t·P *)
+  tca2 : Tab.f1; (* cumulative of A² *)
+  tcw : Tab.f1;
+  tcwa : Tab.f1;
+  tcwa2 : Tab.f1;
 }
 
 let make p =
@@ -25,12 +40,23 @@ let make p =
     if d < 0. then nondecr := false;
     if d > 0. then nonincr := false
   done;
+  let cw = Cum.of_fun ~m:n w in
+  let cwa = Cum.of_fun ~m:n (fun i -> w i *. a i) in
+  let cwa2 = Cum.of_fun ~m:n (fun i -> w i *. a i *. a i) in
   {
     p;
-    cw = Cum.of_fun ~m:n w;
-    cwa = Cum.of_fun ~m:n (fun i -> w i *. a i);
-    cwa2 = Cum.of_fun ~m:n (fun i -> w i *. a i *. a i);
+    cw;
+    cwa;
+    cwa2;
     sorted = !nondecr || !nonincr;
+    tp = Prefix.table p;
+    tcp = Cum.table (Prefix.moment_p p);
+    tcp2 = Cum.table (Prefix.moment_p2 p);
+    tctp = Cum.table (Prefix.moment_tp p);
+    tca2 = Cum.table (Prefix.moment_a2 p);
+    tcw = Cum.table cw;
+    tcwa = Cum.table cwa;
+    tcwa2 = Cum.table cwa2;
   }
 
 let data_sorted t = t.sorted
@@ -41,21 +67,43 @@ let n t = Prefix.n t.p
 let check t ~l ~r =
   ignore (Checks.ordered_pair ~name:"Cost bucket" ~lo:1 ~hi:(n t) (l, r))
 
+(* Σ over [u, v] of the sequence behind cumulative table [c] — the
+   same two reads {!Cum.range} performs, minus its per-call bounds
+   checks (indices here derive from [check]-validated bucket ends). *)
+let rd (c : Tab.f1) ~u ~v = Tab.f1_unsafe_get c (v + 1) -. Tab.f1_unsafe_get c u
+
+(* Local twins of {!Prefix.sum_t}/{!Prefix.sum_t2} (identical
+   operation sequences, so identical bits — pinned by the Brute twins):
+   the cross-module originals would box their result per call. *)
+let sum_t ~u ~v =
+  if u > v then 0.
+  else
+    let s k = float_of_int k *. float_of_int (k + 1) /. 2. in
+    s v -. s (u - 1)
+
+let sum_t2 ~u ~v =
+  if u > v then 0.
+  else
+    let s k =
+      float_of_int k *. float_of_int (k + 1) *. float_of_int ((2 * k) + 1) /. 6.
+    in
+    s v -. s (u - 1)
+
 (* Bucket statistics: width, sum, mean. *)
 let stats t ~l ~r =
   let m = float_of_int (r - l + 1) in
-  let s = Prefix.range_sum t.p ~a:l ~b:r in
+  let s = Tab.f1_unsafe_get t.tp r -. Tab.f1_unsafe_get t.tp (l - 1) in
   (m, s, s /. m)
 
 (* Σ g_t and Σ g_t² over t ∈ [u, v] for g_t = P[t] − t·mu. *)
-let sum_g t ~mu ~u ~v = Prefix.sum_p t.p ~u ~v -. (mu *. Prefix.sum_t ~u ~v)
+let sum_g t ~mu ~u ~v = rd t.tcp ~u ~v -. (mu *. sum_t ~u ~v)
 
 let sum_g2 t ~mu ~u ~v =
-  Prefix.sum_p2 t.p ~u ~v
-  -. (2. *. mu *. Prefix.sum_tp t.p ~u ~v)
-  +. (mu *. mu *. Prefix.sum_t2 ~u ~v)
+  rd t.tcp2 ~u ~v
+  -. (2. *. mu *. rd t.tctp ~u ~v)
+  +. (mu *. mu *. sum_t2 ~u ~v)
 
-let g t ~mu k = Prefix.prefix t.p k -. (mu *. float_of_int k)
+let g t ~mu k = Tab.f1_unsafe_get t.tp k -. (mu *. float_of_int k)
 
 let non_negative v = Float.max 0. v
 
@@ -71,8 +119,8 @@ let intra t ~l ~r =
 (* Variance of the m values x_j over prefix indices [u, v]. *)
 let variance_of_prefixes t ~u ~v =
   let m = float_of_int (v - u + 1) in
-  let sp = Prefix.sum_p t.p ~u ~v in
-  non_negative (Prefix.sum_p2 t.p ~u ~v -. (sp *. sp /. m))
+  let sp = rd t.tcp ~u ~v in
+  non_negative (rd t.tcp2 ~u ~v -. (sp *. sp /. m))
 
 let sap0_suffix t ~l ~r =
   check t ~l ~r;
@@ -87,41 +135,41 @@ let sap0_prefix t ~l ~r =
 let sap0_suffix_value t ~l ~r =
   check t ~l ~r;
   let m = float_of_int (r - l + 1) in
-  Prefix.prefix t.p r -. (Prefix.sum_p t.p ~u:(l - 1) ~v:(r - 1) /. m)
+  Tab.f1_unsafe_get t.tp r -. (rd t.tcp ~u:(l - 1) ~v:(r - 1) /. m)
 
 let sap0_prefix_value t ~l ~r =
   check t ~l ~r;
   let m = float_of_int (r - l + 1) in
-  (Prefix.sum_p t.p ~u:l ~v:r /. m) -. Prefix.prefix t.p (l - 1)
+  (rd t.tcp ~u:l ~v:r /. m) -. Tab.f1_unsafe_get t.tp (l - 1)
 
 let sap1_suffix_fit t ~l ~r =
   check t ~l ~r;
   let m = float_of_int (r - l + 1) in
-  let pr = Prefix.prefix t.p r in
-  let sp = Prefix.sum_p t.p ~u:(l - 1) ~v:(r - 1) in
-  let sp2 = Prefix.sum_p2 t.p ~u:(l - 1) ~v:(r - 1) in
+  let pr = Tab.f1_unsafe_get t.tp r in
+  let sp = rd t.tcp ~u:(l - 1) ~v:(r - 1) in
+  let sp2 = rd t.tcp2 ~u:(l - 1) ~v:(r - 1) in
   let sjp =
     (* Σ_j j·P[j−1] = Σ_{t=l−1}^{r−1} (t+1)·P[t] *)
-    Prefix.sum_tp t.p ~u:(l - 1) ~v:(r - 1) +. sp
+    rd t.tctp ~u:(l - 1) ~v:(r - 1) +. sp
   in
-  let sx = Prefix.sum_t ~u:l ~v:r in
+  let sx = sum_t ~u:l ~v:r in
   Regression.fit_moments ~m ~sx
     ~sy:((m *. pr) -. sp)
-    ~sxx:(Prefix.sum_t2 ~u:l ~v:r)
+    ~sxx:(sum_t2 ~u:l ~v:r)
     ~sxy:((pr *. sx) -. sjp)
     ~syy:((m *. pr *. pr) -. (2. *. pr *. sp) +. sp2)
 
 let sap1_prefix_fit t ~l ~r =
   check t ~l ~r;
   let m = float_of_int (r - l + 1) in
-  let pl = Prefix.prefix t.p (l - 1) in
-  let sp = Prefix.sum_p t.p ~u:l ~v:r in
-  let sp2 = Prefix.sum_p2 t.p ~u:l ~v:r in
-  let stp = Prefix.sum_tp t.p ~u:l ~v:r in
-  let sx = Prefix.sum_t ~u:l ~v:r in
+  let pl = Tab.f1_unsafe_get t.tp (l - 1) in
+  let sp = rd t.tcp ~u:l ~v:r in
+  let sp2 = rd t.tcp2 ~u:l ~v:r in
+  let stp = rd t.tctp ~u:l ~v:r in
+  let sx = sum_t ~u:l ~v:r in
   Regression.fit_moments ~m ~sx
     ~sy:(sp -. (m *. pl))
-    ~sxx:(Prefix.sum_t2 ~u:l ~v:r)
+    ~sxx:(sum_t2 ~u:l ~v:r)
     ~sxy:(stp -. (pl *. sx))
     ~syy:(sp2 -. (2. *. pl *. sp) +. (m *. pl *. pl))
 
@@ -159,19 +207,19 @@ let a0_prefix_delta_sum t ~l ~r =
 let point_unweighted t ~l ~r =
   check t ~l ~r;
   let m, s, _ = stats t ~l ~r in
-  non_negative (Prefix.sum_a2 t.p ~a:l ~b:r -. (s *. s /. m))
+  non_negative (rd t.tca2 ~u:(l - 1) ~v:(r - 1) -. (s *. s /. m))
 
 let point_range_weighted t ~l ~r =
   check t ~l ~r;
-  let sw = Cum.range t.cw ~u:(l - 1) ~v:(r - 1) in
-  let swa = Cum.range t.cwa ~u:(l - 1) ~v:(r - 1) in
-  let swa2 = Cum.range t.cwa2 ~u:(l - 1) ~v:(r - 1) in
+  let sw = rd t.tcw ~u:(l - 1) ~v:(r - 1) in
+  let swa = rd t.tcwa ~u:(l - 1) ~v:(r - 1) in
+  let swa2 = rd t.tcwa2 ~u:(l - 1) ~v:(r - 1) in
   non_negative (swa2 -. (swa *. swa /. sw))
 
 let point_range_weighted_value t ~l ~r =
   check t ~l ~r;
-  let sw = Cum.range t.cw ~u:(l - 1) ~v:(r - 1) in
-  Cum.range t.cwa ~u:(l - 1) ~v:(r - 1) /. sw
+  let sw = rd t.tcw ~u:(l - 1) ~v:(r - 1) in
+  rd t.tcwa ~u:(l - 1) ~v:(r - 1) /. sw
 
 let weighted_bucket ~suffix ~prefix t ~l ~r =
   let nn = float_of_int (n t) in
@@ -181,7 +229,72 @@ let weighted_bucket ~suffix ~prefix t ~l ~r =
 
 let sap0_bucket t ~l ~r = weighted_bucket ~suffix:sap0_suffix ~prefix:sap0_prefix t ~l ~r
 let sap1_bucket t ~l ~r = weighted_bucket ~suffix:sap1_suffix ~prefix:sap1_prefix t ~l ~r
-let a0_bucket t ~l ~r = weighted_bucket ~suffix:a0_suffix ~prefix:a0_prefix t ~l ~r
+
+(* Fused A0 bucket cost — the transition the A0 level DP evaluates
+   O(n²·B) times.  One monomorphic body over the raw tables: the
+   [weighted_bucket] composition above makes ~20 small calls per
+   transition, each returning a freshly boxed float.  Every arithmetic
+   step below replicates the composed chain's operation sequence
+   exactly ([intra] + weighted [a0_suffix]/[a0_prefix], shared [mu]),
+   so the fused value is bit-identical — pinned by the Brute twins and
+   by the golden snapshot fixtures, whose DP decisions consume these
+   floats. *)
+let a0_bucket t ~l ~r =
+  check t ~l ~r;
+  let tp = t.tp and cp = t.tcp and cp2 = t.tcp2 and ctp = t.tctp in
+  let m = float_of_int (r - l + 1) in
+  let s = Tab.f1_unsafe_get tp r -. Tab.f1_unsafe_get tp (l - 1) in
+  let mu = s /. m in
+  (* intra: Σg, Σg² over t ∈ [l−1, r]. *)
+  let sg_i =
+    Tab.f1_unsafe_get cp (r + 1)
+    -. Tab.f1_unsafe_get cp (l - 1)
+    -. (mu *. sum_t ~u:(l - 1) ~v:r)
+  in
+  let sg2_i =
+    Tab.f1_unsafe_get cp2 (r + 1)
+    -. Tab.f1_unsafe_get cp2 (l - 1)
+    -. (2. *. mu
+       *. (Tab.f1_unsafe_get ctp (r + 1) -. Tab.f1_unsafe_get ctp (l - 1)))
+    +. (mu *. mu *. sum_t2 ~u:(l - 1) ~v:r)
+  in
+  let intra_v = Float.max 0. (((m +. 1.) *. sg2_i) -. (sg_i *. sg_i)) in
+  (* a0_suffix: g_r against Σg, Σg² over t ∈ [l−1, r−1]. *)
+  let gr = Tab.f1_unsafe_get tp r -. (mu *. float_of_int r) in
+  let sg_s =
+    Tab.f1_unsafe_get cp r
+    -. Tab.f1_unsafe_get cp (l - 1)
+    -. (mu *. sum_t ~u:(l - 1) ~v:(r - 1))
+  in
+  let sg2_s =
+    Tab.f1_unsafe_get cp2 r
+    -. Tab.f1_unsafe_get cp2 (l - 1)
+    -. (2. *. mu *. (Tab.f1_unsafe_get ctp r -. Tab.f1_unsafe_get ctp (l - 1)))
+    +. (mu *. mu *. sum_t2 ~u:(l - 1) ~v:(r - 1))
+  in
+  let suf_v =
+    Float.max 0. ((m *. gr *. gr) -. (2. *. gr *. sg_s) +. sg2_s)
+  in
+  (* a0_prefix: g_{l−1} against Σg, Σg² over t ∈ [l, r]. *)
+  let gl = Tab.f1_unsafe_get tp (l - 1) -. (mu *. float_of_int (l - 1)) in
+  let sg_p =
+    Tab.f1_unsafe_get cp (r + 1)
+    -. Tab.f1_unsafe_get cp l
+    -. (mu *. sum_t ~u:l ~v:r)
+  in
+  let sg2_p =
+    Tab.f1_unsafe_get cp2 (r + 1)
+    -. Tab.f1_unsafe_get cp2 l
+    -. (2. *. mu *. (Tab.f1_unsafe_get ctp (r + 1) -. Tab.f1_unsafe_get ctp l))
+    +. (mu *. mu *. sum_t2 ~u:l ~v:r)
+  in
+  let pre_v =
+    Float.max 0. (sg2_p -. (2. *. gl *. sg_p) +. (m *. gl *. gl))
+  in
+  let nn = float_of_int (n t) in
+  intra_v
+  +. (suf_v *. (nn -. float_of_int r))
+  +. (pre_v *. float_of_int (l - 1))
 
 module Brute = struct
   let s t a b = Prefix.range_sum t.p ~a ~b

@@ -4,6 +4,7 @@ module Checkpoint = Rs_util.Checkpoint
 module Pool = Rs_util.Pool
 module Metrics = Rs_util.Metrics
 module Trace = Rs_util.Trace
+module Tab = Rs_util.Tab
 
 let log_src = Logs.Src.create "rs.dp" ~doc:"Interval DP engines (level + monotone)"
 
@@ -29,23 +30,43 @@ let engine_of_string = function
   | "level" -> Some Level
   | _ -> None
 
-(* First/last finite column of a completed DP row: the transition scan
-   for the next row is clipped to these bounds instead of testing every
-   j for finiteness.  An all-infinite row yields an empty window
-   (lo > hi).  Stray infinities inside the bounds stay harmless — an
-   infinite candidate never beats [best] in the strict-< scan. *)
-let finite_bounds row ~n =
+(* The [e]/[parent] matrices live in flat unboxed {!Rs_util.Tab}
+   buffers (row-major, row [k] at offset [k * (n + 1)]): the transition
+   scan reads [e] at a random [j] per candidate, and a [float array
+   array] pays a row-pointer load per access while keeping the whole
+   matrix on the GC heap.  Kernel loops go through the raw-load
+   accessors with offsets hoisted per row; cold paths (snapshots,
+   restore, reconstruction) use the bounds-checked family. *)
+
+(* First/last finite column of a completed DP row — scan form.  The
+   engines maintain these bounds {e incrementally} (each row's bounds
+   are recorded as its cells are written, so no extra pass over the
+   matrix); this scan survives as the debug-assertion reference — every
+   completed level asserts its incremental bounds against it — and as
+   the resume-time seed, where restored rows have no write history.  An
+   all-infinite row yields the empty window [(n + 1, -1)], exactly the
+   incremental tracker's initial state.  Stray infinities inside the
+   bounds stay harmless — an infinite candidate never beats [best] in
+   the strict-< scan. *)
+let finite_bounds ebuf ~base ~n =
   let inf = Float.infinity in
   let lo = ref 0 in
-  while !lo <= n && row.(!lo) = inf do incr lo done;
+  while !lo <= n && Tab.f1_get ebuf (base + !lo) = inf do incr lo done;
   let hi = ref n in
-  while !hi >= 0 && row.(!hi) = inf do decr hi done;
+  while !hi >= 0 && Tab.f1_get ebuf (base + !hi) = inf do decr hi done;
   (!lo, !hi)
 
 (* Cells dispatched to the pool between two coordinator polls.  A
    constant (not a function of [jobs]) so chunk barriers — and hence
    snapshot positions — line up across every parallel job count. *)
 let parallel_chunk = 64
+
+(* j-tile width for the pure-path blocked sweep: the tile of row k−1
+   (and the prefix-table window the cost closure reads) stays
+   cache-resident while every destination cell consumes it.  Purely a
+   wall-clock knob — per-cell candidate order stays ascending in j, so
+   results are bit-identical at any width. *)
+let dp_tile_j = 256
 
 let snapshot_kind = "dp-row-v1"
 
@@ -61,11 +82,11 @@ let snapshot_body ~stage ~fingerprint ~n ~b ~e ~parent ~next_k ~next_i =
     Printf.bprintf buf "e %d" k;
     for i = 0 to n do
       Buffer.add_char buf ' ';
-      Printf.bprintf buf "%h" e.(k).(i)
+      Printf.bprintf buf "%h" (Tab.f2_get e k i)
     done;
     Buffer.add_char buf '\n';
     Printf.bprintf buf "p %d" k;
-    for i = 0 to n do Printf.bprintf buf " %d" parent.(k).(i) done;
+    for i = 0 to n do Printf.bprintf buf " %d" (Tab.i2_get parent k i) done;
     Buffer.add_char buf '\n'
   done;
   Buffer.contents buf
@@ -94,7 +115,7 @@ let restore ~path ~stage ~fingerprint ~n ~b e parent =
       if next_k < 1 || next_k > b || next_i < next_k || next_i > n then
         Snapshot_io.corrupt cur "resume position (%d, %d) out of range" next_k
           next_i;
-      let fill_row key row parse =
+      let row_index key =
         match Snapshot_io.expect cur key with
         | idx :: values ->
             let k = Snapshot_io.int_of cur idx in
@@ -102,12 +123,14 @@ let restore ~path ~stage ~fingerprint ~n ~b e parent =
               Snapshot_io.corrupt cur "row index %d out of range" k;
             if List.length values <> n + 1 then
               Snapshot_io.corrupt cur "row %d: expected %d values" k (n + 1);
-            List.iteri (fun i v -> row.(k).(i) <- parse cur v) values
+            (k, values)
         | [] -> Snapshot_io.corrupt cur "empty %s row" key
       in
       for _k = 0 to b do
-        fill_row "e" e Snapshot_io.float_of;
-        fill_row "p" parent Snapshot_io.int_of
+        let ek, evs = row_index "e" in
+        List.iteri (fun i v -> Tab.f2_set e ek i (Snapshot_io.float_of cur v)) evs;
+        let pk, pvs = row_index "p" in
+        List.iteri (fun i v -> Tab.i2_set parent pk i (Snapshot_io.int_of cur v)) pvs
       done;
       (next_k, next_i)
 
@@ -116,10 +139,14 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
   let n = Checks.positive ~name:"Dp.solve n" n in
   let b = max 1 (min buckets n) in
   let inf = Float.infinity in
-  (* e.(k).(i): best cost of covering [1..i] with exactly k buckets. *)
-  let e = Array.make_matrix (b + 1) (n + 1) inf in
-  let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
-  e.(0).(0) <- 0.;
+  let cols = n + 1 in
+  (* e.(k,i): best cost of covering [1..i] with exactly k buckets. *)
+  let e = Tab.f2_create ~rows:(b + 1) ~cols in
+  Tab.f2_fill e inf;
+  let parent = Tab.i2_create ~rows:(b + 1) ~cols in
+  Tab.i2_fill parent (-1);
+  Tab.f2_set e 0 0 0.;
+  let ebuf = e.Tab.fbuf and pbuf = parent.Tab.ibuf in
   let start_k, start_i =
     match resume_from with
     | None -> (1, 1)
@@ -147,24 +174,26 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
         | _ ->
             raise (Governor.Deadline_exceeded { stage; elapsed; deadline; reason }))
   in
-  (* One cell's work, shared verbatim by the sequential and parallel
-     paths: cell (k, i) reads only the completed level k−1 and writes
-     only its own e/parent slots, so results are bit-identical for any
-     job count.  [jlo]/[jhi] are the finite bounds of row k−1, computed
-     once per level on the coordinator ({!finite_bounds}) so the scan
-     skips the per-transition infinity test. *)
+  (* One cell's work, shared verbatim by the canonical sequential and
+     parallel paths: cell (k, i) reads only the completed level k−1 and
+     writes only its own e/parent slots, so results are bit-identical
+     for any job count.  [jlo]/[jhi] are the finite bounds of row k−1,
+     maintained incrementally by the coordinator.  The raw-load index
+     arithmetic is pinned by the Tab debug-twin test (test_tab.ml runs
+     the same scan through {!Tab.Debug} accessors). *)
   let fill_cell ~jlo ~jhi k i =
+    let prev = (k - 1) * cols in
     let best = ref inf and best_j = ref (-1) in
     let j1 = min jhi (i - 1) in
     for j = max jlo (k - 1) to j1 do
-      let c = e.(k - 1).(j) +. cost ~l:(j + 1) ~r:i in
+      let c = Tab.f1_unsafe_get ebuf (prev + j) +. cost ~l:(j + 1) ~r:i in
       if c < !best then begin
         best := c;
         best_j := j
       end
     done;
-    e.(k).(i) <- !best;
-    parent.(k).(i) <- !best_j
+    Tab.f1_unsafe_set ebuf (prev + cols + i) !best;
+    Tab.i1_unsafe_set pbuf (prev + cols + i) !best_j
   in
   (* Need at least k positions for k non-empty buckets — pruning the
      trivially infeasible cells. *)
@@ -179,31 +208,129 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
     Metrics.add m_cells (max 0 (n - i0 + 1));
     ignore k
   in
-  if jobs <= 1 then
+  (* Incremental finite-bounds tracking.  [plo]/[phi] hold the bounds
+     of the last completed row (row 0: cell 0 only); each engine path
+     folds row k's bounds as its cells land and publishes them through
+     [level_bounds_done], which also debug-asserts the incremental
+     result against the reference scan.  Resume seeds from the scan:
+     restored rows have no write history. *)
+  let plo = ref 0 and phi = ref 0 in
+  if start_k > 1 || start_i > 1 then begin
+    let lo, hi = finite_bounds ebuf ~base:((start_k - 1) * cols) ~n in
+    plo := lo;
+    phi := hi
+  end;
+  (* Bounds seed for the resumed row itself: cells [k, start_i) were
+     restored, not written, so fold their finiteness up front. *)
+  let seed_restored_prefix k lo hi =
+    for i = k to row_start k - 1 do
+      if Tab.f2_get e k i < inf then begin
+        if !lo > n then lo := i;
+        hi := i
+      end
+    done
+  in
+  let level_bounds_done k lo hi =
+    assert ((lo, hi) = finite_bounds ebuf ~base:(k * cols) ~n);
+    plo := lo;
+    phi := hi
+  in
+  let pure =
+    jobs <= 1 && governor == Governor.unlimited && checkpoint_path = None
+    && resume_from = None
+  in
+  if pure then begin
+    (* Cache-blocked level sweep: candidates tile along j so the tile
+       of row k−1 (and the prefix windows behind [cost]) is consumed by
+       every destination cell while cache-resident, instead of
+       re-streaming the row once per cell.  Per cell, tiles arrive in
+       ascending j and the running best uses the same strict-< update,
+       so best/best_j — and every downstream byte — match the canonical
+       per-cell scan exactly.  Only the ungoverned, un-checkpointed,
+       sequential case takes this path: the canonical schedule below
+       owns the contractual poll cadence and snapshot positions. *)
+    let bestv = Array.make cols inf and bestj = Array.make cols (-1) in
+    for k = 1 to b do
+      Trace.with_span "dp.level" (fun () ->
+          Array.fill bestv 0 cols inf;
+          Array.fill bestj 0 cols (-1);
+          let prev = (k - 1) * cols in
+          let jl = max !plo (k - 1) and jh = min !phi (n - 1) in
+          let t = ref jl in
+          while !t <= jh do
+            let t1 = min jh (!t + dp_tile_j - 1) in
+            for i = max k (!t + 1) to n do
+              let j1 = min t1 (i - 1) in
+              let best = ref bestv.(i) and best_j = ref bestj.(i) in
+              for j = !t to j1 do
+                let c =
+                  Tab.f1_unsafe_get ebuf (prev + j) +. cost ~l:(j + 1) ~r:i
+                in
+                if c < !best then begin
+                  best := c;
+                  best_j := j
+                end
+              done;
+              bestv.(i) <- !best;
+              bestj.(i) <- !best_j
+            done;
+            t := t1 + 1
+          done;
+          let lo = ref (n + 1) and hi = ref (-1) in
+          for i = k to n do
+            Tab.f1_unsafe_set ebuf (prev + cols + i) bestv.(i);
+            Tab.i1_unsafe_set pbuf (prev + cols + i) bestj.(i);
+            if bestv.(i) < inf then begin
+              if !lo > n then lo := i;
+              hi := i
+            end
+          done;
+          level_bounds_done k !lo !hi;
+          level_done k k)
+    done
+  end
+  else if jobs <= 1 then
     for k = start_k to b do
       Trace.with_span "dp.level" (fun () ->
-          let jlo, jhi = finite_bounds e.(k - 1) ~n in
+          let jlo = !plo and jhi = !phi in
+          let lo = ref (n + 1) and hi = ref (-1) in
+          seed_restored_prefix k lo hi;
           for i = row_start k to n do
             poll ~k ~i;
-            fill_cell ~jlo ~jhi k i
+            fill_cell ~jlo ~jhi k i;
+            if Tab.f1_unsafe_get ebuf ((k * cols) + i) < inf then begin
+              if !lo > n then lo := i;
+              hi := i
+            end
           done;
+          level_bounds_done k !lo !hi;
           level_done k (row_start k))
     done
   else
     (* Level-parallel: the poll/snapshot hook moves to chunk barriers on
        the coordinator; workers only ever run [fill_cell].  The finite
-       bounds too are a coordinator-only, once-per-level computation. *)
+       bounds stay coordinator state — each chunk's contribution is
+       folded at its barrier, right after the workers land. *)
     Pool.with_pool ~jobs (fun pool ->
         for k = start_k to b do
           Trace.with_span "dp.level" (fun () ->
-              let jlo, jhi = finite_bounds e.(k - 1) ~n in
-              let lo = ref (row_start k) in
-              while !lo <= n do
-                let hi = min n (!lo + parallel_chunk - 1) in
-                poll ~k ~i:!lo;
-                Pool.run pool ~lo:!lo ~hi (fill_cell ~jlo ~jhi k);
-                lo := hi + 1
+              let jlo = !plo and jhi = !phi in
+              let lo = ref (n + 1) and hi = ref (-1) in
+              seed_restored_prefix k lo hi;
+              let cl = ref (row_start k) in
+              while !cl <= n do
+                let ch = min n (!cl + parallel_chunk - 1) in
+                poll ~k ~i:!cl;
+                Pool.run pool ~lo:!cl ~hi:ch (fill_cell ~jlo ~jhi k);
+                for i = !cl to ch do
+                  if Tab.f1_unsafe_get ebuf ((k * cols) + i) < inf then begin
+                    if !lo > n then lo := i;
+                    hi := i
+                  end
+                done;
+                cl := ch + 1
               done;
+              level_bounds_done k !lo !hi;
               level_done k (row_start k))
         done);
   (e, parent, b)
@@ -224,20 +351,26 @@ let run ?(governor = Governor.unlimited) ?(stage = "dp") ?(fingerprint = "")
    so there is no row prefix to snapshot — no checkpoint/resume, no
    worker pool.  The governor is checked once per cell (the same
    granularity as the level engine's per-cell poll, never per
-   transition) via the non-resumable {!Governor.check}. *)
+   transition) via the non-resumable {!Governor.check}.  The D&C fill
+   order also rules out incremental bounds tracking (there is no
+   in-order write stream), so this engine keeps the reference scan. *)
 let run_monotone ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets
     ~cost () =
   let n = Checks.positive ~name:"Dp.solve n" n in
   let b = max 1 (min buckets n) in
   let inf = Float.infinity in
-  let e = Array.make_matrix (b + 1) (n + 1) inf in
-  let parent = Array.make_matrix (b + 1) (n + 1) (-1) in
-  e.(0).(0) <- 0.;
+  let cols = n + 1 in
+  let e = Tab.f2_create ~rows:(b + 1) ~cols in
+  Tab.f2_fill e inf;
+  let parent = Tab.i2_create ~rows:(b + 1) ~cols in
+  Tab.i2_fill parent (-1);
+  Tab.f2_set e 0 0 0.;
+  let ebuf = e.Tab.fbuf and pbuf = parent.Tab.ibuf in
   Log.debug (fun m ->
       m "monotone engine: stage=%s n=%d buckets=%d" stage n b);
   for k = 1 to b do
-    let prev = e.(k - 1) and row = e.(k) and par = parent.(k) in
-    let jlo0, jhi0 = finite_bounds prev ~n in
+    let prev = (k - 1) * cols in
+    let jlo0, jhi0 = finite_bounds ebuf ~base:prev ~n in
     let rec fill lo hi jlo jhi =
       if lo <= hi then begin
         Governor.check governor ~stage;
@@ -245,14 +378,14 @@ let run_monotone ?(governor = Governor.unlimited) ?(stage = "dp") ~n ~buckets
         let best = ref inf and best_j = ref (-1) in
         let j1 = min jhi (i - 1) in
         for j = max jlo (k - 1) to j1 do
-          let c = prev.(j) +. cost ~l:(j + 1) ~r:i in
+          let c = Tab.f1_unsafe_get ebuf (prev + j) +. cost ~l:(j + 1) ~r:i in
           if c < !best then begin
             best := c;
             best_j := j
           end
         done;
-        row.(i) <- !best;
-        par.(i) <- !best_j;
+        Tab.f1_unsafe_set ebuf (prev + cols + i) !best;
+        Tab.i1_unsafe_set pbuf (prev + cols + i) !best_j;
         (* An empty window (all-infinite row k−1, impossible for finite
            costs) keeps the original bounds rather than poisoning the
            recursion with −1. *)
@@ -273,7 +406,7 @@ let reconstruct parent ~n ~k =
   let i = ref n and kk = ref k in
   while !kk > 0 do
     rights.(!kk - 1) <- !i;
-    i := parent.(!kk).(!i);
+    i := Tab.i2_get parent !kk !i;
     decr kk
   done;
   Bucket.of_rights ~n rights
@@ -281,12 +414,12 @@ let reconstruct parent ~n ~k =
 let best_of (e, parent, b) ~n =
   let best_k = ref 1 in
   for k = 2 to b do
-    if e.(k).(n) < e.(!best_k).(n) then best_k := k
+    if Tab.f2_get e k n < Tab.f2_get e !best_k n then best_k := k
   done;
-  { cost = e.(!best_k).(n); bucketing = reconstruct parent ~n ~k:!best_k }
+  { cost = Tab.f2_get e !best_k n; bucketing = reconstruct parent ~n ~k:!best_k }
 
 let exact_of (e, parent, b) ~n =
-  { cost = e.(b).(n); bucketing = reconstruct parent ~n ~k:b }
+  { cost = Tab.f2_get e b n; bucketing = reconstruct parent ~n ~k:b }
 
 let solve ?governor ?stage ?fingerprint ?checkpoint_path ?resume_from ?jobs ~n
     ~buckets ~cost () =

@@ -1,26 +1,38 @@
-(* Buffer sets are recycled through an optional arena: the OPT-A beam
+module Tab = Rs_util.Tab
+
+(* Slot storage is one flat float64 {!Rs_util.Tab}, four lanes per
+   slot — [key; f; prev_j; prev_key] — so the probe loop's dependent
+   loads, the found-path cost compare, and the insert stores all land
+   on the same 32-byte record instead of four scattered arrays.  The
+   OPT-A transition kernel is latency-bound on exactly those random
+   accesses (the DP tables outgrow L1), so slot locality, not
+   instruction count, is what this representation buys.
+
+   Keys are stored {e as} float64: exact iff [|key| ≤ 2^52], which
+   {!update_min}/{!relax} enforce ([max_key]) — the DP's keys are [2Λ]
+   values capped at [√(n·UB)], orders of magnitude below.  Occupancy is
+   encoded in the key lane ([neg_infinity] = free slot; finite floats
+   never collide with it), so probing reads nothing else.
+
+   Buffer sets are recycled through an optional arena: the OPT-A beam
    path discards one grown table per cell, and reallocating (and
-   re-zeroing) those arrays dominated the beam truncation cost.  A
-   recycled buffer set is indistinguishable from a fresh allocation —
-   [used] is re-zeroed on take, and capacities follow the same doubling
-   schedule — so slot layouts, tie-breaking and snapshot bytes are
-   unchanged; only memory identity differs. *)
-type buffers = {
-  b_keys : int array;
-  b_fs : float array;
-  b_pjs : int array;
-  b_pks : int array;
-  b_used : Bytes.t;
-}
+   re-clearing) those tables dominated the beam truncation cost.  A
+   recycled buffer is indistinguishable from a fresh allocation — the
+   slots are re-filled with the empty sentinel on take, and capacities
+   follow the same doubling schedule — so slot layouts, tie-breaking
+   and snapshot bytes are unchanged; only memory identity differs. *)
+
+let max_key = 1 lsl 52
+let empty = neg_infinity
+let stride = 4
+
+(* length [stride * capacity]; key lane [empty] = free slot *)
+type buffers = Tab.f1
 
 type arena = (int, buffers list ref) Hashtbl.t
 
 type t = {
-  mutable keys : int array;
-  mutable fs : float array;
-  mutable pjs : int array;
-  mutable pks : int array;
-  mutable used : Bytes.t;
+  mutable slots : Tab.f1;
   mutable size : int;
   mutable mask : int;
   arena : arena option;
@@ -30,28 +42,26 @@ let initial_capacity = 8
 
 let arena () : arena = Hashtbl.create 16
 
+let capacity_of (b : buffers) = Tab.f1_len b / stride
+
 let arena_take arena cap =
   match Hashtbl.find_opt arena cap with
   | Some ({ contents = b :: rest } as stack) ->
       stack := rest;
-      Bytes.fill b.b_used 0 cap '\000';
+      Tab.f1_fill b empty;
       Some b
   | Some { contents = [] } | None -> None
 
 let arena_donate arena (b : buffers) =
-  let cap = Array.length b.b_keys in
+  let cap = capacity_of b in
   match Hashtbl.find_opt arena cap with
   | Some stack -> stack := b :: !stack
   | None -> Hashtbl.add arena cap (ref [ b ])
 
 let fresh_buffers cap =
-  {
-    b_keys = Array.make cap 0;
-    b_fs = Array.make cap 0.;
-    b_pjs = Array.make cap 0;
-    b_pks = Array.make cap 0;
-    b_used = Bytes.make cap '\000';
-  }
+  let b = Tab.f1_create (stride * cap) in
+  Tab.f1_fill b empty;
+  b
 
 let buffers_for ?arena cap =
   match arena with
@@ -59,25 +69,13 @@ let buffers_for ?arena cap =
       match arena_take a cap with Some b -> b | None -> fresh_buffers cap)
   | None -> fresh_buffers cap
 
-let buffers_of t =
-  { b_keys = t.keys; b_fs = t.fs; b_pjs = t.pjs; b_pks = t.pks; b_used = t.used }
-
 let install t (b : buffers) =
-  t.keys <- b.b_keys;
-  t.fs <- b.b_fs;
-  t.pjs <- b.b_pjs;
-  t.pks <- b.b_pks;
-  t.used <- b.b_used;
-  t.mask <- Array.length b.b_keys - 1
+  t.slots <- b;
+  t.mask <- capacity_of b - 1
 
 let create ?arena () =
-  let b = buffers_for ?arena initial_capacity in
   {
-    keys = b.b_keys;
-    fs = b.b_fs;
-    pjs = b.b_pjs;
-    pks = b.b_pks;
-    used = b.b_used;
+    slots = buffers_for ?arena initial_capacity;
     size = 0;
     mask = initial_capacity - 1;
     arena;
@@ -86,85 +84,269 @@ let create ?arena () =
 let length t = t.size
 
 let reset t =
-  Bytes.fill t.used 0 (t.mask + 1) '\000';
+  Tab.f1_fill t.slots empty;
   t.size <- 0
 
 let recycle t =
   match t.arena with
   | None -> ()
   | Some a ->
-      arena_donate a (buffers_of t);
+      arena_donate a t.slots;
       (* Leave [t] pointing at a private empty table so a stale use
          cannot alias a buffer set handed to someone else. *)
       install t (buffers_for ~arena:a initial_capacity);
       t.size <- 0
 
-(* Fibonacci hashing on the key, folded to the table size. *)
+let check_key key name =
+  if key > max_key || key < -max_key then
+    invalid_arg
+      (Printf.sprintf "Ktbl.%s: key magnitude exceeds the exact domain 2^52"
+         name)
+
+(* Fibonacci hashing on the (integer) key, folded to the table size. *)
 let slot_of t key =
   let h = key * 0x2545F4914F6CDD1D in
   (h lxor (h lsr 29)) land t.mask
 
-let rec probe t key slot =
-  if Bytes.get t.used slot = '\000' then (slot, false)
-  else if t.keys.(slot) = key then (slot, true)
-  else probe t key ((slot + 1) land t.mask)
+(* [fkey] must be [float_of_int key] for the key hashed by [slot_of] —
+   in-domain keys round-trip exactly, so float equality is key
+   equality. *)
+let rec probe t fkey slot =
+  let k = Tab.f1_unsafe_get t.slots (slot * stride) in
+  if k = empty then (slot, false)
+  else if k = fkey then (slot, true)
+  else probe t fkey ((slot + 1) land t.mask)
 
 let grow t =
-  let old = buffers_of t in
+  let old = t.slots in
   let old_len = t.mask + 1 in
-  let cap = old_len * 2 in
-  install t (buffers_for ?arena:t.arena cap);
+  install t (buffers_for ?arena:t.arena (old_len * 2));
   t.size <- 0;
   for i = 0 to old_len - 1 do
-    if Bytes.get old.b_used i = '\001' then begin
-      let slot, found = probe t old.b_keys.(i) (slot_of t old.b_keys.(i)) in
+    let fkey = Tab.f1_unsafe_get old (i * stride) in
+    if fkey <> empty then begin
+      let key = int_of_float fkey in
+      let slot, found = probe t fkey (slot_of t key) in
       assert (not found);
-      Bytes.set t.used slot '\001';
-      t.keys.(slot) <- old.b_keys.(i);
-      t.fs.(slot) <- old.b_fs.(i);
-      t.pjs.(slot) <- old.b_pjs.(i);
-      t.pks.(slot) <- old.b_pks.(i);
+      let b = slot * stride and ob = i * stride in
+      Tab.f1_unsafe_set t.slots b fkey;
+      Tab.f1_unsafe_set t.slots (b + 1) (Tab.f1_unsafe_get old (ob + 1));
+      Tab.f1_unsafe_set t.slots (b + 2) (Tab.f1_unsafe_get old (ob + 2));
+      Tab.f1_unsafe_set t.slots (b + 3) (Tab.f1_unsafe_get old (ob + 3));
       t.size <- t.size + 1
     end
   done;
   match t.arena with None -> () | Some a -> arena_donate a old
 
 let update_min t ~key ~f ~prev_j ~prev_key =
+  check_key key "update_min";
+  check_key prev_key "update_min";
   if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t;
-  let slot, found = probe t key (slot_of t key) in
+  let fkey = float_of_int key in
+  let slot, found = probe t fkey (slot_of t key) in
+  let b = slot * stride in
   if found then begin
-    if f < t.fs.(slot) then begin
-      t.fs.(slot) <- f;
-      t.pjs.(slot) <- prev_j;
-      t.pks.(slot) <- prev_key
+    if f < Tab.f1_unsafe_get t.slots (b + 1) then begin
+      Tab.f1_unsafe_set t.slots (b + 1) f;
+      Tab.f1_unsafe_set t.slots (b + 2) (float_of_int prev_j);
+      Tab.f1_unsafe_set t.slots (b + 3) (float_of_int prev_key)
     end;
     false
   end
   else begin
-    Bytes.set t.used slot '\001';
-    t.keys.(slot) <- key;
-    t.fs.(slot) <- f;
-    t.pjs.(slot) <- prev_j;
-    t.pks.(slot) <- prev_key;
+    Tab.f1_unsafe_set t.slots b fkey;
+    Tab.f1_unsafe_set t.slots (b + 1) f;
+    Tab.f1_unsafe_set t.slots (b + 2) (float_of_int prev_j);
+    Tab.f1_unsafe_set t.slots (b + 3) (float_of_int prev_key);
     t.size <- t.size + 1;
     true
   end
 
 let find t key =
-  if t.size = 0 then None
+  if t.size = 0 || key > max_key || key < -max_key then None
   else
-    let slot, found = probe t key (slot_of t key) in
-    if found then Some slot else None
+    let slot, found = probe t (float_of_int key) (slot_of t key) in
+    if found then Some (slot * stride) else None
 
-let find_f t key = Option.map (fun slot -> t.fs.(slot)) (find t key)
+let find_f t key =
+  Option.map (fun b -> Tab.f1_unsafe_get t.slots (b + 1)) (find t key)
 
 let find_parent t key =
-  Option.map (fun slot -> (t.pjs.(slot), t.pks.(slot))) (find t key)
+  Option.map
+    (fun b ->
+      ( int_of_float (Tab.f1_unsafe_get t.slots (b + 2)),
+        int_of_float (Tab.f1_unsafe_get t.slots (b + 3)) ))
+    (find t key)
 
 let iter visit t =
   for i = 0 to t.mask do
-    if Bytes.get t.used i = '\001' then visit ~key:t.keys.(i) ~f:t.fs.(i)
+    let fkey = Tab.f1_unsafe_get t.slots (i * stride) in
+    if fkey <> empty then
+      visit ~key:(int_of_float fkey)
+        ~f:(Tab.f1_unsafe_get t.slots ((i * stride) + 1))
   done
+
+let sealed t =
+  let out = Tab.f1_create (2 * t.size) in
+  let w = ref 0 in
+  for i = 0 to t.mask do
+    let fkey = Tab.f1_unsafe_get t.slots (i * stride) in
+    if fkey <> empty then begin
+      Tab.f1_unsafe_set out !w fkey;
+      Tab.f1_unsafe_set out (!w + 1) (Tab.f1_unsafe_get t.slots ((i * stride) + 1));
+      w := !w + 2
+    end
+  done;
+  out
+
+(* --- the OPT-A transition kernel ---
+
+   One (j, i) transition batch, fused into a single monomorphic loop so
+   the whole thing runs on unboxed floats: the [iter]-with-closure
+   formulation boxes [f] once per visited entry and [f'] again at the
+   [update_min] call boundary — two minor allocations per transition,
+   which dominated the exact DP (hundreds of words per state).  Slot
+   order, growth trigger, insertion order and tie-breaking are exactly
+   [iter] + [update_min], so layouts and snapshot bytes are unchanged. *)
+
+let probe_bounds = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512. |]
+let probe_buckets = Array.length probe_bounds + 1
+
+(* ceil(log2 p) capped at the overflow bucket: probe length 1 → bucket
+   0, 2 → 1, 3-4 → 2, 5-8 → 3, ... — the [probe_bounds] layout. *)
+let probe_bucket_of p =
+  let rec go p i = if p <= 1 then i else go ((p + 1) lsr 1) (i + 1) in
+  if p <= 1 then 0 else min (probe_buckets - 1) (go p 0)
+
+type relax_stats = {
+  mutable rx_pruned : int;
+  rx_probe_counts : int array; (* length [probe_buckets] *)
+  mutable rx_probe_obs : int;
+  mutable rx_probe_sum : int;
+  mutable rx_probe_max : int;
+}
+
+let fresh_relax_stats () =
+  {
+    rx_pruned = 0;
+    rx_probe_counts = Array.make probe_buckets 0;
+    rx_probe_obs = 0;
+    rx_probe_sum = 0;
+    rx_probe_max = 0;
+  }
+
+let zero_relax_stats s =
+  s.rx_pruned <- 0;
+  Array.fill s.rx_probe_counts 0 probe_buckets 0;
+  s.rx_probe_obs <- 0;
+  s.rx_probe_sum <- 0;
+  s.rx_probe_max <- 0
+
+let merge_relax_stats ~into s =
+  into.rx_pruned <- into.rx_pruned + s.rx_pruned;
+  for i = 0 to probe_buckets - 1 do
+    into.rx_probe_counts.(i) <- into.rx_probe_counts.(i) + s.rx_probe_counts.(i)
+  done;
+  into.rx_probe_obs <- into.rx_probe_obs + s.rx_probe_obs;
+  into.rx_probe_sum <- into.rx_probe_sum + s.rx_probe_sum;
+  if s.rx_probe_max > into.rx_probe_max then into.rx_probe_max <- s.rx_probe_max
+
+let relax ~src ~dst ~c ~p2 ~s2 ~prev_j ~key_cap ~final ~budget ~profile
+    ~(stats : relax_stats) =
+  let count = Tab.f1_len src / 2 in
+  let fprev_j = float_of_int prev_j in
+  let inserted = ref 0 in
+  let pruned = ref 0 in
+  let probe_obs = ref 0 in
+  let probe_sum = ref 0 in
+  let probe_max = ref 0 in
+  let tally = stats.rx_probe_counts in
+  let stop = ref false in
+  let s = ref 0 in
+  while (not !stop) && !s < count do
+    let si = !s in
+    let fkey = Tab.f1_unsafe_get src (2 * si) in
+    begin
+      (* [fkey] is exactly [float_of_int key] (sealing invariant), so
+         reusing it in the cost term keeps the float evaluation order of
+         the reference kernel. *)
+      let key = int_of_float fkey in
+      let key' = key + s2 in
+      if final || abs key' <= key_cap then begin
+        check_key key' "relax";
+        (* cross term 2·Λ·P = (2Λ)(2P)/2 — same expression (and float
+           evaluation order) as the reference kernel. *)
+        let f' =
+          Tab.f1_unsafe_get src ((2 * si) + 1) +. c +. (0.5 *. fkey *. p2)
+        in
+        (* [update_min], inlined with probe accounting. *)
+        if 4 * (dst.size + 1) > 3 * (dst.mask + 1) then grow dst;
+        let dslots = dst.slots in
+        let dmask = dst.mask in
+        let fkey' = float_of_int key' in
+        let h = key' * 0x2545F4914F6CDD1D in
+        let slot = ref ((h lxor (h lsr 29)) land dmask) in
+        let probes = ref 1 in
+        let live = ref true in
+        while !live do
+          let b = !slot * stride in
+          let k = Tab.f1_unsafe_get dslots b in
+          if k = fkey' then begin
+            if f' < Tab.f1_unsafe_get dslots (b + 1) then begin
+              Tab.f1_unsafe_set dslots (b + 1) f';
+              Tab.f1_unsafe_set dslots (b + 2) fprev_j;
+              Tab.f1_unsafe_set dslots (b + 3) fkey
+            end;
+            live := false
+          end
+          else if k = empty then begin
+            Tab.f1_unsafe_set dslots b fkey';
+            Tab.f1_unsafe_set dslots (b + 1) f';
+            Tab.f1_unsafe_set dslots (b + 2) fprev_j;
+            Tab.f1_unsafe_set dslots (b + 3) fkey;
+            dst.size <- dst.size + 1;
+            incr inserted;
+            (* Probe accounting happens ONLY here, on the insert
+               branch: insertions are a small fraction of transitions
+               (most offers hit an existing key or get pruned), so the
+               tally stays off the kernel's common path — a
+               per-transition tally costs ~25% on the exact DP with
+               metrics enabled, against the O1 overhead budget.  The
+               insert-time displacement [probes] is the probe work this
+               insertion actually paid. *)
+            if profile then begin
+              let p = !probes in
+              incr probe_obs;
+              probe_sum := !probe_sum + p;
+              if p > !probe_max then probe_max := p;
+              (* home-slot hit is the common case: skip the call *)
+              let bk = if p = 1 then 0 else probe_bucket_of p in
+              Array.unsafe_set tally bk (Array.unsafe_get tally bk + 1)
+            end;
+            (* The state budget (sequential runs only): stop right at
+               the insertion that crosses it, so the caller's running
+               total lands on exactly the same value as the reference
+               kernel's per-insertion accounting. *)
+            if !inserted > budget then stop := true;
+            live := false
+          end
+          else begin
+            slot := (!slot + 1) land dmask;
+            incr probes
+          end
+        done
+      end
+      else incr pruned
+    end;
+    s := si + 1
+  done;
+  stats.rx_pruned <- stats.rx_pruned + !pruned;
+  if profile then begin
+    stats.rx_probe_obs <- stats.rx_probe_obs + !probe_obs;
+    stats.rx_probe_sum <- stats.rx_probe_sum + !probe_sum;
+    if !probe_max > stats.rx_probe_max then stats.rx_probe_max <- !probe_max
+  end;
+  !inserted
 
 (* --- exact-layout snapshots ---
 
@@ -181,12 +363,20 @@ type wire = {
 }
 
 let export t =
-  let slots = ref [] in
+  let out = ref [] in
   for i = t.mask downto 0 do
-    if Bytes.get t.used i = '\001' then
-      slots := (i, t.keys.(i), t.fs.(i), t.pjs.(i), t.pks.(i)) :: !slots
+    let b = i * stride in
+    let fkey = Tab.f1_unsafe_get t.slots b in
+    if fkey <> empty then
+      out :=
+        ( i,
+          int_of_float fkey,
+          Tab.f1_unsafe_get t.slots (b + 1),
+          int_of_float (Tab.f1_unsafe_get t.slots (b + 2)),
+          int_of_float (Tab.f1_unsafe_get t.slots (b + 3)) )
+        :: !out
   done;
-  { capacity = t.mask + 1; slots = Array.of_list !slots }
+  { capacity = t.mask + 1; slots = Array.of_list !out }
 
 let import w =
   let cap = w.capacity in
@@ -195,27 +385,21 @@ let import w =
   if Array.length w.slots > cap then
     invalid_arg "Ktbl.import: more slots than capacity";
   let t =
-    {
-      keys = Array.make cap 0;
-      fs = Array.make cap 0.;
-      pjs = Array.make cap 0;
-      pks = Array.make cap 0;
-      used = Bytes.make cap '\000';
-      size = 0;
-      mask = cap - 1;
-      arena = None;
-    }
+    { slots = fresh_buffers cap; size = 0; mask = cap - 1; arena = None }
   in
   Array.iter
     (fun (slot, key, f, pj, pk) ->
-      if slot < 0 || slot >= cap then invalid_arg "Ktbl.import: slot out of range";
-      if Bytes.get t.used slot = '\001' then
+      if slot < 0 || slot >= cap then
+        invalid_arg "Ktbl.import: slot out of range";
+      check_key key "import";
+      check_key pk "import";
+      let b = slot * stride in
+      if Tab.f1_unsafe_get t.slots b <> empty then
         invalid_arg "Ktbl.import: duplicate slot";
-      Bytes.set t.used slot '\001';
-      t.keys.(slot) <- key;
-      t.fs.(slot) <- f;
-      t.pjs.(slot) <- pj;
-      t.pks.(slot) <- pk;
+      Tab.f1_unsafe_set t.slots b (float_of_int key);
+      Tab.f1_unsafe_set t.slots (b + 1) f;
+      Tab.f1_unsafe_set t.slots (b + 2) (float_of_int pj);
+      Tab.f1_unsafe_set t.slots (b + 3) (float_of_int pk);
       t.size <- t.size + 1)
     w.slots;
   t

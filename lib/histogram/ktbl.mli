@@ -2,12 +2,25 @@
     program: integer key (the [2Λ] state) → (best partial cost, parent
     pointers).
 
-    Values live in parallel unboxed arrays (no per-entry allocation), so
-    a DP with tens of millions of states stays within a few hundred MB
-    and avoids GC pressure.  Internal to {!Opt_a}; exposed for its unit
-    tests. *)
+    Slots live in one flat unboxed {!Rs_util.Tab} buffer, four float64
+    lanes per slot ([key; f; prev_j; prev_key]) — no per-entry
+    allocation, and a probe/update touches one 32-byte record instead
+    of four scattered arrays (the transition kernel is latency-bound on
+    those random accesses).  A DP with tens of millions of states stays
+    within a few hundred MB, entirely off the GC heap.
+
+    Keys (and parent keys) are stored as float64 and must satisfy
+    [|key| ≤ ]{!max_key}[ = 2^52] so the round-trip is exact —
+    {!update_min}, {!relax} and {!import} raise [Invalid_argument]
+    beyond it.  The DP's keys are [2Λ] values capped at [√(n·UB)],
+    orders of magnitude below.  Internal to {!Opt_a}; exposed for its
+    unit tests. *)
 
 type t
+
+val max_key : int
+(** [2^52] — the largest key magnitude the float64 slot storage holds
+    exactly. *)
 
 type arena
 (** A capacity-keyed pool of discarded buffer sets.  The OPT-A beam
@@ -29,8 +42,8 @@ val create : ?arena:arena -> unit -> t
     buffers to) the pool. *)
 
 val reset : t -> unit
-(** Empty the table in place — clears the occupancy bytes and the size,
-    keeps the current capacity and buffers.  O(capacity). *)
+(** Empty the table in place — re-fills the slots with the empty
+    sentinel, keeps the current capacity and buffers.  O(capacity). *)
 
 val recycle : t -> unit
 (** Donate the table's buffers to its arena and leave it empty at the
@@ -42,7 +55,9 @@ val length : t -> int
 val update_min : t -> key:int -> f:float -> prev_j:int -> prev_key:int -> bool
 (** Insert the state, or replace an existing entry with the same key if
     the new [f] is smaller.  Returns [true] iff a {e new} key was
-    inserted (used for global state accounting). *)
+    inserted (used for global state accounting).  Raises
+    [Invalid_argument] if [key] or [prev_key] exceeds {!max_key} in
+    magnitude. *)
 
 val find_f : t -> int -> float option
 (** Partial cost stored for a key, if present. *)
@@ -52,6 +67,88 @@ val find_parent : t -> int -> (int * int) option
 
 val iter : (key:int -> f:float -> unit) -> t -> unit
 (** Visit every entry (order unspecified). *)
+
+val sealed : t -> Rs_util.Tab.f1
+(** Compact read stream for {!relax}: the live entries as interleaved
+    [(key-as-float, f)] pairs, in exactly {!iter}'s visit order
+    (ascending slot), length [2 × length t].  A sealed level streams
+    ~16 bytes per state with an exact trip count, where iterating the
+    table itself streams every slot lane (~3× the bytes) through a
+    branchy occupancy test — the difference is most of the DP's memory
+    traffic.  The seal is a point-in-time copy: it does not track later
+    mutations, so callers seal a level only once it is complete
+    ({!Opt_a} re-seals level k−1 at the start of level k). *)
+
+(** {2 The OPT-A transition kernel}
+
+    [relax] fuses one (j, i) transition batch — "for every state
+    [(key, f)] of the sealed source ({!sealed}), offer
+    [(key + s2, f + c + key·p2/2)] to [dst]" — into a single
+    monomorphic loop.  The [iter]+[update_min] formulation boxes two
+    floats per transition (the closure argument and the cross-module
+    call argument); fusing runs the whole batch on unboxed floats over
+    the compact seal stream.  The seal preserves slot visit order, and
+    the growth trigger, insertion order and min-tie-breaking are
+    exactly [iter]+[update_min]'s, so [dst]'s physical layout — and
+    hence snapshot bytes — are contractually identical to the reference
+    formulation ({!Opt_a}'s [Reference] kernel, pinned by twin tests
+    and the P8 bench). *)
+
+type relax_stats = {
+  mutable rx_pruned : int;  (** transitions dropped by the [key_cap] *)
+  rx_probe_counts : int array;
+      (** insertion probe-length tallies, log₂ buckets per
+          {!probe_bounds}; length {!probe_buckets}; filled only under
+          [~profile] *)
+  mutable rx_probe_obs : int;  (** profiled insertions *)
+  mutable rx_probe_sum : int;  (** Σ probe lengths *)
+  mutable rx_probe_max : int;
+}
+(** Per-cell kernel statistics.  Following the CLAUDE.md recording
+    discipline these are plain local tallies — never registry handles —
+    merged at chunk barriers and absorbed into {!Rs_util.Metrics} once
+    per solve (the [ktbl.probe_len] histogram). *)
+
+val probe_bounds : float array
+(** Histogram bucket bounds for probe lengths: powers of two 1..512
+    (plus overflow) — pass to [Metrics.histogram ~bounds:probe_bounds]. *)
+
+val probe_buckets : int
+(** [Array.length probe_bounds + 1] (the overflow bucket). *)
+
+val fresh_relax_stats : unit -> relax_stats
+val zero_relax_stats : relax_stats -> unit
+val merge_relax_stats : into:relax_stats -> relax_stats -> unit
+
+val relax :
+  src:Rs_util.Tab.f1 ->
+  dst:t ->
+  c:float ->
+  p2:float ->
+  s2:int ->
+  prev_j:int ->
+  key_cap:int ->
+  final:bool ->
+  budget:int ->
+  profile:bool ->
+  stats:relax_stats ->
+  int
+(** Run the batch and return the number of {e new} keys inserted into
+    [dst] (the [update_min]-returned-[true] count).  Transitions whose
+    [abs (key + s2) > key_cap] are pruned (counted in [rx_pruned])
+    unless [final] (the last DP column, where Λ no longer interacts).
+    [budget] bounds new insertions: the batch stops {e right after} the
+    insertion that makes the return value exceed it, so a caller
+    tracking a global state cap observes exactly the same running total
+    as with per-insertion accounting (pass [max_int] for no bound).
+    [profile] tallies the probe length of each {e insertion} (offers
+    that update or prune record nothing): insertions are a small
+    fraction of transitions, so the tally stays off the kernel's common
+    path — a per-transition tally costs ~25% on the exact DP against
+    the O1 overhead gate, and an end-of-solve table walk re-streams the
+    whole DP's cold memory for a similar price.  One predictable branch
+    per transition when off.  Every shifted key must stay within
+    {!max_key} ([Invalid_argument] otherwise). *)
 
 val fold_min_f : t -> (int * float) option
 (** Entry with the smallest [f], if any. *)

@@ -6,6 +6,7 @@ module Checkpoint = Rs_util.Checkpoint
 module Crc32 = Rs_util.Crc32
 module Mclock = Rs_util.Mclock
 module Pool = Rs_util.Pool
+module Tab = Rs_util.Tab
 
 module Metrics = Rs_util.Metrics
 module Trace = Rs_util.Trace
@@ -24,38 +25,64 @@ let m_beam_dropped = Metrics.counter "opt_a.beam.dropped"
 let m_solves = Metrics.counter "opt_a.solves"
 let g_key_cap = Metrics.gauge "opt_a.key_cap"
 
+(* Probe-length histogram for the Ktbl kernel.  Tallies accumulate in
+   [cell_stats] (per cell under Pool, per run sequentially) and are
+   absorbed here once per solve — the registry is never touched from
+   the state loops, and never from a worker. *)
+let h_probe_len = Metrics.histogram ~bounds:Ktbl.probe_bounds "ktbl.probe_len"
+
 type cell_stats = {
   mutable cs_explored : int;
-  mutable cs_pruned : int;
   mutable cs_beam_truncations : int;
   mutable cs_beam_dropped : int;
+  cs_relax : Ktbl.relax_stats;
+      (* pruned count + probe-length tallies, accumulated by the kernel *)
 }
 
 let fresh_stats () =
-  { cs_explored = 0; cs_pruned = 0; cs_beam_truncations = 0; cs_beam_dropped = 0 }
+  {
+    cs_explored = 0;
+    cs_beam_truncations = 0;
+    cs_beam_dropped = 0;
+    cs_relax = Ktbl.fresh_relax_stats ();
+  }
 
 let zero_stats s =
   s.cs_explored <- 0;
-  s.cs_pruned <- 0;
   s.cs_beam_truncations <- 0;
-  s.cs_beam_dropped <- 0
+  s.cs_beam_dropped <- 0;
+  Ktbl.zero_relax_stats s.cs_relax
 
 let merge_stats ~into s =
   into.cs_explored <- into.cs_explored + s.cs_explored;
-  into.cs_pruned <- into.cs_pruned + s.cs_pruned;
   into.cs_beam_truncations <- into.cs_beam_truncations + s.cs_beam_truncations;
-  into.cs_beam_dropped <- into.cs_beam_dropped + s.cs_beam_dropped
+  into.cs_beam_dropped <- into.cs_beam_dropped + s.cs_beam_dropped;
+  Ktbl.merge_relax_stats ~into:into.cs_relax s.cs_relax
 
 let record_stats s =
   Metrics.incr m_solves;
   Metrics.add m_states s.cs_explored;
-  Metrics.add m_pruned s.cs_pruned;
+  Metrics.add m_pruned s.cs_relax.Ktbl.rx_pruned;
   Metrics.add m_beam_truncations s.cs_beam_truncations;
-  Metrics.add m_beam_dropped s.cs_beam_dropped
+  Metrics.add m_beam_dropped s.cs_beam_dropped;
+  Metrics.absorb h_probe_len ~counts:s.cs_relax.Ktbl.rx_probe_counts
+    ~count:s.cs_relax.Ktbl.rx_probe_obs
+    ~sum:(float_of_int s.cs_relax.Ktbl.rx_probe_sum)
+    ~max:(float_of_int s.cs_relax.Ktbl.rx_probe_max)
 
 exception Too_many_states of { states : int; limit : int }
 
 type result = { histogram : Histogram.t; sse : float; states : int }
+
+(* Transition-kernel selection.  [Fast] is {!Ktbl.relax} — the fused
+   unboxed loop.  [Reference] is the original closure formulation
+   ([Ktbl.iter] + [Ktbl.update_min]); it is retained as the living
+   baseline: both kernels are contractually bit-identical (same floats,
+   same layouts, same snapshot bytes, same [Too_many_states] payloads),
+   pinned by twin tests and timed against each other by bench P8. *)
+type kernel = Fast | Reference
+
+let kernel_name = function Fast -> "fast" | Reference -> "reference"
 
 let integer_prefix p =
   let n = Prefix.n p in
@@ -233,9 +260,16 @@ let load_snapshot ~path ~stage ~fingerprint ~n ~b ~key_cap ~beam =
    snapshot positions — line up across every parallel job count. *)
 let parallel_chunk = 64
 
+(* Destination-cell block width for the pure sequential schedule (see
+   the [blocked] path in [solve]): big enough to amortize streaming
+   level k−1 (source traffic shrinks by this factor), small enough
+   that a block of growing destination tables stays cache-resident.
+   Purely a wall-clock knob — results are bit-identical at any value. *)
+let seq_block_cells = 32
+
 let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
     ?(governor = Governor.unlimited) ?(stage = "opt-a") ?checkpoint_path
-    ?resume_from ?(jobs = 1) p ~buckets =
+    ?resume_from ?(jobs = 1) ?(kernel = Fast) p ~buckets =
   (* Legacy early bail; skipped when checkpointing so an expired
      Snapshot-mode governor snapshots at (1, 1) instead of raising with
      nothing saved. *)
@@ -279,10 +313,15 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
   Metrics.set g_key_cap (float_of_int key_cap);
   (* Scratch-buffer arena for the beam path.  Coordinator-only state:
      with [jobs > 1] the workers grow their cells concurrently, so no
-     arena is threaded at all (every table allocates fresh, as before).
-     Recycling never changes capacities or slot layouts, so sequential
-     and parallel runs — and snapshot bytes — stay bit-identical. *)
-  let arena = if jobs <= 1 then Some (Ktbl.arena ()) else None in
+     arena is threaded — except on a single-core machine, where the
+     [Auto] pool below is pinned inline for its whole life (workers are
+     never even spawned), every cell grows on the coordinator, and the
+     arena is safe.  Recycling never changes capacities or slot layouts,
+     so sequential and parallel runs — and snapshot bytes — stay
+     bit-identical either way. *)
+  let arena =
+    if jobs <= 1 || Pool.single_core () then Some (Ktbl.arena ()) else None
+  in
   (* levels.(k).(i): key (= 2Λ) → best partial cost and parent. *)
   let levels =
     Array.init (b + 1) (fun _ ->
@@ -332,8 +371,36 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
      tie-breaking and all.  [count] is the only side channel: the
      sequential path passes [bump] directly; the parallel path
      accumulates a per-cell delta and bumps at the chunk barrier. *)
-  let fill_cell ~count ~stats k i =
+  (* The probe profile rides [cell_stats] exactly like the other
+     per-state tallies, and only the insert branch pays it (see
+     {!Ktbl.relax}); the flag is sampled once per solve on the
+     coordinator so both execution paths (and hence all job counts)
+     collect identically. *)
+  let profile = Metrics.enabled () in
+  (* The Fast kernel reads level k−1 through compact seal streams
+     ({!Ktbl.sealed}) instead of iterating the hash tables: a level is
+     re-read once per destination cell, and the seal streams ~16 bytes
+     per state where the table streams every slot lane — sealing is
+     where most of the DP's memory traffic goes away.  [seal_level]
+     runs once at the start of each level, on the coordinator, after
+     level k−1 is complete (including any beam truncation or resume
+     restoration), so the streams are never stale; workers only ever
+     read them. *)
+  let seals = Array.make (n + 1) (Tab.f1_create 0) in
+  let seal_level km1 =
+    if kernel = Fast then
+      for j = 0 to n do
+        seals.(j) <- Ktbl.sealed levels.(km1).(j)
+      done
+  in
+  (* [budget] feeds the kernel's early stop so the running state total
+     crosses [max_states] on exactly the same insertion as the
+     reference kernel's per-insertion accounting; the parallel path
+     never stops early (workers cannot raise — the coordinator bumps at
+     the chunk barrier), exactly as before. *)
+  let fill_cell ~count ~budget ~stats k i =
     let cell = ref levels.(k).(i) in
+    let final = i = n in
     for j = k - 1 to i - 1 do
       let prev = levels.(k - 1).(j) in
       if Ktbl.length prev > 0 then begin
@@ -341,22 +408,36 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
         let c = cost l i in
         let s2 = two_s l i in
         let p2 = float_of_int (two_p l i) in
-        Ktbl.iter
-          (fun ~key ~f ->
-            (* cross term 2·Λ·P = (2Λ)(2P)/2 *)
-            let f' = f +. c +. (0.5 *. float_of_int key *. p2) in
-            let key' = key + s2 in
-            (* Prune by the Λ bound, except at the very end where Λ no
-               longer interacts with anything. *)
-            if i = n || abs key' <= key_cap then begin
-              if Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j ~prev_key:key
-              then begin
-                count 1;
-                stats.cs_explored <- stats.cs_explored + 1
-              end
-            end
-            else stats.cs_pruned <- stats.cs_pruned + 1)
-          prev
+        match kernel with
+        | Fast ->
+            let ins =
+              Ktbl.relax ~src:seals.(j) ~dst:!cell ~c ~p2 ~s2 ~prev_j:j
+                ~key_cap ~final ~budget:(budget ()) ~profile
+                ~stats:stats.cs_relax
+            in
+            stats.cs_explored <- stats.cs_explored + ins;
+            count ins
+        | Reference ->
+            Ktbl.iter
+              (fun ~key ~f ->
+                (* cross term 2·Λ·P = (2Λ)(2P)/2 *)
+                let f' = f +. c +. (0.5 *. float_of_int key *. p2) in
+                let key' = key + s2 in
+                (* Prune by the Λ bound, except at the very end where Λ
+                   no longer interacts with anything. *)
+                if final || abs key' <= key_cap then begin
+                  if
+                    Ktbl.update_min !cell ~key:key' ~f:f' ~prev_j:j
+                      ~prev_key:key
+                  then begin
+                    count 1;
+                    stats.cs_explored <- stats.cs_explored + 1
+                  end
+                end
+                else
+                  stats.cs_relax.Ktbl.rx_pruned <-
+                    stats.cs_relax.Ktbl.rx_pruned + 1)
+              prev
       end
     done;
     (match beam with
@@ -372,13 +453,66 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
     levels.(k).(i) <- !cell
   in
   let run_stats = fresh_stats () in
-  (if jobs <= 1 then
+  (* Pure builds — no governor, no checkpoint/resume, no beam, one job,
+     Fast kernel — take a cache-blocked schedule: filling level k cell
+     by cell re-streams the whole of level k−1 once per cell (O(n) ×
+     level bytes, far beyond L2), so instead a block of
+     [seq_block_cells] destination cells is filled together while each
+     source cell streams through once per block.  Each destination
+     still receives its (j, i) batches in ascending-j order — the outer
+     j loop is ascending and contributes at most one batch per
+     destination — so insertion order, tie-breaking, slot layouts,
+     per-batch state counts and the {!Too_many_states} crossing total
+     are identical to the cell-by-cell schedule; only the interleaving
+     across cells (and hence wall-clock) changes.  Governed,
+     checkpointed or beam runs keep the canonical schedule: snapshots
+     capture whole completed cells and poll cadence is contractual. *)
+  let blocked =
+    jobs <= 1 && kernel = Fast && beam = None && checkpoint_path = None
+    && resume = None
+    && governor == Governor.unlimited
+  in
+  (if blocked then
+     for k = 1 to b do
+       Trace.with_span "opt_a.level" (fun () ->
+           seal_level (k - 1);
+           let i0 = ref k in
+           while !i0 <= n do
+             let i1 = min n (!i0 + seq_block_cells - 1) in
+             poll ~k ~i:!i0;
+             for j = k - 1 to i1 - 1 do
+               if Ktbl.length levels.(k - 1).(j) > 0 then begin
+                 let l = j + 1 in
+                 for i = max !i0 (j + 1) to i1 do
+                   let c = cost l i in
+                   let s2 = two_s l i in
+                   let p2 = float_of_int (two_p l i) in
+                   let ins =
+                     Ktbl.relax ~src:seals.(j) ~dst:levels.(k).(i) ~c ~p2 ~s2
+                       ~prev_j:j ~key_cap ~final:(i = n)
+                       ~budget:(max_states - !total_states)
+                       ~profile ~stats:run_stats.cs_relax
+                   in
+                   run_stats.cs_explored <- run_stats.cs_explored + ins;
+                   bump ins
+                 done
+               end
+             done;
+             i0 := i1 + 1
+           done;
+           Log.debug (fun m ->
+               m "level k=%d done, %d states total" k !total_states))
+     done
+   else if jobs <= 1 then
      for k = start_k to b do
        Trace.with_span "opt_a.level" (fun () ->
+           seal_level (k - 1);
            let i_from = if k = start_k then max k start_i else k in
            for i = i_from to n do
              poll ~k ~i;
-             fill_cell ~count:bump ~stats:run_stats k i
+             fill_cell ~count:bump
+               ~budget:(fun () -> max_states - !total_states)
+               ~stats:run_stats k i
            done;
            Log.debug (fun m ->
                m "level k=%d done, %d states total" k !total_states))
@@ -393,6 +527,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
          let cell_stats = Array.init (n + 1) (fun _ -> fresh_stats ()) in
          for k = start_k to b do
            Trace.with_span "opt_a.level" (fun () ->
+               seal_level (k - 1);
                let i_from = if k = start_k then max k start_i else k in
                let lo = ref i_from in
                while !lo <= n do
@@ -404,6 +539,7 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
                      zero_stats st;
                      fill_cell
                        ~count:(fun d -> deltas.(i) <- deltas.(i) + d)
+                       ~budget:(fun () -> max_int)
                        ~stats:st k i);
                  (* Merge on the coordinator in ascending i, so
                     Too_many_states fires at a deterministic cell boundary
@@ -449,11 +585,11 @@ let solve ?key_cap ?ub ?(max_states = 30_000_000) ?beam
       (Bucket.of_rights ~n rights, f, !total_states)
 
 let build_exact ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
-    ?resume_from ?jobs p ~buckets =
+    ?resume_from ?jobs ?kernel p ~buckets =
   Faults.trip "opt_a.exact";
   let bucketing, sse, states =
     solve ?key_cap ?ub ?max_states ?beam ?governor ?checkpoint_path
-      ?resume_from ?jobs p ~buckets
+      ?resume_from ?jobs ?kernel p ~buckets
   in
   {
     histogram = Summaries.avg_histogram ~name:"opt-a" p bucketing;

@@ -38,6 +38,17 @@ type result = {
   states : int;  (** total DP states materialized (diagnostics) *)
 }
 
+(** Transition-kernel selection for the exact DP.  [Fast] (the default)
+    is the fused unboxed loop ({!Ktbl.relax}); [Reference] is the
+    original [Ktbl.iter]+[update_min] closure formulation, retained as
+    the living baseline.  The two are contractually bit-identical —
+    same SSE, state counts, tie-breaking, snapshot bytes and
+    {!Too_many_states} payloads — pinned by twin tests and timed
+    against each other by bench P8. *)
+type kernel = Fast | Reference
+
+val kernel_name : kernel -> string
+
 val build_exact :
   ?key_cap:int ->
   ?ub:float ->
@@ -47,6 +58,7 @@ val build_exact :
   ?checkpoint_path:string ->
   ?resume_from:string ->
   ?jobs:int ->
+  ?kernel:kernel ->
   Rs_util.Prefix.t ->
   buckets:int ->
   result

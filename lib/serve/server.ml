@@ -81,7 +81,7 @@ let create config =
           gen;
           next_gen_id = 2;
           pool =
-            (if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs)
+            (if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs ())
              else None);
           queue = Queue.create ();
           cache = Hashtbl.create 64;

@@ -1,9 +1,11 @@
-type t = { c : float array }
-(* c.(i) = Σ_{j<i} x(j); length m+1. *)
+type t = { c : Tab.f1 }
+(* c.(i) = Σ_{j<i} x(j); length m+1, flat unboxed storage ({!Tab}) so
+   kernel callers can cache the raw table and read ranges without a
+   cross-module (boxing) call apiece. *)
 
 let of_fun ~m f =
   let m = Checks.non_negative ~name:"Cum.of_fun" m in
-  let c = Array.make (m + 1) 0. in
+  let c = Tab.f1_create (m + 1) in
   (* Kahan compensated running sum. *)
   let sum = ref 0. and comp = ref 0. in
   for i = 0 to m - 1 do
@@ -12,12 +14,13 @@ let of_fun ~m f =
     let t = !sum +. y in
     comp := t -. !sum -. y;
     sum := t;
-    c.(i + 1) <- !sum
+    Tab.f1_set c (i + 1) !sum
   done;
   { c }
 
 let of_array x = of_fun ~m:(Array.length x) (Array.get x)
-let length t = Array.length t.c - 1
+let length t = Tab.f1_len t.c - 1
+let table t = t.c
 
 let range t ~u ~v =
   if u > v then 0.
@@ -25,7 +28,7 @@ let range t ~u ~v =
     let m = length t in
     let u = Checks.in_range ~name:"Cum.range u" ~lo:0 ~hi:(m - 1) u in
     let v = Checks.in_range ~name:"Cum.range v" ~lo:0 ~hi:(m - 1) v in
-    t.c.(v + 1) -. t.c.(u)
+    Tab.f1_get t.c (v + 1) -. Tab.f1_get t.c u
   end
 
-let total t = t.c.(Array.length t.c - 1)
+let total t = Tab.f1_get t.c (Tab.f1_len t.c - 1)

@@ -18,6 +18,13 @@ val of_fun : m:int -> (int -> float) -> t
 val length : t -> int
 (** Number of values in the table. *)
 
+val table : t -> Tab.f1
+(** The raw cumulative table: [length + 1] cells with
+    [c.(i) = Σ_{j<i} x(j)], so [Σ_{i=u}^{v} x(i) = c.(v+1) −. c.(u)].
+    For kernel loops that cache the handle once and read with the
+    {!Tab} raw accessors — {!range} performs the same reads behind a
+    bounds-checked, boxing cross-module call. *)
+
 val range : t -> u:int -> v:int -> float
 (** [range t ~u ~v] is [Σ_{i=u}^{v} x(i)].  Returns [0.] when [u > v].
     Raises [Invalid_argument] when indices fall outside [0, length-1]

@@ -23,14 +23,17 @@ let with_disabled f =
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 
-(* Fixed log-scale bounds, 1µs .. 100s, roughly ×10 per decade with a
-   half-decade step; the implicit last bucket is the +inf overflow. *)
+(* Default log-scale bounds, 1µs .. 100s, roughly ×10 per decade with a
+   half-decade step; the implicit last bucket is the +inf overflow.
+   Histograms measuring something other than seconds (probe lengths,
+   chunk spans) intern their own bounds via [?bounds]. *)
 let bucket_bounds =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.5; 1.; 5.; 10.; 100. |]
 
 type histogram = {
   hg_name : string;
-  hg_counts : int array; (* length = Array.length bucket_bounds + 1 *)
+  hg_bounds : float array; (* strictly increasing upper bounds *)
+  hg_counts : int array; (* length = Array.length hg_bounds + 1 *)
   mutable hg_count : int;
   mutable hg_sum : float;
   mutable hg_max : float;
@@ -66,23 +69,41 @@ let gauge name =
   | G g -> g
   | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another kind")
 
-let histogram name =
+let histogram ?(bounds = bucket_bounds) name =
+  let bounds = Array.copy bounds in
+  if Array.length bounds = 0 then
+    invalid_arg ("Metrics.histogram: " ^ name ^ ": empty bounds");
+  Array.iteri
+    (fun i b ->
+      if (not (Float.is_finite b)) || (i > 0 && b <= bounds.(i - 1)) then
+        invalid_arg
+          ("Metrics.histogram: " ^ name ^ ": bounds must be finite and increasing"))
+    bounds;
   match
     intern name
       (fun () ->
         H
           {
             hg_name = name;
-            hg_counts = Array.make (Array.length bucket_bounds + 1) 0;
+            hg_bounds = bounds;
+            hg_counts = Array.make (Array.length bounds + 1) 0;
             hg_count = 0;
             hg_sum = 0.;
             hg_max = neg_infinity;
           })
       "histogram"
   with
-  | H h -> h
+  | H h ->
+      if Array.length h.hg_bounds <> Array.length bounds
+         || not (Array.for_all2 ( = ) h.hg_bounds bounds)
+      then
+        invalid_arg
+          ("Metrics.histogram: " ^ name ^ " registered with different bounds");
+      h
   | _ ->
       invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another kind")
+
+let buckets histogram = Array.length histogram.hg_counts
 
 let incr c = if !on then c.c_value <- c.c_value + 1
 let add c n = if !on then c.c_value <- c.c_value + n
@@ -92,21 +113,37 @@ let set g v =
     g.g_value <- v;
     g.g_set <- true)
 
-let bucket_index v =
-  let n = Array.length bucket_bounds in
+let bucket_index bounds v =
+  let n = Array.length bounds in
   let i = ref 0 in
-  while !i < n && v > bucket_bounds.(!i) do
+  while !i < n && v > bounds.(!i) do
     i := !i + 1
   done;
   !i
 
 let observe h v =
   if !on then (
-    let i = bucket_index v in
+    let i = bucket_index h.hg_bounds v in
     h.hg_counts.(i) <- h.hg_counts.(i) + 1;
     h.hg_count <- h.hg_count + 1;
     h.hg_sum <- h.hg_sum +. v;
     if v > h.hg_max then h.hg_max <- v)
+
+(* Bulk merge of pre-bucketed tallies — the chunk-barrier/per-solve
+   pattern: workers (or per-cell stats slots) tally into plain int
+   arrays, the coordinator absorbs them here, once, outside the hot
+   loop.  [counts] must have one slot per bucket including overflow
+   (= [buckets h]). *)
+let absorb h ~counts ~count ~sum ~max:mx =
+  if !on && count > 0 then begin
+    if Array.length counts <> Array.length h.hg_counts then
+      invalid_arg
+        ("Metrics.absorb: " ^ h.hg_name ^ ": counts/bucket arity mismatch");
+    Array.iteri (fun i c -> h.hg_counts.(i) <- h.hg_counts.(i) + c) counts;
+    h.hg_count <- h.hg_count + count;
+    h.hg_sum <- h.hg_sum +. sum;
+    if mx > h.hg_max then h.hg_max <- mx
+  end
 
 let count name n = if !on then add (counter name) n
 
@@ -162,7 +199,7 @@ let report () =
                     (Array.length h.hg_counts)
                     (fun i ->
                       let le =
-                        if i < Array.length bucket_bounds then bucket_bounds.(i)
+                        if i < Array.length h.hg_bounds then h.hg_bounds.(i)
                         else infinity
                       in
                       (le, h.hg_counts.(i)))

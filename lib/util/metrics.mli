@@ -28,14 +28,35 @@ val counter : string -> counter
     name registry documented in DESIGN.md §12. *)
 
 val gauge : string -> gauge
-val histogram : string -> histogram
-(** Timing histogram over fixed logarithmic bucket bounds from 1µs to
-    100s (plus an overflow bucket); observations are seconds. *)
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Bucketed histogram.  Without [?bounds]: the default timing bounds,
+    logarithmic from 1µs to 100s (plus an overflow bucket), observations
+    in seconds.  [?bounds] (finite, strictly increasing upper bounds)
+    interns a histogram over a different unit — probe lengths, chunk
+    spans.  Re-interning an existing name with different bounds raises
+    [Invalid_argument]: a name's bucket layout is fixed for the
+    process. *)
+
+val buckets : histogram -> int
+(** Number of buckets including the +inf overflow
+    (= number of bounds + 1) — the arity {!absorb} expects. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
+
+val absorb :
+  histogram -> counts:int array -> count:int -> sum:float -> max:float -> unit
+(** Bulk-merge pre-bucketed tallies: add [counts] (one slot per bucket,
+    length {!buckets}) bucket-wise, [count] observations totalling
+    [sum] with maximum [max].  No-op when disabled or [count = 0] — one
+    branch, like {!observe}.  This is how per-state tallies reach the
+    registry under the CLAUDE.md recording discipline: hot loops bump
+    plain [int array] slots local to the solve (or to the worker's
+    cell), and the coordinator absorbs them once per solve / at the
+    chunk barrier. *)
 
 val count : string -> int -> unit
 (** Dynamic-name convenience: [add (counter name) n], with the registry

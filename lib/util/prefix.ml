@@ -1,7 +1,7 @@
 type t = {
   n : int;
   a : float array; (* a.(i-1) = A[i] *)
-  p : float array; (* p.(t) = P[t], t = 0..n *)
+  p : Tab.f1; (* p.(t) = P[t], t = 0..n — flat unboxed ({!Tab}) *)
   cp : Cum.t; (* cumulative of P[t], t = 0..n *)
   cp2 : Cum.t; (* cumulative of P[t]² *)
   ctp : Cum.t; (* cumulative of t·P[t] *)
@@ -12,17 +12,17 @@ let create a =
   let a = Checks.non_empty_array ~name:"Prefix.create" a in
   let n = Array.length a in
   Array.iter (fun v -> ignore (Checks.finite ~name:"Prefix.create" v)) a;
-  let p = Array.make (n + 1) 0. in
+  let p = Tab.f1_create (n + 1) in
   for i = 1 to n do
-    p.(i) <- p.(i - 1) +. a.(i - 1)
+    Tab.f1_set p i (Tab.f1_get p (i - 1) +. a.(i - 1))
   done;
   {
     n;
     a = Array.copy a;
     p;
-    cp = Cum.of_fun ~m:(n + 1) (fun t -> p.(t));
-    cp2 = Cum.of_fun ~m:(n + 1) (fun t -> p.(t) *. p.(t));
-    ctp = Cum.of_fun ~m:(n + 1) (fun t -> float_of_int t *. p.(t));
+    cp = Cum.of_fun ~m:(n + 1) (fun t -> Tab.f1_get p t);
+    cp2 = Cum.of_fun ~m:(n + 1) (fun t -> Tab.f1_get p t *. Tab.f1_get p t);
+    ctp = Cum.of_fun ~m:(n + 1) (fun t -> float_of_int t *. Tab.f1_get p t);
     ca2 = Cum.of_fun ~m:n (fun i -> a.(i) *. a.(i));
   }
 
@@ -37,15 +37,24 @@ let data t = Array.copy t.a
 
 let prefix t k =
   let k = Checks.in_range ~name:"Prefix.prefix" ~lo:0 ~hi:t.n k in
-  t.p.(k)
+  Tab.f1_get t.p k
 
-let prefix_vector t = Array.copy t.p
+let prefix_vector t = Tab.f1_to_array t.p
+
+(* Raw-table handles for kernel loops ({!Cost} caches these once per
+   context): the prefix vector itself and the four cumulative moment
+   tables, all flat unboxed {!Tab} buffers. *)
+let table t = t.p
+let moment_p t = t.cp
+let moment_p2 t = t.cp2
+let moment_tp t = t.ctp
+let moment_a2 t = t.ca2
 
 let range_sum t ~a ~b =
   let a, b = Checks.ordered_pair ~name:"Prefix.range_sum" ~lo:1 ~hi:t.n (a, b) in
-  t.p.(b) -. t.p.(a - 1)
+  Tab.f1_get t.p b -. Tab.f1_get t.p (a - 1)
 
-let total t = t.p.(t.n)
+let total t = Tab.f1_get t.p t.n
 let mean t ~a ~b = range_sum t ~a ~b /. float_of_int (b - a + 1)
 let sum_p t ~u ~v = Cum.range t.cp ~u ~v
 let sum_p2 t ~u ~v = Cum.range t.cp2 ~u ~v

@@ -38,6 +38,30 @@ val prefix : t -> int -> float
 val prefix_vector : t -> float array
 (** The vector [P[0..n]] (length [n+1]), freshly allocated. *)
 
+(** {1 Raw moment tables}
+
+    Handles on the flat unboxed {!Tab} buffers behind this module, for
+    kernel loops that cache them once and read with the [Tab] raw
+    accessors instead of paying a boxing cross-module call per moment
+    ({!Rs_histogram.Cost} is the consumer).  The tables are live, not
+    copies — callers must treat them as read-only. *)
+
+val table : t -> Tab.f1
+(** [P[0..n]] itself: cell [t] holds [P[t]], length [n+1]. *)
+
+val moment_p : t -> Cum.t
+(** The cumulative table behind {!sum_p} (see {!Cum.table}). *)
+
+val moment_p2 : t -> Cum.t
+(** Behind {!sum_p2}. *)
+
+val moment_tp : t -> Cum.t
+(** Behind {!sum_tp}. *)
+
+val moment_a2 : t -> Cum.t
+(** Behind {!sum_a2} — note its data-index convention ([x(i) = A[i+1]²],
+    so [Σ_{i=a}^{b} A[i]²] reads the cumulative cells [b] and [a−1]). *)
+
 val range_sum : t -> a:int -> b:int -> float
 (** [range_sum t ~a ~b] is [s[a,b] = Σ_{a≤i≤b} A[i]], [1 ≤ a ≤ b ≤ n]. *)
 

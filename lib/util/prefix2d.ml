@@ -2,7 +2,7 @@ type t = {
   n1 : int;
   n2 : int;
   a : float array array; (* original values, n1 × n2 *)
-  d : float array array; (* prefix array, (n1+1) × (n2+1) *)
+  d : Tab.f2; (* prefix array, (n1+1) × (n2+1), flat unboxed ({!Tab}) *)
 }
 
 let create a =
@@ -15,11 +15,14 @@ let create a =
       Checks.check (Array.length row = n2) "Prefix2d.create: ragged rows";
       Array.iter (fun v -> ignore (Checks.finite ~name:"Prefix2d.create" v)) row)
     a;
-  let d = Array.make_matrix (n1 + 1) (n2 + 1) 0. in
+  let d = Tab.f2_create ~rows:(n1 + 1) ~cols:(n2 + 1) in
   for i = 1 to n1 do
     for j = 1 to n2 do
-      d.(i).(j) <-
-        a.(i - 1).(j - 1) +. d.(i - 1).(j) +. d.(i).(j - 1) -. d.(i - 1).(j - 1)
+      Tab.f2_set d i j
+        (a.(i - 1).(j - 1)
+        +. Tab.f2_get d (i - 1) j
+        +. Tab.f2_get d i (j - 1)
+        -. Tab.f2_get d (i - 1) (j - 1))
     done
   done;
   { n1; n2; a = Array.map Array.copy a; d }
@@ -33,16 +36,29 @@ let value t ~i ~j =
   let j = Checks.in_range ~name:"Prefix2d.value j" ~lo:1 ~hi:t.n2 j in
   t.a.(i - 1).(j - 1)
 
-let total t = t.d.(t.n1).(t.n2)
+let total t = Tab.f2_get t.d t.n1 t.n2
 
 let prefix t ~i ~j =
   let i = Checks.in_range ~name:"Prefix2d.prefix i" ~lo:0 ~hi:t.n1 i in
   let j = Checks.in_range ~name:"Prefix2d.prefix j" ~lo:0 ~hi:t.n2 j in
-  t.d.(i).(j)
+  Tab.f2_get t.d i j
 
-let prefix_matrix t = Array.map Array.copy t.d
+let prefix_matrix t =
+  Array.init (t.n1 + 1) (fun i ->
+      Array.init (t.n2 + 1) (fun j -> Tab.f2_get t.d i j))
 
+(* The four-corner read with row offsets hoisted: the 2-D error sweeps
+   (Error2d, Split2d, Grid2d) call this per query in O(n²)–O(n⁴)
+   loops, and a [float array array] pays two indirections per corner.
+   Index validity follows from [ordered_pair]; the same arithmetic runs
+   bounds-checked through {!Tab.Debug} in the Tab unit tests. *)
 let range_sum t ~a1 ~b1 ~a2 ~b2 =
   let a1, b1 = Checks.ordered_pair ~name:"Prefix2d.range_sum dim1" ~lo:1 ~hi:t.n1 (a1, b1) in
   let a2, b2 = Checks.ordered_pair ~name:"Prefix2d.range_sum dim2" ~lo:1 ~hi:t.n2 (a2, b2) in
-  t.d.(b1).(b2) -. t.d.(a1 - 1).(b2) -. t.d.(b1).(a2 - 1) +. t.d.(a1 - 1).(a2 - 1)
+  let buf = t.d.Tab.fbuf in
+  let cols = t.n2 + 1 in
+  let rb = b1 * cols and ra = (a1 - 1) * cols in
+  Tab.f1_unsafe_get buf (rb + b2)
+  -. Tab.f1_unsafe_get buf (ra + b2)
+  -. Tab.f1_unsafe_get buf (rb + (a2 - 1))
+  +. Tab.f1_unsafe_get buf (ra + (a2 - 1))

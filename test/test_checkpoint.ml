@@ -748,6 +748,67 @@ let test_builder_checkpointed_build_matches_plain () =
       Alcotest.(check bool) "snapshot written mid-run" true
         (Sys.file_exists path))
 
+(* --- golden snapshot fixtures ---
+
+   The snapshot byte formats (dp-row-v1, opt-a-row-v1) are contractual:
+   resume is bit-identical, so refactors of the DP internals — matrix
+   storage, Ktbl slot layout, transition kernels — must not move a
+   single byte.  These tests regenerate a snapshot with the exact
+   recipe that produced the committed fixtures (test/fixtures/*.golden,
+   written by the pre-refactor code) and compare whole files.  If a
+   change legitimately revs a format, it must bump the snapshot kind
+   and regenerate the fixture — never silently rewrite it. *)
+
+let golden_data = Array.init 24 (fun i -> float_of_int (((i * 7) mod 13) - 3))
+
+let golden_fixture name = Filename.concat "fixtures" name
+
+let check_golden name got =
+  let want = read_file (golden_fixture name) in
+  if String.equal want got then ()
+  else begin
+    let flen = String.length want and glen = String.length got in
+    let lim = min flen glen in
+    let d = ref 0 in
+    while !d < lim && want.[!d] = got.[!d] do incr d done;
+    Alcotest.failf
+      "%s: snapshot bytes drifted from the committed fixture (fixture %d \
+       bytes, regenerated %d bytes, first difference at offset %d)"
+      name flen glen !d
+  end
+
+let test_golden_dp_row_snapshot () =
+  let p = Prefix.create golden_data in
+  let ctx = Cost.make p in
+  with_tmp ".ckpt" (fun path ->
+      (try
+         ignore
+           (Dp.solve
+              ~governor:
+                (Governor.create ~deadline_mode:Governor.Snapshot
+                   ~poll_budget:30 ())
+              ~stage:"golden-dp" ~fingerprint:"golden-fixture"
+              ~checkpoint_path:path ~n:24 ~buckets:4
+              ~cost:(fun ~l ~r -> Cost.a0_bucket ctx ~l ~r)
+              ());
+         Alcotest.fail "golden dp run must be interrupted"
+       with Governor.Interrupted _ -> ());
+      check_golden "dp-row-v1.golden" (read_file path))
+
+let test_golden_opt_a_row_snapshot () =
+  let p = Prefix.create golden_data in
+  with_tmp ".ckpt" (fun path ->
+      (try
+         ignore
+           (Opt_a.build_exact
+              ~governor:
+                (Governor.create ~deadline_mode:Governor.Snapshot
+                   ~poll_budget:20 ())
+              ~key_cap:600 ~checkpoint_path:path p ~buckets:3);
+         Alcotest.fail "golden opt-a run must be interrupted"
+       with Governor.Interrupted _ -> ());
+      check_golden "opt-a-row-v1.golden" (read_file path))
+
 let () =
   Alcotest.run "checkpoint"
     [
@@ -778,6 +839,13 @@ let () =
             test_dp_kill_and_resume_everywhere;
           Alcotest.test_case "identity checks" `Quick
             test_dp_resume_rejects_wrong_fingerprint;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "dp-row-v1 bytes" `Quick
+            test_golden_dp_row_snapshot;
+          Alcotest.test_case "opt-a-row-v1 bytes" `Quick
+            test_golden_opt_a_row_snapshot;
         ] );
       ( "opt-a-resume",
         [

@@ -28,9 +28,27 @@ let test_negative_and_zero_keys () =
   let t = Ktbl.create () in
   List.iter
     (fun k -> ignore (Ktbl.update_min t ~key:k ~f:(float_of_int k) ~prev_j:0 ~prev_key:0))
-    [ 0; -1; 1; min_int + 1; max_int; -999999 ];
+    [ 0; -1; 1; -Ktbl.max_key + 1; Ktbl.max_key; -999999 ];
   Alcotest.(check int) "all present" 6 (Ktbl.length t);
-  Alcotest.(check bool) "negative found" true (Ktbl.find_f t (-999999) = Some (-999999.))
+  Alcotest.(check bool) "negative found" true (Ktbl.find_f t (-999999) = Some (-999999.));
+  Alcotest.(check bool)
+    "domain edge found" true
+    (Ktbl.find_f t Ktbl.max_key = Some (float_of_int Ktbl.max_key))
+
+let test_key_domain_guard () =
+  let t = Ktbl.create () in
+  let rejects k =
+    match Ktbl.update_min t ~key:k ~f:0. ~prev_j:0 ~prev_key:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "max_key+1 rejected" true (rejects (Ktbl.max_key + 1));
+  Alcotest.(check bool) "max_int rejected" true (rejects max_int);
+  Alcotest.(check bool) "min_int rejected" true (rejects min_int);
+  Alcotest.(check bool)
+    "out-of-domain find is None" true
+    (Ktbl.find_f t (Ktbl.max_key + 1) = None);
+  Alcotest.(check int) "nothing inserted" 0 (Ktbl.length t)
 
 let test_growth_many_keys () =
   let t = Ktbl.create () in
@@ -129,6 +147,162 @@ let test_recycle_isolates () =
   Alcotest.(check bool) "no leak into u" true (Ktbl.find_f u 999 = None);
   Alcotest.(check int) "u intact" 500 (Ktbl.length u)
 
+(* --- the sealed stream and the fused transition kernel --- *)
+
+let test_sealed_matches_iter () =
+  let t = Ktbl.create () in
+  for k = 1 to 300 do
+    ignore
+      (Ktbl.update_min t ~key:(((k * 13) mod 401) - 200)
+         ~f:(float_of_int (k mod 29))
+         ~prev_j:k ~prev_key:0)
+  done;
+  let s = Ktbl.sealed t in
+  Alcotest.(check int)
+    "seal holds 2 floats per entry"
+    (2 * Ktbl.length t)
+    (Rs_util.Tab.f1_len s);
+  (* exactly iter's visit order, as (key-as-float, f) pairs *)
+  let at = ref 0 in
+  Ktbl.iter
+    (fun ~key ~f ->
+      Alcotest.(check (float 0.))
+        "key lane" (float_of_int key)
+        (Rs_util.Tab.f1_get s (2 * !at));
+      Alcotest.(check (float 0.))
+        "f lane" f
+        (Rs_util.Tab.f1_get s ((2 * !at) + 1));
+      incr at)
+    t;
+  Alcotest.(check int) "every entry sealed" (Ktbl.length t) !at;
+  (* point-in-time: later mutations don't reach an existing seal *)
+  ignore (Ktbl.update_min t ~key:7777 ~f:1. ~prev_j:0 ~prev_key:0);
+  Alcotest.(check int)
+    "seal is a copy"
+    (2 * (Ktbl.length t - 1))
+    (Rs_util.Tab.f1_len s)
+
+(* The fused [relax] against its own specification — the
+   [iter]+[update_min] reference formulation with identical float
+   evaluation order, pruning, and budget cutoff.  Physical layout
+   equality ([export]) is the strong form: same growth points, same
+   insertion order, same tie-breaking, hence same snapshot bytes. *)
+let prop_relax_matches_reference =
+  Helpers.qtest ~count:100 "relax = iter+update_min reference"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let src = Ktbl.create () in
+      let entries = 1 + Rng.int rng 400 in
+      for _ = 1 to entries do
+        ignore
+          (Ktbl.update_min src
+             ~key:(Rng.int rng 500 - 250)
+             ~f:(float_of_int (Rng.int rng 1000) /. 8.)
+             ~prev_j:(Rng.int rng 20) ~prev_key:0)
+      done;
+      let seal = Ktbl.sealed src in
+      let c = float_of_int (Rng.int rng 100) /. 4. in
+      let p2 = float_of_int (Rng.int rng 64 - 32) /. 2. in
+      let s2 = Rng.int rng 200 - 100 in
+      let prev_j = Rng.int rng 30 in
+      let key_cap = 50 + Rng.int rng 400 in
+      let final = Rng.int rng 4 = 0 in
+      let budget = if Rng.int rng 3 = 0 then Rng.int rng 50 else max_int in
+      (* fused kernel *)
+      let dst = Ktbl.create () in
+      let stats = Ktbl.fresh_relax_stats () in
+      let inserted =
+        Ktbl.relax ~src:seal ~dst ~c ~p2 ~s2 ~prev_j ~key_cap ~final ~budget
+          ~profile:true ~stats
+      in
+      (* reference: walk the same seal stream through update_min *)
+      let ref_dst = Ktbl.create () in
+      let ref_inserted = ref 0 in
+      let ref_pruned = ref 0 in
+      let count = Rs_util.Tab.f1_len seal / 2 in
+      let s = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !s < count do
+        let fkey = Rs_util.Tab.f1_get seal (2 * !s) in
+        let f = Rs_util.Tab.f1_get seal ((2 * !s) + 1) in
+        let key = int_of_float fkey in
+        let key' = key + s2 in
+        if final || abs key' <= key_cap then begin
+          let f' = f +. c +. (0.5 *. fkey *. p2) in
+          if Ktbl.update_min ref_dst ~key:key' ~f:f' ~prev_j ~prev_key:key
+          then begin
+            incr ref_inserted;
+            if !ref_inserted > budget then stop := true
+          end
+        end
+        else incr ref_pruned;
+        incr s
+      done;
+      inserted = !ref_inserted
+      && stats.Ktbl.rx_pruned = !ref_pruned
+      && Ktbl.export dst = Ktbl.export ref_dst)
+
+(* The probe profile tallies only on the insert branch — offers that
+   update an existing key (or get pruned) record nothing — and is
+   deterministic: the same batch into the same table tallies the same
+   numbers. *)
+let test_relax_profile_stats () =
+  let src = Ktbl.create () in
+  for k = 1 to 200 do
+    ignore (Ktbl.update_min src ~key:k ~f:(float_of_int k) ~prev_j:0 ~prev_key:0)
+  done;
+  let seal = Ktbl.sealed src in
+  let run ~profile =
+    let dst = Ktbl.create () in
+    let stats = Ktbl.fresh_relax_stats () in
+    let ins =
+      Ktbl.relax ~src:seal ~dst ~c:0. ~p2:0. ~s2:0 ~prev_j:0 ~key_cap:1000
+        ~final:false ~budget:max_int ~profile ~stats
+    in
+    (ins, stats)
+  in
+  let ins, on = run ~profile:true in
+  Alcotest.(check int) "every transition inserts here" 200 ins;
+  Alcotest.(check int) "one probe sequence per insertion" ins
+    on.Ktbl.rx_probe_obs;
+  Alcotest.(check bool) "every probe sequence is >= 1" true
+    (on.Ktbl.rx_probe_sum >= on.Ktbl.rx_probe_obs);
+  Alcotest.(check bool) "max recorded" true (on.Ktbl.rx_probe_max >= 1);
+  Alcotest.(check int) "tally length pinned" Ktbl.probe_buckets
+    (Array.length on.Ktbl.rx_probe_counts);
+  Alcotest.(check int) "tallies sum to observations" on.Ktbl.rx_probe_obs
+    (Array.fold_left ( + ) 0 on.Ktbl.rx_probe_counts);
+  (* a second pass offers only existing keys: nothing tallies *)
+  let redo_dst = Ktbl.create () in
+  let redo_stats = Ktbl.fresh_relax_stats () in
+  ignore
+    (Ktbl.relax ~src:seal ~dst:redo_dst ~c:0. ~p2:0. ~s2:0 ~prev_j:0
+       ~key_cap:1000 ~final:false ~budget:max_int ~profile:true
+       ~stats:redo_stats);
+  ignore
+    (Ktbl.relax ~src:seal ~dst:redo_dst ~c:1. ~p2:0. ~s2:0 ~prev_j:0
+       ~key_cap:1000 ~final:false ~budget:max_int ~profile:true
+       ~stats:redo_stats);
+  Alcotest.(check int) "updates record nothing" 200
+    redo_stats.Ktbl.rx_probe_obs;
+  (* deterministic: same batch, same tallies *)
+  let _, again = run ~profile:true in
+  Alcotest.(check int) "deterministic sum" on.Ktbl.rx_probe_sum
+    again.Ktbl.rx_probe_sum;
+  Alcotest.(check bool) "deterministic tallies" true
+    (on.Ktbl.rx_probe_counts = again.Ktbl.rx_probe_counts);
+  let _, off = run ~profile:false in
+  Alcotest.(check int) "no probe obs when off" 0 off.Ktbl.rx_probe_obs;
+  Alcotest.(check int) "no tallies when off" 0
+    (Array.fold_left ( + ) 0 off.Ktbl.rx_probe_counts);
+  (* merge accumulates every lane *)
+  let _, into = run ~profile:true in
+  Ktbl.merge_relax_stats ~into on;
+  Alcotest.(check int) "merged obs" 400 into.Ktbl.rx_probe_obs;
+  Alcotest.(check int) "merged tallies" 400
+    (Array.fold_left ( + ) 0 into.Ktbl.rx_probe_counts)
+
 (* Randomized differential test against Hashtbl semantics. *)
 let prop_matches_hashtbl =
   Helpers.qtest ~count:100 "ktbl = hashtbl model"
@@ -162,6 +336,7 @@ let () =
           Alcotest.test_case "empty" `Quick test_empty;
           Alcotest.test_case "insert/update" `Quick test_insert_and_update;
           Alcotest.test_case "negative keys" `Quick test_negative_and_zero_keys;
+          Alcotest.test_case "key domain guard" `Quick test_key_domain_guard;
           Alcotest.test_case "growth" `Quick test_growth_many_keys;
           Alcotest.test_case "iter" `Quick test_iter_visits_all;
           Alcotest.test_case "fold_min" `Quick test_fold_min;
@@ -169,5 +344,12 @@ let () =
           Alcotest.test_case "recycle isolates" `Quick test_recycle_isolates;
           prop_arena_layout_identical;
           prop_matches_hashtbl;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "sealed matches iter" `Quick
+            test_sealed_matches_iter;
+          prop_relax_matches_reference;
+          Alcotest.test_case "profile stats" `Quick test_relax_profile_stats;
         ] );
     ]

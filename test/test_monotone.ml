@@ -548,6 +548,42 @@ let test_prefix_vector_surface () =
         Alcotest.failf "%s: unexpected prefix vector" m)
     [ "sap0"; "sap1"; "wave-aa" ]
 
+(* --- kernel allocation discipline ---
+
+   The level DP's hot state lives in flat Tabs (lib/histogram/dp.ml):
+   the e/parent matrices are Bigarray blocks the minor GC never scans,
+   and the per-level running-best scratch is allocated once.  With a
+   cost closure that returns a captured (pre-boxed) float — so the cost
+   calls themselves allocate nothing — a whole solve must allocate O(1)
+   minor words per DP row: a per-transition or per-cell allocation in
+   the kernel would show up as O(n²·B) words and trip the budget by two
+   orders of magnitude. *)
+let test_dp_solve_allocates_o1_per_row () =
+  let n = 256 and buckets = 4 in
+  let z = 0.5 in
+  let cost ~l:_ ~r:_ = z in
+  let run () = ignore (Dp.solve ~n ~buckets ~cost ()) in
+  run () (* warm-up: one-time closure/setup allocations *);
+  let before = Gc.minor_words () in
+  run ();
+  let delta = Gc.minor_words () -. before in
+  let rows =
+    let r = ref 0 in
+    for k = 1 to buckets do
+      r := !r + (n - k + 1)
+    done;
+    !r
+  in
+  (* Generous constants: Bigarray handles, the bucketing result and
+     alcotest noise fit many times over, while one boxed float per
+     transition alone would cost ~260k words here. *)
+  let budget = 20_000. +. (64. *. float_of_int rows) in
+  if delta > budget then
+    Alcotest.failf
+      "Dp.solve allocated %.0f minor words (budget %.0f for %d rows): the \
+       kernel is allocating per cell or per transition"
+      delta budget rows
+
 let () =
   Alcotest.run "monotone"
     ([
@@ -580,5 +616,10 @@ let () =
            Alcotest.test_case "rounded is opaque" `Quick test_rounded_is_opaque;
            Alcotest.test_case "prefix_vector surface" `Quick
              test_prefix_vector_surface;
+         ] );
+       ( "kernel-alloc",
+         [
+           Alcotest.test_case "O(1) minor words per row" `Quick
+             test_dp_solve_allocates_o1_per_row;
          ] );
      ])

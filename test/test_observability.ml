@@ -372,6 +372,58 @@ let test_jobs_invariant_counters () =
     "parallel run records chunk barriers" true
     (counter_value par "pool.chunks" > 0)
 
+(* The PR-8 kernel histograms.  [ktbl.probe_len] is absorbed from the
+   coordinator's per-solve stats, and probe sequences are a function of
+   insertion order — which the bit-identity contract pins across job
+   counts — so its totals must twin exactly.  [pool.chunk_span] counts
+   dispatched chunk widths, a parallel-only quantity (excluded from the
+   twin like "pool.chunks"). *)
+let histogram_stats report name =
+  match List.assoc_opt name report.Metrics.r_histograms with
+  | Some s -> s
+  | None -> Alcotest.failf "histogram %s missing from report" name
+
+let test_kernel_histograms () =
+  let seq, par =
+    with_fresh @@ fun () ->
+    ignore (opt_a_workload ~jobs:1 ());
+    let seq = Metrics.report () in
+    Metrics.reset ();
+    ignore (opt_a_workload ~jobs:4 ());
+    (seq, Metrics.report ())
+  in
+  let probes_seq = histogram_stats seq "ktbl.probe_len" in
+  let probes_par = histogram_stats par "ktbl.probe_len" in
+  Alcotest.(check bool)
+    "probes were recorded" true (probes_seq.Metrics.h_count > 0);
+  Alcotest.(check int)
+    "probe count identical across job counts" probes_seq.Metrics.h_count
+    probes_par.Metrics.h_count;
+  check_close "probe sum identical across job counts" probes_seq.Metrics.h_sum
+    probes_par.Metrics.h_sum;
+  Alcotest.(check (list int))
+    "probe buckets identical across job counts"
+    (List.map snd probes_seq.Metrics.h_buckets)
+    (List.map snd probes_par.Metrics.h_buckets);
+  (* chunk spans: only dispatched runs record them, every observation
+     is a positive span no wider than the fixed 64-cell chunk, and the
+     chunk counter is their count. *)
+  (* unobserved histograms are omitted from the report entirely *)
+  Alcotest.(check bool)
+    "sequential run records no chunk spans" true
+    (List.assoc_opt "pool.chunk_span" seq.Metrics.r_histograms = None);
+  let spans_par = histogram_stats par "pool.chunk_span" in
+  Alcotest.(check bool)
+    "parallel run records chunk spans" true (spans_par.Metrics.h_count > 0);
+  Alcotest.(check int)
+    "one span observation per chunk barrier"
+    (counter_value par "pool.chunks")
+    spans_par.Metrics.h_count;
+  Alcotest.(check bool)
+    "spans bounded by the 64-cell chunk" true
+    (spans_par.Metrics.h_max <= 64.
+    && spans_par.Metrics.h_sum >= float_of_int spans_par.Metrics.h_count)
+
 let test_disabled_run_records_nothing () =
   Metrics.disable ();
   Metrics.reset ();
@@ -597,6 +649,8 @@ let () =
         [
           Alcotest.test_case "counters invariant across jobs" `Quick
             test_jobs_invariant_counters;
+          Alcotest.test_case "kernel histograms (probe_len, chunk_span)" `Quick
+            test_kernel_histograms;
           Alcotest.test_case "segmented counters invariant across jobs" `Quick
             test_segmented_jobs_invariant_counters;
           Alcotest.test_case "disabled run records nothing" `Quick

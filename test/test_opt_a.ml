@@ -240,6 +240,125 @@ let test_warmup_uses_more_states () =
   Alcotest.(check bool) "warmup >= improved states" true
     (warmup.H.Opt_a_warmup.states >= improved.Opt_a.states)
 
+(* --- Fast vs Reference transition kernels ---
+
+   The fused unboxed kernel (Ktbl.relax over a sealed level) is
+   contractually bit-identical to the iter+update_min reference: same
+   SSE bits, same bucketing, same state counts, same Too_many_states
+   payload, and byte-identical snapshots — so an interrupted run under
+   one kernel resumes under the other. *)
+
+let check_kernels_equal label (a : Opt_a.result) (b : Opt_a.result) =
+  if not (Float.equal a.Opt_a.sse b.Opt_a.sse) then
+    Alcotest.failf "%s: sse %.17g <> %.17g" label a.Opt_a.sse b.Opt_a.sse;
+  Alcotest.(check (array int))
+    (label ^ ": rights")
+    (Bucket.rights (H.Histogram.bucketing a.Opt_a.histogram))
+    (Bucket.rights (H.Histogram.bucketing b.Opt_a.histogram));
+  Alcotest.(check int) (label ^ ": states") a.Opt_a.states b.Opt_a.states
+
+let test_kernel_twins_random () =
+  let rng = Rng.create 0xF457 in
+  for trial = 1 to 15 do
+    let n = 4 + Rng.int rng 14 in
+    let data = Helpers.random_int_data rng ~n ~hi:30 in
+    let p = Helpers.prefix_of data in
+    let buckets = 1 + Rng.int rng 4 in
+    check_kernels_equal
+      (Printf.sprintf "trial %d" trial)
+      (Opt_a.build_exact ~kernel:Opt_a.Fast p ~buckets)
+      (Opt_a.build_exact ~kernel:Opt_a.Reference p ~buckets)
+  done
+
+let test_kernel_twins_beam () =
+  let data = [| 9.; 1.; 4.; 4.; 7.; 2.; 8.; 3.; 6.; 5.; 2.; 7. |] in
+  let p = Prefix.create data in
+  List.iter
+    (fun beam ->
+      check_kernels_equal
+        (Printf.sprintf "beam %d" beam)
+        (Opt_a.build_exact ~kernel:Opt_a.Fast ~beam p ~buckets:4)
+        (Opt_a.build_exact ~kernel:Opt_a.Reference ~beam p ~buckets:4))
+    [ 1; 3; 17 ]
+
+let test_kernel_twins_too_many_states () =
+  let data = Array.init 14 (fun i -> float_of_int ((i * 5 mod 11) + 1)) in
+  let p = Prefix.create data in
+  let payload kernel =
+    match Opt_a.build_exact ~kernel ~max_states:40 p ~buckets:4 with
+    | _ -> Alcotest.failf "%s: 40 states must not suffice" (Opt_a.kernel_name kernel)
+    | exception Opt_a.Too_many_states { states; limit } -> (states, limit)
+  in
+  Alcotest.(check (pair int int))
+    "identical Too_many_states payload" (payload Opt_a.Fast)
+    (payload Opt_a.Reference)
+
+let test_kernel_twins_snapshots_interchange () =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let with_tmp f =
+    let path = Filename.temp_file "rs_opta_k" ".ckpt" in
+    Sys.remove path;
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists path then Sys.remove path;
+        let tmp = path ^ ".tmp" in
+        if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () -> f path)
+  in
+  let data = [| 1.; 3.; 5.; 11.; 12.; 13.; 2.; 8.; 4.; 6. |] in
+  let p = Prefix.create data in
+  let buckets = 4 in
+  (* pin key_cap so the governed UB-seeding pass is skipped and every
+     poll lands in the exact DP, where snapshots exist *)
+  let key_cap = 100_000 in
+  let base = Opt_a.build_exact ~key_cap p ~buckets in
+  let module Governor = Rs_util.Governor in
+  let compared = ref 0 in
+  for budget = 1 to 40 do
+    (* interrupt under [kernel], resume under the other one (while the
+       checkpoint file still exists), and hand back the snapshot bytes *)
+    let snap kernel ~resume_kernel =
+      with_tmp (fun path ->
+          let governor =
+            Governor.create ~deadline_mode:Governor.Snapshot ~poll_budget:budget
+              ()
+          in
+          match
+            Opt_a.build_exact ~kernel ~key_cap ~governor ~checkpoint_path:path
+              p ~buckets
+          with
+          | _ -> None
+          | exception Governor.Interrupted { checkpoint; _ } ->
+              let bytes = read_file path in
+              check_kernels_equal
+                (Printf.sprintf "budget %d %s->%s resume" budget
+                   (Opt_a.kernel_name kernel)
+                   (Opt_a.kernel_name resume_kernel))
+                base
+                (Opt_a.build_exact ~kernel:resume_kernel ~key_cap
+                   ~resume_from:checkpoint p ~buckets);
+              Some bytes)
+    in
+    match
+      ( snap Opt_a.Fast ~resume_kernel:Opt_a.Reference,
+        snap Opt_a.Reference ~resume_kernel:Opt_a.Fast )
+    with
+    | None, None -> ()
+    | Some _, None | None, Some _ ->
+        Alcotest.failf "budget %d: kernels disagree on interruption" budget
+    | Some fast_bytes, Some ref_bytes ->
+        incr compared;
+        if fast_bytes <> ref_bytes then
+          Alcotest.failf "budget %d: snapshot bytes differ across kernels"
+            budget
+  done;
+  Alcotest.(check bool) "at least one interruption" true (!compared > 0)
+
 let () =
   Alcotest.run "opt_a"
     [
@@ -268,6 +387,15 @@ let () =
         [
           Alcotest.test_case "beam sound" `Quick test_beam_is_sound;
           Alcotest.test_case "state guard" `Quick test_max_states_guard;
+        ] );
+      ( "kernel-twins",
+        [
+          Alcotest.test_case "random sweeps" `Quick test_kernel_twins_random;
+          Alcotest.test_case "beam truncation" `Quick test_kernel_twins_beam;
+          Alcotest.test_case "state-budget payload" `Quick
+            test_kernel_twins_too_many_states;
+          Alcotest.test_case "snapshot interchange" `Quick
+            test_kernel_twins_snapshots_interchange;
         ] );
       ( "warmup",
         [

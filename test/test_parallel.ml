@@ -101,6 +101,79 @@ let test_with_pool_shuts_down_on_exception () =
   | () -> Alcotest.fail "must propagate"
   | exception Failure msg -> Alcotest.(check string) "propagated" "escape" msg
 
+(* --- dispatch cutover: scheduling moves, nothing else --- *)
+
+let dispatch_sweep = [ Pool.Auto; Pool.Parallel; Pool.Sequential ]
+
+let dispatch_name = function
+  | Pool.Auto -> "auto"
+  | Pool.Parallel -> "parallel"
+  | Pool.Sequential -> "sequential"
+
+let test_pool_dispatch_modes_agree () =
+  (* Every contract the dispatched path promises — each index exactly
+     once, reuse across runs, smallest failing index — holds verbatim
+     on the inline path and in auto mode. *)
+  List.iter
+    (fun dispatch ->
+      let name fmt = Printf.sprintf ("%s: " ^^ fmt) (dispatch_name dispatch) in
+      Pool.with_pool ~dispatch ~jobs:4 (fun pool ->
+          let marks = Array.init 100 (fun _ -> Atomic.make 0) in
+          for _round = 1 to 2 do
+            Pool.run pool ~lo:0 ~hi:99 (fun i -> Atomic.incr marks.(i))
+          done;
+          Array.iteri
+            (fun i m ->
+              Alcotest.(check int) (name "index %d" i) 2 (Atomic.get m))
+            marks;
+          (match
+             Pool.run pool ~lo:0 ~hi:20 (fun i ->
+                 if i = 3 || i = 7 then failwith (string_of_int i))
+           with
+          | () -> Alcotest.failf "%s: must raise" (dispatch_name dispatch)
+          | exception Failure got ->
+              Alcotest.(check string) (name "smallest index") "3" got);
+          (* Still serviceable after the poisoned run. *)
+          let hits = Atomic.make 0 in
+          Pool.run pool ~lo:0 ~hi:9 (fun _ -> Atomic.incr hits);
+          Alcotest.(check int) (name "after failure") 10 (Atomic.get hits)))
+    dispatch_sweep
+
+let test_pool_sequential_dispatch_stays_on_coordinator () =
+  let self = Domain.self () in
+  Pool.with_pool ~dispatch:Pool.Sequential ~jobs:4 (fun pool ->
+      let strayed = Atomic.make false in
+      Pool.run pool ~lo:0 ~hi:499 (fun _ ->
+          if Domain.self () <> self then Atomic.set strayed true);
+      Alcotest.(check bool) "every index inline" false (Atomic.get strayed))
+
+let test_pool_auto_pins_inline_on_one_core () =
+  (* The BENCH_PR3 fix: on a sub-2-core machine every chunk pays the
+     worker handshake for zero parallel speedup, so auto mode never
+     dispatches.  Only observable where the gate actually fires. *)
+  if Domain.recommended_domain_count () < 2 then begin
+    let self = Domain.self () in
+    Pool.with_pool ~dispatch:Pool.Auto ~jobs:4 (fun pool ->
+        let strayed = Atomic.make false in
+        Pool.run pool ~lo:0 ~hi:499 (fun _ ->
+            if Domain.self () <> self then Atomic.set strayed true);
+        Alcotest.(check bool) "one core: auto stays inline" false
+          (Atomic.get strayed))
+  end
+
+let test_pool_parallel_dispatch_reaches_workers () =
+  (* [Parallel] must keep the pre-cutover behavior: the workers do
+     claim indices.  Hold each body briefly so the coordinator cannot
+     drain the whole range before a worker wakes. *)
+  let self = Domain.self () in
+  Pool.with_pool ~dispatch:Pool.Parallel ~jobs:4 (fun pool ->
+      let worker_ran = Atomic.make false in
+      Pool.run pool ~lo:0 ~hi:63 (fun _ ->
+          if Domain.self () <> self then Atomic.set worker_ran true
+          else Unix.sleepf 0.001);
+      Alcotest.(check bool) "a worker claimed an index" true
+        (Atomic.get worker_ran))
+
 (* --- Dp: identical results for every job count --- *)
 
 let dp_cost p =
@@ -367,6 +440,16 @@ let () =
             test_pool_survives_a_failed_run;
           Alcotest.test_case "with_pool on exception" `Quick
             test_with_pool_shuts_down_on_exception;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "modes agree" `Quick test_pool_dispatch_modes_agree;
+          Alcotest.test_case "sequential stays inline" `Quick
+            test_pool_sequential_dispatch_stays_on_coordinator;
+          Alcotest.test_case "auto pins inline on one core" `Quick
+            test_pool_auto_pins_inline_on_one_core;
+          Alcotest.test_case "parallel reaches workers" `Quick
+            test_pool_parallel_dispatch_reaches_workers;
         ] );
       ( "dp-determinism",
         [

@@ -1,0 +1,239 @@
+(* Flat unboxed tables ({!Rs_util.Tab}): checked/unsafe accessor
+   semantics, the row-major 2-D layout contract, bit-exact dump/load,
+   and bounds-checked Debug-twin runs of the kernel index arithmetic
+   (the DP level sweep's hoisted row offsets and Prefix2d's four-corner
+   reads), so an off-by-one in those address computations surfaces as
+   [Invalid_argument] here rather than as a silent out-of-range read in
+   an [unsafe_*] kernel. *)
+
+module Tab = Rs_util.Tab
+
+(* Alcotest's check_raises wants the exact exception; the Checks
+   messages vary, so match on the constructor instead. *)
+let check_raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_f1_basics () =
+  let t = Tab.f1_create 5 in
+  Alcotest.(check int) "len" 5 (Tab.f1_len t);
+  for i = 0 to 4 do
+    Alcotest.(check (float 0.)) "zero-filled" 0. (Tab.f1_get t i)
+  done;
+  Tab.f1_set t 3 2.5;
+  Alcotest.(check (float 0.)) "set/get" 2.5 (Tab.f1_get t 3);
+  Tab.f1_fill t 7.;
+  Alcotest.(check (float 0.)) "fill" 7. (Tab.f1_get t 0);
+  check_raises_invalid "get -1" (fun () -> Tab.f1_get t (-1));
+  check_raises_invalid "get len" (fun () -> Tab.f1_get t 5);
+  check_raises_invalid "set len" (fun () -> Tab.f1_set t 5 0.);
+  check_raises_invalid "negative create" (fun () -> Tab.f1_create (-1))
+
+let test_i1_basics () =
+  let t = Tab.i1_create 4 in
+  Alcotest.(check int) "len" 4 (Tab.i1_len t);
+  Tab.i1_fill t (-1);
+  Alcotest.(check int) "fill" (-1) (Tab.i1_get t 2);
+  Tab.i1_set t 2 41;
+  Alcotest.(check int) "set/get" 41 (Tab.i1_get t 2);
+  check_raises_invalid "get oob" (fun () -> Tab.i1_get t 4)
+
+let test_array_roundtrip () =
+  let a = [| 1.5; -0.; infinity; neg_infinity; 3.14; 1e-308 |] in
+  let t = Tab.f1_of_array a in
+  let b = Tab.f1_to_array t in
+  Alcotest.(check int) "length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "bit-equal" true
+        (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float b.(i))))
+    a;
+  let ia = [| min_int; -1; 0; 1; max_int |] in
+  Alcotest.(check (array int)) "int roundtrip" ia
+    (Tab.i1_to_array (Tab.i1_of_array ia))
+
+let test_blit () =
+  let src = Tab.f1_of_array [| 1.; 2.; 3. |] in
+  let dst = Tab.f1_create 3 in
+  Tab.f1_blit ~src ~dst;
+  Alcotest.(check (float 0.)) "blit" 2. (Tab.f1_get dst 1);
+  let short = Tab.f1_create 2 in
+  check_raises_invalid "length mismatch" (fun () -> Tab.f1_blit ~src ~dst:short)
+
+let test_dump_load_bit_exact () =
+  (* The same special values the snapshot writers must round-trip:
+     negative zero, infinities, denormals and an irrational decimal are
+     all bit-exact in %h.  (NaN payloads are not — %h renders plain
+     "nan" — and no kernel table ever holds one.) *)
+  let vals =
+    [| 0.; -0.; 1.; -1.5; infinity; neg_infinity; 4.9e-324;
+       1.7976931348623157e308; 0.1 |]
+  in
+  let t = Tab.f1_of_array vals in
+  let t' = Tab.f1_load (Tab.f1_dump t) in
+  Alcotest.(check int) "len" (Tab.f1_len t) (Tab.f1_len t');
+  for i = 0 to Tab.f1_len t - 1 do
+    Alcotest.(check bool) "bits" true
+      (Int64.equal
+         (Int64.bits_of_float (Tab.f1_get t i))
+         (Int64.bits_of_float (Tab.f1_get t' i)))
+  done;
+  Alcotest.(check string) "empty dump" "" (Tab.f1_dump (Tab.f1_create 0));
+  Alcotest.(check int) "empty load" 0 (Tab.f1_len (Tab.f1_load ""));
+  let it = Tab.i1_of_array [| min_int; -7; 0; 7; max_int |] in
+  Alcotest.(check (array int)) "int dump/load"
+    (Tab.i1_to_array it)
+    (Tab.i1_to_array (Tab.i1_load (Tab.i1_dump it)));
+  check_raises_invalid "garbage load" (fun () -> Tab.f1_load "not-a-float")
+
+let test_f2_layout () =
+  (* The row-major layout is contractual: cell (r, c) lives at
+     r * cols + c of the flat buffer — snapshot writers and the kernel
+     sweeps both rely on it. *)
+  let rows = 3 and cols = 4 in
+  let t = Tab.f2_create ~rows ~cols in
+  Alcotest.(check int) "rows" rows (Tab.f2_rows t);
+  Alcotest.(check int) "cols" cols (Tab.f2_cols t);
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Tab.f2_set t r c (float_of_int ((10 * r) + c))
+    done
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Alcotest.(check (float 0.)) "flat offset"
+        (float_of_int ((10 * r) + c))
+        (Tab.f1_get t.Tab.fbuf ((r * cols) + c))
+    done
+  done;
+  check_raises_invalid "row oob" (fun () -> Tab.f2_get t rows 0);
+  check_raises_invalid "col oob" (fun () -> Tab.f2_get t 0 cols);
+  check_raises_invalid "negative dims" (fun () ->
+      Tab.f2_create ~rows:(-1) ~cols:2)
+
+let test_i2_layout () =
+  let t = Tab.i2_create ~rows:2 ~cols:3 in
+  Tab.i2_fill t (-1);
+  Tab.i2_set t 1 2 9;
+  Alcotest.(check int) "set/get" 9 (Tab.i2_get t 1 2);
+  Alcotest.(check int) "flat offset" 9 (Tab.i1_get t.Tab.ibuf ((1 * 3) + 2));
+  Alcotest.(check int) "fill" (-1) (Tab.i2_get t 0 0)
+
+(* --- Debug twins of the kernel index arithmetic ---
+
+   The DP level sweep hoists [prev = (k-1) * cols] and addresses row
+   k-1 reads at [prev + i], row k writes at [prev + cols + i]
+   (lib/histogram/dp.ml).  Re-run that arithmetic through the
+   bounds-checked Debug accessors on a sweep of shapes, including the
+   degenerate ones (one row, one column), and cross-check every cell
+   against the checked 2-D accessors. *)
+let test_debug_twin_dp_row_sweep () =
+  List.iter
+    (fun (rows, cols) ->
+      let e = Tab.f2_create ~rows ~cols in
+      let buf = e.Tab.fbuf in
+      for c = 0 to cols - 1 do
+        Tab.Debug.f1_unsafe_set buf c (float_of_int (c + 1))
+      done;
+      for k = 1 to rows - 1 do
+        let prev = (k - 1) * cols in
+        for i = 0 to cols - 1 do
+          let v = Tab.Debug.f1_unsafe_get buf (prev + i) in
+          Tab.Debug.f1_unsafe_set buf (prev + cols + i) (v *. 2.)
+        done
+      done;
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          Alcotest.(check (float 0.)) "sweep cell"
+            (float_of_int (c + 1) *. Float.of_int (1 lsl r))
+            (Tab.f2_get e r c)
+        done
+      done)
+    [ (1, 1); (1, 7); (5, 1); (4, 6); (3, 64) ]
+
+(* Prefix2d.range_sum's four-corner arithmetic: rb = b1 * cols,
+   ra = (a1-1) * cols, reads at rb+b2, ra+b2, rb+(a2-1), ra+(a2-1)
+   (lib/util/prefix2d.ml).  Exhaust every valid rectangle on a small
+   grid through the Debug accessors and compare with a brute-force
+   sum — both the bounds and the values are checked. *)
+let test_debug_twin_prefix2d_corners () =
+  let n1 = 4 and n2 = 5 in
+  let a =
+    Array.init n1 (fun i ->
+        Array.init n2 (fun j -> float_of_int (((i * 31) + (j * 7)) mod 11)))
+  in
+  let d = Tab.f2_create ~rows:(n1 + 1) ~cols:(n2 + 1) in
+  for i = 1 to n1 do
+    for j = 1 to n2 do
+      Tab.f2_set d i j
+        (a.(i - 1).(j - 1)
+        +. Tab.f2_get d (i - 1) j
+        +. Tab.f2_get d i (j - 1)
+        -. Tab.f2_get d (i - 1) (j - 1))
+    done
+  done;
+  let buf = d.Tab.fbuf in
+  let cols = n2 + 1 in
+  for a1 = 1 to n1 do
+    for b1 = a1 to n1 do
+      for a2 = 1 to n2 do
+        for b2 = a2 to n2 do
+          let rb = b1 * cols and ra = (a1 - 1) * cols in
+          let got =
+            Tab.Debug.f1_unsafe_get buf (rb + b2)
+            -. Tab.Debug.f1_unsafe_get buf (ra + b2)
+            -. Tab.Debug.f1_unsafe_get buf (rb + (a2 - 1))
+            +. Tab.Debug.f1_unsafe_get buf (ra + (a2 - 1))
+          in
+          let want = ref 0. in
+          for i = a1 to b1 do
+            for j = a2 to b2 do
+              want := !want +. a.(i - 1).(j - 1)
+            done
+          done;
+          Alcotest.(check (float 1e-9)) "corner sum" !want got
+        done
+      done
+    done
+  done
+
+let test_debug_twin_bounds_catch () =
+  (* The whole point of the twins: an out-of-range address raises. *)
+  let t = Tab.f1_create 3 in
+  check_raises_invalid "debug get oob" (fun () ->
+      Tab.Debug.f1_unsafe_get t 3);
+  check_raises_invalid "debug set oob" (fun () ->
+      Tab.Debug.f1_unsafe_set t (-1) 0.);
+  let m = Tab.f2_create ~rows:2 ~cols:2 in
+  check_raises_invalid "debug f2 oob" (fun () ->
+      Tab.Debug.f2_unsafe_get m 2 0);
+  let im = Tab.i2_create ~rows:2 ~cols:2 in
+  check_raises_invalid "debug i2 oob" (fun () ->
+      Tab.Debug.i2_unsafe_set im 0 2 1)
+
+let () =
+  Alcotest.run "tab"
+    [
+      ( "accessors",
+        [
+          Alcotest.test_case "f1 basics" `Quick test_f1_basics;
+          Alcotest.test_case "i1 basics" `Quick test_i1_basics;
+          Alcotest.test_case "array roundtrip" `Quick test_array_roundtrip;
+          Alcotest.test_case "blit" `Quick test_blit;
+        ] );
+      ( "dump-load",
+        [ Alcotest.test_case "bit-exact" `Quick test_dump_load_bit_exact ] );
+      ( "layout",
+        [
+          Alcotest.test_case "f2 row-major" `Quick test_f2_layout;
+          Alcotest.test_case "i2 row-major" `Quick test_i2_layout;
+        ] );
+      ( "debug-twins",
+        [
+          Alcotest.test_case "dp row sweep" `Quick test_debug_twin_dp_row_sweep;
+          Alcotest.test_case "prefix2d corners" `Quick
+            test_debug_twin_prefix2d_corners;
+          Alcotest.test_case "bounds catch" `Quick test_debug_twin_bounds_catch;
+        ] );
+    ]
