@@ -54,6 +54,26 @@ let cache_arg =
   let doc = "Answer-cache capacity (the stale rung's reach; 0 disables)." in
   Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
 
+let cache_policy_arg =
+  let doc =
+    "Answer-cache eviction policy: $(b,lru) (default) or $(b,fifo) (the \
+     insertion-order twin).  Both are deterministic; answers are \
+     byte-identical either way."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("lru", Rs_serve.Cache.Lru); ("fifo", Rs_serve.Cache.Fifo) ])
+        Rs_serve.Cache.Lru
+    & info [ "cache-policy" ] ~docv:"POLICY" ~doc)
+
+let no_batch_arg =
+  let doc =
+    "Evaluate the exact rung with the per-range estimator loop instead of \
+     the vectorized batch kernel (the determinism twin; responses are \
+     byte-identical, only slower)."
+  in
+  Arg.(value & flag & info [ "no-batch-eval" ] ~doc)
+
 let deadline_arg =
   let doc =
     "Default per-request deadline in milliseconds, applied to queries that \
@@ -61,7 +81,8 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
-let serve store socket stdio data jobs queue cache deadline_ms =
+let serve store socket stdio data jobs queue cache cache_policy no_batch
+    deadline_ms =
   match
     Error.guard (fun () ->
         if jobs < 1 then
@@ -83,6 +104,8 @@ let serve store socket stdio data jobs queue cache deadline_ms =
             jobs;
             queue_capacity = queue;
             cache_capacity = cache;
+            cache_policy;
+            batch_eval = not no_batch;
             default_deadline_ms = deadline_ms;
           }
         in
@@ -115,7 +138,7 @@ let main_cmd =
     (Cmd.info "rs_served" ~version:"1.0.0" ~doc ~exits)
     Term.(
       const serve $ store_arg $ socket_arg $ stdio_arg $ data_arg $ jobs_arg
-      $ queue_arg $ cache_arg $ deadline_arg)
+      $ queue_arg $ cache_arg $ cache_policy_arg $ no_batch_arg $ deadline_arg)
 
 (* Same environment contract as rs_cli and the bench: RS_LOG selects
    the log level (unknown values warn, naming the accepted set),

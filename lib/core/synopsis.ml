@@ -61,6 +61,43 @@ let prefix_vector = function
   | Histogram h -> H.prefix_vector h
   | Wavelet w -> if W.shared_prefix w then Some (W.prefix_hat w) else None
 
+(* Compile the synopsis into a Batch plan.  The plan's tables are the
+   synopsis' own answering state (bit-exact copies), and the Batch
+   loops restate [estimate]'s arithmetic exactly, so batch answers are
+   bit-identical to the per-range path — the serving byte-determinism
+   contract rides on this (pinned by the batch/per-range twins). *)
+let batch_plan t =
+  let module Batch = Rs_query.Batch in
+  match t with
+  | Wavelet w ->
+      Batch.two_sided ~n:(W.n w) ~right:(W.prefix_hat w)
+        ~left:(W.prefix_hat_left w)
+  | Histogram h ->
+      let module Bucket = Rs_histogram.Bucket in
+      let bk = H.bucketing h in
+      let n = Bucket.n bk in
+      let buckets = Bucket.count bk in
+      let index = Array.init n (fun i -> Bucket.bucket_of bk (i + 1)) in
+      let bucket_lo = Array.init buckets (fun k -> fst (Bucket.bounds bk k)) in
+      let bucket_hi = Array.init buckets (fun k -> snd (Bucket.bounds bk k)) in
+      let ends =
+        match H.repr h with
+        | H.Avg _ -> Batch.Avg
+        | H.Sap0 { suff; pref } | H.Sap0_explicit { suff; pref; _ } ->
+            Batch.Const { suff = Array.copy suff; pref = Array.copy pref }
+        | H.Sap1 { suff; pref } ->
+            let module R = Rs_linalg.Regression in
+            Batch.Affine
+              {
+                suff_slope = Array.map (fun f -> f.R.slope) suff;
+                suff_intercept = Array.map (fun f -> f.R.intercept) suff;
+                pref_slope = Array.map (fun f -> f.R.slope) pref;
+                pref_intercept = Array.map (fun f -> f.R.intercept) pref;
+              }
+      in
+      Batch.bucketed ~n ~rounded:(H.rounded h) ~index ~bucket_lo ~bucket_hi
+        ~avg:(H.avg_values h) ~cum:(H.cum_vector h) ends
+
 let metrics ds t = Error.metrics_all_ranges (Dataset.prefix ds) (estimator t)
 
 let workload_sse ds w t =

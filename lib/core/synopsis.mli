@@ -53,6 +53,15 @@ val prefix_vector : t -> float array option
 (** [Some Ĉ] when every answer is [Ĉ[b] − Ĉ[a−1]]: [Avg]-representation
     non-rounded histograms and shared-prefix wavelet synopses. *)
 
+val batch_plan : t -> Rs_query.Batch.t
+(** Compile the synopsis into a vectorized batch-evaluation plan.
+    O(n) once; the plan's answers are bit-identical to {!estimate}'s
+    for every valid range — the serving layer evaluates whole requests
+    through {!Rs_query.Batch.eval} and its responses are contractually
+    byte-deterministic, so this equivalence is pinned by twin tests
+    over every representation (Avg, SAP0, explicit SAP0, SAP1, rounded
+    histograms, shared-prefix and two-sided wavelets). *)
+
 val metrics : Dataset.t -> t -> Rs_query.Error.metrics
 (** Full error metrics over all ranges. *)
 

@@ -187,6 +187,7 @@ let prefix_vector t =
   match lowering t with Prefix_form d -> Some d | _ -> None
 
 let avg_values t = Array.copy t.avg
+let cum_vector t = Array.copy t.cum
 
 let with_values t ?name values =
   match t.repr with

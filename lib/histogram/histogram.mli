@@ -99,6 +99,13 @@ val avg_values : t -> float array
     values for [Avg], the recovered averages for [Sap0]/[Sap1].  Fresh
     array. *)
 
+val cum_vector : t -> float array
+(** The cumulative weighted sums [estimate] answers middles from:
+    [cum.(k) = Σ_{k'<k} width_{k'}·avg_{k'}], length [buckets+1].
+    Fresh array, bit-exact — [Rs_core.Synopsis.batch_plan] compiles
+    batch-evaluation tables from it and the batch kernel's answers
+    must stay bit-identical to [estimate]'s. *)
+
 val with_values : t -> ?name:string -> float array -> t
 (** Replace the per-bucket values of an [Avg] histogram (used by
     re-optimization).  Raises [Invalid_argument] on other

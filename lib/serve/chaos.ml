@@ -49,6 +49,7 @@ type sent = {
   s_burst : bool;  (** sent inside a queue-overflow burst *)
   s_attempt : int;
   s_armed : bool;  (** some fault seam was armed at send time *)
+  s_conn : int;  (** the simulated connection (cookie) that asked *)
 }
 
 let bits = Int64.bits_of_float
@@ -62,7 +63,8 @@ let floats_equal a b =
 let chunk = 64
 let exact_polls n = (n + chunk - 1) / chunk
 
-let soak ?(requests = 200) ~seed config =
+let soak ?(requests = 200) ?(clients = 1) ~seed config =
+  if clients < 1 then invalid_arg "Chaos.soak: clients must be >= 1";
   let rng = Rng.create seed in
   let server = Error.get (Server.create config) in
   let finally () =
@@ -81,6 +83,12 @@ let soak ?(requests = 200) ~seed config =
   and n_injected = ref 0
   and n_reloads = ref 0 in
   let outstanding : (string, sent) Hashtbl.t = Hashtbl.create 64 in
+  (* Multi-connection accounting: queries round-robin over [clients]
+     simulated connections (the cookie), and every queued response must
+     come back on the connection that asked — the daemon routes by
+     cookie, so a mismatch here is a cross-connection answer leak. *)
+  let conn_sent = Array.make clients 0 in
+  let conn_answered = Array.make clients 0 in
   (* Mirror of the server's answer cache: key -> (generation, estimates)
      last answered.  Stale answers must replay one of these exactly. *)
   let model : (string, int * float array) Hashtbl.t = Hashtbl.create 64 in
@@ -245,7 +253,7 @@ let soak ?(requests = 200) ~seed config =
     let rec go () =
       match Server.step server with
       | None -> ()
-      | Some (_, line) ->
+      | Some (cookie, line) ->
           (match P.decode_response line with
           | Error e -> viol "undecodable response %S: %s" line e
           | Ok (P.Answers { id = Some id; _ } | P.Refused { id = Some id; _ })
@@ -254,6 +262,10 @@ let soak ?(requests = 200) ~seed config =
               | None -> viol "unsolicited or duplicate response for id %s" id
               | Some q ->
                   Hashtbl.remove outstanding id;
+                  if q.s_conn <> cookie then
+                    viol "response for id %s routed to connection %d, asked on %d"
+                      id cookie q.s_conn
+                  else conn_answered.(cookie) <- conn_answered.(cookie) + 1;
                   handle_query_response q line)
           | Ok _ -> viol "evaluated response without an id: %S" line);
           go ()
@@ -263,6 +275,7 @@ let soak ?(requests = 200) ~seed config =
   let send_query ~burst =
     let seq = !sent_count in
     incr sent_count;
+    let conn = seq mod clients in
     let id = Printf.sprintf "r%d" seq in
     let unknown = Rng.bernoulli rng 0.05 in
     let name, pool = pick_list entry_pools in
@@ -292,6 +305,7 @@ let soak ?(requests = 200) ~seed config =
         s_burst = burst;
         s_attempt = attempt;
         s_armed = Faults.any_armed ();
+        s_conn = conn;
       }
     in
     let line =
@@ -306,9 +320,11 @@ let soak ?(requests = 200) ~seed config =
              attempt;
            })
     in
-    match Server.push server ~cookie:seq line with
+    match Server.push server ~cookie:conn line with
     | `Reply r -> handle_query_response q r
-    | `Queued -> Hashtbl.replace outstanding id q
+    | `Queued ->
+        conn_sent.(conn) <- conn_sent.(conn) + 1;
+        Hashtbl.replace outstanding id q
   in
   let send_control req ~expect =
     incr sent_count;
@@ -423,6 +439,15 @@ let soak ?(requests = 200) ~seed config =
   Hashtbl.iter
     (fun id _ -> viol "request %s never received a response" id)
     outstanding;
+  (* Per-connection conservation: every queued query came back exactly
+     once on its own connection (immediate [`Reply]s are answered on
+     the spot and never enter these tallies). *)
+  Array.iteri
+    (fun c sent ->
+      if conn_answered.(c) <> sent then
+        viol "connection %d: %d queued queries but %d responses" c sent
+          conn_answered.(c))
+    conn_sent;
   {
     requests = !sent_count;
     exact = !n_exact;
@@ -439,3 +464,24 @@ let probe config ~lines =
   let server = Error.get (Server.create config) in
   Fun.protect ~finally:(fun () -> Server.close server) @@ fun () ->
   List.map (Server.handle_line server) lines
+
+let probe_cookied config ~lines =
+  let server = Error.get (Server.create config) in
+  Fun.protect ~finally:(fun () -> Server.close server) @@ fun () ->
+  (* Push the whole interleaving before stepping anything — the
+     multi-connection analogue of [probe]: immediate replies come back
+     in push order, queued queries drain FIFO afterwards, each tagged
+     with the cookie (connection) that asked. *)
+  let immediate = ref [] in
+  List.iter
+    (fun (cookie, line) ->
+      match Server.push server ~cookie line with
+      | `Reply r -> immediate := (cookie, r) :: !immediate
+      | `Queued -> ())
+    lines;
+  let rec drain acc =
+    match Server.step server with
+    | None -> List.rev acc
+    | Some cr -> drain (cr :: acc)
+  in
+  List.rev !immediate @ drain []

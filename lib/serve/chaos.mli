@@ -43,11 +43,17 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-val soak : ?requests:int -> seed:int -> Server.config -> outcome
+val soak : ?requests:int -> ?clients:int -> seed:int -> Server.config -> outcome
 (** Run a fresh server through [requests] (default 200) scheduled
     request lines.  Same seed + same store contents ⇒ the same
     schedule, byte for byte.  All fault seams are disarmed on exit,
-    even on an unexpected exception. *)
+    even on an unexpected exception.
+
+    [clients] (default 1) round-robins queries over that many simulated
+    connections (distinct cookies) and additionally checks, per
+    connection, that every queued query is answered {e exactly once on
+    the connection that asked} — the daemon routes responses by cookie,
+    so this is the multi-client no-leak/no-loss invariant. *)
 
 val probe : Server.config -> lines:string list -> string list
 (** Create a server, serve [lines] serially, close it, and return the
@@ -55,3 +61,14 @@ val probe : Server.config -> lines:string list -> string list
     probes against a second server on the same store and compare for
     byte equality (the kill is simulated by abandoning the first server
     without any orderly shutdown). *)
+
+val probe_cookied :
+  Server.config -> lines:(Server.cookie * string) list -> (Server.cookie * string) list
+(** The multi-connection restart-determinism primitive: push every
+    [(cookie, line)] in order {e without} stepping between pushes (the
+    interleaving a daemon under concurrent clients produces), then
+    drain the queue.  Returns immediate replies in push order followed
+    by queued responses in FIFO order, each tagged with the asking
+    cookie.  Two servers on the same store must return byte-identical
+    lists for the same interleaving, whatever their [jobs],
+    [batch_eval] or [cache_policy] settings. *)

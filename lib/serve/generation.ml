@@ -8,6 +8,7 @@ type entry = {
   syn : Synopsis.t;
   n : int;
   words : int;
+  plan : Rs_query.Batch.t;
   prefix : float array option;
   rmse_bound : float option;
 }
@@ -58,6 +59,10 @@ let load ?dataset ~gen_id dir =
                   syn;
                   n = Synopsis.domain_size syn;
                   words = Synopsis.storage_words syn;
+                  (* Compiled once per entry, per generation: query
+                     evaluation then runs off Tab-backed tables with no
+                     per-request plan setup. *)
+                  plan = Synopsis.batch_plan syn;
                   prefix = Synopsis.prefix_vector syn;
                   rmse_bound = bound_of ?dataset syn;
                 } ))

@@ -21,6 +21,10 @@ type entry = {
   syn : Rs_core.Synopsis.t;
   n : int;  (** domain size *)
   words : int;  (** storage words (paper accounting) *)
+  plan : Rs_query.Batch.t;
+      (** the vectorized evaluation plan ({!Rs_core.Synopsis.batch_plan},
+          compiled once at load) behind the [Exact] rung — answers
+          bit-identically to [Synopsis.estimate] *)
   prefix : float array option;
       (** [Ĉ[0..n]] when every answer is [Ĉ[b] − Ĉ[a−1]] — the O(1)
           fast path behind the [Bound] rung *)

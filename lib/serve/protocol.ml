@@ -30,11 +30,25 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
+(* The C-level formatter Printf.sprintf delegates to, minus the
+   per-call format interpretation: one snprintf per float instead of
+   ~650ns of CamlinternalFormat machinery.  Output bytes are identical
+   — the determinism twins compare renderings against the Printf
+   reference. *)
+external format_float : string -> float -> string = "caml_format_float"
+
 let add_num buf x =
   if not (Float.is_finite x) then Buffer.add_string buf "null"
   else if Float.is_integer x && Float.abs x < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" x)
-  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+    if x = 0. && 1. /. x < 0. then
+      (* %.0f renders negative zero with its sign; int_of_float drops
+         it. *)
+      Buffer.add_string buf "-0"
+    else
+      (* |x| < 1e15 < 2^53: int_of_float is exact and string_of_int
+         prints the same digits %.0f would. *)
+      Buffer.add_string buf (string_of_int (int_of_float x))
+  else Buffer.add_string buf (format_float "%.17g" x)
 
 let rec add_json buf = function
   | Null -> Buffer.add_string buf "null"
@@ -89,15 +103,51 @@ let json_of_string s =
   in
   let literal lit value =
     let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
+    let matches =
+      !pos + l <= n
+      &&
+      let ok = ref true in
+      for i = 0 to l - 1 do
+        if String.unsafe_get s (!pos + i) <> String.unsafe_get lit i then
+          ok := false
+      done;
+      !ok
+    in
+    if matches then begin
       pos := !pos + l;
       value
     end
     else fail (Printf.sprintf "expected %s" lit)
   in
-  let parse_string () =
+  (* One scratch buffer shared by every string in the line; only
+     strings that actually contain escapes touch it — the common case
+     (field names, synopsis names, ids) is a single String.sub. *)
+  let sbuf = Buffer.create 64 in
+  let rec parse_string () =
     expect '"';
-    let buf = Buffer.create 16 in
+    let start = !pos in
+    let rec scan i =
+      if i >= n then begin
+        pos := i;
+        fail "unterminated string"
+      end
+      else
+        match String.unsafe_get s i with
+        | '"' ->
+            pos := i + 1;
+            String.sub s start (i - start)
+        | '\\' ->
+            Buffer.clear sbuf;
+            Buffer.add_substring sbuf s start (i - start);
+            pos := i;
+            slow sbuf
+        | c when Char.code c < 0x20 ->
+            pos := i + 1;
+            fail "raw control character in string"
+        | _ -> scan (i + 1)
+    in
+    scan start
+  and slow buf =
     let rec go () =
       if !pos >= n then fail "unterminated string";
       let c = s.[!pos] in
@@ -156,14 +206,38 @@ let json_of_string s =
       advance ()
     done;
     if !pos = start then fail "expected a number";
-    let span = String.sub s start (!pos - start) in
+    let stop = !pos in
     (* float_of_string is laxer than JSON: no leading '+' or '.' *)
-    (match span.[0] with
-    | '+' | '.' -> fail (Printf.sprintf "bad number %S" span)
+    (match s.[start] with
+    | '+' | '.' -> fail (Printf.sprintf "bad number %S" (String.sub s start (stop - start)))
     | _ -> ());
-    match float_of_string_opt span with
-    | Some x when Float.is_finite x -> x
-    | _ -> fail (Printf.sprintf "bad number %S" span)
+    (* Fast path: a plain integer of <= 15 digits (range indices,
+       budgets, counts — the overwhelming request mix) parses with a
+       digit loop and zero allocation.  15 digits < 2^53, so
+       float_of_int is exact and bit-identical to float_of_string;
+       [-. float_of_int] keeps "-0" decoding to negative zero. *)
+    let neg = s.[start] = '-' in
+    let d0 = if neg then start + 1 else start in
+    let digits = stop - d0 in
+    let all_digits =
+      let ok = ref (digits > 0) in
+      for i = d0 to stop - 1 do
+        match s.[i] with '0' .. '9' -> () | _ -> ok := false
+      done;
+      !ok
+    in
+    if all_digits && digits <= 15 then begin
+      let v = ref 0 in
+      for i = d0 to stop - 1 do
+        v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+      done;
+      if neg then -.float_of_int !v else float_of_int !v
+    end
+    else
+      let span = String.sub s start (stop - start) in
+      match float_of_string_opt span with
+      | Some x when Float.is_finite x -> x
+      | _ -> fail (Printf.sprintf "bad number %S" span)
   in
   let rec parse_value depth =
     if depth > 32 then fail "nesting too deep";
@@ -310,15 +384,20 @@ let decode_ranges obj =
   match field "ranges" obj with
   | None -> Error "query needs a \"ranges\" array"
   | Some (Arr items) ->
-      let rec go acc = function
-        | [] -> Ok (Array.of_list (List.rev acc))
+      (* Build the array in place (no reversed intermediate list): the
+         ranges array is the bulk of a query's decode allocation. *)
+      let k = List.length items in
+      let out = Array.make k (0, 0) in
+      let rec go i = function
+        | [] -> Ok out
         | Arr [ Num a; Num b ] :: rest
           when Float.is_integer a && Float.is_integer b
                && Float.abs a <= 1e9 && Float.abs b <= 1e9 ->
-            go ((int_of_float a, int_of_float b) :: acc) rest
+            out.(i) <- (int_of_float a, int_of_float b);
+            go (i + 1) rest
         | _ -> Error "each range must be a pair [a,b] of integers"
       in
-      go [] items
+      go 0 items
   | Some _ -> Error "field \"ranges\" must be an array"
 
 let decode_request line =
@@ -421,12 +500,16 @@ type response =
   | Reloaded of { generation : int; entries : int; quarantined : int }
   | Shutdown_ack
 
-let encode_response = function
-  | Pong -> json_to_string (Obj [ ("ok", Bool true); ("op", Str "ping") ])
-  | Shutdown_ack ->
-      json_to_string (Obj [ ("ok", Bool true); ("op", Str "shutdown") ])
+(* The AST rendering of a response — [None] for [Metrics_report], whose
+   report is spliced in verbatim rather than re-encoded.  This is the
+   determinism twin for [encode_response_into]: the fuzzers check the
+   direct writer's bytes equal [json_to_string (response_json r)]. *)
+let response_json = function
+  | Pong -> Some (Obj [ ("ok", Bool true); ("op", Str "ping") ])
+  | Shutdown_ack -> Some (Obj [ ("ok", Bool true); ("op", Str "shutdown") ])
+  | Metrics_report _ -> None
   | Reloaded { generation; entries; quarantined } ->
-      json_to_string
+      Some
         (Obj
            [
              ("ok", Bool true);
@@ -435,10 +518,6 @@ let encode_response = function
              ("entries", Num (float_of_int entries));
              ("quarantined", Num (float_of_int quarantined));
            ])
-  | Metrics_report report ->
-      (* The report is already a JSON object (rs-metrics-v1); splice it
-         in verbatim rather than re-encoding. *)
-      Printf.sprintf "{\"ok\":true,\"op\":\"metrics\",\"report\":%s}" report
   | Answers { id; generation; rung; estimates; rmse_bound } ->
       let fields =
         [ ("ok", Bool true); ("op", Str "query") ]
@@ -454,7 +533,7 @@ let encode_response = function
         | Some b -> [ ("rmse_bound", Num b) ]
         | None -> []
       in
-      json_to_string (Obj fields)
+      Some (Obj fields)
   | Refused { id; refusal; message; retry_after_ms } ->
       let fields =
         [ ("ok", Bool false) ]
@@ -467,7 +546,77 @@ let encode_response = function
         | Some ms -> [ ("retry_after_ms", Num ms) ]
         | None -> []
       in
-      json_to_string (Obj fields)
+      Some (Obj fields)
+
+(* Direct writer: emits the exact bytes [json_to_string (response_json r)]
+   would, without building the AST — the steady-state encode path
+   allocates only the float renderings.  Field order and float encoding
+   are contractual (restart/jobs-parity tests compare whole response
+   lines), so every branch here mirrors [response_json] field for
+   field. *)
+let encode_response_into buf = function
+  | Pong -> Buffer.add_string buf "{\"ok\":true,\"op\":\"ping\"}"
+  | Shutdown_ack -> Buffer.add_string buf "{\"ok\":true,\"op\":\"shutdown\"}"
+  | Metrics_report report ->
+      (* The report is already a JSON object (rs-metrics-v1); splice it
+         in verbatim rather than re-encoding. *)
+      Buffer.add_string buf "{\"ok\":true,\"op\":\"metrics\",\"report\":";
+      Buffer.add_string buf report;
+      Buffer.add_char buf '}'
+  | Reloaded { generation; entries; quarantined } ->
+      Buffer.add_string buf "{\"ok\":true,\"op\":\"reload\",\"generation\":";
+      add_num buf (float_of_int generation);
+      Buffer.add_string buf ",\"entries\":";
+      add_num buf (float_of_int entries);
+      Buffer.add_string buf ",\"quarantined\":";
+      add_num buf (float_of_int quarantined);
+      Buffer.add_char buf '}'
+  | Answers { id; generation; rung; estimates; rmse_bound } ->
+      Buffer.add_string buf "{\"ok\":true,\"op\":\"query\"";
+      (match id with
+      | Some id ->
+          Buffer.add_string buf ",\"id\":";
+          escape_string buf id
+      | None -> ());
+      Buffer.add_string buf ",\"generation\":";
+      add_num buf (float_of_int generation);
+      Buffer.add_string buf ",\"rung\":";
+      escape_string buf (rung_to_string rung);
+      Buffer.add_string buf ",\"estimates\":[";
+      Array.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_num buf x)
+        estimates;
+      Buffer.add_char buf ']';
+      (match rmse_bound with
+      | Some b ->
+          Buffer.add_string buf ",\"rmse_bound\":";
+          add_num buf b
+      | None -> ());
+      Buffer.add_char buf '}'
+  | Refused { id; refusal; message; retry_after_ms } ->
+      Buffer.add_string buf "{\"ok\":false";
+      (match id with
+      | Some id ->
+          Buffer.add_string buf ",\"id\":";
+          escape_string buf id
+      | None -> ());
+      Buffer.add_string buf ",\"error\":";
+      escape_string buf (refusal_to_string refusal);
+      Buffer.add_string buf ",\"message\":";
+      escape_string buf message;
+      (match retry_after_ms with
+      | Some ms ->
+          Buffer.add_string buf ",\"retry_after_ms\":";
+          add_num buf ms
+      | None -> ());
+      Buffer.add_char buf '}'
+
+let encode_response r =
+  let buf = Buffer.create 128 in
+  encode_response_into buf r;
+  Buffer.contents buf
 
 let decode_response line =
   let* v = json_of_string line in

@@ -125,6 +125,17 @@ type response =
 val encode_response : response -> string
 (** One line, no trailing newline. *)
 
+val encode_response_into : Buffer.t -> response -> unit
+(** The allocation-lean encode path: appends exactly the bytes
+    {!encode_response} returns to [buf] (which the server reuses across
+    requests).  Does not clear [buf] and adds no trailing newline. *)
+
+val response_json : response -> json option
+(** The AST rendering of a response — the determinism twin for
+    {!encode_response_into}: when [Some j], [json_to_string j] is
+    byte-identical to the direct writer's output.  [None] only for
+    [Metrics_report], whose report object is spliced in verbatim. *)
+
 val decode_response : string -> (response, string) result
 (** Inverse of {!encode_response} (used by clients, tests and the chaos
     checker).  [Metrics_report] round-trips as the re-rendered report

@@ -24,6 +24,8 @@ type config = {
   jobs : int;
   queue_capacity : int;
   cache_capacity : int;
+  cache_policy : Cache.policy;
+  batch_eval : bool;
   default_deadline_ms : float option;
   backoff : Backoff.policy;
 }
@@ -35,6 +37,8 @@ let default_config ~store_dir =
     jobs = 1;
     queue_capacity = 64;
     cache_capacity = 256;
+    cache_policy = Cache.Lru;
+    batch_eval = true;
     default_deadline_ms = None;
     backoff = Backoff.default;
   }
@@ -49,8 +53,10 @@ type t = {
   mutable next_gen_id : int;
   pool : Pool.t option;  (** [Some] iff [jobs > 1] *)
   queue : (cookie * P.request) Queue.t;
-  cache : (string, cached) Hashtbl.t;
-  cache_fifo : string Queue.t;
+  cache : cached Cache.t;
+  scratch : Buffer.t;
+      (** reusable response-encode buffer — coordinator-only, cleared
+          per response *)
   mutable draining : bool;
 }
 
@@ -61,6 +67,28 @@ let m_shed = Metrics.counter "serve.queue.shed"
 let m_reloads = Metrics.counter "serve.reloads"
 let g_generation = Metrics.gauge "serve.generation"
 let g_pending = Metrics.gauge "serve.queue.pending"
+
+(* Per-rung evaluation latency (nanoseconds, logarithmic buckets) and
+   per-request minor-allocation histograms — observed once per served
+   query on the coordinator (the request cadence), never per range.
+   When the registry is disabled the whole measurement is one branch. *)
+let eval_ns_bounds () =
+  [| 1e2; 3e2; 1e3; 3e3; 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8; 1e9 |]
+
+let h_eval_exact = Metrics.histogram ~bounds:(eval_ns_bounds ()) "serve.eval_ns.exact"
+let h_eval_bound = Metrics.histogram ~bounds:(eval_ns_bounds ()) "serve.eval_ns.bound"
+let h_eval_stale = Metrics.histogram ~bounds:(eval_ns_bounds ()) "serve.eval_ns.stale"
+
+let eval_hist = function
+  | P.Exact -> h_eval_exact
+  | P.Bound -> h_eval_bound
+  | P.Stale -> h_eval_stale
+
+let h_request_alloc =
+  (* log2-words buckets: bound [i] is 2^i minor words. *)
+  Metrics.histogram
+    ~bounds:(Array.init 24 (fun i -> Float.ldexp 1. i))
+    "serve.request_alloc"
 
 let create config =
   match
@@ -84,8 +112,10 @@ let create config =
             (if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs ())
              else None);
           queue = Queue.create ();
-          cache = Hashtbl.create 64;
-          cache_fifo = Queue.create ();
+          cache =
+            Cache.create ~policy:config.cache_policy
+              ~capacity:config.cache_capacity;
+          scratch = Buffer.create 512;
           draining = false;
         }
 
@@ -109,14 +139,7 @@ let cache_key ~synopsis ~ranges =
   Buffer.contents b
 
 let cache_put t key gen estimates =
-  if t.config.cache_capacity > 0 then begin
-    if
-      (not (Hashtbl.mem t.cache key))
-      && Queue.length t.cache_fifo >= t.config.cache_capacity
-    then Hashtbl.remove t.cache (Queue.pop t.cache_fifo);
-    if not (Hashtbl.mem t.cache key) then Queue.push key t.cache_fifo;
-    Hashtbl.replace t.cache key { c_gen = gen; c_estimates = estimates }
-  end
+  Cache.put t.cache key { c_gen = gen; c_estimates = estimates }
 
 (* {2 Refusals} *)
 
@@ -141,11 +164,18 @@ let refusal_of_error ?id e =
 
 (* {2 The ladder} *)
 
-let eval_exact t gov ~syn ~ranges ~out =
+let eval_exact t gov ~entry ~ranges ~out =
   (* One governor poll per chunk of 64 ranges, on the coordinator.
      Expiry returns [false]: the caller falls to the stale floor.
      [Checkpoint_due] is a plain Continue — serving never snapshots;
-     a request is retried, not resumed. *)
+     a request is retried, not resumed.
+
+     The default path answers each chunk through the vectorized
+     [Batch] plan; [batch_eval = false] keeps the per-range
+     [Synopsis.estimate] loop as the determinism twin (the two are
+     contractually bit-identical — test_batch pins it).  Pool workers
+     run the pure per-range kernel only: plans are immutable and
+     worker-safe, and the poll cadence is unchanged either way. *)
   let n = Array.length ranges in
   let expired = ref false in
   let lo = ref 0 in
@@ -154,30 +184,43 @@ let eval_exact t gov ~syn ~ranges ~out =
     | Governor.Expired _ -> expired := true
     | Governor.Continue | Governor.Checkpoint_due ->
         let hi = min n (!lo + chunk) - 1 in
-        let body i =
-          let a, b = ranges.(i) in
-          out.(i) <- Rs_core.Synopsis.estimate syn ~a ~b
-        in
         (match t.pool with
         | Some pool when not (Faults.any_armed ()) ->
+            let body =
+              if t.config.batch_eval then fun i ->
+                let a, b = ranges.(i) in
+                out.(i) <- Rs_query.Batch.eval_one entry.Generation.plan ~a ~b
+              else fun i ->
+                let a, b = ranges.(i) in
+                out.(i) <- Rs_core.Synopsis.estimate entry.Generation.syn ~a ~b
+            in
             Pool.run pool ~lo:!lo ~hi body
         | _ ->
-            for i = !lo to hi do
-              body i
-            done);
+            if t.config.batch_eval then
+              Rs_query.Batch.eval entry.Generation.plan ~ranges ~lo:!lo ~hi ~out
+            else
+              for i = !lo to hi do
+                let a, b = ranges.(i) in
+                out.(i) <- Rs_core.Synopsis.estimate entry.Generation.syn ~a ~b
+              done);
         lo := hi + 1
   done;
   not !expired
 
-let eval_bound gov ~prefix ~ranges ~out =
+let eval_bound t gov ~prefix ~ranges ~out =
   (* The boundary-estimate rung: one poll for the whole batch, then
      O(1) per range off the precomputed prefix vector. *)
   match Governor.poll gov with
   | Governor.Expired _ -> false
   | Governor.Continue | Governor.Checkpoint_due ->
-      Array.iteri
-        (fun i (a, b) -> out.(i) <- prefix.(b) -. prefix.(a - 1))
-        ranges;
+      if t.config.batch_eval then
+        Rs_query.Batch.eval_prefix ~prefix ~ranges ~lo:0
+          ~hi:(Array.length ranges - 1)
+          ~out
+      else
+        Array.iteri
+          (fun i (a, b) -> out.(i) <- prefix.(b) -. prefix.(a - 1))
+          ranges;
       true
 
 (* How many polls the exact rung needs for [n] ranges. *)
@@ -186,7 +229,7 @@ let exact_polls n = (n + chunk - 1) / chunk
 let stale_floor t ?id ~key ~expiry () =
   (* The ungoverned floor (the ladder's A0 twin): replay the answer
      cache, or refuse with the expiry that got us here. *)
-  match Hashtbl.find_opt t.cache key with
+  match Cache.find t.cache key with
   | Some c ->
       Metrics.count "serve.answers.stale" 1;
       P.Answers
@@ -273,10 +316,8 @@ let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
             let attempt_exact =
               fits_exact || entry.Generation.prefix = None
             in
-            if
-              attempt_exact
-              && eval_exact t gov ~syn:entry.Generation.syn ~ranges ~out
-            then answer P.Exact out
+            if attempt_exact && eval_exact t gov ~entry ~ranges ~out then
+              answer P.Exact out
             else
               let fits_bound =
                 match Governor.budget_left gov with
@@ -285,7 +326,7 @@ let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
               in
               match entry.Generation.prefix with
               | Some prefix
-                when fits_bound && eval_bound gov ~prefix ~ranges ~out ->
+                when fits_bound && eval_bound t gov ~prefix ~ranges ~out ->
                   answer P.Bound out
               | _ ->
                   let expiry =
@@ -302,6 +343,15 @@ let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
       end
 
 (* {2 Control operations and the queue} *)
+
+(* All response lines go out through the server's one scratch buffer:
+   the steady-state encode path allocates only the response string
+   itself (plus float renderings) — coordinator-only, like the cache
+   and the metrics registry. *)
+let encode t response =
+  Buffer.clear t.scratch;
+  P.encode_response_into t.scratch response;
+  Buffer.contents t.scratch
 
 let reload t =
   Metrics.incr m_reloads;
@@ -336,7 +386,7 @@ let reload t =
               t.gen.Generation.gen_id);
         refusal_of_error e
   in
-  P.encode_response response
+  encode t response
 
 let control t req =
   match req with
@@ -353,7 +403,7 @@ let control t req =
 
 let push t ~cookie line =
   Metrics.incr m_requests;
-  let reply r = `Reply (P.encode_response r) in
+  let reply r = `Reply (encode t r) in
   match
     Error.guard (fun () ->
         Faults.trip "serve.decode";
@@ -390,6 +440,13 @@ let step t =
   | None -> None
   | Some (cookie, req) ->
       Metrics.set g_pending (float_of_int (Queue.length t.queue));
+      (* Request-cadence observability: one latency observation (per
+         answering rung) and one minor-allocation observation per
+         served query, on the coordinator.  Disabled registry = one
+         branch here, zero timing/GC reads. *)
+      let recording = Metrics.enabled () in
+      let w0 = if recording then Gc.minor_words () else 0. in
+      let t0 = if recording then Rs_util.Mclock.now () else 0. in
       let response =
         match req with
         | P.Query { id; synopsis; ranges; deadline_ms; poll_budget; attempt = _ }
@@ -404,7 +461,16 @@ let step t =
                 | Error e -> refusal_of_error ?id e)
         | _ -> assert false
       in
-      Some (cookie, P.encode_response response)
+      let line = encode t response in
+      if recording then begin
+        (match response with
+        | P.Answers { rung; _ } ->
+            Metrics.observe (eval_hist rung)
+              ((Rs_util.Mclock.now () -. t0) *. 1e9)
+        | _ -> ());
+        Metrics.observe h_request_alloc (Gc.minor_words () -. w0)
+      end;
+      Some (cookie, line)
 
 let handle_line t line =
   match push t ~cookie:0 line with

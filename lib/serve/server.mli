@@ -43,7 +43,15 @@ type config = {
       (** enables per-answer RMSE bounds (see {!Generation}) *)
   jobs : int;  (** evaluation parallelism; [1] = strictly sequential *)
   queue_capacity : int;  (** pending queries beyond this are shed *)
-  cache_capacity : int;  (** answer-cache entries (FIFO eviction) *)
+  cache_capacity : int;  (** answer-cache entries *)
+  cache_policy : Cache.policy;
+      (** answer-cache eviction policy: [Lru] (default) or [Fifo] (the
+          PR 7 semantics, kept as the determinism twin) *)
+  batch_eval : bool;
+      (** [true] (default) answers the [exact]/[bound] rungs through
+          the vectorized {!Rs_query.Batch} plans; [false] keeps the
+          per-range [Synopsis.estimate] loop as the determinism twin.
+          Response bytes are contractually identical either way. *)
   default_deadline_ms : float option;
       (** applied when a query carries no deadline of its own *)
   backoff : Rs_core.Supervisor.Backoff.policy;
@@ -53,8 +61,9 @@ type config = {
 }
 
 val default_config : store_dir:string -> config
-(** [jobs = 1], [queue_capacity = 64], [cache_capacity = 256], no
-    default deadline, {!Rs_core.Supervisor.Backoff.default}. *)
+(** [jobs = 1], [queue_capacity = 64], [cache_capacity = 256] under
+    [Lru], [batch_eval = true], no default deadline,
+    {!Rs_core.Supervisor.Backoff.default}. *)
 
 type t
 

@@ -321,6 +321,347 @@ let test_response_roundtrip () =
       | _ -> Alcotest.failf "rung %s lost on the wire" (P.rung_to_string rung))
     [ P.Exact; P.Bound; P.Stale ]
 
+(* --- The allocation-lean codec, pinned against its twins --------------- *)
+
+module Rng = Rs_dist.Rng
+module Cache = Rs_serve.Cache
+
+(* The float-rendering contract as a Printf reference: integral floats
+   below 1e15 through the integer path (sign of -0 preserved), the rest
+   through %.17g, non-finite as null. *)
+let num_reference x =
+  if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let test_float_rendering_pins () =
+  let render x = P.json_to_string (P.Num x) in
+  List.iter
+    (fun x ->
+      Alcotest.(check string)
+        (Printf.sprintf "render %h" x)
+        (num_reference x) (render x))
+    [ 0.; 1.; -1.; 42.; -42.; 0.5; -0.25; 0.1; 1.5; 123456.789;
+      1e15 -. 1.; -.(1e15 -. 1.); 1e15; -1e15; 1e15 +. 2.; 1e17; -1e17;
+      4e18; 1e-300; Float.max_float; Float.min_float; epsilon_float;
+      nan; infinity; neg_infinity ];
+  (* the hazards, spelled out *)
+  Alcotest.(check string) "negative zero keeps its sign" "-0" (render (-0.));
+  Alcotest.(check string) "positive zero" "0" (render 0.);
+  Alcotest.(check string)
+    "largest integer-path value" "999999999999999" (render (1e15 -. 1.));
+  Alcotest.(check string) "non-finite is null" "null" (render nan);
+  (* -0 survives the wire with its sign bit *)
+  (match P.json_of_string "-0" with
+  | Ok (P.Num x) when 1. /. x = Float.neg_infinity -> ()
+  | _ -> Alcotest.fail "-0 did not decode to negative zero");
+  (* and a rendered float reparses to identical bits *)
+  List.iter
+    (fun x ->
+      match P.json_of_string (render x) with
+      | Ok (P.Num y) when Int64.bits_of_float y = Int64.bits_of_float x -> ()
+      | _ -> Alcotest.failf "%h did not survive the wire" x)
+    [ 0.; -0.; 0.1; 1.5; -0.25; 1e15; 1e17; 1e15 -. 1.; 4e18; 1e-300 ]
+
+let test_number_fast_path_twin () =
+  (* The in-place integer fast path (<= 15 digits) must parse to the
+     same bits float_of_string produces, across the 15/16-digit
+     boundary where the slow path takes over. *)
+  let check_num s =
+    match (P.json_of_string s, float_of_string_opt s) with
+    | Ok (P.Num got), Some expect ->
+        if Int64.bits_of_float got <> Int64.bits_of_float expect then
+          Alcotest.failf "%S parsed to %h; float_of_string says %h" s got
+            expect
+    | Ok _, _ -> Alcotest.failf "%S did not parse to a number" s
+    | Error e, Some _ -> Alcotest.failf "%S rejected: %s" s e
+    | _, None -> Alcotest.failf "bad twin input %S" s
+  in
+  let rng = Rng.create 0xFA57 in
+  for digits = 1 to 19 do
+    for _ = 1 to 30 do
+      let b = Buffer.create 24 in
+      if Rng.bool rng then Buffer.add_char b '-';
+      Buffer.add_char b (Char.chr (Char.code '1' + Rng.int rng 9));
+      for _ = 2 to digits do
+        Buffer.add_char b (Char.chr (Char.code '0' + Rng.int rng 10))
+      done;
+      check_num (Buffer.contents b)
+    done
+  done;
+  List.iter check_num
+    [ "0"; "-0"; "007"; "-0012"; "999999999999999"; "1000000000000000";
+      "9007199254740993"; "123e2"; "1.5"; "-3.25e-2"; "1E6"; "0.0001" ];
+  List.iter
+    (fun s ->
+      match P.json_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    [ "+5"; ".5"; "-"; "--1"; "1-2"; "1e"; "0x10"; "1e999"; "1.2.3" ]
+
+let test_encoder_direct_vs_ast () =
+  (* The direct response writer must emit byte-for-byte what rendering
+     response_json's AST would — over responses that stress every
+     constructor, float shape and string escape. *)
+  let rng = Rng.create 0xE2C0 in
+  let rand_float () =
+    match Rng.int rng 8 with
+    | 0 -> 0.
+    | 1 -> -0.
+    | 2 -> float_of_int (Rng.int rng 1000)
+    | 3 -> -.float_of_int (Rng.int rng 1000000)
+    | 4 -> 1e15 +. float_of_int (Rng.int rng 100)
+    | 5 -> Rng.float rng *. 1e17
+    | 6 -> nan
+    | _ -> Rng.float rng -. 0.5
+  in
+  let rand_string () =
+    String.init (Rng.int rng 12) (fun _ ->
+        match Rng.int rng 8 with
+        | 0 -> '"'
+        | 1 -> '\\'
+        | 2 -> '\n'
+        | 3 -> '\t'
+        | 4 -> Char.chr (Rng.int rng 32)
+        | _ -> Char.chr (32 + Rng.int rng 95))
+  in
+  let opt f = if Rng.bool rng then Some (f ()) else None in
+  let rand_response () =
+    match Rng.int rng 6 with
+    | 0 -> P.Pong
+    | 1 -> P.Shutdown_ack
+    | 2 ->
+        P.Reloaded
+          {
+            generation = Rng.int rng 100;
+            entries = Rng.int rng 10;
+            quarantined = Rng.int rng 4;
+          }
+    | 3 | 4 ->
+        P.Answers
+          {
+            id = opt rand_string;
+            generation = 1 + Rng.int rng 9;
+            rung = [| P.Exact; P.Bound; P.Stale |].(Rng.int rng 3);
+            estimates = Array.init (Rng.int rng 6) (fun _ -> rand_float ());
+            rmse_bound = opt rand_float;
+          }
+    | _ ->
+        P.Refused
+          {
+            id = opt rand_string;
+            refusal =
+              [|
+                P.Bad_request; P.Unknown_synopsis; P.Overloaded; P.Deadline;
+                P.Corrupt_store; P.Shutting_down; P.Injected;
+              |].(Rng.int rng 7);
+            message = rand_string ();
+            retry_after_ms = opt rand_float;
+          }
+  in
+  for i = 1 to 500 do
+    let r = rand_response () in
+    let direct = P.encode_response r in
+    match P.response_json r with
+    | None -> Alcotest.failf "response_json None on a non-metrics response (%d)" i
+    | Some j ->
+        Alcotest.(check string)
+          "direct writer = AST rendering" (P.json_to_string j) direct
+  done;
+  (* the metrics splice is the one deliberate exception *)
+  Alcotest.(check bool)
+    "metrics report has no AST twin" true
+    (P.response_json (P.Metrics_report "{}") = None);
+  Alcotest.(check string)
+    "metrics report splices verbatim"
+    "{\"ok\":true,\"op\":\"metrics\",\"report\":{\"a\":1}}"
+    (P.encode_response (P.Metrics_report "{\"a\":1}"))
+
+let test_line_mutants_never_crash () =
+  (* >= 600 mutated request/response lines: the codecs must never
+     raise, must decode deterministically, and every accepted mutant
+     must re-encode to a fixpoint. *)
+  let bases =
+    [|
+      query ~id:"m1" ~synopsis:"opta" ~deadline_ms:12.5 ~poll_budget:3
+        [ (1, 5); (3, 100) ];
+      query ~synopsis:"w.x-y_z" [ (7, 7) ];
+      P.encode_request P.Ping;
+      P.encode_request P.Metrics;
+      P.encode_request P.Reload;
+      P.encode_request P.Shutdown;
+      P.encode_response
+        (P.Answers
+           {
+             id = Some "q\"\\x";
+             generation = 2;
+             rung = P.Bound;
+             estimates = [| 1.5; -0.; 1e17; 0.1 |];
+             rmse_bound = Some 0.125;
+           });
+      P.encode_response
+        (P.Refused
+           {
+             id = None;
+             refusal = P.Overloaded;
+             message = "queue full";
+             retry_after_ms = Some 20.5;
+           });
+    |]
+  in
+  let rng = Rng.create 0x9F0D in
+  let pick () = bases.(Rng.int rng (Array.length bases)) in
+  let mutate line =
+    let len = String.length line in
+    match Rng.int rng 5 with
+    | 0 when len > 0 ->
+        (* flip one byte *)
+        let b = Bytes.of_string line in
+        Bytes.set b (Rng.int rng len) (Char.chr (Rng.int rng 256));
+        Bytes.to_string b
+    | 1 -> String.sub line 0 (Rng.int rng (len + 1))
+    | 2 ->
+        let i = Rng.int rng (len + 1) in
+        String.sub line 0 i
+        ^ String.make 1 (Char.chr (Rng.int rng 256))
+        ^ String.sub line i (len - i)
+    | 3 when len > 0 ->
+        let i = Rng.int rng len in
+        String.sub line 0 i ^ String.sub line (i + 1) (len - i - 1)
+    | _ ->
+        (* splice the head of one base onto the tail of another *)
+        let other = pick () in
+        String.sub line 0 (Rng.int rng (len + 1))
+        ^
+        let ol = String.length other in
+        let o = Rng.int rng (ol + 1) in
+        String.sub other o (ol - o)
+  in
+  for i = 1 to 650 do
+    let m = mutate (pick ()) in
+    let d1 =
+      try `Ok (P.decode_request m)
+      with e -> Alcotest.failf "mutant %d %S raised %s" i m (Printexc.to_string e)
+    in
+    (match (d1, P.decode_request m) with
+    | `Ok a, b when a = b -> ()
+    | _ -> Alcotest.failf "mutant %d %S decoded unstably" i m);
+    (match d1 with
+    | `Ok (Ok req) ->
+        let e1 = P.encode_request req in
+        (match P.decode_request e1 with
+        | Ok req' when P.encode_request req' = e1 -> ()
+        | Ok _ -> Alcotest.failf "mutant %d: request encode not a fixpoint" i
+        | Error e -> Alcotest.failf "mutant %d: re-decode refused: %s" i e)
+    | _ -> ());
+    match
+      try P.decode_response m
+      with e ->
+        Alcotest.failf "mutant %d: decode_response raised %s" i
+          (Printexc.to_string e)
+    with
+    | Ok resp ->
+        let e1 = P.encode_response resp in
+        (match P.decode_response e1 with
+        | Ok resp' when P.encode_response resp' = e1 -> ()
+        | Ok _ -> Alcotest.failf "mutant %d: response encode not a fixpoint" i
+        | Error e -> Alcotest.failf "mutant %d: response re-decode refused: %s" i e)
+    | Error _ -> ()
+  done
+
+(* --- The answer cache -------------------------------------------------- *)
+
+let test_cache_eviction_pins () =
+  let keys = Cache.keys_oldest_first in
+  (* LRU: hits and overwrites refresh recency *)
+  let c = Cache.create ~policy:Cache.Lru ~capacity:3 in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  Cache.put c "c" 3;
+  Alcotest.(check (list string)) "insert order" [ "a"; "b"; "c" ] (keys c);
+  Alcotest.(check (option int)) "find a" (Some 1) (Cache.find c "a");
+  Alcotest.(check (list string)) "lru hit refreshes" [ "b"; "c"; "a" ] (keys c);
+  Alcotest.(check bool) "mem" true (Cache.mem c "b");
+  Alcotest.(check (list string)) "mem never touches" [ "b"; "c"; "a" ] (keys c);
+  Cache.put c "d" 4;
+  Alcotest.(check (list string)) "evicts least-recent" [ "c"; "a"; "d" ] (keys c);
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Cache.put c "a" 10;
+  Alcotest.(check (list string)) "lru overwrite refreshes" [ "c"; "d"; "a" ] (keys c);
+  Alcotest.(check (option int)) "overwrite value" (Some 10) (Cache.find c "a");
+  (* FIFO: pure insertion order (the PR 7 Hashtbl+Queue semantics) *)
+  let f = Cache.create ~policy:Cache.Fifo ~capacity:3 in
+  Cache.put f "a" 1;
+  Cache.put f "b" 2;
+  Cache.put f "c" 3;
+  ignore (Cache.find f "a");
+  Cache.put f "d" 4;
+  Alcotest.(check (list string)) "fifo ignores hits" [ "b"; "c"; "d" ] (keys f);
+  Cache.put f "b" 20;
+  Alcotest.(check (list string)) "fifo overwrite keeps its slot" [ "b"; "c"; "d" ] (keys f);
+  Alcotest.(check (option int)) "fifo overwrite value" (Some 20) (Cache.find f "b");
+  Cache.put f "e" 5;
+  Alcotest.(check (list string)) "fifo evicts the original slot" [ "c"; "d"; "e" ] (keys f);
+  (* capacity 0 disables; negative capacity is a caller bug *)
+  let z = Cache.create ~policy:Cache.Lru ~capacity:0 in
+  Cache.put z "a" 1;
+  Alcotest.(check int) "capacity 0 holds nothing" 0 (Cache.length z);
+  Alcotest.(check bool) "capacity 0 find misses" true (Cache.find z "a" = None);
+  match Cache.create ~policy:Cache.Fifo ~capacity:(-1) with
+  | exception Invalid_argument _ -> ()
+  | (_ : int Cache.t) -> Alcotest.fail "negative capacity accepted"
+
+let test_cache_policy_twins () =
+  (* Replay random op sequences against a reference model per policy:
+     the FIFO model is exactly the PR 7 semantics, the LRU model the
+     textbook recency list. *)
+  let rng = Rng.create 0xCAC4E in
+  let keyspace = Array.init 12 (Printf.sprintf "k%d") in
+  List.iter
+    (fun policy ->
+      let cap = 4 in
+      let c = Cache.create ~policy ~capacity:cap in
+      let model = ref [] (* (key, value), oldest first *) in
+      let drop k = List.filter (fun (k', _) -> k' <> k) !model in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+            if policy = Cache.Lru then model := drop k @ [ (k, v) ];
+            Some v
+      in
+      let model_put k v =
+        if List.mem_assoc k !model then
+          if policy = Cache.Lru then model := drop k @ [ (k, v) ]
+          else
+            model :=
+              List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) !model
+        else begin
+          if List.length !model >= cap then model := List.tl !model;
+          model := !model @ [ (k, v) ]
+        end
+      in
+      let name = match policy with Cache.Lru -> "lru" | Cache.Fifo -> "fifo" in
+      for step = 1 to 600 do
+        let k = keyspace.(Rng.int rng (Array.length keyspace)) in
+        (match Rng.int rng 3 with
+        | 0 ->
+            model_put k step;
+            Cache.put c k step
+        | 1 ->
+            if model_find k <> Cache.find c k then
+              Alcotest.failf "%s step %d: find %s diverged" name step k
+        | _ ->
+            if List.mem_assoc k !model <> Cache.mem c k then
+              Alcotest.failf "%s step %d: mem %s diverged" name step k);
+        if List.map fst !model <> Cache.keys_oldest_first c then
+          Alcotest.failf "%s step %d: eviction order diverged" name step
+      done;
+      Alcotest.(check bool)
+        (name ^ " reached capacity") true
+        (Cache.length c = cap))
+    [ Cache.Lru; Cache.Fifo ]
+
 (* --- Generation loading ------------------------------------------------ *)
 
 let test_generation_load () =
@@ -431,6 +772,32 @@ let test_budget_routing () =
   Alcotest.(check bool) "stale has no bound" true (c.rmse_bound = None);
   check_floats "stale replays the exact answer" a.estimates c.estimates;
   Alcotest.(check int) "stale cites the caching generation" a.generation c.generation
+
+let test_bound_answers_never_cached () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server ~dataset:paper dir @@ fun server ->
+  let ranges = many_ranges 100 in
+  let ask ?poll_budget () =
+    Server.handle_line server (query ~synopsis:"opta" ?poll_budget ranges)
+  in
+  (* cold cache, budget 3: the bound rung answers... *)
+  let b = expect_answers (ask ~poll_budget:3 ()) in
+  Alcotest.(check bool) "bound on a cold cache" true (b.rung = P.Bound);
+  (* ...and must NOT have fed the stale floor *)
+  let r = expect_refusal (ask ~poll_budget:2 ()) in
+  Alcotest.(check bool)
+    "stale floor still cold after a bound answer" true
+    (r.refusal = P.Deadline);
+  (* prime exact, answer bound again: the stale rung must replay the
+     exact bytes — a bound answer never displaces a cached exact one *)
+  let a = expect_answers (ask ()) in
+  Alcotest.(check bool) "exact" true (a.rung = P.Exact);
+  let again = expect_answers (ask ~poll_budget:3 ()) in
+  Alcotest.(check bool) "bound again" true (again.rung = P.Bound);
+  let s = expect_answers (ask ~poll_budget:2 ()) in
+  Alcotest.(check bool) "stale" true (s.rung = P.Stale);
+  check_floats "stale replays the exact answer" a.estimates s.estimates
 
 let test_budget_refusal_renders_polls () =
   with_tmp_dir @@ fun dir ->
@@ -663,6 +1030,156 @@ let test_restart_identical_answers () =
   let second = Chaos.probe (config ~dataset:paper dir) ~lines:probe_lines in
   List.iter2 (Alcotest.(check string) "restart serves identical bytes") first second
 
+let test_batch_twin_identical_bytes () =
+  (* The vectorized batch kernel, the per-range estimator loop, and
+     both cache policies are contractually byte-identical on the wire. *)
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  let lines =
+    probe_lines
+    @ [
+        query ~id:"p5" ~synopsis:"wave" (many_ranges 80);
+        query ~id:"p6" ~synopsis:"opta" (many_ranges 1);
+        query ~id:"p7" ~synopsis:"sap1" ~poll_budget:5 (many_ranges 130);
+      ]
+  in
+  let base = Chaos.probe (config ~dataset:paper dir) ~lines in
+  let twin =
+    Chaos.probe
+      { (config ~dataset:paper dir) with Server.batch_eval = false }
+      ~lines
+  in
+  List.iter2 (Alcotest.(check string) "batch on/off byte-identical") base twin;
+  let fifo =
+    Chaos.probe
+      { (config ~dataset:paper dir) with Server.cache_policy = Cache.Fifo }
+      ~lines
+  in
+  List.iter2 (Alcotest.(check string) "lru/fifo byte-identical") base fifo
+
+let cookied_lines =
+  (* three requests per connection over four connections, round-robin
+     interleaved — the arrival order a daemon under concurrent clients
+     produces *)
+  List.concat_map
+    (fun i ->
+      List.init 4 (fun c ->
+          let name, _, _ = List.nth fixture_methods (i mod 3) in
+          ( c,
+            query
+              ~id:(Printf.sprintf "c%d-%d" c i)
+              ~synopsis:name
+              (many_ranges (5 + (7 * c) + i)) )))
+    [ 0; 1; 2 ]
+
+let test_interleaved_restart_determinism () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  let run cfg = Chaos.probe_cookied cfg ~lines:cookied_lines in
+  let first = run (config ~dataset:paper dir) in
+  let second = run (config ~dataset:paper dir) in
+  Alcotest.(check int)
+    "every request answered" (List.length cookied_lines) (List.length first);
+  List.iter2
+    (fun (c1, l1) (c2, l2) ->
+      Alcotest.(check int) "cookie order stable across restart" c1 c2;
+      Alcotest.(check string) "interleaved restart serves identical bytes" l1 l2)
+    first second;
+  (* every response landed on the connection that asked *)
+  List.iter
+    (fun (c, l) ->
+      match decode l with
+      | P.Answers { id = Some id; _ } ->
+          Alcotest.(check string)
+            "id prefix matches the asking cookie"
+            (Printf.sprintf "c%d-" c) (String.sub id 0 3)
+      | _ -> Alcotest.failf "expected an answer on cookie %d, got %S" c l)
+    first;
+  (* the twin knobs change nothing on the wire, whatever the interleaving *)
+  List.iter
+    (fun (what, cfg) ->
+      let other = run cfg in
+      List.iter2
+        (fun (c1, l1) (c2, l2) ->
+          Alcotest.(check int) (what ^ " twin cookie order") c1 c2;
+          Alcotest.(check string) (what ^ " twin bytes identical") l1 l2)
+        first other)
+    [
+      ("batch-off", { (config ~dataset:paper dir) with Server.batch_eval = false });
+      ("fifo", { (config ~dataset:paper dir) with Server.cache_policy = Cache.Fifo });
+      ("jobs=3", config ~jobs:3 ~dataset:paper dir);
+    ]
+
+(* --- Request-cadence observability and the allocation gate ------------- *)
+
+let test_request_observability () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server ~dataset:paper dir @@ fun server ->
+  Rs_util.Metrics.with_enabled @@ fun () ->
+  Rs_util.Metrics.reset ();
+  (* one request per rung: exact primes the cache, bound degrades on a
+     poll budget, and a 2-poll budget replays the cached exact answer *)
+  ignore
+    (expect_answers (Server.handle_line server (query ~synopsis:"opta" (many_ranges 70))));
+  ignore
+    (expect_answers
+       (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:3 (many_ranges 100))));
+  ignore
+    (expect_answers
+       (Server.handle_line server (query ~synopsis:"opta" ~poll_budget:2 (many_ranges 70))));
+  let rep = Rs_util.Metrics.report () in
+  let open Rs_util.Metrics in
+  let hist name =
+    match List.assoc_opt name rep.r_histograms with
+    | Some h -> h
+    | None -> Alcotest.failf "histogram %S missing from the report" name
+  in
+  let exact = hist "serve.eval_ns.exact" in
+  Alcotest.(check int) "one exact latency sample" 1 exact.h_count;
+  Alcotest.(check bool) "exact latency positive (ns)" true (exact.h_sum > 0.);
+  let bound = hist "serve.eval_ns.bound" in
+  Alcotest.(check int) "one bound latency sample" 1 bound.h_count;
+  let stale = hist "serve.eval_ns.stale" in
+  Alcotest.(check int) "one stale latency sample" 1 stale.h_count;
+  let alloc = hist "serve.request_alloc" in
+  Alcotest.(check int) "one allocation sample per served query" 3 alloc.h_count;
+  Alcotest.(check bool) "allocation histogram counts words" true (alloc.h_sum > 0.);
+  (* the names are pinned into the rs-metrics-v1 report *)
+  let json = to_json () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in rs-metrics-v1") true (contains json name))
+    [
+      "serve.eval_ns.exact"; "serve.eval_ns.bound"; "serve.eval_ns.stale";
+      "serve.request_alloc";
+    ]
+
+let test_exact_request_allocation_gate () =
+  (* The tentpole's allocation contract: a steady-state exact request —
+     decode, admission, batch evaluation, encode — allocates O(k) minor
+     words.  Never hardware-waived. *)
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  with_server dir @@ fun server ->
+  let k = 192 in
+  let line = query ~synopsis:"opta" (many_ranges k) in
+  (* prove the fixture answers exact before gating it *)
+  (match decode (Server.handle_line server line) with
+  | P.Answers { rung = P.Exact; _ } -> ()
+  | _ -> Alcotest.fail "fixture request did not answer exact");
+  let run () = ignore (Server.handle_line server line : string) in
+  run ();
+  run ();
+  let before = Gc.minor_words () in
+  run ();
+  let delta = Gc.minor_words () -. before in
+  let budget = 20_000. +. (200. *. float_of_int k) in
+  if delta > budget then
+    Alcotest.failf
+      "steady-state exact request allocated %.0f minor words (O(k) budget %.0f, k = %d)"
+      delta budget k
+
 (* --- The daemon over a real socket, kill -9 included ------------------- *)
 
 let served_exe =
@@ -680,14 +1197,9 @@ let rec connect_retry path tries =
       Unix.sleepf 0.05;
       connect_retry path (tries - 1)
 
-let send_and_read sock lines =
-  let out = Buffer.create 256 in
-  List.iter (fun l -> Buffer.add_string out (l ^ "\n")) lines;
-  let payload = Buffer.contents out in
-  let _ = Unix.write_substring sock payload 0 (String.length payload) in
+let read_lines sock wanted =
   let buf = Bytes.create 65536 in
   let acc = Buffer.create 256 in
-  let wanted = List.length lines in
   let count_newlines s = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s in
   let deadline = Unix.gettimeofday () +. 10. in
   while
@@ -700,6 +1212,13 @@ let send_and_read sock lines =
   done;
   String.split_on_char '\n' (Buffer.contents acc)
   |> List.filter (fun s -> s <> "")
+
+let send_and_read sock lines =
+  let out = Buffer.create 256 in
+  List.iter (fun l -> Buffer.add_string out (l ^ "\n")) lines;
+  let payload = Buffer.contents out in
+  let _ = Unix.write_substring sock payload 0 (String.length payload) in
+  read_lines sock (List.length lines)
 
 let spawn_daemon dir socket =
   Unix.create_process served_exe
@@ -749,6 +1268,66 @@ let test_daemon_socket_kill_and_restart () =
       (Alcotest.(check string) "killed daemon restarts with identical answers")
       answers1 answers2
 
+let test_daemon_multiclient () =
+  if not (Sys.file_exists served_exe) then Alcotest.skip ()
+  else
+    with_tmp_dir @@ fun dir ->
+    let (_ : Store.t) = make_store dir in
+    let socket = Filename.concat dir "serve.sock" in
+    let pid = spawn_daemon dir socket in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let socks = Array.init 3 (fun _ -> connect_retry socket 100) in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+          socks)
+    @@ fun () ->
+    let per_client = 4 in
+    let line c i =
+      query
+        ~id:(Printf.sprintf "c%d-%d" c i)
+        ~synopsis:"opta"
+        [ (1 + c + i, min n (30 + (5 * i) + c)) ]
+    in
+    (* round-robin interleave: request i of every client goes out
+       before request i+1 of any *)
+    for i = 0 to per_client - 1 do
+      Array.iteri
+        (fun c sock ->
+          let l = line c i ^ "\n" in
+          let (_ : int) = Unix.write_substring sock l 0 (String.length l) in
+          ())
+        socks
+    done;
+    (* each client reads exactly its own answers, in its own send
+       order — never a response to another connection's query *)
+    Array.iteri
+      (fun c sock ->
+        let replies = read_lines sock per_client in
+        Alcotest.(check int)
+          (Printf.sprintf "client %d: one response per request" c)
+          per_client (List.length replies);
+        List.iteri
+          (fun i reply ->
+            match decode reply with
+            | P.Answers { id = Some id; rung = P.Exact; _ } ->
+                Alcotest.(check string)
+                  "routed to the asking connection"
+                  (Printf.sprintf "c%d-%d" c i)
+                  id
+            | _ -> Alcotest.failf "client %d got %S" c reply)
+          replies)
+      socks;
+    (* a shutdown through one connection still acks *)
+    let ack = send_and_read socks.(0) [ P.encode_request P.Shutdown ] in
+    Alcotest.(check (list string))
+      "shutdown acked" [ "{\"ok\":true,\"op\":\"shutdown\"}" ] ack
+
 (* --- The chaos soak ---------------------------------------------------- *)
 
 let run_soak ~jobs ~seed =
@@ -773,6 +1352,13 @@ let test_chaos_soak () = check_soak (run_soak ~jobs:1 ~seed:0xC4A05)
 
 let test_chaos_soak_parallel () = check_soak (run_soak ~jobs:2 ~seed:0x5EED5)
 
+let test_chaos_soak_multiclient () =
+  with_tmp_dir @@ fun dir ->
+  let (_ : Store.t) = make_store dir in
+  check_soak
+    (Chaos.soak ~requests:250 ~clients:3 ~seed:0xC4A05
+       (config ~queue:4 ~cache:64 ~jobs:1 ~dataset:paper dir))
+
 let test_chaos_bound_rung_reached () =
   (* at least one seed must exercise the bound rung too *)
   let o = run_soak ~jobs:1 ~seed:0xB0B0 in
@@ -790,6 +1376,19 @@ let () =
           Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
           Alcotest.test_case "request decode rejects" `Quick test_request_decode_rejects;
           Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "float rendering pins" `Quick test_float_rendering_pins;
+          Alcotest.test_case "number fast-path twin" `Quick
+            test_number_fast_path_twin;
+          Alcotest.test_case "direct encoder vs AST twin" `Quick
+            test_encoder_direct_vs_ast;
+          Alcotest.test_case "650 line mutants never crash" `Quick
+            test_line_mutants_never_crash;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "eviction-order pins" `Quick test_cache_eviction_pins;
+          Alcotest.test_case "lru/fifo vs reference models" `Quick
+            test_cache_policy_twins;
         ] );
       ( "generation",
         [
@@ -803,6 +1402,8 @@ let () =
           Alcotest.test_case "exact twin" `Quick test_exact_twin;
           Alcotest.test_case "budget routing exact/bound/stale" `Quick
             test_budget_routing;
+          Alcotest.test_case "bound answers never feed the cache" `Quick
+            test_bound_answers_never_cached;
           Alcotest.test_case "budget refusal renders polls" `Quick
             test_budget_refusal_renders_polls;
           Alcotest.test_case "no prefix falls to floor" `Quick
@@ -828,6 +1429,13 @@ let () =
         [
           Alcotest.test_case "live report keeps line framing" `Quick
             test_metrics_response_single_line;
+          Alcotest.test_case "request-cadence latency and alloc histograms"
+            `Quick test_request_observability;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "steady-state exact request is O(k) minor words"
+            `Quick test_exact_request_allocation_gate;
         ] );
       ( "seams",
         [ Alcotest.test_case "typed injected refusals" `Quick test_seams_refuse_typed ] );
@@ -837,14 +1445,22 @@ let () =
         [
           Alcotest.test_case "in-process restart determinism" `Quick
             test_restart_identical_answers;
+          Alcotest.test_case "batch/cache twins byte-identical" `Quick
+            test_batch_twin_identical_bytes;
+          Alcotest.test_case "interleaved multi-connection determinism" `Quick
+            test_interleaved_restart_determinism;
           Alcotest.test_case "socket daemon kill -9 and restart" `Quick
             test_daemon_socket_kill_and_restart;
+          Alcotest.test_case "socket daemon, three interleaved clients" `Quick
+            test_daemon_multiclient;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "soak (250 requests, jobs=1)" `Quick test_chaos_soak;
           Alcotest.test_case "soak (250 requests, jobs=2)" `Quick
             test_chaos_soak_parallel;
+          Alcotest.test_case "soak (250 requests, 3 connections)" `Quick
+            test_chaos_soak_multiclient;
           Alcotest.test_case "bound rung reached" `Quick
             test_chaos_bound_rung_reached;
         ] );
