@@ -81,8 +81,21 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
+let stale_threshold_arg =
+  let doc =
+    "Staleness demotion threshold: once a stream-backed synopsis has \
+     absorbed more than this much absolute ingest mass since its last \
+     rebuild, its answers are flagged stale and their construction-time \
+     RMSE bound is withheld.  Defaults to the threshold recorded in the \
+     store's stream manifest."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stale-threshold" ] ~docv:"MASS" ~doc)
+
 let serve store socket stdio data jobs queue cache cache_policy no_batch
-    deadline_ms =
+    deadline_ms stale_threshold =
   match
     Error.guard (fun () ->
         if jobs < 1 then
@@ -107,6 +120,7 @@ let serve store socket stdio data jobs queue cache cache_policy no_batch
             cache_policy;
             batch_eval = not no_batch;
             default_deadline_ms = deadline_ms;
+            stale_threshold;
           }
         in
         let server = Error.get (Server.create config) in
@@ -138,7 +152,8 @@ let main_cmd =
     (Cmd.info "rs_served" ~version:"1.0.0" ~doc ~exits)
     Term.(
       const serve $ store_arg $ socket_arg $ stdio_arg $ data_arg $ jobs_arg
-      $ queue_arg $ cache_arg $ cache_policy_arg $ no_batch_arg $ deadline_arg)
+      $ queue_arg $ cache_arg $ cache_policy_arg $ no_batch_arg $ deadline_arg
+      $ stale_threshold_arg)
 
 (* Same environment contract as rs_cli and the bench: RS_LOG selects
    the log level (unknown values warn, naming the accepted set),

@@ -20,6 +20,27 @@ let plan ~n ~segments =
   in
   { plan_n = n; bounds }
 
+(* A plan from explicit bounds — the streaming path keeps its own
+   segment layout (stream manifests pin it across restarts) and needs
+   to rebuild the same [plan] value, not a fresh balanced one. *)
+let plan_of_bounds ~n bounds =
+  if Array.length bounds = 0 then
+    invalid "Segmented.plan_of_bounds: no segments";
+  let expected_lo = ref 1 in
+  Array.iteri
+    (fun i (lo, hi) ->
+      if lo <> !expected_lo || hi < lo then
+        invalid
+          "Segmented.plan_of_bounds: segment %d is [%d..%d] but must start \
+           at %d and be non-empty"
+          i lo hi !expected_lo;
+      expected_lo := hi + 1)
+    bounds;
+  if !expected_lo <> n + 1 then
+    invalid "Segmented.plan_of_bounds: segments cover [1..%d] but n=%d"
+      (!expected_lo - 1) n;
+  { plan_n = n; bounds = Array.copy bounds }
+
 type part = { lo : int; hi : int; total : float; synopsis : Synopsis.t }
 type t = { n : int; parts : part array }
 

@@ -27,6 +27,12 @@ val plan : n:int -> segments:int -> plan
     one).  Raises [Rs_error (Invalid_input _)] unless
     [1 ≤ segments ≤ n]. *)
 
+val plan_of_bounds : n:int -> (int * int) array -> plan
+(** A plan from explicit inclusive bounds ({!Rs_core.Stream} restores
+    its manifest-pinned layout through this).  Raises
+    [Rs_error (Invalid_input _)] unless the bounds are non-empty,
+    contiguous, in order, and cover exactly [1..n]. *)
+
 type part = { lo : int; hi : int; total : float; synopsis : Synopsis.t }
 
 type t = private { n : int; parts : part array }

@@ -89,6 +89,70 @@ val quarantine_build_manifest : t -> unit
 (** Move a damaged build manifest into [quarantine/] (no-op when
     absent). *)
 
+(** {2 Stream state manifest}
+
+    {!Rs_core.Stream} checkpoints its per-segment base data, staleness
+    mass, and applied WAL sequence in a [STREAM] file: the same
+    framing/atomicity as [BUILD] under its own kind tag
+    ([rs-stream-state-v1]).  Reserved name, ignored by entry scans. *)
+
+val stream_manifest_path : t -> string
+
+val save_stream_manifest : t -> string -> unit
+(** Atomically (re)write the stream manifest; trips ["store.manifest"];
+    raises [Rs_error (Io_failure _)] on OS failure. *)
+
+val load_stream_manifest : t -> (string option, Rs_util.Error.t) result
+(** Same contract as {!load_build_manifest}. *)
+
+val quarantine_stream_manifest : t -> unit
+
+(** {2 The ingest write-ahead log}
+
+    An append-only [WAL] file of line-framed delta records, fsynced
+    before the ingest is acknowledged: an acked delta survives
+    kill -9.  Each record line carries its own CRC-32 (the log is
+    never rewritten per append), so the only crash artifact — a torn
+    tail — is detected at the record boundary and dropped; it was
+    never acked.  Sequence numbers are strictly increasing across the
+    file and replay idempotence keys off them: the stream manifest
+    records, per segment, the last sequence folded into its base data,
+    and replay skips records at or below it.  ["store.wal"] is the
+    fault seam (tripped before any bytes move). *)
+
+type wal_record = { seq : int; name : string; deltas : (int * float) array }
+
+val wal_path : t -> string
+
+val wal_append : t -> (string * (int * float) array) list -> wal_record list
+(** Append one record per [(name, deltas)] batch entry and [fsync]
+    once — the ack point.  Returns the records with their assigned
+    sequence numbers.  Raises [Rs_error (Invalid_input _)] on a bad
+    name, [Rs_error (Io_failure _)] on OS failure (nothing is acked). *)
+
+val wal_load : t -> (wal_record list * int, Rs_util.Error.t) result
+(** Records in file order plus the count of lines dropped at the torn
+    tail (0 when clean).  A missing WAL is [Ok ([], 0)].  Parsing
+    stops at the first bad or out-of-order line — suffixes of a
+    corrupt record are dropped, never half-trusted. *)
+
+val wal_compact : t -> keep:(wal_record -> bool) -> unit
+(** Atomically rewrite the log keeping only records [keep] selects
+    (garbage collection after a refresh folds records into the stream
+    manifest).  Crash-safe: the old or the new log survives, and
+    replay is idempotent either way. *)
+
+val wal_reserve_seq : t -> int -> unit
+(** Raise the sequence floor: the next assigned seq will exceed [seq].
+    A fresh handle derives its counter from the records still in the
+    log, so after a compaction it would restart below the manifest's
+    applied seqs and replay would drop its acked records as already
+    applied — {!Stream.resume} reserves its manifest high-water mark
+    here before any new append.  Never lowers the counter. *)
+
+val wal_remove : t -> unit
+(** Delete the log entirely (no-op when absent). *)
+
 val fsck : t -> fsck_report
 (** Repair pass: delete stray [*.tmp] files, quarantine entries that
     fail to decode, drop manifest entries whose files vanished, adopt

@@ -1,0 +1,580 @@
+(* Streaming ingestion over a segmented synopsis (DESIGN.md §16).
+
+   The stream owns, per segment, an incremental prefix-moment table
+   ({!Rs_util.Prefix.Inc}) and a staleness mass; ingested point-deltas
+   are WAL-acked (when a store is attached), folded into the segment's
+   moments in O(segment-suffix) — never a rebuild — and accumulate
+   |δ| mass until the segment crosses the staleness threshold.
+   [refresh] then re-optimizes only the dirty segments through the
+   ordinary {!Builder} path, so a rebuilt segment is bit-identical to
+   a from-scratch batch build of the same data (the determinism twin
+   in @stream).
+
+   Concurrency/faults discipline (CLAUDE.md): the stream is
+   coordinator-only.  ["stream.ingest"]/["stream.refresh"] seams trip
+   once per call, metrics record once per batch or per segment
+   rebuild, and the refresh governor is polled once per segment
+   boundary — never per delta, never per DP state.  Inner builds run
+   whatever the caller's {!Builder.options} say; the stream itself
+   spawns nothing. *)
+
+module Error = Rs_util.Error
+module Prefix = Rs_util.Prefix
+module Faults = Rs_util.Faults
+module Metrics = Rs_util.Metrics
+module Governor = Rs_util.Governor
+
+let log_src = Logs.Src.create "rs.stream" ~doc:"Streaming ingestion"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let invalid fmt =
+  Printf.ksprintf (fun m -> Error.raise_error (Error.Invalid_input m)) fmt
+
+type config = {
+  method_name : string;
+  budget_words : int;
+  segments : int;
+  stale_threshold : float;
+  entry_prefix : string;
+  options : Builder.options;
+}
+
+let default_config =
+  {
+    method_name = "a0";
+    budget_words = 64;
+    segments = 4;
+    stale_threshold = 0.;
+    entry_prefix = "stream";
+    options = Builder.default_options;
+  }
+
+type seg = {
+  s_lo : int;
+  s_hi : int;
+  s_grant : int;
+  inc : Prefix.Inc.t; (* the segment's slice, incrementally maintained *)
+  mutable dirty : float; (* accumulated |δ| mass since last rebuild *)
+  mutable applied : int; (* highest WAL seq folded into [inc] *)
+  mutable synopsis : Synopsis.t;
+}
+
+type t = {
+  cfg : config;
+  n : int;
+  store : Store.t option;
+  segs : seg array;
+  mutable acked : int; (* highest WAL seq acked by this stream *)
+}
+
+type ingest_report = { applied : int; stale : int list }
+
+type refresh_report = {
+  rebuilt : int list;
+  skipped_clean : int;
+  expired : bool;
+}
+
+let seg_name t i = Printf.sprintf "%s.seg%d" t.cfg.entry_prefix i
+
+let check_config cfg n =
+  if cfg.segments < 1 || cfg.segments > n then
+    invalid "Stream: need 1 <= segments <= n (got segments=%d, n=%d)"
+      cfg.segments n;
+  if cfg.stale_threshold < 0. || not (Float.is_finite cfg.stale_threshold)
+  then invalid "Stream: stale_threshold must be finite and >= 0"
+
+let stale_segments t =
+  let out = ref [] in
+  Array.iteri
+    (fun i s -> if s.dirty > t.cfg.stale_threshold then out := i :: !out)
+    t.segs;
+  List.rev !out
+
+let staleness t = Array.map (fun s -> s.dirty) t.segs
+
+let segment_of t i =
+  (* Segments are near-equal widths; a linear scan is fine at S ~ tens
+     and keeps this total for manifest-restored irregular bounds. *)
+  let rec go k =
+    if k >= Array.length t.segs then
+      invalid "Stream: position %d outside [1..%d]" i t.n
+    else
+      let s = t.segs.(k) in
+      if i >= s.s_lo && i <= s.s_hi then k else go (k + 1)
+  in
+  go 0
+
+let n t = t.n
+let segments t = Array.length t.segs
+let config t = t.cfg
+let value t i =
+  let s = t.segs.(segment_of t i) in
+  Prefix.Inc.value s.inc (i - s.s_lo + 1)
+
+let data t =
+  Array.concat (Array.to_list (Array.map (fun s -> Prefix.Inc.data s.inc) t.segs))
+
+let range_sum t ~a ~b =
+  if a < 1 || b > t.n || a > b then
+    invalid "Stream.range_sum: bad range [%d..%d] of n=%d" a b t.n;
+  let acc = ref 0. in
+  Array.iter
+    (fun s ->
+      let lo = max a s.s_lo and hi = min b s.s_hi in
+      if lo <= hi then
+        acc :=
+          !acc
+          +. Prefix.Inc.range_sum s.inc ~a:(lo - s.s_lo + 1)
+               ~b:(hi - s.s_lo + 1))
+    t.segs;
+  !acc
+
+let plan t =
+  Segmented.plan_of_bounds ~n:t.n
+    (Array.map (fun s -> (s.s_lo, s.s_hi)) t.segs)
+
+let dataset t = Dataset.of_floats ~name:(t.cfg.entry_prefix ^ "-live") (data t)
+
+let synopsis t =
+  Segmented.make (dataset t) (plan t)
+    (Array.map (fun s -> s.synopsis) t.segs)
+
+(* --- construction ------------------------------------------------- *)
+
+let build_segment cfg ~grant ~name values =
+  let ds = Dataset.of_floats ~name values in
+  let built =
+    Error.get
+      (Builder.build_result ~options:cfg.options ds
+         ~method_name:cfg.method_name ~budget_words:grant)
+  in
+  Metrics.count "stream.rebuilds" 1;
+  built.Builder.synopsis
+
+(* The stream manifest: config + per-segment bounds/grants, base data
+   in %h (exact round-trip), staleness mass and applied WAL seq.  One
+   line per segment keeps parsing trivial; Checkpoint framing adds the
+   CRC and atomicity. *)
+let manifest_body t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "stream %d %d %s %d %h %s\n" t.n
+    (Array.length t.segs) t.cfg.method_name t.cfg.budget_words
+    t.cfg.stale_threshold t.cfg.entry_prefix;
+  Array.iter
+    (fun s ->
+      Printf.bprintf buf "seg %d %d %d %d %h" s.s_lo s.s_hi s.s_grant
+        s.applied s.dirty;
+      let d = Prefix.Inc.data s.inc in
+      Array.iter (fun v -> Printf.bprintf buf " %h" v) d;
+      Buffer.add_char buf '\n')
+    t.segs;
+  Buffer.contents buf
+
+let save_manifest t =
+  match t.store with
+  | None -> ()
+  | Some store -> Store.save_stream_manifest store (manifest_body t)
+
+(* Validate a whole delta batch against the data it will apply to
+   before any byte is written: Dataset.of_floats requires finite
+   non-negative values, so a batch that would break that is refused
+   up front — the WAL never records a delta the rebuild cannot use. *)
+let check_batch t deltas =
+  let pending = Hashtbl.create 16 in
+  Array.iter
+    (fun (i, d) ->
+      if i < 1 || i > t.n then
+        invalid "Stream.ingest: position %d outside [1..%d]" i t.n;
+      if not (Float.is_finite d) then
+        invalid "Stream.ingest: non-finite delta at position %d" i;
+      let base =
+        match Hashtbl.find_opt pending i with
+        | Some v -> v
+        | None -> value t i
+      in
+      let v = base +. d in
+      if not (Float.is_finite v) then
+        invalid "Stream.ingest: delta at position %d overflows" i;
+      if v < 0. then
+        invalid "Stream.ingest: delta at position %d drives the value to %g < 0"
+          i v;
+      Hashtbl.replace pending i v)
+    deltas
+
+let apply_seg t k sub =
+  let s = t.segs.(k) in
+  Array.iter
+    (fun (i, d) ->
+      Prefix.Inc.add s.inc ~i:(i - s.s_lo + 1) ~delta:d;
+      s.dirty <- s.dirty +. abs_float d)
+    sub
+
+let ingest t deltas =
+  Faults.trip "stream.ingest";
+  Metrics.count "stream.ingests" 1;
+  Metrics.count "stream.deltas" (Array.length deltas);
+  check_batch t deltas;
+  (* Route the batch to segments, preserving intra-segment order. *)
+  let by_seg = Array.make (Array.length t.segs) [] in
+  Array.iter
+    (fun (i, d) ->
+      let k = segment_of t i in
+      by_seg.(k) <- (i, d) :: by_seg.(k))
+    deltas;
+  let batches = ref [] in
+  Array.iteri
+    (fun k ds ->
+      if ds <> [] then
+        batches := (k, Array.of_list (List.rev ds)) :: !batches)
+    by_seg;
+  let batches = List.rev !batches in
+  (* WAL first (one fsync — the ack point), then fold into memory. *)
+  (match t.store with
+  | None ->
+      List.iter
+        (fun (k, _) ->
+          t.acked <- t.acked + 1;
+          t.segs.(k).applied <- t.acked)
+        batches
+  | Some store ->
+      let records =
+        Store.wal_append store
+          (List.map (fun (k, sub) -> (seg_name t k, sub)) batches)
+      in
+      List.iter2
+        (fun (k, _) r ->
+          t.segs.(k).applied <- r.Store.seq;
+          t.acked <- max t.acked r.Store.seq)
+        batches records);
+  List.iter (fun (k, sub) -> apply_seg t k sub) batches;
+  { applied = Array.length deltas; stale = stale_segments t }
+
+(* --- refresh ------------------------------------------------------ *)
+
+let refresh ?(governor = Governor.unlimited) ?(force = false) t =
+  Faults.trip "stream.refresh";
+  Metrics.count "stream.refreshes" 1;
+  let targets =
+    if force then List.init (Array.length t.segs) Fun.id
+    else stale_segments t
+  in
+  let skipped_clean = Array.length t.segs - List.length targets in
+  let rebuilt = ref [] and expired = ref false in
+  (* One governor poll per segment boundary — never per delta or per
+     DP state; the inner build is governed by [cfg.options] alone. *)
+  List.iter
+    (fun k ->
+      if not !expired then
+        match Governor.poll governor with
+        | Governor.Expired _ -> expired := true
+        | Governor.Continue | Governor.Checkpoint_due ->
+            let s = t.segs.(k) in
+            let syn =
+              build_segment t.cfg ~grant:s.s_grant ~name:(seg_name t k)
+                (Prefix.Inc.data s.inc)
+            in
+            s.synopsis <- syn;
+            s.dirty <- 0.;
+            (match t.store with
+            | None -> ()
+            | Some store -> Store.put store ~name:(seg_name t k) syn);
+            rebuilt := k :: !rebuilt;
+            Log.debug (fun m ->
+                m "refresh: rebuilt segment %d [%d..%d] (%d words)" k s.s_lo
+                  s.s_hi (Synopsis.storage_words syn)))
+    targets;
+  (* Checkpoint the folded state, then garbage-collect the WAL records
+     the manifest now covers.  A crash between the two is benign:
+     replay skips records at or below each segment's applied seq. *)
+  (match t.store with
+  | None -> ()
+  | Some store ->
+      save_manifest t;
+      let applied = Hashtbl.create 16 in
+      Array.iteri
+        (fun i (s : seg) -> Hashtbl.replace applied (seg_name t i) s.applied)
+        t.segs;
+      Store.wal_compact store ~keep:(fun r ->
+          match Hashtbl.find_opt applied r.Store.name with
+          | Some seq -> r.Store.seq > seq
+          | None -> true));
+  { rebuilt = List.rev !rebuilt; skipped_clean; expired = !expired }
+
+(* --- create / resume ---------------------------------------------- *)
+
+let create ?(config = default_config) ?store ds =
+  check_config config (Dataset.n ds);
+  let n = Dataset.n ds in
+  let plan = Segmented.plan ~n ~segments:config.segments in
+  let grants =
+    Segmented.uniform_split plan ~method_name:config.method_name
+      ~budget_words:config.budget_words
+  in
+  let values = Dataset.values ds in
+  let segs =
+    Array.mapi
+      (fun i (lo, hi) ->
+        let slice = Array.sub values (lo - 1) (hi - lo + 1) in
+        {
+          s_lo = lo;
+          s_hi = hi;
+          s_grant = grants.(i);
+          inc = Prefix.Inc.of_array slice;
+          dirty = 0.;
+          applied = 0;
+          synopsis =
+            build_segment config ~grant:grants.(i)
+              ~name:(Printf.sprintf "%s.seg%d" config.entry_prefix i)
+              slice;
+        })
+      plan.Segmented.bounds
+  in
+  let t = { cfg = config; n; store; segs; acked = 0 } in
+  (match store with
+  | None -> ()
+  | Some store' ->
+      Array.iteri (fun i s -> Store.put store' ~name:(seg_name t i) s.synopsis)
+        t.segs;
+      save_manifest t);
+  t
+
+let parse_manifest ~path body =
+  let fail reason =
+    Error.raise_error (Error.Corrupt_checkpoint { path; reason })
+  in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body)
+  in
+  let words l = List.filter (fun w -> w <> "") (String.split_on_char ' ' l) in
+  match lines with
+  | [] -> fail "empty stream manifest"
+  | header :: rest -> (
+      match words header with
+      | [ "stream"; n; segments; method_name; budget; threshold; prefix ] -> (
+          match
+            ( int_of_string_opt n,
+              int_of_string_opt segments,
+              int_of_string_opt budget,
+              float_of_string_opt threshold )
+          with
+          | Some n, Some segments, Some budget, Some threshold ->
+              if List.length rest <> segments then
+                fail "stream manifest segment count mismatch";
+              let segs =
+                List.map
+                  (fun line ->
+                    match words line with
+                    | "seg" :: lo :: hi :: grant :: applied :: dirty :: vals
+                      -> (
+                        match
+                          ( int_of_string_opt lo,
+                            int_of_string_opt hi,
+                            int_of_string_opt grant,
+                            int_of_string_opt applied,
+                            float_of_string_opt dirty )
+                        with
+                        | Some lo, Some hi, Some grant, Some applied, Some dirty
+                          ->
+                            let vals =
+                              List.map
+                                (fun v ->
+                                  match float_of_string_opt v with
+                                  | Some f when Float.is_finite f -> f
+                                  | _ -> fail "bad stream manifest value")
+                                vals
+                            in
+                            if List.length vals <> hi - lo + 1 then
+                              fail "stream manifest width mismatch";
+                            (lo, hi, grant, applied, dirty,
+                             Array.of_list vals)
+                        | _ -> fail "bad stream manifest segment line")
+                    | _ -> fail "bad stream manifest segment line")
+                  rest
+              in
+              (n, method_name, budget, threshold, prefix, segs)
+          | _ -> fail "bad stream manifest header")
+      | _ -> fail "bad stream manifest header")
+
+(* Reopen a stream from its store: manifest base state, then WAL
+   replay of records above each segment's applied seq — exactly the
+   deltas acked after the last checkpoint.  Missing or corrupt segment
+   entries are rebuilt from the replayed data (deterministic), never
+   trusted stale. *)
+let resume ?(options = Builder.default_options) store =
+  match Store.load_stream_manifest store with
+  | Error e -> Error e
+  | Ok None -> Ok None
+  | Ok (Some body) ->
+      Error.guard (fun () ->
+          let path = Store.stream_manifest_path store in
+          let n, method_name, budget, threshold, prefix, seg_specs =
+            parse_manifest ~path body
+          in
+          let cfg =
+            {
+              method_name;
+              budget_words = budget;
+              segments = List.length seg_specs;
+              stale_threshold = threshold;
+              entry_prefix = prefix;
+              options;
+            }
+          in
+          check_config cfg n;
+          (* Restore per-segment base state, contiguity-checked. *)
+          let specs = Array.of_list seg_specs in
+          ignore
+            (Segmented.plan_of_bounds ~n
+               (Array.map (fun (lo, hi, _, _, _, _) -> (lo, hi)) specs));
+          let incs =
+            Array.map
+              (fun (_, _, _, _, _, vals) -> Prefix.Inc.of_array vals)
+              specs
+          in
+          let applied =
+            Array.map (fun (_, _, _, a, _, _) -> ref a) specs
+          in
+          let dirty = Array.map (fun (_, _, _, _, d, _) -> ref d) specs in
+          let name_of i = Printf.sprintf "%s.seg%d" prefix i in
+          let acked = ref (Array.fold_left (fun a r -> max a !r) 0 applied) in
+          (* Replay acked-but-uncheckpointed deltas, idempotently:
+             records at or below a segment's applied seq are already in
+             its manifest base data. *)
+          (match Store.wal_load store with
+          | Error e -> Error.raise_error e
+          | Ok (records, dropped) ->
+              if dropped > 0 then
+                Log.warn (fun m ->
+                    m "resume: dropped %d torn WAL line(s)" dropped);
+              let by_name = Hashtbl.create 16 in
+              Array.iteri
+                (fun i _ -> Hashtbl.replace by_name (name_of i) i)
+                specs;
+              List.iter
+                (fun r ->
+                  match Hashtbl.find_opt by_name r.Store.name with
+                  | None ->
+                      Log.warn (fun m ->
+                          m "resume: WAL record for unknown segment %s"
+                            r.Store.name)
+                  | Some k ->
+                      let lo, _, _, _, _, _ = specs.(k) in
+                      if r.Store.seq > !(applied.(k)) then begin
+                        Array.iter
+                          (fun (i, d) ->
+                            Prefix.Inc.add incs.(k) ~i:(i - lo + 1) ~delta:d;
+                            dirty.(k) := !(dirty.(k)) +. abs_float d)
+                          r.Store.deltas;
+                        applied.(k) := r.Store.seq
+                      end;
+                      acked := max !acked r.Store.seq)
+                records);
+          (* The compacted log may hold nothing at or near the acked
+             high-water mark; pin the seq counter above it so this
+             handle's appends stay strictly increasing and replayable. *)
+          Store.wal_reserve_seq store !acked;
+          (* Load (or deterministically rebuild) each segment synopsis. *)
+          let segs =
+            Array.mapi
+              (fun i (lo, hi, grant, _, _, _) ->
+                let name = name_of i in
+                let synopsis =
+                  match Store.get store ~name with
+                  | Ok syn when Synopsis.domain_size syn = hi - lo + 1 -> syn
+                  | Ok _ | Error _ ->
+                      Log.warn (fun m ->
+                          m "resume: rebuilding segment %d (entry %s \
+                             unusable)"
+                            i name);
+                      let syn =
+                        build_segment cfg ~grant ~name
+                          (Prefix.Inc.data incs.(i))
+                      in
+                      dirty.(i) := 0.;
+                      Store.put store ~name syn;
+                      syn
+                in
+                {
+                  s_lo = lo;
+                  s_hi = hi;
+                  s_grant = grant;
+                  inc = incs.(i);
+                  dirty = !(dirty.(i));
+                  applied = !(applied.(i));
+                  synopsis;
+                })
+              specs
+          in
+          Some { cfg; n; store = Some store; segs; acked = !acked })
+
+(* --- rolling windows ---------------------------------------------- *)
+
+(* Time-sliced rolling window over a fixed domain: the live window is
+   the pointwise sum of [sub_windows] slices, each summarized on seal,
+   and the window synopsis is the chained merge of the survivors —
+   expiring the oldest slice is "re-merge the rest", never a rebuild
+   over the whole window (the FracFin rolling/sub-window idiom paired
+   with the t-digest merge idiom). *)
+module Rolling = struct
+  module W = Rs_wavelet.Synopsis
+
+  type slice = { counts : float array; mutable sealed : W.t option }
+
+  type t = {
+    r_n : int;
+    r_b : int;
+    slices : slice Queue.t; (* oldest first; last is the live slice *)
+    r_sub_windows : int;
+  }
+
+  let create ~n ~sub_windows ~b =
+    if n < 1 then invalid "Stream.Rolling: need n >= 1";
+    if sub_windows < 1 then invalid "Stream.Rolling: need sub_windows >= 1";
+    if b < 1 then invalid "Stream.Rolling: need b >= 1";
+    let t =
+      { r_n = n; r_b = b; slices = Queue.create (); r_sub_windows = sub_windows }
+    in
+    Queue.add { counts = Array.make n 0.; sealed = None } t.slices;
+    t
+
+  let live t = Queue.fold (fun _ s -> s) (Queue.peek t.slices) t.slices
+
+  let observe t ~i ~weight =
+    if i < 1 || i > t.r_n then
+      invalid "Stream.Rolling.observe: position %d outside [1..%d]" i t.r_n;
+    if (not (Float.is_finite weight)) || weight < 0. then
+      invalid "Stream.Rolling.observe: weight must be finite and >= 0";
+    let s = live t in
+    s.counts.(i - 1) <- s.counts.(i - 1) +. weight
+
+  let summarize t s =
+    match s.sealed with
+    | Some w -> w
+    | None -> W.range_optimal s.counts ~b:t.r_b
+
+  (* Seal the live slice and open a new one; beyond [sub_windows]
+     slices the oldest expires — the survivors' merge IS the window. *)
+  let rotate t =
+    (live t).sealed <- Some (summarize t (live t));
+    Queue.add { counts = Array.make t.r_n 0.; sealed = None } t.slices;
+    if Queue.length t.slices > t.r_sub_windows then ignore (Queue.pop t.slices);
+    Metrics.count "stream.rotations" 1
+
+  let synopsis t =
+    let parts = Queue.fold (fun acc s -> summarize t s :: acc) [] t.slices in
+    match List.rev parts with
+    | [] -> assert false
+    | first :: rest -> List.fold_left W.merge first rest
+
+  let window_data t =
+    let out = Array.make t.r_n 0. in
+    Queue.iter
+      (fun s ->
+        Array.iteri (fun i v -> out.(i) <- out.(i) +. v) s.counts)
+      t.slices;
+    out
+
+  let sub_windows t = Queue.length t.slices
+end

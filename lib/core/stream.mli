@@ -1,0 +1,166 @@
+(** Streaming ingestion over a segmented synopsis (DESIGN.md §16).
+
+    The batch world builds a synopsis once over a frozen array; this
+    module keeps one {e alive} under point-deltas.  The domain is
+    partitioned as in {!Segmented}; each segment owns an incremental
+    prefix-moment table ({!Rs_util.Prefix.Inc}) that folds deltas in
+    suffix time (never a rebuild) plus an accumulated [|δ|] staleness
+    mass.  {!ingest} routes a delta batch to its segments —
+    write-ahead-logged and fsynced {e before} it is acknowledged when a
+    {!Store} is attached, so kill -9 after an ack never loses a delta —
+    and {!refresh} re-optimizes {e only} the segments whose mass
+    crossed the threshold, through the ordinary {!Builder} path, making
+    every rebuilt segment {b bit-identical} to a from-scratch batch
+    build of the same data (the @stream determinism twin).
+
+    Durability protocol (all under {!Store}): the [STREAM] manifest
+    checkpoints per-segment base data and the WAL sequence each segment
+    has folded in; the [WAL] holds acked deltas beyond that.  {!resume}
+    restores the manifest, replays WAL records {e above} each segment's
+    applied sequence (idempotent — a crash between manifest write and
+    WAL compaction double-delivers, and the sequence check drops the
+    duplicates), and reloads or deterministically rebuilds segment
+    synopses.
+
+    Concurrency/faults (CLAUDE.md invariants): the stream is
+    {e coordinator-only}.  The ["stream.ingest"] / ["stream.refresh"]
+    fault seams trip once per call; metrics record per batch and per
+    segment rebuild; {!refresh}'s governor is polled once per segment
+    {e boundary} — never per delta, never per DP state.  Nothing here
+    spawns domains; inner builds obey the caller's
+    {!Builder.options}. *)
+
+type config = {
+  method_name : string;  (** per-segment construction method *)
+  budget_words : int;  (** global budget, split uniformly across segments *)
+  segments : int;
+  stale_threshold : float;
+      (** a segment whose accumulated [|δ|] mass {e exceeds} this is
+          stale (so [0.] marks a segment stale on any nonzero delta) *)
+  entry_prefix : string;
+      (** store entry names are [<entry_prefix>.seg<i>] *)
+  options : Builder.options;  (** threaded into every segment build *)
+}
+
+val default_config : config
+(** ["a0"], 64 words, 4 segments, threshold [0.], prefix ["stream"],
+    {!Builder.default_options}. *)
+
+type t
+
+type ingest_report = {
+  applied : int;  (** deltas folded in (the whole batch, or none) *)
+  stale : int list;  (** segments now beyond the staleness threshold *)
+}
+
+type refresh_report = {
+  rebuilt : int list;  (** segments re-optimized, in index order *)
+  skipped_clean : int;  (** segments under the threshold, untouched *)
+  expired : bool;
+      (** the refresh governor expired at a segment boundary; remaining
+          targets keep their staleness and the next refresh resumes *)
+}
+
+val create : ?config:config -> ?store:Store.t -> Dataset.t -> t
+(** Build the initial per-segment synopses (through {!Builder}) and,
+    when [store] is given, persist them, the [STREAM] manifest and an
+    empty WAL position.  Raises typed errors on bad config, an
+    unbuildable budget ({!Segmented.uniform_split}'s contract), or
+    store I/O failure. *)
+
+val resume :
+  ?options:Builder.options -> Store.t -> (t option, Rs_util.Error.t) result
+(** Reopen from a store: [Ok None] when no stream manifest exists;
+    otherwise restore base data, replay the WAL idempotently, and load
+    (or rebuild, deterministically) every segment synopsis.  Config is
+    the manifest's; [options] re-arms the non-serializable build
+    options.  [Error (Corrupt_checkpoint _)] on a damaged manifest —
+    quarantine via {!Store.quarantine_stream_manifest} and rebuild from
+    scratch. *)
+
+val n : t -> int
+val segments : t -> int
+val config : t -> config
+
+val value : t -> int -> float
+(** Current [A[i]], [1 ≤ i ≤ n]. *)
+
+val data : t -> float array
+(** Fresh copy of the current live data. *)
+
+val range_sum : t -> a:int -> b:int -> float
+(** Exact current range sum (from the incremental moments — O(S)). *)
+
+val staleness : t -> float array
+(** Per-segment accumulated [|δ|] mass since its last rebuild. *)
+
+val stale_segments : t -> int list
+(** Segments whose mass exceeds the threshold, in index order. *)
+
+val ingest : t -> (int * float) array -> ingest_report
+(** Apply one batch of point-deltas [(i, δ)] (global 1-based
+    positions).  All-or-nothing: the batch is validated first (bounds,
+    finiteness, and no resulting value may go negative — the rebuild
+    path requires buildable data), then WAL-appended and fsynced (the
+    ack point) as one record per touched segment, then folded into the
+    segments' moments.  Raises [Rs_error (Invalid_input _)] on a bad
+    batch (nothing applied, nothing logged), [Io_failure] if the WAL
+    write fails (nothing acked). *)
+
+val refresh :
+  ?governor:Rs_util.Governor.t -> ?force:bool -> t -> refresh_report
+(** Re-optimize every stale segment (all segments under [~force:true]):
+    freeze its incremental moments, rebuild through {!Builder} with the
+    segment's grant (bit-identical to a batch build of the same data),
+    persist the new entry, and reset its mass.  The [governor] is
+    polled once per segment boundary; expiry stops cleanly with the
+    remaining segments still marked stale.  After the loop the [STREAM]
+    manifest is rewritten and the WAL compacted (records the manifest
+    now covers are dropped). *)
+
+val plan : t -> Segmented.plan
+val dataset : t -> Dataset.t
+(** The current live data as a dataset (fresh). *)
+
+val synopsis : t -> Segmented.t
+(** The live segmented synopsis: current synopses (possibly stale)
+    with {e exact current} per-segment totals — boundary estimates may
+    lag the data until {!refresh}, interior totals never do. *)
+
+val log_src : Logs.src
+(** The [rs.stream] log source. *)
+
+(** {2 Rolling windows}
+
+    Time-sliced rolling window over a fixed domain [1..n]: arrivals
+    accumulate in the live sub-window; {!Rolling.rotate} seals it (one
+    small batch build) and expires the oldest once [sub_windows]
+    slices are live.  The window synopsis is the chained
+    {!Rs_wavelet.Synopsis.merge} of the surviving slices — expiry is
+    a re-merge of survivors, never a rebuild over the whole window.
+    Merge truncation keeps the window budget bounded at the largest
+    slice budget regardless of window length. *)
+module Rolling : sig
+  type t
+
+  val create : n:int -> sub_windows:int -> b:int -> t
+  (** [b] = wavelet coefficient budget per slice.  Raises
+      [Rs_error (Invalid_input _)] on non-positive arguments. *)
+
+  val observe : t -> i:int -> weight:float -> unit
+  (** Add [weight ≥ 0] at position [i] of the live slice. *)
+
+  val rotate : t -> unit
+  (** Seal the live slice, open a new one, expire the oldest beyond
+      [sub_windows]. *)
+
+  val synopsis : t -> Rs_wavelet.Synopsis.t
+  (** Merged synopsis of all live slices (the current window). *)
+
+  val window_data : t -> float array
+  (** Exact current window counts (sum over live slices) — the
+      accuracy baseline the tests compare against. *)
+
+  val sub_windows : t -> int
+  (** Live slice count (grows to the configured cap, then stays). *)
+end

@@ -113,3 +113,20 @@ let describe t =
         (W.name w)
         (Array.length (W.coefficients w))
         (W.storage_words w)
+
+(* Mergeability dispatch: both sides must be the same representation
+   family — a histogram and a wavelet synopsis summarize through
+   incompatible answering state, so a cross-family merge is a typed
+   refusal, not a silent coercion. *)
+let merge_result t1 t2 =
+  Rs_util.Error.guard (fun () ->
+      match (t1, t2) with
+      | Histogram h1, Histogram h2 -> Histogram (H.merge h1 h2)
+      | Wavelet w1, Wavelet w2 -> Wavelet (W.merge w1 w2)
+      | Histogram _, Wavelet _ | Wavelet _, Histogram _ ->
+          Rs_util.Error.raise_error
+            (Rs_util.Error.Invalid_input
+               "Synopsis.merge: cannot merge a histogram with a wavelet \
+                synopsis"))
+
+let merge t1 t2 = Rs_util.Error.get (merge_result t1 t2)

@@ -70,3 +70,13 @@ val workload_sse : Dataset.t -> Rs_query.Workload.t -> t -> float
 
 val describe : t -> string
 (** One-line human-readable description. *)
+
+val merge : t -> t -> t
+(** [merge t1 t2] summarizes [A1 + A2] given synopses of [A1] and [A2]
+    over the same domain — dispatches to
+    {!Rs_histogram.Histogram.merge} or {!Rs_wavelet.Synopsis.merge}.
+    Raises on family mismatch ([Invalid_input]) or the underlying
+    merge's own domain checks. *)
+
+val merge_result : t -> t -> (t, Rs_util.Error.t) result
+(** {!merge} behind the typed-error boundary. *)

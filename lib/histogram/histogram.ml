@@ -198,6 +198,70 @@ let with_values t ?name values =
   | Sap0 _ | Sap0_explicit _ | Sap1 _ ->
       invalid_arg "Histogram.with_values: only Avg histograms can be re-valued"
 
+(* Bounded merge name, mirroring the wavelet side: a merge of a merge
+   keeps the same name instead of growing one suffix per merge. *)
+let merged_suffix = "+merged"
+
+let merged_name name =
+  let ls = String.length merged_suffix and ln = String.length name in
+  if ln >= ls && String.sub name (ln - ls) ls = merged_suffix then name
+  else name ^ merged_suffix
+
+let merge h1 h2 =
+  let n = Bucket.n h1.bucketing in
+  Checks.check
+    (n = Bucket.n h2.bucketing)
+    "Histogram.merge: histograms must share the domain size";
+  Checks.check
+    ((not h1.rounded) && not h2.rounded)
+    "Histogram.merge: rounded histograms are not mergeable";
+  let v1, v2 =
+    match (h1.repr, h2.repr) with
+    | Avg v1, Avg v2 -> (v1, v2)
+    | _ -> invalid_arg "Histogram.merge: only Avg histograms are mergeable"
+  in
+  (* Common refinement: the union of the two right-endpoint sets.  On
+     each refined bucket both inputs are constant-density, so summing
+     the densities represents A1 + A2 with the additivity the
+     estimator needs — merged answers equal the sum of the inputs'
+     answers up to float association. *)
+  let seen = Hashtbl.create 32 in
+  let rights =
+    Array.concat [ Bucket.rights h1.bucketing; Bucket.rights h2.bucketing ]
+    |> Array.to_list
+    |> List.filter (fun r ->
+           if Hashtbl.mem seen r then false
+           else begin
+             Hashtbl.replace seen r ();
+             true
+           end)
+    |> List.sort compare |> Array.of_list
+  in
+  let bk = Bucket.of_rights ~n rights in
+  let values =
+    Array.init (Bucket.count bk) (fun k ->
+        let l, _ = Bucket.bounds bk k in
+        v1.(Bucket.bucket_of h1.bucketing l)
+        +. v2.(Bucket.bucket_of h2.bucketing l))
+  in
+  make ~name:(merged_name h1.name) bk (Avg values)
+
+let refresh t p =
+  let n = Bucket.n t.bucketing in
+  Checks.check
+    (Rs_util.Prefix.n p = n)
+    "Histogram.refresh: prefix domain size must match";
+  (match t.repr with
+  | Avg _ -> ()
+  | Sap0 _ | Sap0_explicit _ | Sap1 _ ->
+      invalid_arg "Histogram.refresh: only Avg histograms can be refreshed");
+  let values =
+    Array.init (buckets t) (fun k ->
+        let l, r = Bucket.bounds t.bucketing k in
+        Rs_util.Prefix.mean p ~a:l ~b:r)
+  in
+  with_values t ~name:t.name values
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s: %d buckets, %d words, %a@]" t.name (buckets t)
     (storage_words t) Bucket.pp t.bucketing

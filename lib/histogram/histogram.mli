@@ -111,4 +111,26 @@ val with_values : t -> ?name:string -> float array -> t
     re-optimization).  Raises [Invalid_argument] on other
     representations or on length mismatch. *)
 
+val merge : t -> t -> t
+(** [merge h1 h2] summarizes [A1 + A2] given [Avg] histograms of [A1]
+    and [A2] over the same domain — the histogram-side pairing of
+    {!Rs_wavelet.Synopsis.merge}.  The result's bucketing is the
+    common refinement (union of the two right-endpoint sets) and each
+    refined bucket's value is the sum of the two per-position
+    densities, so merged answers equal the sum of the inputs' answers
+    (up to float association; exact as a density model).  The merged
+    budget is at most [2·(B1 + B2)] words and the name is bounded
+    (one ["+merged"] suffix, never more, however long the chain).
+    Raises [Invalid_argument] on domain-size mismatch, rounded inputs,
+    or non-[Avg] representations. *)
+
+val refresh : t -> Rs_util.Prefix.t -> t
+(** [refresh t p] re-values an [Avg] histogram on its {e existing}
+    boundaries from the current data: each bucket's value becomes the
+    bucket mean under [p] — the optimal constant per bucket
+    (THEORY.md), making this the cheap staleness repair that keeps
+    boundaries while the full rebuild re-optimizes them.  The name is
+    preserved.  Raises [Invalid_argument] on domain-size mismatch or
+    non-[Avg] representations. *)
+
 val pp : Format.formatter -> t -> unit

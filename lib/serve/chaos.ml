@@ -243,7 +243,11 @@ let soak ?(requests = 200) ?(clients = 1) ~seed config =
   let handle_query_response q line =
     match P.decode_response line with
     | Error e -> viol "undecodable response %S: %s" line e
-    | Ok (P.Answers { id = _; generation; rung; estimates; rmse_bound }) ->
+    | Ok (P.Answers { id = _; generation; rung; estimates; rmse_bound; stale })
+      ->
+        (* The chaos workload never ingests, so staleness can only be a
+           server bug here. *)
+        if stale then viol "stale-flagged answer with no ingest in the soak";
         check_answer q ~generation ~rung ~estimates ~rmse_bound
     | Ok (P.Refused { id = _; refusal; message; retry_after_ms }) ->
         check_refusal q ~refusal ~message ~retry_after_ms

@@ -11,6 +11,8 @@ type entry = {
   plan : Rs_query.Batch.t;
   prefix : float array option;
   rmse_bound : float option;
+  mutable dirty : float;
+  mutable stale : bool;
 }
 
 type t = {
@@ -65,6 +67,8 @@ let load ?dataset ~gen_id dir =
                   plan = Synopsis.batch_plan syn;
                   prefix = Synopsis.prefix_vector syn;
                   rmse_bound = bound_of ?dataset syn;
+                  dirty = 0.;
+                  stale = false;
                 } ))
       (Store.list store)
   in
@@ -78,3 +82,10 @@ let load ?dataset ~gen_id dir =
 let find t name = List.assoc_opt name t.entries
 let names t = List.map fst t.entries
 let size t = List.length t.entries
+
+let mark_staleness t ~name ~dirty ~stale =
+  match find t name with
+  | None -> ()
+  | Some e ->
+      e.dirty <- dirty;
+      e.stale <- stale

@@ -31,6 +31,15 @@ type entry = {
   rmse_bound : float option;
       (** [sqrt(SSE / #ranges)] over all ranges, from the load-time
           dataset; [None] without one (or on domain-size mismatch) *)
+  mutable dirty : float;
+      (** accumulated ingest [|δ|] mass absorbed since this entry was
+          built — maintained by the server's stream integration
+          (coordinator-only, like the cache); [0.] at load until the
+          stream's per-segment staleness is mirrored in *)
+  mutable stale : bool;
+      (** [dirty] exceeds the staleness threshold: answers from this
+          entry are flagged and their construction-time [rmse_bound]
+          suppressed, since it describes pre-update data *)
 }
 
 type t = private {
@@ -52,3 +61,8 @@ val load :
 val find : t -> string -> entry option
 val names : t -> string list
 val size : t -> int
+
+val mark_staleness : t -> name:string -> dirty:float -> stale:bool -> unit
+(** Update the named entry's staleness metadata (no-op for unknown
+    names).  Coordinator-only: called by the server at load and after
+    each ingest, never from pool workers. *)

@@ -346,6 +346,11 @@ type request =
       poll_budget : int option;
       attempt : int;
     }
+  | Ingest of {
+      id : string option;
+      synopsis : string;
+      deltas : (int * float) array;
+    }
   | Ping
   | Metrics
   | Reload
@@ -377,6 +382,21 @@ let encode_request = function
           | Some b -> [ ("poll_budget", Num (float_of_int b)) ]
           | None -> [])
         @ if attempt <> 1 then [ ("attempt", Num (float_of_int attempt)) ] else []
+      in
+      json_to_string (Obj fields)
+  | Ingest { id; synopsis; deltas } ->
+      let fields =
+        [ ("op", Str "ingest") ]
+        @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+        @ [
+            ("synopsis", Str synopsis);
+            ( "deltas",
+              Arr
+                (Array.to_list
+                   (Array.map
+                      (fun (i, d) -> Arr [ Num (float_of_int i); Num d ])
+                      deltas)) );
+          ]
       in
       json_to_string (Obj fields)
 
@@ -436,6 +456,34 @@ let decode_request line =
       | None -> Error "query needs a \"synopsis\" name"
       | Some synopsis ->
           Ok (Query { id; synopsis; ranges; deadline_ms; poll_budget; attempt }))
+  | Some "ingest" -> (
+      let* id = str_field "id" v in
+      let* synopsis = str_field "synopsis" v in
+      let* deltas =
+        match field "deltas" v with
+        | None -> Error "ingest needs a \"deltas\" array"
+        | Some (Arr items) ->
+            let k = List.length items in
+            let out = Array.make k (0, 0.) in
+            let rec go i = function
+              | [] -> Ok out
+              | Arr [ Num p; Num d ] :: rest
+                when Float.is_integer p
+                     && Float.abs p <= 1e9
+                     && Float.is_finite d ->
+                  out.(i) <- (int_of_float p, d);
+                  go (i + 1) rest
+              | _ ->
+                  Error
+                    "each delta must be a pair [i,d] of an integer position \
+                     and a finite value"
+            in
+            go 0 items
+        | Some _ -> Error "field \"deltas\" must be an array"
+      in
+      match synopsis with
+      | None -> Error "ingest needs a \"synopsis\" name"
+      | Some synopsis -> Ok (Ingest { id; synopsis; deltas }))
   | Some other -> Error (Printf.sprintf "unknown op %S" other)
 
 (* --- responses --- *)
@@ -488,6 +536,14 @@ type response =
       rung : rung;
       estimates : float array;
       rmse_bound : float option;
+      stale : bool;
+    }
+  | Ingested of {
+      id : string option;
+      synopsis : string;
+      applied : int;
+      dirty : float;
+      stale : bool;
     }
   | Refused of {
       id : string option;
@@ -518,7 +574,7 @@ let response_json = function
              ("entries", Num (float_of_int entries));
              ("quarantined", Num (float_of_int quarantined));
            ])
-  | Answers { id; generation; rung; estimates; rmse_bound } ->
+  | Answers { id; generation; rung; estimates; rmse_bound; stale } ->
       let fields =
         [ ("ok", Bool true); ("op", Str "query") ]
         @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
@@ -528,10 +584,22 @@ let response_json = function
             ( "estimates",
               Arr (Array.to_list (Array.map (fun x -> Num x) estimates)) );
           ]
-        @
-        match rmse_bound with
-        | Some b -> [ ("rmse_bound", Num b) ]
-        | None -> []
+        @ (match rmse_bound with
+          | Some b -> [ ("rmse_bound", Num b) ]
+          | None -> [])
+        @ if stale then [ ("stale", Bool true) ] else []
+      in
+      Some (Obj fields)
+  | Ingested { id; synopsis; applied; dirty; stale } ->
+      let fields =
+        [ ("ok", Bool true); ("op", Str "ingest") ]
+        @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+        @ [
+            ("synopsis", Str synopsis);
+            ("applied", Num (float_of_int applied));
+            ("dirty", Num dirty);
+            ("stale", Bool stale);
+          ]
       in
       Some (Obj fields)
   | Refused { id; refusal; message; retry_after_ms } ->
@@ -571,7 +639,7 @@ let encode_response_into buf = function
       Buffer.add_string buf ",\"quarantined\":";
       add_num buf (float_of_int quarantined);
       Buffer.add_char buf '}'
-  | Answers { id; generation; rung; estimates; rmse_bound } ->
+  | Answers { id; generation; rung; estimates; rmse_bound; stale } ->
       Buffer.add_string buf "{\"ok\":true,\"op\":\"query\"";
       (match id with
       | Some id ->
@@ -594,7 +662,23 @@ let encode_response_into buf = function
           Buffer.add_string buf ",\"rmse_bound\":";
           add_num buf b
       | None -> ());
+      if stale then Buffer.add_string buf ",\"stale\":true";
       Buffer.add_char buf '}'
+  | Ingested { id; synopsis; applied; dirty; stale } ->
+      Buffer.add_string buf "{\"ok\":true,\"op\":\"ingest\"";
+      (match id with
+      | Some id ->
+          Buffer.add_string buf ",\"id\":";
+          escape_string buf id
+      | None -> ());
+      Buffer.add_string buf ",\"synopsis\":";
+      escape_string buf synopsis;
+      Buffer.add_string buf ",\"applied\":";
+      add_num buf (float_of_int applied);
+      Buffer.add_string buf ",\"dirty\":";
+      add_num buf dirty;
+      Buffer.add_string buf
+        (if stale then ",\"stale\":true}" else ",\"stale\":false}")
   | Refused { id; refusal; message; retry_after_ms } ->
       Buffer.add_string buf "{\"ok\":false";
       (match id with
@@ -677,6 +761,9 @@ let decode_response line =
           match Option.bind rung_s rung_of_string with
           | None -> Error "query response with unknown rung"
           | Some rung ->
+              let stale =
+                match field "stale" v with Some (Bool b) -> b | _ -> false
+              in
               Ok
                 (Answers
                    {
@@ -685,6 +772,27 @@ let decode_response line =
                      rung;
                      estimates;
                      rmse_bound;
+                     stale;
+                   }))
+      | Some "ingest" -> (
+          let* id = str_field "id" v in
+          let* synopsis = str_field "synopsis" v in
+          let* applied = int_field "applied" v in
+          let* dirty = num_field "dirty" v in
+          let stale =
+            match field "stale" v with Some (Bool b) -> b | _ -> false
+          in
+          match synopsis with
+          | None -> Error "ingest response needs a \"synopsis\" name"
+          | Some synopsis ->
+              Ok
+                (Ingested
+                   {
+                     id;
+                     synopsis;
+                     applied = Option.value applied ~default:0;
+                     dirty = Option.value dirty ~default:0.;
+                     stale;
                    }))
       | _ -> Error "response with unknown op")
   | _ -> Error "response without a boolean \"ok\" field"

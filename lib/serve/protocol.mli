@@ -13,6 +13,12 @@
       poll-budget governors; used by batch schedulers and the chaos
       tests), ["attempt"] (≥ 1, the client's retry count — drives the
       retry-after hint on overload).
+    - [{"op":"ingest","synopsis":NAME,"deltas":[[i,d],...]}] — apply
+      point-deltas to the named stream-backed synopsis (positions are
+      global 1-based indices; deltas are finite floats).  The reply
+      reports the batch size actually applied, the synopsis's
+      accumulated staleness mass, and whether it is now stale.
+      Optional ["id"] as for query.
     - [{"op":"ping"}] — liveness probe.
     - [{"op":"metrics"}] — the live [rs-metrics-v1] report.
     - [{"op":"reload"}] — hot-reload the store generation.
@@ -56,6 +62,12 @@ type request =
       deadline_ms : float option;
       poll_budget : int option;
       attempt : int;  (** ≥ 1; defaults to 1 *)
+    }
+  | Ingest of {
+      id : string option;
+      synopsis : string;
+      deltas : (int * float) array;
+          (** [(i, δ)] point-deltas, global 1-based positions *)
     }
   | Ping
   | Metrics
@@ -109,7 +121,21 @@ type response =
           (** per-range RMSE over all ranges of the answering synopsis,
               precomputed at load time via the O(n) SSE lowerings;
               absent when the daemon has no dataset to bound against,
-              and always absent on the [Stale] rung *)
+              always absent on the [Stale] rung, and absent when
+              [stale] is set — a construction-time bound must never be
+              cited for post-update data *)
+      stale : bool;
+          (** the answering synopsis has absorbed ingest deltas beyond
+              its staleness threshold since it was last (re)built; the
+              wire field is emitted only when [true], so pre-ingest
+              response bytes are unchanged *)
+    }
+  | Ingested of {
+      id : string option;
+      synopsis : string;
+      applied : int;  (** deltas applied (the whole batch, or none) *)
+      dirty : float;  (** accumulated [|δ|] mass since last rebuild *)
+      stale : bool;  (** [dirty] now exceeds the staleness threshold *)
     }
   | Refused of {
       id : string option;

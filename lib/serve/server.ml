@@ -28,6 +28,9 @@ type config = {
   batch_eval : bool;
   default_deadline_ms : float option;
   backoff : Backoff.policy;
+  stale_threshold : float option;
+      (** overrides the stream manifest's staleness threshold for
+          answer demotion; [None] uses the stream's own *)
 }
 
 let default_config ~store_dir =
@@ -41,6 +44,7 @@ let default_config ~store_dir =
     batch_eval = true;
     default_deadline_ms = None;
     backoff = Backoff.default;
+    stale_threshold = None;
   }
 
 type cookie = int
@@ -57,6 +61,10 @@ type t = {
   scratch : Buffer.t;
       (** reusable response-encode buffer — coordinator-only, cleared
           per response *)
+  mutable stream : Rs_core.Stream.t option;
+      (** the live ingest target, resumed from the store's STREAM
+          manifest; [None] for a plain (batch-built) store —
+          coordinator-only, like the cache *)
   mutable draining : bool;
 }
 
@@ -65,6 +73,8 @@ type t = {
 let m_requests = Metrics.counter "serve.requests"
 let m_shed = Metrics.counter "serve.queue.shed"
 let m_reloads = Metrics.counter "serve.reloads"
+let m_ingests = Metrics.counter "serve.ingests"
+let m_stale_answers = Metrics.counter "serve.answers.stale_flagged"
 let g_generation = Metrics.gauge "serve.generation"
 let g_pending = Metrics.gauge "serve.queue.pending"
 
@@ -90,6 +100,54 @@ let h_request_alloc =
     ~bounds:(Array.init 24 (fun i -> Float.ldexp 1. i))
     "serve.request_alloc"
 
+(* {2 Stream integration — ingest and staleness}
+
+   A store written by {!Rs_core.Stream} carries a STREAM manifest; the
+   daemon resumes the stream (replaying the WAL, so deltas acked before
+   a crash are already folded back in) and routes [ingest] requests
+   through it.  All of this is coordinator-only state, exactly like the
+   cache: pool workers never see the stream, the WAL, or the staleness
+   metadata. *)
+
+let resume_stream dir =
+  match
+    Error.guard (fun () ->
+        Error.get (Rs_core.Stream.resume (Rs_core.Store.open_dir dir)))
+  with
+  | Ok stream -> stream
+  | Error e ->
+      (* A torn stream manifest degrades the daemon to batch-only
+         serving (ingest refused); the synopsis entries themselves are
+         untouched and keep serving.  Quarantine so a later writer
+         starts clean. *)
+      Log.warn (fun m ->
+          m "stream manifest unusable (%s); serving without ingest"
+            (Error.to_string e));
+      (try Rs_core.Store.quarantine_stream_manifest (Rs_core.Store.open_dir dir)
+       with _ -> ());
+      None
+
+let stream_threshold config stream =
+  match config.stale_threshold with
+  | Some th -> th
+  | None -> (Rs_core.Stream.config stream).Rs_core.Stream.stale_threshold
+
+(* Mirror the stream's per-segment staleness mass into the live
+   generation's entry metadata — once per load/reload/ingest (the
+   request cadence), never per range or per delta. *)
+let mirror_staleness config gen stream =
+  match stream with
+  | None -> ()
+  | Some stream ->
+      let th = stream_threshold config stream in
+      let prefix = (Rs_core.Stream.config stream).Rs_core.Stream.entry_prefix in
+      Array.iteri
+        (fun i dirty ->
+          Generation.mark_staleness gen
+            ~name:(Printf.sprintf "%s.seg%d" prefix i)
+            ~dirty ~stale:(dirty > th))
+        (Rs_core.Stream.staleness stream)
+
 let create config =
   match
     Generation.load ?dataset:config.dataset ~gen_id:1 config.store_dir
@@ -103,6 +161,8 @@ let create config =
             (if Generation.size gen = 1 then "y" else "ies")
             config.store_dir
             (List.length gen.Generation.quarantined));
+      let stream = resume_stream config.store_dir in
+      mirror_staleness config gen stream;
       Ok
         {
           config;
@@ -116,11 +176,13 @@ let create config =
             Cache.create ~policy:config.cache_policy
               ~capacity:config.cache_capacity;
           scratch = Buffer.create 512;
+          stream;
           draining = false;
         }
 
 let close t = Option.iter Pool.shutdown t.pool
 let generation t = t.gen
+let stream t = t.stream
 let draining t = t.draining
 let pending t = Queue.length t.queue
 
@@ -239,6 +301,10 @@ let stale_floor t ?id ~key ~expiry () =
           rung = P.Stale;
           estimates = c.c_estimates;
           rmse_bound = None;
+          (* The Stale rung replays previously-served exact bytes
+             verbatim (the replay-determinism contract); the rung label
+             itself already marks the answer as possibly outdated. *)
+          stale = false;
         }
   | None ->
       let elapsed, deadline, reason = expiry in
@@ -281,17 +347,26 @@ let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
           (* Only exact answers feed the stale floor: a bound answer is
              trivially recomputable and must never displace a cached
              exact answer, and a stale replay re-caching itself would be
-             a no-op. *)
-          if rung = P.Exact then
+             a no-op.  An answer from a stale entry never feeds it
+             either — the cache holds only answers that were fresh when
+             served, so a replay cites at worst pre-ingest data, never a
+             mix. *)
+          let stale = entry.Generation.stale in
+          if rung = P.Exact && not stale then
             cache_put t key t.gen.Generation.gen_id estimates;
           Metrics.count ("serve.answers." ^ P.rung_to_string rung) 1;
+          if stale then Metrics.incr m_stale_answers;
           P.Answers
             {
               id;
               generation = t.gen.Generation.gen_id;
               rung;
               estimates;
-              rmse_bound = entry.Generation.rmse_bound;
+              (* A construction-time RMSE bound describes the data the
+                 synopsis was built from; once the entry has absorbed
+                 ingest mass beyond the threshold it must not be cited. *)
+              rmse_bound = (if stale then None else entry.Generation.rmse_bound);
+              stale;
             }
         in
         (* Admission: the governor's first poll.  A request that is
@@ -342,6 +417,42 @@ let answer_query t ~id ~synopsis ~ranges ~deadline_ms ~poll_budget =
                   stale_floor t ?id ~key ~expiry ())
       end
 
+(* {2 Ingest} *)
+
+let answer_ingest t ~id ~synopsis ~deltas =
+  match t.stream with
+  | None ->
+      refuse ?id P.Unknown_synopsis
+        (Printf.sprintf
+           "synopsis %S is not stream-backed (no STREAM manifest in this \
+            store)"
+           synopsis)
+  | Some stream ->
+      let prefix = (Rs_core.Stream.config stream).Rs_core.Stream.entry_prefix in
+      if synopsis <> prefix then
+        refuse ?id P.Unknown_synopsis
+          (Printf.sprintf "ingest targets %S but this store streams %S"
+             synopsis prefix)
+      else begin
+        Faults.trip "serve.ingest";
+        (* Stream.ingest WAL-appends and fsyncs before it returns — the
+           Ingested reply below IS the durability ack: kill -9 after
+           this line loses nothing. *)
+        let report = Rs_core.Stream.ingest stream deltas in
+        Metrics.incr m_ingests;
+        mirror_staleness t.config t.gen t.stream;
+        let staleness = Rs_core.Stream.staleness stream in
+        let th = stream_threshold t.config stream in
+        P.Ingested
+          {
+            id;
+            synopsis;
+            applied = report.Rs_core.Stream.applied;
+            dirty = Array.fold_left ( +. ) 0. staleness;
+            stale = Array.exists (fun d -> d > th) staleness;
+          }
+      end
+
 (* {2 Control operations and the queue} *)
 
 (* All response lines go out through the server's one scratch buffer:
@@ -369,6 +480,11 @@ let reload t =
            construction — there is no intermediate state to tear. *)
         t.gen <- gen;
         t.next_gen_id <- t.next_gen_id + 1;
+        (* A refresh/compaction may have landed between generations:
+           re-resume the stream against the new store state and carry
+           its staleness into the fresh entries. *)
+        t.stream <- resume_stream t.config.store_dir;
+        mirror_staleness t.config t.gen t.stream;
         Metrics.set g_generation (float_of_int gen.Generation.gen_id);
         Log.info (fun m ->
             m "reloaded: generation %d, %d entries, %d quarantined"
@@ -399,7 +515,7 @@ let control t req =
       t.draining <- true;
       Log.info (fun m -> m "shutdown acknowledged; draining %d" (pending t));
       P.Shutdown_ack
-  | P.Reload | P.Query _ -> assert false
+  | P.Reload | P.Query _ | P.Ingest _ -> assert false
 
 let push t ~cookie line =
   Metrics.incr m_requests;
@@ -414,6 +530,17 @@ let push t ~cookie line =
   | Ok (Ok (P.Query { id; attempt; _ })) when t.draining ->
       ignore attempt;
       reply (refuse ?id P.Shutting_down "daemon is draining")
+  | Ok (Ok (P.Ingest { id; _ })) when t.draining ->
+      reply (refuse ?id P.Shutting_down "daemon is draining")
+  | Ok (Ok (P.Ingest { id; synopsis; deltas })) ->
+      (* Ingest replies inline, like reload: the fsync inside is the
+         ack point, so the reply must not sit behind queued queries. *)
+      reply
+        (match
+           Error.guard (fun () -> answer_ingest t ~id ~synopsis ~deltas)
+         with
+        | Ok r -> r
+        | Error e -> refusal_of_error ?id e)
   | Ok (Ok P.Reload) when t.draining ->
       reply (refuse P.Shutting_down "daemon is draining")
   | Ok (Ok P.Reload) -> `Reply (reload t)

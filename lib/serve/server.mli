@@ -29,13 +29,27 @@
     typed [Deadline] refusal whose message comes from
     {!Rs_util.Governor.describe_expiry}.
 
+    {2 Ingest and staleness}
+
+    When the store carries a {!Rs_core.Stream} manifest, the server
+    resumes the stream at load (replaying its WAL, so deltas acked
+    before a crash are already folded back in) and routes [ingest]
+    requests through {!Rs_core.Stream.ingest} — the WAL fsync inside is
+    the durability ack; the [Ingested] reply is sent only after it.
+    The stream's per-segment [|δ|] mass is mirrored into the live
+    generation's entry metadata after every ingest/load/reload; an
+    entry beyond the staleness threshold answers with [stale = true],
+    its construction-time RMSE bound suppressed, and never feeds the
+    answer cache.  All of it is coordinator-only, like the cache.
+
     {2 Fault seams}
 
     ["serve.decode"] (before request decode), ["serve.admit"] (before
     admission), ["serve.evaluate"] (before rung evaluation),
-    ["serve.reload"] (before a generation swap) — all coordinator-only,
-    all surfacing as typed [Injected] refusals, never a crash.
-    ["serve.accept"] belongs to {!Daemon}. *)
+    ["serve.reload"] (before a generation swap), ["serve.ingest"]
+    (before the WAL append; a tripped ingest applies nothing and acks
+    nothing) — all coordinator-only, all surfacing as typed [Injected]
+    refusals, never a crash.  ["serve.accept"] belongs to {!Daemon}. *)
 
 type config = {
   store_dir : string;
@@ -58,12 +72,16 @@ type config = {
       (** drives [retry_after_ms] hints on [Overloaded] refusals —
           deterministic per [attempt], so a well-behaved client
           performs capped exponential backoff without coordination *)
+  stale_threshold : float option;
+      (** demotion threshold: an entry whose mirrored ingest mass
+          exceeds this answers [stale]-flagged.  [None] (default) uses
+          the stream manifest's own threshold *)
 }
 
 val default_config : store_dir:string -> config
 (** [jobs = 1], [queue_capacity = 64], [cache_capacity = 256] under
     [Lru], [batch_eval = true], no default deadline,
-    {!Rs_core.Supervisor.Backoff.default}. *)
+    {!Rs_core.Supervisor.Backoff.default}, no threshold override. *)
 
 type t
 
@@ -84,6 +102,10 @@ val draining : t -> bool
 
 val pending : t -> int
 (** Queued queries not yet evaluated. *)
+
+val stream : t -> Rs_core.Stream.t option
+(** The live ingest target ([None] for a plain batch-built store, or
+    after a stream manifest was quarantined at load). *)
 
 (** {2 The request path} *)
 

@@ -32,3 +32,45 @@ val range : t -> u:int -> v:int -> float
 
 val total : t -> float
 (** Sum of all values. *)
+
+(** Incremental cumulative tables: a growable twin of {!t} that keeps
+    the Kahan fold state ({e sum and compensation}) at every index, so
+    values can be appended — and a changed suffix refolded — in time
+    proportional to the cells that actually change, while staying
+    {b bit-identical} to a from-scratch {!of_fun} over the current
+    values.  This is what makes streaming moment maintenance exact:
+    [freeze] after any append/refold history equals the batch build to
+    the last bit (pinned by the [@stream] twins). *)
+module Inc : sig
+  type cum := t
+  type t
+
+  val create : unit -> t
+  (** An empty incremental table (zero values). *)
+
+  val length : t -> int
+  (** Number of values folded so far. *)
+
+  val append : t -> float -> unit
+  (** Fold one more value onto the end — one Kahan step, O(1)
+      amortized.  Raises [Invalid_argument] on a non-finite value. *)
+
+  val refold : t -> from:int -> (int -> float) -> unit
+  (** [refold t ~from f] re-runs the fold for value indices
+      [from .. length t - 1] with the current values [f i], starting
+      from the stored fold state at [from].  Because values below
+      [from] are untouched, the resulting cells are exactly what a
+      fresh build over all current values would produce.  O(length −
+      from).  Raises [Invalid_argument] if [from] is outside
+      [0, length] or any value is non-finite. *)
+
+  val cell : t -> int -> float
+  (** [cell t i] is [Σ_{j<i} x(j)], [0 ≤ i ≤ length]. *)
+
+  val range : t -> u:int -> v:int -> float
+  (** As {!val:range} on the frozen table. *)
+
+  val freeze : t -> cum
+  (** A frozen {!type:t} over the current values — bit-identical to
+      [of_fun] on them. *)
+end

@@ -78,3 +78,121 @@ let sum_t2 ~u ~v =
 
 let sum_a t ~a ~b = if a > b then 0. else range_sum t ~a ~b
 let sum_a2 t ~a ~b = if a > b then 0. else Cum.range t.ca2 ~u:(a - 1) ~v:(b - 1)
+
+(* Incremental prefix moments.  The four cumulative tables are
+   {!Cum.Inc}s and the prefix vector is maintained by the same plain
+   (uncompensated) fold [create] uses, so [freeze] is bit-identical to
+   [create] over the current data — a point-delta at index [i] costs
+   O(n − i) (the suffix whose prefixes actually changed), an append
+   O(1) amortized, and neither ever rebuilds a table from scratch. *)
+module Inc = struct
+  type frozen = t
+
+  type t = {
+    mutable n : int;
+    mutable a : float array; (* a.(i-1) = A[i] *)
+    mutable p : float array; (* p.(t) = P[t], t = 0..n *)
+    cp : Cum.Inc.t; (* over P[t], t = 0..n — m = n + 1 values *)
+    cp2 : Cum.Inc.t; (* over P[t]² *)
+    ctp : Cum.Inc.t; (* over t·P[t] *)
+    ca2 : Cum.Inc.t; (* over A[i]², i = 1..n — m = n values *)
+  }
+
+  let create () =
+    let t =
+      {
+        n = 0;
+        a = Array.make 8 0.;
+        p = Array.make 9 0.;
+        cp = Cum.Inc.create ();
+        cp2 = Cum.Inc.create ();
+        ctp = Cum.Inc.create ();
+        ca2 = Cum.Inc.create ();
+      }
+    in
+    (* The t = 0 value of each prefix-index table: P[0] = 0. *)
+    Cum.Inc.append t.cp 0.;
+    Cum.Inc.append t.cp2 0.;
+    Cum.Inc.append t.ctp 0.;
+    t
+
+  let n t = t.n
+
+  let ensure t n' =
+    if n' > Array.length t.a then begin
+      let cap = max n' (2 * Array.length t.a) in
+      let a' = Array.make cap 0. and p' = Array.make (cap + 1) 0. in
+      Array.blit t.a 0 a' 0 t.n;
+      Array.blit t.p 0 p' 0 (t.n + 1);
+      t.a <- a';
+      t.p <- p'
+    end
+
+  let append t v =
+    let v = Checks.finite ~name:"Prefix.Inc.append" v in
+    ensure t (t.n + 1);
+    let n = t.n in
+    t.a.(n) <- v;
+    (* The same plain fold as [create]: P[n+1] = P[n] + A[n+1]. *)
+    t.p.(n + 1) <- t.p.(n) +. v;
+    Cum.Inc.append t.cp t.p.(n + 1);
+    Cum.Inc.append t.cp2 (t.p.(n + 1) *. t.p.(n + 1));
+    Cum.Inc.append t.ctp (float_of_int (n + 1) *. t.p.(n + 1));
+    Cum.Inc.append t.ca2 (v *. v);
+    t.n <- n + 1
+
+  let add t ~i ~delta =
+    let i = Checks.in_range ~name:"Prefix.Inc.add" ~lo:1 ~hi:t.n i in
+    let delta = Checks.finite ~name:"Prefix.Inc.add delta" delta in
+    let v = Checks.finite ~name:"Prefix.Inc.add value" (t.a.(i - 1) +. delta) in
+    t.a.(i - 1) <- v;
+    (* Replay [create]'s plain fold over the changed suffix — NOT
+       [p.(t) +. delta], which would drift from the batch bits. *)
+    for u = i to t.n do
+      t.p.(u) <- t.p.(u - 1) +. t.a.(u - 1)
+    done;
+    Cum.Inc.refold t.cp ~from:i (fun u -> t.p.(u));
+    Cum.Inc.refold t.cp2 ~from:i (fun u -> t.p.(u) *. t.p.(u));
+    Cum.Inc.refold t.ctp ~from:i (fun u -> float_of_int u *. t.p.(u));
+    Cum.Inc.refold t.ca2 ~from:(i - 1) (fun j -> t.a.(j) *. t.a.(j))
+
+  let of_array a =
+    let a = Checks.non_empty_array ~name:"Prefix.Inc.of_array" a in
+    let t = create () in
+    Array.iter (fun v -> append t v) a;
+    t
+
+  let value t i =
+    let i = Checks.in_range ~name:"Prefix.Inc.value" ~lo:1 ~hi:t.n i in
+    t.a.(i - 1)
+
+  let data t = Array.sub t.a 0 t.n
+
+  let prefix t k =
+    let k = Checks.in_range ~name:"Prefix.Inc.prefix" ~lo:0 ~hi:t.n k in
+    t.p.(k)
+
+  let range_sum t ~a ~b =
+    let a, b =
+      Checks.ordered_pair ~name:"Prefix.Inc.range_sum" ~lo:1 ~hi:t.n (a, b)
+    in
+    t.p.(b) -. t.p.(a - 1)
+
+  let total t = t.p.(t.n)
+
+  let freeze t : frozen =
+    ignore (Checks.positive ~name:"Prefix.Inc.freeze n" t.n);
+    let p = Tab.f1_create (t.n + 1) in
+    for u = 0 to t.n do
+      Tab.f1_set p u t.p.(u)
+    done;
+    {
+      n = t.n;
+      a = Array.sub t.a 0 t.n;
+      p;
+      cp = Cum.Inc.freeze t.cp;
+      cp2 = Cum.Inc.freeze t.cp2;
+      ctp = Cum.Inc.freeze t.ctp;
+      ca2 = Cum.Inc.freeze t.ca2;
+    }
+end

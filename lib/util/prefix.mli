@@ -100,3 +100,57 @@ val sum_a : t -> a:int -> b:int -> float
 
 val sum_a2 : t -> a:int -> b:int -> float
 (** [Σ_{i=a}^{b} A[i]²]. *)
+
+(** {1 Incremental maintenance}
+
+    A growable twin of {!t} for streaming ingestion: appends extend
+    the data in O(1) amortized, point-deltas replay only the suffix of
+    the prefix/moment tables they actually change (O(n − i) for a
+    delta at index [i]), and {!Inc.freeze} yields a {!t} that is
+    {b bit-identical} to {!create} over the current data — the
+    streaming rebuild determinism contract rides on this (pinned by
+    the [@stream] twins, ≥500 random delta sequences, [%h]-exact). *)
+module Inc : sig
+  type frozen := t
+  type t
+
+  val create : unit -> t
+  (** An empty incremental prefix (no data yet). *)
+
+  val of_array : float array -> t
+  (** Seed from existing data (appends each value).  Raises
+      [Invalid_argument] on an empty array or non-finite values. *)
+
+  val n : t -> int
+  (** Current domain size. *)
+
+  val append : t -> float -> unit
+  (** Extend the domain by one value: [A[n+1] ← v].  O(1) amortized.
+      Raises [Invalid_argument] on a non-finite value. *)
+
+  val add : t -> i:int -> delta:float -> unit
+  (** Point-delta: [A[i] ← A[i] + delta], [1 ≤ i ≤ n].  Replays the
+      plain prefix fold and the four Kahan moment folds over the
+      changed suffix only — O(n − i), bit-identical to a rebuild.
+      Raises [Invalid_argument] when [i] is out of range or the delta
+      or resulting value is non-finite. *)
+
+  val value : t -> int -> float
+  (** [value t i] is the current [A[i]], [1 ≤ i ≤ n]. *)
+
+  val data : t -> float array
+  (** A fresh copy of the current [A[1..n]] (0-indexed). *)
+
+  val prefix : t -> int -> float
+  (** Current [P[k]], [0 ≤ k ≤ n]. *)
+
+  val range_sum : t -> a:int -> b:int -> float
+  (** Current [s[a,b]], [1 ≤ a ≤ b ≤ n]. *)
+
+  val total : t -> float
+  (** Current [s[1,n]]. *)
+
+  val freeze : t -> frozen
+  (** A frozen {!type:t} over the current data — bit-identical to
+      {!create} on {!data}.  Raises [Invalid_argument] when empty. *)
+end

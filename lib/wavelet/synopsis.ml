@@ -217,6 +217,17 @@ let range_optimal_for_sse data ~max_sse =
 
 let predicted_sse t = t.predicted
 
+(* The canonical name of a merge result.  Appending "+merged" per
+   merge grew without bound under chained merges (exactly what
+   streaming windows do) and leaked into codec bytes, store listings
+   and log lines — a merge of a merge keeps the same name. *)
+let merged_suffix = "+merged"
+
+let merged_name name =
+  let ls = String.length merged_suffix and ln = String.length name in
+  if ln >= ls && String.sub name (ln - ls) ls = merged_suffix then name
+  else name ^ merged_suffix
+
 let merge s1 s2 =
   Checks.check
     (s1.domain = s2.domain && s1.n = s2.n && s1.padded = s2.padded)
@@ -232,7 +243,14 @@ let merge s1 s2 =
       Hashtbl.replace tbl i (prev +. c))
     s2.coeffs;
   let b = max (Array.length s1.coeffs) (Array.length s2.coeffs) in
-  let entries = Hashtbl.fold (fun i c acc -> (i, c) :: acc) tbl [] in
+  (* Exactly-cancelled coefficients carry no signal; dropping them
+     keeps chained merges from spending budget on zeros. *)
+  let entries =
+    Hashtbl.fold (fun i c acc -> if c = 0. then acc else (i, c) :: acc) tbl []
+  in
+  (* Magnitude-descending, equal-|γ| ties broken by lowest index: the
+     ordering is total (indices are unique), so truncation is
+     deterministic and byte-stable regardless of accumulation order. *)
   let entries =
     List.sort
       (fun (i1, c1) (i2, c2) ->
@@ -242,7 +260,7 @@ let merge s1 s2 =
       entries
   in
   let coeffs = Array.of_list (List.filteri (fun rank _ -> rank < b) entries) in
-  make ~domain:s1.domain ~n:s1.n ~padded:s1.padded ~name:(s1.name ^ "+merged")
+  make ~domain:s1.domain ~n:s1.n ~padded:s1.padded ~name:(merged_name s1.name)
     coeffs
 
 let sides t =

@@ -75,9 +75,16 @@ val merge : t -> t -> t
     Coefficients are linear in the data, so the union of the kept sets
     with summed values represents the sum exactly on those indices; the
     result is truncated back to [max] of the two budgets by magnitude
-    (the standard mergeable-synopsis heuristic).  Both synopses must
-    share the domain kind and size; two-sided synopses are not
-    supported.  Raises [Invalid_argument] on mismatch. *)
+    (the standard mergeable-synopsis heuristic).  Truncation order is
+    {b deterministic}: magnitude descending, equal-[|γ|] ties broken by
+    {e lowest coefficient index} — so merge results are byte-stable
+    across chains, accumulation orders, and job counts (pinned by the
+    [@stream] equal-magnitude fixture).  Exactly-cancelled (zero-sum)
+    coefficients are dropped before truncation, and the result's name
+    is bounded: [s1]'s name gains one ["+merged"] suffix, never more,
+    however long the merge chain.  Both synopses must share the domain
+    kind and size; two-sided synopses are not supported.  Raises
+    [Invalid_argument] on mismatch. *)
 
 val aa_2d : float array -> b:int -> t
 (** The paper's literal Theorem-9 route: top-B 2-D Haar coefficients of

@@ -110,6 +110,7 @@ type answer = {
   rung : P.rung;
   estimates : float array;
   rmse_bound : float option;
+  stale : bool;
 }
 
 type refusal = {
@@ -120,8 +121,8 @@ type refusal = {
 
 let expect_answers line =
   match decode line with
-  | P.Answers { id = _; generation; rung; estimates; rmse_bound } ->
-      { generation; rung; estimates; rmse_bound }
+  | P.Answers { id = _; generation; rung; estimates; rmse_bound; stale } ->
+      { generation; rung; estimates; rmse_bound; stale }
   | _ -> Alcotest.failf "expected an answer, got %S" line
 
 let expect_refusal line =
@@ -280,7 +281,27 @@ let test_response_roundtrip () =
           rung = P.Exact;
           estimates = [| 1.5; -0.25; 1e17; 0.1 |];
           rmse_bound = Some 0.125;
+          stale = false;
         };
+      P.Answers
+        {
+          id = Some "qs";
+          generation = 2;
+          rung = P.Exact;
+          estimates = [| 4.5 |];
+          rmse_bound = None;
+          stale = true;
+        };
+      P.Ingested
+        {
+          id = Some "i1";
+          synopsis = "stream";
+          applied = 3;
+          dirty = 2.5;
+          stale = true;
+        };
+      P.Ingested
+        { id = None; synopsis = "s"; applied = 0; dirty = 0.; stale = false };
       P.Answers
         {
           id = None;
@@ -288,6 +309,7 @@ let test_response_roundtrip () =
           rung = P.Stale;
           estimates = [||];
           rmse_bound = None;
+          stale = false;
         };
       P.Refused
         {
@@ -314,7 +336,14 @@ let test_response_roundtrip () =
       let line =
         P.encode_response
           (P.Answers
-             { id = None; generation = 1; rung; estimates = [| 1. |]; rmse_bound = None })
+             {
+               id = None;
+               generation = 1;
+               rung;
+               estimates = [| 1. |];
+               rmse_bound = None;
+               stale = false;
+             })
       in
       match P.decode_response line with
       | Ok (P.Answers a) when a.rung = rung -> ()
@@ -427,7 +456,7 @@ let test_encoder_direct_vs_ast () =
   in
   let opt f = if Rng.bool rng then Some (f ()) else None in
   let rand_response () =
-    match Rng.int rng 6 with
+    match Rng.int rng 7 with
     | 0 -> P.Pong
     | 1 -> P.Shutdown_ack
     | 2 ->
@@ -445,6 +474,16 @@ let test_encoder_direct_vs_ast () =
             rung = [| P.Exact; P.Bound; P.Stale |].(Rng.int rng 3);
             estimates = Array.init (Rng.int rng 6) (fun _ -> rand_float ());
             rmse_bound = opt rand_float;
+            stale = Rng.bool rng;
+          }
+    | 5 ->
+        P.Ingested
+          {
+            id = opt rand_string;
+            synopsis = rand_string ();
+            applied = Rng.int rng 64;
+            dirty = Float.abs (rand_float ());
+            stale = Rng.bool rng;
           }
     | _ ->
         P.Refused
@@ -498,6 +537,7 @@ let test_line_mutants_never_crash () =
              rung = P.Bound;
              estimates = [| 1.5; -0.; 1e17; 0.1 |];
              rmse_bound = Some 0.125;
+             stale = true;
            });
       P.encode_response
         (P.Refused
